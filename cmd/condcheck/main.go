@@ -1,0 +1,47 @@
+// Command condcheck parses and type-checks an ST-CPS condition-language
+// expression and prints its canonical form and the entity roles it binds.
+//
+// Usage:
+//
+//	condcheck -e "x.time before y.time and dist(x.loc, y.loc) < 5"
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	stcps "github.com/stcps/stcps"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "condcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condcheck", flag.ContinueOnError)
+	expr := fs.String("e", "", "condition expression to check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *expr == "" && fs.NArg() > 0 {
+		*expr = strings.Join(fs.Args(), " ")
+	}
+	if *expr == "" {
+		return errors.New("no expression given (use -e)")
+	}
+	cond, err := stcps.ParseCondition(*expr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "input:     %s\n", *expr)
+	fmt.Fprintf(out, "canonical: %s\n", cond.String())
+	fmt.Fprintf(out, "roles:     %s\n", strings.Join(cond.Roles(), ", "))
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidExpression(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-e", "x.time before y.time and dist(x.loc, y.loc) < 5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"canonical:", "roles:", "x, y"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunPositionalExpression(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"x.v", ">", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "x.v > 3") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing expression should error")
+	}
+	if err := run([]string{"-e", ">>>"}, &out); err == nil {
+		t.Error("garbage expression should error")
+	}
+	if err := run([]string{"-e", "x.time > 5"}, &out); err == nil {
+		t.Error("type error should surface")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBuildingScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "building", "-ticks", "1000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"scenario building",
+		"sensor layer",
+		"cyber-physical layer",
+		"cyber layer",
+		"CP.nearby",
+		"E.presence",
+		"ground truth:",
+		"P.nearby",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunForestFireScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "forestfire", "-ticks", "2500", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"CP.fireFront", "E.fireAlarm"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunLineageFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "building", "-ticks", "1000", "-lineage"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "provenance of first cyber event:") {
+		t.Fatal("lineage section missing")
+	}
+	// The chain must reach a raw observation.
+	if !strings.Contains(got, "O(MT") {
+		t.Errorf("lineage does not reach an observation:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "marsrover"}, &out); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"-scenario", "building", "-ticks", "800", "-seed", "3"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Fatal("same seed produced different reports")
+	}
+}

@@ -1,0 +1,207 @@
+// Command edlbench runs the event detection latency experiments E1–E3
+// from DESIGN.md — the quantitative analysis the paper defers to future
+// work — and prints one table per experiment comparing the analytic EDL
+// model against the simulated system.
+//
+// Usage:
+//
+//	edlbench            # all experiments
+//	edlbench -exp E1    # EDL vs. network depth
+//	edlbench -exp E2    # EDL vs. sampling period
+//	edlbench -exp E3    # recall and EDL vs. packet loss
+//	edlbench -exp E8    # baseline expressiveness/correctness matrix
+//	edlbench -exp E11   # condition evaluation placement
+//	edlbench -runs 32   # more runs per configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/stcps/stcps/internal/baseline"
+	"github.com/stcps/stcps/internal/latency"
+	"github.com/stcps/stcps/internal/placement"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3 or all")
+	runs := fs.Int("runs", 16, "runs per configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	which := strings.ToUpper(*exp)
+	any := false
+	if which == "ALL" || which == "E1" {
+		any = true
+		if err := e1(out, *runs); err != nil {
+			return err
+		}
+	}
+	if which == "ALL" || which == "E2" {
+		any = true
+		if err := e2(out, *runs); err != nil {
+			return err
+		}
+	}
+	if which == "ALL" || which == "E3" {
+		any = true
+		if err := e3(out, *runs); err != nil {
+			return err
+		}
+	}
+	if which == "ALL" || which == "E8" {
+		any = true
+		if err := e8(out); err != nil {
+			return err
+		}
+	}
+	if which == "ALL" || which == "E11" {
+		any = true
+		if err := e11(out); err != nil {
+			return err
+		}
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+// e1 sweeps network depth (hops) at a fixed sampling period.
+func e1(out io.Writer, runs int) error {
+	fmt.Fprintln(out, "=== E1: EDL vs. network depth (sampling=16, hop=4, bus=2) ===")
+	fmt.Fprintln(out, "depth\tanalyticE\tanalyticWorst\tmeasMean\tmeasP95\tmeasMax")
+	for depth := 1; depth <= 8; depth++ {
+		res, err := latency.RunChain(latency.ChainConfig{
+			Depth:          depth,
+			SamplingPeriod: 16,
+			HopDelay:       4,
+			BusDelay:       2,
+			StepAt:         200,
+			Runs:           runs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d\t%.1f\t%d\t%.1f\t%.0f\t%.0f\n",
+			depth, res.Analytic.Expected(), res.Analytic.Worst(),
+			res.CCUEDL.Mean(), res.CCUEDL.Percentile(95), res.CCUEDL.Max())
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// e2 sweeps the sampling period at a fixed depth.
+func e2(out io.Writer, runs int) error {
+	fmt.Fprintln(out, "=== E2: EDL vs. sampling period (depth=3, hop=4, bus=2) ===")
+	fmt.Fprintln(out, "period\tanalyticE\tanalyticWorst\tmeasMean\tmeasP95\tmeasMax")
+	for _, period := range []timemodel.Tick{1, 2, 4, 8, 16, 32, 64, 128} {
+		res, err := latency.RunChain(latency.ChainConfig{
+			Depth:          3,
+			SamplingPeriod: period,
+			HopDelay:       4,
+			BusDelay:       2,
+			StepAt:         200,
+			Runs:           runs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d\t%.1f\t%d\t%.1f\t%.0f\t%.0f\n",
+			period, res.Analytic.Expected(), res.Analytic.Worst(),
+			res.CCUEDL.Mean(), res.CCUEDL.Percentile(95), res.CCUEDL.Max())
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// e3 sweeps per-hop loss; fresh samples act as retransmissions, so loss
+// shows up as latency first and as missed detections only at the extreme.
+func e3(out io.Writer, runs int) error {
+	fmt.Fprintln(out, "=== E3: recall and EDL vs. per-hop loss (depth=3, sampling=16) ===")
+	fmt.Fprintln(out, "loss\trecall\tmeasMean\tmeasP95\tmeasMax")
+	for _, loss := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		res, err := latency.RunChain(latency.ChainConfig{
+			Depth:          3,
+			SamplingPeriod: 16,
+			HopDelay:       4,
+			BusDelay:       2,
+			LossRate:       loss,
+			StepAt:         200,
+			Runs:           runs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%.1f\t%.2f\t%.1f\t%.0f\t%.0f\n",
+			loss, res.Recall(),
+			res.CCUEDL.Mean(), res.CCUEDL.Percentile(95), res.CCUEDL.Max())
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// e8 prints the baseline comparison matrix: which engine from the
+// paper's related-work section covers which scenario class, and whether
+// it judged the scenario correctly.
+func e8(out io.Writer) error {
+	fmt.Fprintln(out, "=== E8: baseline expressiveness and correctness ===")
+	outcomes, err := baseline.Compare(baseline.StandardScenarios())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "scenario\tclass\tengine\texpressible\tdetected\tcorrect")
+	for _, o := range outcomes {
+		expr, det, cor := "no", "-", "-"
+		if o.Expressible {
+			expr = "yes"
+			det, cor = "no", "no"
+			if o.Detected {
+				det = "yes"
+			}
+			if o.Correct {
+				cor = "yes"
+			}
+		}
+		fmt.Fprintf(out, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			o.Scenario, o.Class, o.Engine, expr, det, cor)
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// e11 compares condition evaluation placements (mote / sink / CCU) — the
+// paper's third future-work item.
+func e11(out io.Writer) error {
+	fmt.Fprintln(out, "=== E11: condition evaluation placement (sampling=10, hop=2, bus=3) ===")
+	fmt.Fprintln(out, "place\twsnMsgs\tbusMsgs\tdetections\tfirstEDL")
+	results, err := placement.Sweep(placement.Config{
+		SamplingPeriod: 10,
+		HopDelay:       2,
+		BusDelay:       3,
+		StepAt:         200,
+		Horizon:        400,
+		Seed:           5,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(out, "%s\t%d\t%d\t%d\t%d\n",
+			r.Placement, r.WSNSent, r.BusPublished, r.Detections, r.FirstEDL)
+	}
+	fmt.Fprintln(out)
+	return nil
+}

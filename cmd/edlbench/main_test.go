@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	tests := []struct {
+		exp  string
+		want string
+	}{
+		{"E1", "E1: EDL vs. network depth"},
+		{"e2", "E2: EDL vs. sampling period"},
+		{"E3", "E3: recall and EDL"},
+		{"E8", "E8: baseline expressiveness"},
+		{"E11", "E11: condition evaluation placement"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.exp, func(t *testing.T) {
+			var out strings.Builder
+			if err := run([]string{"-exp", tt.exp, "-runs", "2"}, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), tt.want) {
+				t.Errorf("output missing %q", tt.want)
+			}
+			// Tables must have data rows beyond the two header lines.
+			if lines := strings.Count(out.String(), "\n"); lines < 4 {
+				t.Errorf("table too short:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E99"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestE1MonotoneInDepth(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E1", "-runs", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The measured mean column must be non-decreasing with depth.
+	var prev float64 = -1
+	for _, line := range strings.Split(out.String(), "\n") {
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 || fields[0] == "depth" {
+			continue
+		}
+		mean, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			t.Fatalf("bad row %q: %v", line, err)
+		}
+		if mean < prev {
+			t.Fatalf("EDL decreased with depth: %v after %v", mean, prev)
+		}
+		prev = mean
+	}
+	if prev < 0 {
+		t.Fatal("no data rows parsed")
+	}
+}

@@ -1,0 +1,97 @@
+// Command quickstart is the minimal ST-CPS example: one temperature mote,
+// one sink, one CCU, one event per layer. It shows the three observer
+// levels of the event model (sensor event → cyber-physical event → cyber
+// event) reacting to a step stimulus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stcps "github.com/stcps/stcps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := stcps.NewSystem(stcps.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	// Physical world: ambient temperature that jumps at tick 500.
+	world := sys.World()
+	if err := world.AddPhenomenon("heat", stcps.Step{
+		Name: "temp", Before: 21, After: 75, At: 500,
+	}); err != nil {
+		return err
+	}
+
+	// One mote sampling temperature every 20 ticks, one sink, one CCU.
+	if err := sys.AddSensorMote("MT1", stcps.Pt(10, 0), []stcps.SensorConfig{
+		{ID: "SRtemp", Attr: "temp", Period: 20, Noise: 0.2},
+	}); err != nil {
+		return err
+	}
+	if err := sys.AddSink("sink1", stcps.Pt(0, 0)); err != nil {
+		return err
+	}
+	if err := sys.AddCCU("CCU1", stcps.Pt(0, 10)); err != nil {
+		return err
+	}
+
+	// Layered events: the same physical change abstracted per observer.
+	if err := sys.OnMote("MT1", stcps.EventSpec{
+		ID:    "S.hot",
+		Roles: []stcps.Role{{Name: "x", Source: "SRtemp", Window: 1}},
+		When:  "x.temp > 50",
+	}); err != nil {
+		return err
+	}
+	if err := sys.OnSink("sink1", stcps.EventSpec{
+		ID:    "CP.hot",
+		Roles: []stcps.Role{{Name: "x", Source: "S.hot", Window: 1}},
+		When:  "x.temp > 50",
+	}); err != nil {
+		return err
+	}
+	if err := sys.OnCCU("CCU1", stcps.EventSpec{
+		ID:    "E.overheat",
+		Roles: []stcps.Role{{Name: "x", Source: "CP.hot", Window: 1}},
+		When:  "true",
+	}); err != nil {
+		return err
+	}
+
+	report, err := sys.Run(1000)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== quickstart: step stimulus through the event hierarchy ===")
+	fmt.Print(report.Summary())
+
+	// Show the first cyber event and its full provenance chain.
+	cyber := report.OfEvent("E.overheat")
+	if len(cyber) == 0 {
+		return fmt.Errorf("no cyber events detected")
+	}
+	first := cyber[0]
+	fmt.Printf("\nfirst cyber event: %s\n", first.EntityID())
+	fmt.Printf("  t^g=%d  t^eo=%v  ρ=%.2f\n", first.Gen, first.Occ, first.Confidence)
+	chain, err := report.Lineage(first.EntityID())
+	if err != nil {
+		return err
+	}
+	fmt.Println("  provenance (cyber → physical observation):")
+	for _, id := range chain {
+		fmt.Printf("    %s\n", id)
+	}
+	fmt.Printf("\ndetection latency vs. ground truth step at 500: %d ticks\n",
+		first.Gen-500)
+	return nil
+}

@@ -1,0 +1,385 @@
+// Package baseline implements the prior event models that Tan, Vuran,
+// Goddard (ICDCSW 2009) survey in Section 2, as comparison baselines for
+// the spatio-temporal CPS event model (experiment E8 in DESIGN.md):
+//
+//   - PointEngine — a Snoop-style active-database composite event engine
+//     with point-based (punctual) occurrence semantics and the operators
+//     And, Or, Seq (recent context);
+//   - IntervalEngine — a SnoopIB-style engine whose occurrences are time
+//     intervals, adding During and Overlap;
+//   - RTLMonitor — an RTL-style timing-constraint monitor over punctual
+//     event occurrences (deadline/delay constraints between events).
+//
+// None of the baselines support spatial conditions; the point-based ones
+// additionally cannot express interval relations — exactly the gaps the
+// paper identifies ("the interval-based temporal relationships such as
+// During, Overlap are not addressed"). The Compare harness scores every
+// engine, plus the full ST-CPS detector, on a common scenario suite.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// ErrBadRule is returned for structurally invalid rules.
+var ErrBadRule = errors.New("baseline: invalid rule")
+
+// Prim is a primitive event occurrence fed to the baseline engines. The
+// point-based engines observe only the occurrence end (their "detection
+// point"); the interval engine sees the full occurrence; only the ST-CPS
+// model also uses the location.
+type Prim struct {
+	// ID is the primitive event identifier.
+	ID string
+	// Time is the full occurrence time.
+	Time timemodel.Time
+	// Loc is the occurrence location (ignored by all baselines).
+	Loc spatial.Location
+}
+
+// point returns the punctual abstraction of the primitive: its end tick.
+func (p Prim) point() timemodel.Tick { return p.Time.End() }
+
+// Detection is a composite event occurrence reported by an engine.
+type Detection struct {
+	// Rule is the composite rule name.
+	Rule string
+	// Occ is the reported occurrence: punctual for point-based engines.
+	Occ timemodel.Time
+}
+
+// PointOp is a Snoop-style composite operator with point semantics.
+type PointOp int
+
+// Point-engine operators.
+const (
+	// PAnd detects when both constituents have occurred, in any order.
+	PAnd PointOp = iota + 1
+	// POr detects on any constituent occurrence.
+	POr
+	// PSeq detects when A occurs strictly before B.
+	PSeq
+)
+
+// String returns the operator name.
+func (op PointOp) String() string {
+	switch op {
+	case PAnd:
+		return "and"
+	case POr:
+		return "or"
+	case PSeq:
+		return "seq"
+	default:
+		return fmt.Sprintf("PointOp(%d)", int(op))
+	}
+}
+
+// PointRule is a binary composite rule for the point engine.
+type PointRule struct {
+	// Name identifies detections of this rule.
+	Name string
+	// Op is the composite operator.
+	Op PointOp
+	// A and B are the constituent primitive ids.
+	A, B string
+	// Window bounds |t_A − t_B| (0 = unbounded).
+	Window timemodel.Tick
+}
+
+func (r PointRule) validate() error {
+	if r.Name == "" || r.A == "" || r.B == "" {
+		return fmt.Errorf("point rule needs name and constituents: %w", ErrBadRule)
+	}
+	switch r.Op {
+	case PAnd, POr, PSeq:
+		return nil
+	default:
+		return fmt.Errorf("point rule op %v: %w", r.Op, ErrBadRule)
+	}
+}
+
+// PointEngine is the Snoop-style engine. Occurrence times of detections
+// are single points — the engine structurally cannot represent interval
+// events, which is what E8 demonstrates.
+type PointEngine struct {
+	rules  []PointRule
+	latest map[string]timemodel.Tick
+	seen   map[string]bool
+}
+
+// NewPointEngine builds an engine from rules.
+func NewPointEngine(rules ...PointRule) (*PointEngine, error) {
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &PointEngine{
+		rules:  append([]PointRule(nil), rules...),
+		latest: make(map[string]timemodel.Tick),
+		seen:   make(map[string]bool),
+	}, nil
+}
+
+// Offer feeds one primitive occurrence (observed at its end point, recent
+// context) and returns any detections it completes.
+func (e *PointEngine) Offer(p Prim) []Detection {
+	t := p.point()
+	var out []Detection
+	for _, r := range e.rules {
+		switch r.Op {
+		case POr:
+			if p.ID == r.A || p.ID == r.B {
+				out = append(out, Detection{Rule: r.Name, Occ: timemodel.At(t)})
+			}
+		case PAnd:
+			var other string
+			switch p.ID {
+			case r.A:
+				other = r.B
+			case r.B:
+				other = r.A
+			default:
+				continue
+			}
+			ot, ok := e.latest[other]
+			if !ok {
+				continue
+			}
+			gap := t - ot
+			if gap < 0 {
+				gap = -gap
+			}
+			if r.Window > 0 && gap > r.Window {
+				continue
+			}
+			det := t
+			if ot > det {
+				det = ot
+			}
+			out = append(out, Detection{Rule: r.Name, Occ: timemodel.At(det)})
+		case PSeq:
+			if p.ID != r.B {
+				continue
+			}
+			at, ok := e.latest[r.A]
+			if !ok || at >= t {
+				continue
+			}
+			if r.Window > 0 && t-at > r.Window {
+				continue
+			}
+			out = append(out, Detection{Rule: r.Name, Occ: timemodel.At(t)})
+		}
+	}
+	e.latest[p.ID] = t
+	e.seen[p.ID] = true
+	return out
+}
+
+// IntervalOp is a SnoopIB-style composite operator with interval
+// semantics.
+type IntervalOp int
+
+// Interval-engine operators.
+const (
+	// IAnd detects when both constituents have occurred (hull
+	// occurrence).
+	IAnd IntervalOp = iota + 1
+	// IOr detects on any constituent occurrence.
+	IOr
+	// ISeq detects when A's occurrence ends before B's begins.
+	ISeq
+	// IDuring detects when A's occurrence lies within B's.
+	IDuring
+	// IOverlap detects when the occurrences share ticks.
+	IOverlap
+)
+
+// String returns the operator name.
+func (op IntervalOp) String() string {
+	switch op {
+	case IAnd:
+		return "and"
+	case IOr:
+		return "or"
+	case ISeq:
+		return "seq"
+	case IDuring:
+		return "during"
+	case IOverlap:
+		return "overlap"
+	default:
+		return fmt.Sprintf("IntervalOp(%d)", int(op))
+	}
+}
+
+// IntervalRule is a binary composite rule for the interval engine.
+type IntervalRule struct {
+	// Name identifies detections of this rule.
+	Name string
+	// Op is the composite operator.
+	Op IntervalOp
+	// A and B are the constituent primitive ids.
+	A, B string
+}
+
+func (r IntervalRule) validate() error {
+	if r.Name == "" || r.A == "" || r.B == "" {
+		return fmt.Errorf("interval rule needs name and constituents: %w", ErrBadRule)
+	}
+	switch r.Op {
+	case IAnd, IOr, ISeq, IDuring, IOverlap:
+		return nil
+	default:
+		return fmt.Errorf("interval rule op %v: %w", r.Op, ErrBadRule)
+	}
+}
+
+// IntervalEngine is the SnoopIB-style engine: occurrences are intervals,
+// so During/Overlap are expressible; spatial conditions remain out of
+// scope.
+type IntervalEngine struct {
+	rules  []IntervalRule
+	latest map[string]timemodel.Time
+	seen   map[string]bool
+}
+
+// NewIntervalEngine builds an engine from rules.
+func NewIntervalEngine(rules ...IntervalRule) (*IntervalEngine, error) {
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &IntervalEngine{
+		rules:  append([]IntervalRule(nil), rules...),
+		latest: make(map[string]timemodel.Time),
+		seen:   make(map[string]bool),
+	}, nil
+}
+
+// Offer feeds one primitive occurrence and returns completions.
+func (e *IntervalEngine) Offer(p Prim) []Detection {
+	var out []Detection
+	for _, r := range e.rules {
+		if p.ID != r.A && p.ID != r.B {
+			continue
+		}
+		switch r.Op {
+		case IOr:
+			out = append(out, Detection{Rule: r.Name, Occ: p.Time})
+			continue
+		case IAnd:
+			other := r.A
+			if p.ID == r.A {
+				other = r.B
+			}
+			ot, ok := e.latest[other]
+			if !ok {
+				continue
+			}
+			out = append(out, Detection{Rule: r.Name, Occ: p.Time.Hull(ot)})
+			continue
+		}
+		// Directional relations need both sides resolved as (a, b).
+		var a, b timemodel.Time
+		var haveA, haveB bool
+		if p.ID == r.A {
+			a, haveA = p.Time, true
+			b, haveB = e.latest[r.B]
+		} else {
+			b, haveB = p.Time, true
+			a, haveA = e.latest[r.A]
+		}
+		if !haveA || !haveB {
+			continue
+		}
+		switch r.Op {
+		case ISeq:
+			if a.End() < b.Start() {
+				out = append(out, Detection{Rule: r.Name, Occ: a.Hull(b)})
+			}
+		case IDuring:
+			if timemodel.OpDuring.Apply(a, b) {
+				out = append(out, Detection{Rule: r.Name, Occ: a})
+			}
+		case IOverlap:
+			if a.Intersects(b) {
+				out = append(out, Detection{Rule: r.Name, Occ: a.Hull(b)})
+			}
+		}
+	}
+	e.latest[p.ID] = p.Time
+	e.seen[p.ID] = true
+	return out
+}
+
+// RTLConstraint is an RTL-style timing constraint between two punctual
+// event occurrences: it is satisfied when B occurs with
+// t_B − t_A ∈ [MinGap, MaxGap] for the most recent A.
+type RTLConstraint struct {
+	// Name identifies detections of this constraint.
+	Name string
+	// A and B are the constrained primitive ids.
+	A, B string
+	// MinGap and MaxGap bound t_B − t_A inclusive.
+	MinGap, MaxGap timemodel.Tick
+}
+
+func (c RTLConstraint) validate() error {
+	if c.Name == "" || c.A == "" || c.B == "" {
+		return fmt.Errorf("rtl constraint needs name and events: %w", ErrBadRule)
+	}
+	if c.MaxGap < c.MinGap {
+		return fmt.Errorf("rtl constraint gap [%d,%d]: %w", c.MinGap, c.MaxGap, ErrBadRule)
+	}
+	return nil
+}
+
+// RTLMonitor checks point-based timing constraints (the paper's Section 2
+// RTL critique: no interval relations, no space).
+type RTLMonitor struct {
+	constraints []RTLConstraint
+	latest      map[string]timemodel.Tick
+}
+
+// NewRTLMonitor builds a monitor from constraints.
+func NewRTLMonitor(constraints ...RTLConstraint) (*RTLMonitor, error) {
+	for _, c := range constraints {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &RTLMonitor{
+		constraints: append([]RTLConstraint(nil), constraints...),
+		latest:      make(map[string]timemodel.Tick),
+	}, nil
+}
+
+// Offer feeds one primitive occurrence (point abstraction) and returns
+// satisfied constraints.
+func (m *RTLMonitor) Offer(p Prim) []Detection {
+	t := p.point()
+	var out []Detection
+	for _, c := range m.constraints {
+		if p.ID != c.B {
+			continue
+		}
+		at, ok := m.latest[c.A]
+		if !ok {
+			continue
+		}
+		gap := t - at
+		if gap >= c.MinGap && gap <= c.MaxGap {
+			out = append(out, Detection{Rule: c.Name, Occ: timemodel.At(t)})
+		}
+	}
+	m.latest[p.ID] = t
+	return out
+}

@@ -1,0 +1,139 @@
+package condition
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrSyntax is the sentinel wrapped by all condition-language parse
+// errors.
+var ErrSyntax = errors.New("condition: syntax error")
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokDot
+	tokAt
+	tokPlus
+	tokMinus
+	tokRelOp // > >= < <= == !=
+)
+
+// token is a lexed token with its byte position for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Identifiers are lower-cased so
+// keywords and operators are case-insensitive.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case c == '@':
+			toks = append(toks, token{kind: tokAt, text: "@", pos: i})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, text: "+", pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tokMinus, text: "-", pos: i})
+			i++
+		case c == '>' || c == '<':
+			op := string(c)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+			}
+			toks = append(toks, token{kind: tokRelOp, text: op, pos: i})
+			i += len(op)
+		case c == '=' || c == '!':
+			if i+1 >= n || input[i+1] != '=' {
+				return nil, fmt.Errorf("at %d: unexpected %q: %w", i, string(c), ErrSyntax)
+			}
+			toks = append(toks, token{kind: tokRelOp, text: string(c) + "=", pos: i})
+			i += 2
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < n {
+				d := input[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				// Accept one decimal point followed by a digit; a dot not
+				// followed by a digit belongs to a reference like "x.loc".
+				if d == '.' && !seenDot && j+1 < n && input[j+1] >= '0' && input[j+1] <= '9' {
+					seenDot = true
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(input[i:j]), pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("at %d: unexpected character %q: %w", i, string(c), ErrSyntax)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,378 @@
+package condition
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Parse compiles a condition-language expression into a type-checked
+// composite event condition.
+//
+// Grammar (keywords are case-insensitive):
+//
+//	expr       := and { "or" and }
+//	and        := unary { "and" unary }
+//	unary      := "not" unary | primary
+//	primary    := "(" expr ")" | "true" | "false" | comparison
+//	comparison := term op term
+//	op         := ">" | ">=" | "<" | "<=" | "==" | "!="           (OP_R)
+//	            | "before" | "after" | "during" | "begins"
+//	            | "ends" | "meets" | "overlaps" | "equals"        (OP_T)
+//	            | "inside" | "outside" | "joint" | "equal"
+//	            | "covers"                                        (OP_S)
+//	term       := factor { ("+"|"-") factor }
+//	factor     := NUMBER | "-" NUMBER
+//	            | "@" [-] NUMBER | "[" [-]NUMBER "," [-]NUMBER "]"
+//	            | IDENT "(" term { "," term } ")"
+//	            | IDENT "." ("time"|"start"|"end"|"loc"|ATTR)
+//
+// Examples from the paper:
+//
+//	x.time before y.time and dist(x.loc, y.loc) < 5        (S1, Sec. 4.1)
+//	x.time + 5 before y.time                               (Sec. 4.1)
+//	u.loc inside rect(0, 0, 4, 2)                          (Sec. 4.2)
+//	avg(x.v, y.v) > 10                                     (Eq. 4.2)
+func Parse(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting with %s", p.peek())
+	}
+	return e, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// condition literals in tests and examples.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(kind tokenKind) (token, bool) {
+	if p.peek().kind == kind {
+		return p.next(), true
+	}
+	return token{}, false
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if t, ok := p.accept(kind); ok {
+		return t, nil
+	}
+	return token{}, p.errorf("expected %s, found %s", what, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("at %d: %s: %w", p.peek().pos, fmt.Sprintf(format, args...), ErrSyntax)
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peekKeyword("not") {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.peek().kind == tokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.peekKeyword("true"):
+		p.next()
+		return BoolLit{V: true}, nil
+	case p.peekKeyword("false"):
+		p.next()
+		return BoolLit{V: false}, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.peek()
+	if opTok.kind == tokRelOp {
+		p.next()
+		rel, _ := ParseRelOp(opTok.text)
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if left.TermType() != TypeNum || right.TermType() != TypeNum {
+			return nil, p.typeErrorf(opTok, "%s needs numeric operands, got %v and %v",
+				opTok.text, left.TermType(), right.TermType())
+		}
+		return CmpNum{L: left, Op: rel, R: right}, nil
+	}
+	if opTok.kind == tokIdent {
+		if top, ok := timemodel.ParseOperator(opTok.text); ok {
+			p.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if left.TermType() != TypeTime || right.TermType() != TypeTime {
+				return nil, p.typeErrorf(opTok, "%s needs temporal operands, got %v and %v",
+					opTok.text, left.TermType(), right.TermType())
+			}
+			return CmpTime{L: left, Op: top, R: right}, nil
+		}
+		if sop, ok := spatial.ParseOperator(opTok.text); ok {
+			p.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if left.TermType() != TypeLoc || right.TermType() != TypeLoc {
+				return nil, p.typeErrorf(opTok, "%s needs spatial operands, got %v and %v",
+					opTok.text, left.TermType(), right.TermType())
+			}
+			return CmpLoc{L: left, Op: sop, R: right}, nil
+		}
+	}
+	return nil, p.errorf("expected a comparison operator, found %s", opTok)
+}
+
+func (p *parser) typeErrorf(at token, format string, args ...any) error {
+	return fmt.Errorf("at %d: %s: %w", at.pos, fmt.Sprintf(format, args...), ErrTypeMismatch)
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var sub bool
+		switch p.peek().kind {
+		case tokPlus:
+			sub = false
+		case tokMinus:
+			sub = true
+		default:
+			return left, nil
+		}
+		opTok := p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case left.TermType() == TypeNum && right.TermType() == TypeNum:
+			left = NumArith{L: left, R: right, Sub: sub}
+		case left.TermType() == TypeTime && right.TermType() == TypeNum:
+			left = TimeShift{T: left, D: right, Neg: sub}
+		default:
+			return nil, p.typeErrorf(opTok, "cannot apply %q to %v and %v",
+				opTok.text, left.TermType(), right.TermType())
+		}
+	}
+}
+
+func (p *parser) parseFactor() (Term, error) {
+	switch tok := p.peek(); tok.kind {
+	case tokNumber:
+		p.next()
+		return p.numberLit(tok, false)
+	case tokMinus:
+		p.next()
+		numTok, err := p.expect(tokNumber, "a number")
+		if err != nil {
+			return nil, err
+		}
+		return p.numberLit(numTok, true)
+	case tokAt:
+		p.next()
+		v, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		return TimeLit{T: timemodel.At(v)}, nil
+	case tokLBracket:
+		p.next()
+		start, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma, `","`); err != nil {
+			return nil, err
+		}
+		end, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, `"]"`); err != nil {
+			return nil, err
+		}
+		tm, terr := timemodel.Between(start, end)
+		if terr != nil {
+			return nil, fmt.Errorf("at %d: %w", tok.pos, terr)
+		}
+		return TimeLit{T: tm}, nil
+	case tokIdent:
+		p.next()
+		if _, ok := p.accept(tokLParen); ok {
+			return p.parseCall(tok)
+		}
+		if _, ok := p.accept(tokDot); ok {
+			field, err := p.expect(tokIdent, "a field name after '.'")
+			if err != nil {
+				return nil, err
+			}
+			switch field.text {
+			case "time":
+				return TimeRef{Role: tok.text, Part: WholeTime}, nil
+			case "start":
+				return TimeRef{Role: tok.text, Part: StartTime}, nil
+			case "end":
+				return TimeRef{Role: tok.text, Part: EndTime}, nil
+			case "loc":
+				return LocRef{Role: tok.text}, nil
+			default:
+				return AttrRef{Role: tok.text, Name: field.text}, nil
+			}
+		}
+		return nil, p.errorf("bare identifier %q: expected %q.attr, %q.time, %q.loc or a function call",
+			tok.text, tok.text, tok.text, tok.text)
+	default:
+		return nil, p.errorf("expected a term, found %s", tok)
+	}
+}
+
+func (p *parser) parseCall(name token) (Term, error) {
+	var args []Term
+	if _, ok := p.accept(tokRParen); !ok {
+		for {
+			arg, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			if _, ok := p.accept(tokComma); ok {
+				continue
+			}
+			if _, err := p.expect(tokRParen, `")" or ","`); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	call, err := NewCall(name.text, args...)
+	if err != nil {
+		return nil, fmt.Errorf("at %d: %w", name.pos, err)
+	}
+	return call, nil
+}
+
+func (p *parser) numberLit(tok token, neg bool) (Term, error) {
+	v, err := strconv.ParseFloat(tok.text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("at %d: bad number %q: %w", tok.pos, tok.text, ErrSyntax)
+	}
+	if neg {
+		v = -v
+	}
+	return NumLit{V: v}, nil
+}
+
+func (p *parser) parseSignedInt() (timemodel.Tick, error) {
+	neg := false
+	if _, ok := p.accept(tokMinus); ok {
+		neg = true
+	}
+	tok, err := p.expect(tokNumber, "an integer")
+	if err != nil {
+		return 0, err
+	}
+	v, perr := strconv.ParseInt(tok.text, 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("at %d: bad integer %q: %w", tok.pos, tok.text, ErrSyntax)
+	}
+	if neg {
+		v = -v
+	}
+	return timemodel.Tick(v), nil
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// identifier.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}

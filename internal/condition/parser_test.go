@@ -1,0 +1,169 @@
+package condition
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestParseValid(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"paper S1", "x.time before y.time and dist(x.loc, y.loc) < 5"},
+		{"paper offset example", "x.time + 5 before y.time"},
+		{"paper inside example", "x.loc inside y.loc"},
+		{"paper attr aggregation", "avg(x.v, y.v) > 10"},
+		{"region literal", "u.loc inside rect(0, 0, 4, 2)"},
+		{"circle literal", "u.loc inside circle(5, 5, 2.5)"},
+		{"point literal", "u.loc equal point(1, 2)"},
+		{"time literal punctual", "x.time after @100"},
+		{"time literal interval", "x.time during [100, 200]"},
+		{"negative time literal", "x.time after @-5"},
+		{"negative interval", "x.time during [-10, -2]"},
+		{"start end refs", "x.start before y.end"},
+		{"duration", "duration(x.time) >= 30"},
+		{"area", "area(x.loc) > 100"},
+		{"temporal agg", "span(x.time, y.time) during [0, 1000]"},
+		{"spatial agg", "centroid(x.loc, y.loc) inside rect(0, 0, 10, 10)"},
+		{"hull", "hull(x.loc, y.loc, z.loc) joint rect(0, 0, 1, 1)"},
+		{"not", "not x.temp > 30"},
+		{"nested logic", "(x.temp > 30 or x.temp < 10) and not y.hum == 0"},
+		{"num arith", "x.temp - y.temp > 2"},
+		{"num arith add", "x.temp + y.temp >= 2"},
+		{"time minus", "x.time - 5 after y.time"},
+		{"true false", "true or false"},
+		{"case insensitive keywords", "X.Time BEFORE Y.Time AND TRUE"},
+		{"meets overlaps", "x.time meets y.time or x.time overlaps y.time"},
+		{"begins ends", "x.time begins y.time and x.time ends y.time"},
+		{"spatial outside covers", "x.loc outside y.loc or x.loc covers y.loc"},
+		{"equals time", "x.time equals y.time"},
+		{"abs", "abs(x.temp - y.temp) < 1"},
+		{"min max", "min(x.a, y.a) <= max(x.b, y.b)"},
+		{"bbox", "bbox(x.loc, y.loc) inside rect(-100, -100, 100, 100)"},
+		{"float literals", "x.temp > 30.75"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e, err := Parse(tt.input)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.input, err)
+			}
+			if e == nil {
+				t.Fatal("nil expression")
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		input   string
+		wantErr error
+	}{
+		{"empty", "", ErrSyntax},
+		{"trailing", "x.a > 1 y", ErrSyntax},
+		{"bare identifier", "x > 1", ErrSyntax},
+		{"missing rhs", "x.a >", ErrSyntax},
+		{"type mismatch relop on time", "x.time > 5", ErrTypeMismatch},
+		{"type mismatch temporal on num", "x.a before y.b", ErrTypeMismatch},
+		{"type mismatch spatial on num", "x.a inside y.b", ErrTypeMismatch},
+		{"type mismatch shift loc", "x.loc + 5 inside y.loc", ErrTypeMismatch},
+		{"unknown function", "frob(x.a) > 1", ErrUnknownFunc},
+		{"bad arity", "dist(x.loc) > 1", ErrArity},
+		{"bad arg type", "dist(x.a, y.loc) > 1", ErrTypeMismatch},
+		{"unclosed paren", "(x.a > 1", ErrSyntax},
+		{"unclosed call", "avg(x.a > 1", ErrSyntax},
+		{"bad char", "x.a > 1 $", ErrSyntax},
+		{"lone equals", "x.a = 1", ErrSyntax},
+		{"inverted interval literal", "x.time during [9, 3]", timemodel.ErrInvertedInterval},
+		{"missing comparison", "x.time y.time", ErrSyntax},
+		{"dot without field", "x. > 1", ErrSyntax},
+		{"not without operand", "not", ErrSyntax},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.input)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error %v", tt.input, tt.wantErr)
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Parse(%q) err = %v, want %v", tt.input, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestParsePrintFixpoint checks that printing an expression and reparsing
+// it reaches a fixpoint: Parse(s).String() == Parse(Parse(s).String()).String().
+func TestParsePrintFixpoint(t *testing.T) {
+	inputs := []string{
+		"x.time before y.time and dist(x.loc, y.loc) < 5",
+		"x.time + 5 before y.time",
+		"not (x.a > 1 or y.b <= 2) and z.loc inside rect(0, 0, 4, 2)",
+		"avg(x.v, y.v, z.v) != 3.5",
+		"span(x.time, y.time) during [0, 100]",
+		"hull(x.loc, y.loc, z.loc) joint circle(0, 0, 5)",
+		"x.time during [-5, 5] or x.time equals @0",
+		"duration(x.time) - duration(y.time) >= 1",
+		"true",
+		"false or not true",
+	}
+	for _, in := range inputs {
+		e1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		printed := e1.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q failed: %v", in, printed, err)
+		}
+		if e2.String() != printed {
+			t.Fatalf("not a fixpoint:\n first: %s\nsecond: %s", printed, e2.String())
+		}
+	}
+}
+
+func TestParseRoles(t *testing.T) {
+	e := MustParse("x.time before y.time and dist(x.loc, z.loc) < 5 and avg(w.v) > 0")
+	roles := e.Roles()
+	want := []string{"w", "x", "y", "z"}
+	if len(roles) != len(want) {
+		t.Fatalf("Roles = %v, want %v", roles, want)
+	}
+	for i, r := range want {
+		if roles[i] != r {
+			t.Fatalf("Roles = %v, want %v", roles, want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of garbage did not panic")
+		}
+	}()
+	MustParse(">>>")
+}
+
+func TestParenGroupingBindsCorrectly(t *testing.T) {
+	// and binds tighter than or: a or b and c == a or (b and c).
+	e := MustParse("x.a > 1 or x.b > 2 and x.c > 3")
+	or, ok := e.(Or)
+	if !ok {
+		t.Fatalf("top-level should be Or, got %T", e)
+	}
+	if _, ok := or.R.(And); !ok {
+		t.Fatalf("right of or should be And, got %T", or.R)
+	}
+	// Parentheses override.
+	e2 := MustParse("(x.a > 1 or x.b > 2) and x.c > 3")
+	if _, ok := e2.(And); !ok {
+		t.Fatalf("top-level should be And, got %T", e2)
+	}
+}

@@ -1,0 +1,122 @@
+// Package condition implements the event condition model of the ST-CPS
+// event model (Tan, Vuran, Goddard, ICDCSW 2009, Definition 4.2).
+//
+// An event is defined as a combination of event conditions, which are
+// constraints in terms of attributes, time, and location:
+//
+//   - attribute-based conditions g_v[V1..Vn] OP_R C (Eq. 4.2), using
+//     relational operators such as Greater, Equal, Less;
+//   - temporal conditions g_t[t1..tn] OP_T C_t (Eq. 4.3), using temporal
+//     operators such as Before, After, During, Begin, End;
+//   - spatial conditions g_s[l1..ln] OP_S C_s (Eq. 4.4), using spatial
+//     operators such as Inside, Outside, Joint.
+//
+// Composite conditions combine these with the logical operators AND, OR,
+// NOT (Eq. 4.5). Conditions constrain *entities* — physical observations
+// or event instances (event.Entity) — bound to named roles.
+//
+// Conditions have both a programmatic form (the Expr/Term AST in this
+// package) and a textual form parsed by Parse. The paper's S1 example
+//
+//	(t°x Before t°y) ∧ (g_distance(l°x, l°y) < 5)
+//
+// is written:
+//
+//	x.time before y.time and dist(x.loc, y.loc) < 5
+package condition
+
+import "fmt"
+
+// Type classifies the value a term evaluates to.
+type Type int
+
+// Term types.
+const (
+	// TypeNum is a scalar attribute or aggregation value.
+	TypeNum Type = iota + 1
+	// TypeTime is an occurrence time (punctual or interval).
+	TypeTime
+	// TypeLoc is an occurrence location (point or field).
+	TypeLoc
+)
+
+// String returns the type name used in error messages.
+func (t Type) String() string {
+	switch t {
+	case TypeNum:
+		return "num"
+	case TypeTime:
+		return "time"
+	case TypeLoc:
+		return "loc"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// RelOp is a relational operator OP_R from attribute-based event
+// conditions (Eq. 4.2): "Greater, Equal, Less" and their combinations.
+type RelOp int
+
+// Relational operators.
+const (
+	// OpGt is strictly greater (>).
+	OpGt RelOp = iota + 1
+	// OpGe is greater or equal (>=).
+	OpGe
+	// OpLt is strictly less (<).
+	OpLt
+	// OpLe is less or equal (<=).
+	OpLe
+	// OpEq is equal (==).
+	OpEq
+	// OpNe is not equal (!=).
+	OpNe
+)
+
+var relOpNames = map[RelOp]string{
+	OpGt: ">",
+	OpGe: ">=",
+	OpLt: "<",
+	OpLe: "<=",
+	OpEq: "==",
+	OpNe: "!=",
+}
+
+// String returns the operator symbol.
+func (op RelOp) String() string {
+	if s, ok := relOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("RelOp(%d)", int(op))
+}
+
+// Apply evaluates the relational operator on two numbers.
+func (op RelOp) Apply(a, b float64) bool {
+	switch op {
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	default:
+		return false
+	}
+}
+
+// ParseRelOp maps an operator symbol to its RelOp.
+func ParseRelOp(s string) (RelOp, bool) {
+	for op, name := range relOpNames {
+		if name == s {
+			return op, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,74 @@
+package db
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/stcps/stcps/internal/event"
+)
+
+// snapshotRecord is one line of the newline-delimited JSON snapshot
+// format. Exactly one of Instance/Observation is set.
+type snapshotRecord struct {
+	Instance    *event.Instance    `json:"instance,omitempty"`
+	Observation *event.Observation `json:"observation,omitempty"`
+}
+
+// Snapshot writes the store's full contents (instances in arrival order,
+// then observations) as newline-delimited JSON. The format is stable and
+// reloadable with Load — the durable half of the paper's "database server
+// for later retrieval".
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range s.log {
+		if err := enc.Encode(snapshotRecord{Instance: &s.log[i]}); err != nil {
+			return fmt.Errorf("db: snapshot: %w", err)
+		}
+	}
+	// Map iteration order is not deterministic; sort by id so snapshots
+	// are reproducible byte-for-byte.
+	ids := make([]string, 0, len(s.obs))
+	for id := range s.obs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o := s.obs[id]
+		if err := enc.Encode(snapshotRecord{Observation: &o}); err != nil {
+			return fmt.Errorf("db: snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("db: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replays a snapshot into the store. Existing contents are kept;
+// duplicate instances are ignored (Log is idempotent).
+func (s *Store) Load(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	for {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("db: load: %w", err)
+		}
+		switch {
+		case rec.Instance != nil:
+			if err := s.Log(*rec.Instance); err != nil {
+				return fmt.Errorf("db: load: %w", err)
+			}
+		case rec.Observation != nil:
+			s.LogObservation(*rec.Observation)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package db implements the Database Server of the CPS architecture
+// (Tan, Vuran, Goddard, ICDCSW 2009, Section 3): "a distributed data
+// logging service for the event instances. The event instances that
+// circulate inside the CPS network are automatically transferred to the
+// database server after a certain time for later retrieval."
+//
+// The store indexes instances three ways: an append log, a per-event
+// time-ordered index (binary searched for range queries), and a uniform
+// spatial grid over the estimated occurrence locations (for region
+// queries). A linear-scan query path is kept alongside the indexes for
+// the E9 experiment and as a cross-check oracle in tests.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// ErrNotFound is returned when an entity id cannot be resolved.
+var ErrNotFound = errors.New("db: not found")
+
+// Store is the event-instance database. It is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	log      []event.Instance
+	byEvent  map[string][]int // event id -> log indexes, Occ.Start-ordered
+	byEntity map[string]int   // entity id -> log index
+	grid     *spatial.Grid
+	obs      map[string]event.Observation // logged observations by id
+}
+
+// DefaultGridCell is the spatial index cell size.
+const DefaultGridCell = 16.0
+
+// New creates an empty store. cellSize <= 0 selects DefaultGridCell.
+func New(cellSize float64) (*Store, error) {
+	if cellSize <= 0 {
+		cellSize = DefaultGridCell
+	}
+	g, err := spatial.NewGrid(cellSize)
+	if err != nil {
+		return nil, fmt.Errorf("db: %w", err)
+	}
+	return &Store{
+		byEvent:  make(map[string][]int),
+		byEntity: make(map[string]int),
+		grid:     g,
+		obs:      make(map[string]event.Observation),
+	}, nil
+}
+
+// Log appends an instance. Invalid instances are rejected; duplicate
+// entity ids (same observer, event, seq) are idempotently ignored.
+func (s *Store) Log(in event.Instance) error {
+	if err := in.Validate(); err != nil {
+		return fmt.Errorf("db: log: %w", err)
+	}
+	id := in.EntityID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byEntity[id]; dup {
+		return nil
+	}
+	idx := len(s.log)
+	s.log = append(s.log, in)
+	s.byEntity[id] = idx
+
+	lst := s.byEvent[in.Event]
+	// Insert keeping Occ.Start order (instances usually arrive almost in
+	// order, so the insertion point is near the end).
+	pos := sort.Search(len(lst), func(i int) bool {
+		return s.log[lst[i]].Occ.Start() > in.Occ.Start()
+	})
+	lst = append(lst, 0)
+	copy(lst[pos+1:], lst[pos:])
+	lst[pos] = idx
+	s.byEvent[in.Event] = lst
+
+	s.grid.Insert(id, in.Loc)
+	return nil
+}
+
+// LogObservation records a raw physical observation for provenance
+// resolution.
+func (s *Store) LogObservation(o event.Observation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs[o.EntityID()] = o
+}
+
+// Len returns the number of logged instances.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// All returns a copy of the full instance log in arrival order.
+func (s *Store) All() []event.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]event.Instance, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// Get resolves an instance by its entity id.
+func (s *Store) Get(entityID string) (event.Instance, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.byEntity[entityID]
+	if !ok {
+		return event.Instance{}, fmt.Errorf("%q: %w", entityID, ErrNotFound)
+	}
+	return s.log[idx], nil
+}
+
+// QueryTime returns instances of eventID whose estimated occurrence
+// intersects [from, to], ordered by occurrence start. An empty eventID
+// matches every event (via scan).
+func (s *Store) QueryTime(eventID string, from, to timemodel.Tick) []event.Instance {
+	if to < from {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if eventID == "" {
+		return s.scanTimeLocked("", from, to)
+	}
+	lst := s.byEvent[eventID]
+	// Occurrences are ordered by start; every match has start <= to.
+	hi := sort.Search(len(lst), func(i int) bool {
+		return s.log[lst[i]].Occ.Start() > to
+	})
+	var out []event.Instance
+	for _, idx := range lst[:hi] {
+		if s.log[idx].Occ.End() >= from {
+			out = append(out, s.log[idx])
+		}
+	}
+	return out
+}
+
+// ScanTime is the unindexed equivalent of QueryTime, retained for the E9
+// index-versus-scan experiment and as a testing oracle.
+func (s *Store) ScanTime(eventID string, from, to timemodel.Tick) []event.Instance {
+	if to < from {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanTimeLocked(eventID, from, to)
+}
+
+func (s *Store) scanTimeLocked(eventID string, from, to timemodel.Tick) []event.Instance {
+	var out []event.Instance
+	for _, in := range s.log {
+		if eventID != "" && in.Event != eventID {
+			continue
+		}
+		if in.Occ.Start() <= to && in.Occ.End() >= from {
+			out = append(out, in)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Occ.Start() < out[j].Occ.Start()
+	})
+	return out
+}
+
+// QueryRegion returns instances whose estimated occurrence location is
+// Joint with the region, in arrival order.
+func (s *Store) QueryRegion(region spatial.Location) []event.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.grid.QueryRegion(region)
+	idxs := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if idx, ok := s.byEntity[id]; ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	out := make([]event.Instance, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.log[idx]
+	}
+	return out
+}
+
+// ScanRegion is the unindexed equivalent of QueryRegion (E9 experiment /
+// testing oracle).
+func (s *Store) ScanRegion(region spatial.Location) []event.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []event.Instance
+	for _, in := range s.log {
+		if spatial.OpJoint.Apply(in.Loc, region) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Lineage resolves the provenance chain of an entity: the transitive
+// closure of Inputs, depth-first, deduplicated, starting from (and
+// including) entityID. Unresolvable input ids (e.g. observations that
+// were never logged) are included as leaves — the chain back to the
+// original physical observation stays intact exactly as the paper
+// requires.
+func (s *Store) Lineage(entityID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.byEntity[entityID]; !ok {
+		if _, ok := s.obs[entityID]; !ok {
+			return nil, fmt.Errorf("%q: %w", entityID, ErrNotFound)
+		}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(id string)
+	walk = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		out = append(out, id)
+		if idx, ok := s.byEntity[id]; ok {
+			for _, inp := range s.log[idx].Inputs {
+				walk(inp)
+			}
+		}
+	}
+	walk(entityID)
+	return out, nil
+}
+
+// EventIDs lists the distinct event ids with logged instances, sorted.
+func (s *Store) EventIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byEvent))
+	for id := range s.byEvent {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

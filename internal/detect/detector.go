@@ -1,0 +1,428 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// entry is a buffered input entity with its carried confidence.
+type entry struct {
+	ent  event.Entity
+	conf float64
+}
+
+// Detector evaluates one event's conditions at one observer. It is not
+// safe for concurrent use; each observer owns its detectors and offers
+// entities from the simulation goroutine.
+type Detector struct {
+	spec     Spec
+	observer string
+	buffers  map[string][]entry // role -> window, oldest first
+	bySource map[string][]int   // source -> indexes into spec.Roles
+	seq      uint64
+	emitted  map[string]struct{}
+
+	// Interval-mode state machine.
+	open       bool
+	openStart  timemodel.Tick
+	lastTrue   timemodel.Tick
+	openBind   condition.Binding
+	openConfs  []float64
+	evalErrors uint64
+}
+
+// New builds a detector for observer observerID from a spec. The spec is
+// validated and defaults are filled.
+func New(observerID string, spec Spec) (*Detector, error) {
+	if observerID == "" {
+		return nil, fmt.Errorf("missing observer id: %w", ErrBadSpec)
+	}
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		spec:     spec,
+		observer: observerID,
+		buffers:  make(map[string][]entry, len(spec.Roles)),
+		bySource: make(map[string][]int),
+		emitted:  make(map[string]struct{}),
+	}
+	for i, r := range spec.Roles {
+		d.bySource[r.Source] = append(d.bySource[r.Source], i)
+	}
+	return d, nil
+}
+
+// EventID returns the detected event identifier.
+func (d *Detector) EventID() string { return d.spec.EventID }
+
+// Sources returns the distinct input stream keys the detector consumes,
+// sorted.
+func (d *Detector) Sources() []string {
+	out := make([]string, 0, len(d.bySource))
+	for s := range d.bySource {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvalErrors returns how many binding evaluations failed (unbound roles,
+// missing attributes); failed bindings count as unsatisfied.
+func (d *Detector) EvalErrors() uint64 { return d.evalErrors }
+
+// Offer feeds one entity from an input stream into the detector and
+// returns any instances generated at virtual time now. genLoc is the
+// observer's own location l^g. conf is the entity's carried confidence
+// (1 for raw observations, the instance's ρ otherwise).
+func (d *Detector) Offer(source string, ent event.Entity, conf float64, now timemodel.Tick, genLoc spatial.Location) []event.Instance {
+	roleIdxs, ok := d.bySource[source]
+	if !ok {
+		return nil
+	}
+	d.pruneAll(now)
+	fedRoles := make([]string, 0, len(roleIdxs))
+	for _, i := range roleIdxs {
+		r := d.spec.Roles[i]
+		d.insert(r, ent, conf, now)
+		fedRoles = append(fedRoles, r.Name)
+	}
+	if d.spec.Mode == ModeInterval {
+		return d.stepInterval(now, genLoc)
+	}
+	return d.stepPunctual(fedRoles, ent, now, genLoc)
+}
+
+// pruneAll evicts age-expired entities from every role buffer, so MaxAge
+// bounds bindings regardless of which role receives traffic.
+func (d *Detector) pruneAll(now timemodel.Tick) {
+	for _, r := range d.spec.Roles {
+		if r.MaxAge <= 0 {
+			continue
+		}
+		buf := d.buffers[r.Name]
+		if len(buf) == 0 {
+			continue
+		}
+		keep := buf[:0]
+		for _, e := range buf {
+			if now-e.ent.OccTime().End() <= r.MaxAge {
+				keep = append(keep, e)
+			}
+		}
+		d.buffers[r.Name] = keep
+	}
+}
+
+// Flush closes an open interval at virtual time now, emitting its
+// instance. Punctual detectors never need flushing.
+func (d *Detector) Flush(now timemodel.Tick, genLoc spatial.Location) []event.Instance {
+	if d.spec.Mode != ModeInterval || !d.open {
+		return nil
+	}
+	inst := d.closeInterval(now, genLoc)
+	return []event.Instance{inst}
+}
+
+// insert adds the entity to the role buffer, evicting by window size and
+// age.
+func (d *Detector) insert(r RoleSpec, ent event.Entity, conf float64, now timemodel.Tick) {
+	buf := d.buffers[r.Name]
+	buf = append(buf, entry{ent: ent, conf: conf})
+	if r.MaxAge > 0 {
+		keep := buf[:0]
+		for _, e := range buf {
+			if now-e.ent.OccTime().End() <= r.MaxAge {
+				keep = append(keep, e)
+			}
+		}
+		buf = keep
+	}
+	if len(buf) > r.Window {
+		buf = buf[len(buf)-r.Window:]
+	}
+	d.buffers[r.Name] = buf
+}
+
+// stepPunctual enumerates bindings that include the new entity and emits
+// an instance for each satisfied, not-yet-emitted binding.
+func (d *Detector) stepPunctual(fedRoles []string, ent event.Entity, now timemodel.Tick, genLoc spatial.Location) []event.Instance {
+	var out []event.Instance
+	roles := d.spec.Roles
+	for _, fixedRole := range fedRoles {
+		bindings := d.enumerate(roles, fixedRole, ent)
+		for _, b := range bindings {
+			key := bindingKey(b.bind)
+			if _, dup := d.emitted[key]; dup {
+				continue
+			}
+			ok, err := d.spec.Cond.Eval(b.bind)
+			if err != nil {
+				d.evalErrors++
+				continue
+			}
+			if !ok {
+				continue
+			}
+			d.emitted[key] = struct{}{}
+			if len(d.emitted) > 4*d.spec.MaxBindings {
+				// Bound memory: drop dedup history (old bindings have
+				// rolled out of the windows anyway).
+				d.emitted = make(map[string]struct{})
+				d.emitted[key] = struct{}{}
+			}
+			out = append(out, d.emit(b, now, genLoc, d.spec.Mode))
+		}
+	}
+	return out
+}
+
+// boundSet is a candidate binding plus its carried confidences.
+type boundSet struct {
+	bind  condition.Binding
+	confs []float64
+}
+
+// enumerate produces bindings over the role windows with the new entity
+// fixed at fixedRole, capped at MaxBindings.
+func (d *Detector) enumerate(roles []RoleSpec, fixedRole string, fixed event.Entity) []boundSet {
+	out := []boundSet{{bind: condition.Binding{}, confs: nil}}
+	for _, r := range roles {
+		var choices []entry
+		if r.Name == fixedRole {
+			choices = []entry{{ent: fixed, conf: d.confOf(r.Name, fixed)}}
+		} else {
+			choices = d.buffers[r.Name]
+		}
+		if len(choices) == 0 {
+			return nil // a role with no entities: no complete binding
+		}
+		next := make([]boundSet, 0, len(out)*len(choices))
+		for _, base := range out {
+			for _, c := range choices {
+				if len(next) >= d.spec.MaxBindings {
+					break
+				}
+				nb := make(condition.Binding, len(base.bind)+1)
+				for k, v := range base.bind {
+					nb[k] = v
+				}
+				nb[r.Name] = c.ent
+				confs := append(append([]float64(nil), base.confs...), c.conf)
+				next = append(next, boundSet{bind: nb, confs: confs})
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// confOf finds the stored confidence for an entity in a role buffer
+// (1 if not found — the entity was just offered with its confidence and
+// inserted, so it is always present in practice).
+func (d *Detector) confOf(role string, ent event.Entity) float64 {
+	buf := d.buffers[role]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].ent.EntityID() == ent.EntityID() {
+			return buf[i].conf
+		}
+	}
+	return 1
+}
+
+// stepInterval re-evaluates the latest-per-role binding and advances the
+// open/close state machine.
+func (d *Detector) stepInterval(now timemodel.Tick, genLoc spatial.Location) []event.Instance {
+	bind := condition.Binding{}
+	var confs []float64
+	for _, r := range d.spec.Roles {
+		buf := d.buffers[r.Name]
+		if len(buf) == 0 {
+			return d.fallIfOpen(now, genLoc)
+		}
+		latest := buf[len(buf)-1]
+		bind[r.Name] = latest.ent
+		confs = append(confs, latest.conf)
+	}
+	ok, err := d.spec.Cond.Eval(bind)
+	if err != nil {
+		d.evalErrors++
+		ok = false
+	}
+	switch {
+	case ok && !d.open:
+		d.open = true
+		d.openStart = now
+		d.lastTrue = now
+		d.openBind = bind
+		d.openConfs = confs
+		return nil
+	case ok && d.open:
+		d.lastTrue = now
+		d.openBind = bind
+		d.openConfs = confs
+		return nil
+	case !ok && d.open:
+		inst := d.closeInterval(now, genLoc)
+		return []event.Instance{inst}
+	default:
+		return nil
+	}
+}
+
+func (d *Detector) fallIfOpen(now timemodel.Tick, genLoc spatial.Location) []event.Instance {
+	if !d.open {
+		return nil
+	}
+	inst := d.closeInterval(now, genLoc)
+	return []event.Instance{inst}
+}
+
+// closeInterval emits the interval instance for the open state.
+func (d *Detector) closeInterval(now timemodel.Tick, genLoc spatial.Location) event.Instance {
+	d.open = false
+	occ, err := timemodel.Between(d.openStart, d.lastTrue)
+	if err != nil {
+		occ = timemodel.At(d.lastTrue)
+	}
+	b := boundSet{bind: d.openBind, confs: d.openConfs}
+	inst := d.emit(b, now, genLoc, ModeInterval)
+	inst.Occ = occ
+	return inst
+}
+
+// emit assembles an instance from a satisfied binding.
+func (d *Detector) emit(b boundSet, now timemodel.Tick, genLoc spatial.Location, mode Mode) event.Instance {
+	d.seq++
+	ids := make([]string, 0, len(b.bind))
+	times := make([]timemodel.Time, 0, len(b.bind))
+	locs := make([]spatial.Location, 0, len(b.bind))
+	roleNames := make([]string, 0, len(b.bind))
+	for role := range b.bind {
+		roleNames = append(roleNames, role)
+	}
+	sort.Strings(roleNames)
+	for _, role := range roleNames {
+		ent := b.bind[role]
+		ids = append(ids, ent.EntityID())
+		times = append(times, ent.OccTime())
+		locs = append(locs, ent.OccLoc())
+	}
+
+	occ := d.estimateTime(times)
+	loc := d.estimateLoc(locs)
+	attrs := mergeAttrs(b.bind, roleNames)
+	conf := d.spec.Confidence.Combine(b.confs) * d.spec.BaseConfidence
+	if conf > 1 {
+		conf = 1
+	}
+	return event.Instance{
+		Layer:      d.spec.Layer,
+		Observer:   d.observer,
+		Event:      d.spec.EventID,
+		Seq:        d.seq,
+		Gen:        now,
+		GenLoc:     genLoc,
+		Occ:        occ,
+		Loc:        loc,
+		Attrs:      attrs,
+		Confidence: conf,
+		Inputs:     ids,
+	}
+}
+
+func (d *Detector) estimateTime(times []timemodel.Time) timemodel.Time {
+	if len(times) == 0 {
+		return timemodel.Time{}
+	}
+	var (
+		out timemodel.Time
+		err error
+	)
+	switch d.spec.TimeEst {
+	case EstimateEarliest:
+		out, err = timemodel.Earliest(times)
+	case EstimateLatest:
+		out, err = timemodel.Latest(times)
+	default:
+		out, err = timemodel.Span(times)
+	}
+	if err != nil {
+		return timemodel.Time{}
+	}
+	return out
+}
+
+func (d *Detector) estimateLoc(locs []spatial.Location) spatial.Location {
+	if len(locs) == 0 {
+		return spatial.Location{}
+	}
+	switch d.spec.LocEst {
+	case EstimateFirst:
+		return locs[0]
+	case EstimateHull:
+		if hl, err := spatial.Hull(locs); err == nil {
+			return hl
+		}
+		fallthrough
+	default:
+		cl, err := spatial.Centroid(locs)
+		if err != nil {
+			return locs[0]
+		}
+		return cl
+	}
+}
+
+// mergeAttrs averages each attribute across the bound entities exposing
+// it — the observer's estimate of the event attributes V.
+func mergeAttrs(b condition.Binding, roleNames []string) event.Attrs {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, role := range roleNames {
+		ent := b[role]
+		// Entities expose attributes only by name lookup; pull the known
+		// names via the typed structs.
+		switch v := ent.(type) {
+		case event.Observation:
+			for k, val := range v.Attrs {
+				sums[k] += val
+				counts[k]++
+			}
+		case event.Instance:
+			for k, val := range v.Attrs {
+				sums[k] += val
+				counts[k]++
+			}
+		case event.PhysicalEvent:
+			for k, val := range v.Attrs {
+				sums[k] += val
+				counts[k]++
+			}
+		}
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	out := make(event.Attrs, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// bindingKey builds a stable dedup key for a binding.
+func bindingKey(b condition.Binding) string {
+	parts := make([]string, 0, len(b))
+	for role, ent := range b {
+		parts = append(parts, role+"="+ent.EntityID())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}

@@ -1,0 +1,100 @@
+// Package detect implements the observer evaluation core of the ST-CPS
+// event model (Tan, Vuran, Goddard, ICDCSW 2009, Definition 4.3): a
+// Detector collects input entities (physical observations or lower-layer
+// event instances), evaluates a composite event condition over bindings of
+// those entities, and generates event instances (Definition 4.4) with
+// estimated occurrence time t^eo, location l^eo, attributes V, and
+// confidence ρ.
+//
+// The same Detector runs at every observer level — sensor mote, sink node,
+// CCU — which realizes the paper's requirement that different components
+// abstract the same event differently while sharing one evaluation model.
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConfidencePolicy selects how an observer combines the confidences of its
+// input entities into the derived instance's ρ. The policy choice is the
+// E10 ablation in DESIGN.md.
+type ConfidencePolicy int
+
+// Confidence combination policies.
+const (
+	// PolicyMin uses the weakest input: ρ = min ρ_i. Most conservative.
+	PolicyMin ConfidencePolicy = iota + 1
+	// PolicyProduct multiplies inputs: ρ = ∏ ρ_i. Models independent
+	// requirements that must all hold.
+	PolicyProduct
+	// PolicyMean averages inputs: ρ = (Σ ρ_i)/n.
+	PolicyMean
+	// PolicyNoisyOr models corroborating independent witnesses:
+	// ρ = 1 − ∏ (1 − ρ_i). Confidence rises with more inputs.
+	PolicyNoisyOr
+)
+
+var policyNames = map[ConfidencePolicy]string{
+	PolicyMin:     "min",
+	PolicyProduct: "product",
+	PolicyMean:    "mean",
+	PolicyNoisyOr: "noisy-or",
+}
+
+// String returns the policy name.
+func (p ConfidencePolicy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("ConfidencePolicy(%d)", int(p))
+}
+
+// ParsePolicy maps a policy name to its ConfidencePolicy.
+func ParsePolicy(s string) (ConfidencePolicy, bool) {
+	for p, name := range policyNames {
+		if name == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Combine applies the policy to input confidences. An empty input yields
+// 1 (no evidence against the observer's own confidence). The result is
+// clamped to [0, 1].
+func (p ConfidencePolicy) Combine(confs []float64) float64 {
+	if len(confs) == 0 {
+		return 1
+	}
+	var out float64
+	switch p {
+	case PolicyMin:
+		out = confs[0]
+		for _, c := range confs[1:] {
+			out = math.Min(out, c)
+		}
+	case PolicyProduct:
+		out = 1
+		for _, c := range confs {
+			out *= c
+		}
+	case PolicyMean:
+		for _, c := range confs {
+			out += c
+		}
+		out /= float64(len(confs))
+	case PolicyNoisyOr:
+		q := 1.0
+		for _, c := range confs {
+			q *= 1 - c
+		}
+		out = 1 - q
+	default:
+		out = confs[0]
+		for _, c := range confs[1:] {
+			out = math.Min(out, c)
+		}
+	}
+	return math.Max(0, math.Min(1, out))
+}

@@ -1,0 +1,185 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Spec validation errors.
+var (
+	// ErrNoCondition is returned when a spec lacks a condition.
+	ErrNoCondition = errors.New("detect: spec has no condition")
+	// ErrRoleUnfed is returned when the condition references a role with
+	// no input source.
+	ErrRoleUnfed = errors.New("detect: condition role has no source")
+	// ErrBadSpec is returned for other structural spec problems.
+	ErrBadSpec = errors.New("detect: invalid spec")
+)
+
+// Mode selects the temporal classification of the detected event
+// (Section 4.2): punctual detection emits an instance per satisfied
+// binding; interval detection runs an open/close state machine and emits
+// one instance per maximal satisfied interval.
+type Mode int
+
+// Detection modes.
+const (
+	// ModePunctual emits one punctual instance per newly satisfied
+	// binding.
+	ModePunctual Mode = iota + 1
+	// ModeInterval tracks the condition as a state and emits one interval
+	// instance when the state falls back to false (or on Flush).
+	ModeInterval
+)
+
+// String returns "punctual" or "interval".
+func (m Mode) String() string {
+	switch m {
+	case ModePunctual:
+		return "punctual"
+	case ModeInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// TimeEstimate selects how t^eo is estimated from the satisfied binding.
+type TimeEstimate int
+
+// Occurrence-time estimation policies.
+const (
+	// EstimateSpan uses the temporal hull of all bound entities
+	// (default).
+	EstimateSpan TimeEstimate = iota + 1
+	// EstimateEarliest uses the earliest bound occurrence.
+	EstimateEarliest
+	// EstimateLatest uses the latest bound occurrence.
+	EstimateLatest
+)
+
+// LocEstimate selects how l^eo is estimated from the satisfied binding.
+type LocEstimate int
+
+// Occurrence-location estimation policies.
+const (
+	// EstimateCentroid uses the centroid of bound locations (default);
+	// the result is a point event.
+	EstimateCentroid LocEstimate = iota + 1
+	// EstimateHull uses the convex hull of bound locations; the result
+	// is a field event when the hull is non-degenerate, otherwise the
+	// centroid.
+	EstimateHull
+	// EstimateFirst uses the first role's location unchanged.
+	EstimateFirst
+)
+
+// RoleSpec connects one condition role to an input stream.
+type RoleSpec struct {
+	// Name is the role referenced by the condition (e.g. "x").
+	Name string
+	// Source is the input stream key: the event id (for instances) or
+	// observation stream name the caller uses in Offer.
+	Source string
+	// Window is the maximum number of retained entities for this role;
+	// 0 means DefaultWindow.
+	Window int
+	// MaxAge drops entities whose occurrence ended more than MaxAge
+	// ticks ago; 0 means no age bound.
+	MaxAge timemodel.Tick
+}
+
+// DefaultWindow is the per-role retention when RoleSpec.Window is zero.
+const DefaultWindow = 16
+
+// DefaultMaxBindings caps the bindings enumerated per offered entity.
+const DefaultMaxBindings = 1024
+
+// Spec defines a detector: which event it detects, at which layer, from
+// which inputs, under which condition, and how instance properties are
+// estimated.
+type Spec struct {
+	// EventID is the detected event identifier E_id.
+	EventID string
+	// Layer is the layer of generated instances (sensor, cyber-physical,
+	// cyber).
+	Layer event.Layer
+	// Roles connect condition roles to input streams.
+	Roles []RoleSpec
+	// Cond is the composite event condition (Eq. 4.5).
+	Cond condition.Expr
+	// Mode selects punctual or interval detection.
+	Mode Mode
+	// Confidence is the input-confidence combination policy.
+	Confidence ConfidencePolicy
+	// BaseConfidence is the observer's own confidence multiplier; zero
+	// means 1.
+	BaseConfidence float64
+	// TimeEst selects the t^eo estimation policy.
+	TimeEst TimeEstimate
+	// LocEst selects the l^eo estimation policy.
+	LocEst LocEstimate
+	// MaxBindings caps binding enumeration per offer; 0 means
+	// DefaultMaxBindings.
+	MaxBindings int
+}
+
+// normalize fills defaults and validates the spec.
+func (s *Spec) normalize() error {
+	if s.EventID == "" {
+		return fmt.Errorf("missing event id: %w", ErrBadSpec)
+	}
+	switch s.Layer {
+	case event.LayerSensor, event.LayerCyberPhysical, event.LayerCyber:
+	default:
+		return fmt.Errorf("layer %v: %w", s.Layer, ErrBadSpec)
+	}
+	if s.Cond == nil {
+		return ErrNoCondition
+	}
+	if s.Mode == 0 {
+		s.Mode = ModePunctual
+	}
+	if s.Mode != ModePunctual && s.Mode != ModeInterval {
+		return fmt.Errorf("mode %v: %w", s.Mode, ErrBadSpec)
+	}
+	if s.Confidence == 0 {
+		s.Confidence = PolicyMin
+	}
+	if s.BaseConfidence == 0 {
+		s.BaseConfidence = 1
+	}
+	if s.BaseConfidence < 0 || s.BaseConfidence > 1 {
+		return fmt.Errorf("base confidence %g: %w", s.BaseConfidence, ErrBadSpec)
+	}
+	if s.TimeEst == 0 {
+		s.TimeEst = EstimateSpan
+	}
+	if s.LocEst == 0 {
+		s.LocEst = EstimateCentroid
+	}
+	if s.MaxBindings <= 0 {
+		s.MaxBindings = DefaultMaxBindings
+	}
+	fed := make(map[string]bool, len(s.Roles))
+	for i := range s.Roles {
+		r := &s.Roles[i]
+		if r.Name == "" || r.Source == "" {
+			return fmt.Errorf("role %d needs name and source: %w", i, ErrBadSpec)
+		}
+		if r.Window <= 0 {
+			r.Window = DefaultWindow
+		}
+		fed[r.Name] = true
+	}
+	for _, role := range s.Cond.Roles() {
+		if !fed[role] {
+			return fmt.Errorf("role %q: %w", role, ErrRoleUnfed)
+		}
+	}
+	return nil
+}

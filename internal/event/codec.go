@@ -1,0 +1,51 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EncodeInstance serializes an instance to its JSON wire form. The wire
+// form is what motes, sinks, CCUs and the database exchange over the CPS
+// network.
+func EncodeInstance(in Instance) ([]byte, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("event: encode: %w", err)
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("event: encode: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeInstance parses an instance from its JSON wire form and validates
+// it.
+func DecodeInstance(data []byte) (Instance, error) {
+	var in Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return Instance{}, fmt.Errorf("event: decode: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return Instance{}, fmt.Errorf("event: decode: %w", err)
+	}
+	return in, nil
+}
+
+// EncodeObservation serializes an observation to its JSON wire form.
+func EncodeObservation(o Observation) ([]byte, error) {
+	data, err := json.Marshal(o)
+	if err != nil {
+		return nil, fmt.Errorf("event: encode observation: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeObservation parses an observation from its JSON wire form.
+func DecodeObservation(data []byte) (Observation, error) {
+	var o Observation
+	if err := json.Unmarshal(data, &o); err != nil {
+		return Observation{}, fmt.Errorf("event: decode observation: %w", err)
+	}
+	return o, nil
+}

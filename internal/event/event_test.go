@@ -1,0 +1,134 @@
+package event
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestLayerStringAndNext(t *testing.T) {
+	tests := []struct {
+		layer    Layer
+		wantName string
+		wantNext Layer
+	}{
+		{LayerPhysical, "physical", LayerObservation},
+		{LayerObservation, "observation", LayerSensor},
+		{LayerSensor, "sensor", LayerCyberPhysical},
+		{LayerCyberPhysical, "cyber-physical", LayerCyber},
+		{LayerCyber, "cyber", LayerCyber},
+	}
+	for _, tt := range tests {
+		if tt.layer.String() != tt.wantName {
+			t.Errorf("%v.String() = %q, want %q", tt.layer, tt.layer.String(), tt.wantName)
+		}
+		if got := tt.layer.Next(); got != tt.wantNext {
+			t.Errorf("%v.Next() = %v, want %v", tt.layer, got, tt.wantNext)
+		}
+	}
+	if Layer(77).String() == "" {
+		t.Error("unknown layer must render")
+	}
+	if Layer(0).Next() != Layer(0) {
+		t.Error("invalid layer Next should be identity")
+	}
+}
+
+func TestTemporalClassOf(t *testing.T) {
+	if TemporalClassOf(timemodel.At(5)) != Punctual {
+		t.Error("point time should classify punctual")
+	}
+	if TemporalClassOf(timemodel.MustBetween(1, 5)) != Interval {
+		t.Error("interval time should classify interval")
+	}
+	if Punctual.String() != "punctual" || Interval.String() != "interval" {
+		t.Error("temporal class names wrong")
+	}
+	if TemporalClass(9).String() == "" {
+		t.Error("unknown class must render")
+	}
+}
+
+func TestSpatialClassOf(t *testing.T) {
+	if SpatialClassOf(spatial.AtPoint(1, 2)) != PointEvent {
+		t.Error("point loc should classify point")
+	}
+	f := spatial.MustField(spatial.Pt(0, 0), spatial.Pt(1, 0), spatial.Pt(0, 1))
+	if SpatialClassOf(spatial.InField(f)) != FieldEvent {
+		t.Error("field loc should classify field")
+	}
+	if PointEvent.String() != "point" || FieldEvent.String() != "field" {
+		t.Error("spatial class names wrong")
+	}
+	if SpatialClass(9).String() == "" {
+		t.Error("unknown class must render")
+	}
+}
+
+func TestAttrsCloneAndNames(t *testing.T) {
+	a := Attrs{"temp": 22.5, "range": 3.0}
+	b := a.Clone()
+	b["temp"] = 99
+	if a["temp"] != 22.5 {
+		t.Error("Clone must be independent")
+	}
+	names := a.Names()
+	if len(names) != 2 || names[0] != "range" || names[1] != "temp" {
+		t.Errorf("Names = %v, want [range temp]", names)
+	}
+	var nilAttrs Attrs
+	if nilAttrs.Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestPhysicalEventEntity(t *testing.T) {
+	pe := PhysicalEvent{
+		ID:    "P.fire.1",
+		Time:  timemodel.MustBetween(100, 250),
+		Loc:   spatial.AtPoint(4, 5),
+		Attrs: Attrs{"temp": 400},
+	}
+	if pe.EntityID() != "P.fire.1" {
+		t.Errorf("EntityID = %q", pe.EntityID())
+	}
+	if !pe.OccTime().Equal(timemodel.MustBetween(100, 250)) {
+		t.Error("OccTime mismatch")
+	}
+	if v, ok := pe.Attr("temp"); !ok || v != 400 {
+		t.Error("Attr lookup failed")
+	}
+	if _, ok := pe.Attr("missing"); ok {
+		t.Error("missing attr should not resolve")
+	}
+	if pe.TemporalClass() != Interval {
+		t.Error("fire should be interval")
+	}
+	if pe.SpatialClass() != PointEvent {
+		t.Error("fire at a point should classify point")
+	}
+}
+
+func TestObservationEntity(t *testing.T) {
+	o := Observation{
+		Mote:   "MT1",
+		Sensor: "SRx",
+		Seq:    7,
+		Time:   timemodel.At(42),
+		Loc:    spatial.AtPoint(1, 2),
+		Attrs:  Attrs{"range": 2.5},
+	}
+	if o.EntityID() != "O(MT1,SRx,7)" {
+		t.Errorf("EntityID = %q, want O(MT1,SRx,7)", o.EntityID())
+	}
+	if !o.OccTime().Equal(timemodel.At(42)) {
+		t.Error("OccTime mismatch")
+	}
+	if !o.OccLoc().Point().Equal(spatial.Pt(1, 2)) {
+		t.Error("OccLoc mismatch")
+	}
+	if v, ok := o.Attr("range"); !ok || v != 2.5 {
+		t.Error("Attr lookup failed")
+	}
+}

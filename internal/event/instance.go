@@ -1,0 +1,119 @@
+package event
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Validation errors for instances.
+var (
+	// ErrConfidenceRange is returned when a confidence ρ falls outside
+	// [0, 1].
+	ErrConfidenceRange = errors.New("event: confidence outside [0,1]")
+	// ErrMissingObserver is returned when an instance has no observer id.
+	ErrMissingObserver = errors.New("event: missing observer id")
+	// ErrMissingEventID is returned when an instance has no event id.
+	ErrMissingEventID = errors.New("event: missing event id")
+	// ErrBadLayer is returned when an instance carries a layer at which
+	// observers do not generate instances.
+	ErrBadLayer = errors.New("event: layer does not generate instances")
+)
+
+// Instance is an event instance E(OB_id, E_id, i) (Def. 4.4): the result of
+// an observer evaluating event conditions. Beyond the three event
+// properties, the instance carries the observer-related 6-tuple of Eq. 4.7:
+// generation time t^g and location l^g, estimated occurrence time t^eo and
+// location l^eo, attributes V, and the observer's confidence ρ.
+//
+// Instances are produced at three layers (Fig. 2): sensor events by motes
+// (Eq. 5.3), cyber-physical events by sink nodes (Eq. 5.4), and cyber
+// events by CCUs (Eq. 5.5). The Inputs field preserves the provenance the
+// paper requires ("keeping the information regarding the original physical
+// event intact"): it lists the entity IDs the observer evaluated.
+type Instance struct {
+	// Layer is the hierarchy level of this instance: LayerSensor,
+	// LayerCyberPhysical or LayerCyber.
+	Layer Layer `json:"layer"`
+	// Observer is the observer identifier OB_id (mote, sink, or CCU).
+	Observer string `json:"observer"`
+	// Event is the event identifier E_id this instance belongs to.
+	Event string `json:"event"`
+	// Seq is the instance sequence number i at this observer.
+	Seq uint64 `json:"seq"`
+	// Gen is the generation time t^g: when the observer created the
+	// instance. Always a single tick.
+	Gen timemodel.Tick `json:"gen"`
+	// GenLoc is the generation location l^g: where the observer was.
+	GenLoc spatial.Location `json:"genLoc"`
+	// Occ is the estimated event occurrence time t^eo from the view of
+	// the observer — punctual or interval.
+	Occ timemodel.Time `json:"occ"`
+	// Loc is the estimated event occurrence location l^eo — point or
+	// field.
+	Loc spatial.Location `json:"loc"`
+	// Attrs is the estimated attribute set V.
+	Attrs Attrs `json:"attrs,omitempty"`
+	// Confidence is the observer's confidence ρ in [0, 1].
+	Confidence float64 `json:"confidence"`
+	// Inputs lists the entity IDs this instance was derived from
+	// (observations or lower-layer instances), in evaluation order.
+	Inputs []string `json:"inputs,omitempty"`
+}
+
+// Validate checks the structural invariants of an instance.
+func (in Instance) Validate() error {
+	switch in.Layer {
+	case LayerSensor, LayerCyberPhysical, LayerCyber:
+	default:
+		return fmt.Errorf("%v: %w", in.Layer, ErrBadLayer)
+	}
+	if in.Observer == "" {
+		return ErrMissingObserver
+	}
+	if in.Event == "" {
+		return ErrMissingEventID
+	}
+	if in.Confidence < 0 || in.Confidence > 1 {
+		return fmt.Errorf("ρ=%g: %w", in.Confidence, ErrConfidenceRange)
+	}
+	return nil
+}
+
+// EntityID implements Entity using the paper's E(OB,E,i) notation.
+func (in Instance) EntityID() string {
+	return fmt.Sprintf("E(%s,%s,%d)", in.Observer, in.Event, in.Seq)
+}
+
+// OccTime implements Entity: conditions constrain the *estimated*
+// occurrence time, not the generation time.
+func (in Instance) OccTime() timemodel.Time { return in.Occ }
+
+// OccLoc implements Entity.
+func (in Instance) OccLoc() spatial.Location { return in.Loc }
+
+// Attr implements Entity.
+func (in Instance) Attr(name string) (float64, bool) {
+	v, ok := in.Attrs[name]
+	return v, ok
+}
+
+// TemporalClass returns the punctual/interval classification of the
+// estimated occurrence.
+func (in Instance) TemporalClass() TemporalClass { return TemporalClassOf(in.Occ) }
+
+// SpatialClass returns the point/field classification of the estimated
+// occurrence location.
+func (in Instance) SpatialClass() SpatialClass { return SpatialClassOf(in.Loc) }
+
+// DetectionLatency returns the event detection latency of this instance:
+// the delay between the (estimated) end of the event occurrence and the
+// instance's generation — the EDL quantity the paper names as future work
+// (Section 6). Negative values indicate clock or estimation skew.
+func (in Instance) DetectionLatency() timemodel.Tick {
+	return in.Gen - in.Occ.End()
+}
+
+var _ Entity = Instance{}

@@ -1,0 +1,220 @@
+package latency
+
+import (
+	"fmt"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/metrics"
+	"github.com/stcps/stcps/internal/network"
+	"github.com/stcps/stcps/internal/node"
+	"github.com/stcps/stcps/internal/phys"
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/internal/wsn"
+)
+
+// ChainConfig parameterizes one EDL chain experiment: a sink at the
+// origin, Depth relay motes in a line, the farthest mote sensing a step
+// stimulus, one CCU behind the bus.
+type ChainConfig struct {
+	// Depth is the hop count from the sensing mote to the sink (>= 1).
+	Depth int
+	// SamplingPeriod is the sensing mote's sampling period.
+	SamplingPeriod timemodel.Tick
+	// HopDelay is the WSN per-hop delay.
+	HopDelay timemodel.Tick
+	// BusDelay is the CPS network delay (sink → CCU).
+	BusDelay timemodel.Tick
+	// LossRate is the WSN per-hop loss probability.
+	LossRate float64
+	// StepAt is the ground-truth occurrence tick of the stimulus.
+	StepAt timemodel.Tick
+	// Runs is the number of independent runs (different seeds / phases).
+	Runs int
+	// Deadline bounds each run; detections after it count as missed.
+	Deadline timemodel.Tick
+}
+
+func (c *ChainConfig) normalize() error {
+	if c.Depth < 1 {
+		return fmt.Errorf("latency: depth %d must be >= 1", c.Depth)
+	}
+	if c.SamplingPeriod <= 0 {
+		return fmt.Errorf("latency: sampling period %d must be positive", c.SamplingPeriod)
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.StepAt <= 0 {
+		c.StepAt = 100
+	}
+	if c.Deadline <= c.StepAt {
+		c.Deadline = c.StepAt + 50*c.SamplingPeriod + timemodel.Tick(c.Depth)*c.HopDelay*20 + c.BusDelay*10 + 1000
+	}
+	return nil
+}
+
+// ChainResult aggregates the experiment outcome.
+type ChainResult struct {
+	// Analytic is the model prediction for detection at the CCU.
+	Analytic Model
+	// SinkEDL holds measured sink-level (cyber-physical) latencies of
+	// the first detection per run.
+	SinkEDL *metrics.Histogram
+	// CCUEDL holds measured CCU-level (cyber event) latencies.
+	CCUEDL *metrics.Histogram
+	// Detected counts runs with a CCU detection before the deadline.
+	Detected int
+	// Runs is the number of runs executed.
+	Runs int
+}
+
+// Recall returns the fraction of runs whose stimulus was detected at the
+// CCU before the deadline.
+func (r ChainResult) Recall() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Runs)
+}
+
+// RunChain executes the chain experiment and returns measured and
+// analytic EDL.
+func RunChain(cfg ChainConfig) (ChainResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return ChainResult{}, err
+	}
+	res := ChainResult{
+		Analytic: Model{
+			SamplingPeriod: cfg.SamplingPeriod,
+			HopDelay:       cfg.HopDelay,
+			Hops:           cfg.Depth,
+			BusDelay:       cfg.BusDelay,
+			BusStages:      1,
+			ProcDelay:      0,
+			Observers:      3,
+		},
+		SinkEDL: &metrics.Histogram{},
+		CCUEDL:  &metrics.Histogram{},
+		Runs:    cfg.Runs,
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		sinkGen, ccuGen, err := runChainOnce(cfg, int64(run+1))
+		if err != nil {
+			return ChainResult{}, err
+		}
+		if sinkGen >= 0 {
+			res.SinkEDL.AddTick(sinkGen - cfg.StepAt)
+		}
+		if ccuGen >= 0 {
+			res.CCUEDL.AddTick(ccuGen - cfg.StepAt)
+			res.Detected++
+		}
+	}
+	return res, nil
+}
+
+// runChainOnce builds and runs one chain; it returns the generation ticks
+// of the first sink-level and CCU-level detections (-1 when missed).
+func runChainOnce(cfg ChainConfig, seed int64) (sinkGen, ccuGen timemodel.Tick, err error) {
+	sched := sim.New(seed)
+	world, err := phys.NewWorld(sched, cfg.SamplingPeriod)
+	if err != nil {
+		return -1, -1, err
+	}
+	if err := world.AddPhenomenon("step", phys.Step{
+		Name: "temp", Before: 20, After: 80, At: cfg.StepAt,
+	}); err != nil {
+		return -1, -1, err
+	}
+
+	const spacing = 10.0
+	radio := wsn.Radio{Range: spacing + 1, HopDelay: cfg.HopDelay, LossRate: cfg.LossRate}
+	net, err := wsn.New(sched, radio)
+	if err != nil {
+		return -1, -1, err
+	}
+	bus, err := network.NewSimBus(sched, cfg.BusDelay)
+	if err != nil {
+		return -1, -1, err
+	}
+
+	sinkGen, ccuGen = -1, -1
+	sink, err := node.NewSinkNode(sched, net, bus, nil, "sink", spatial.Pt(0, 0), 0)
+	if err != nil {
+		return -1, -1, err
+	}
+	// Chain of relays; the farthest mote senses.
+	for i := 1; i <= cfg.Depth; i++ {
+		if _, err := net.AddMote(fmt.Sprintf("m%02d", i), spatial.Pt(float64(i)*spacing, 0)); err != nil {
+			return -1, -1, err
+		}
+	}
+	if err := net.BuildRoutes(); err != nil {
+		return -1, -1, err
+	}
+	sensingID := fmt.Sprintf("m%02d", cfg.Depth)
+	// Phase-shift sampling pseudo-randomly per run so the discovery delay
+	// is sampled uniformly.
+	offset := timemodel.Tick(sched.RNG().Int63n(int64(cfg.SamplingPeriod)))
+	mote, err := node.NewMoteNode(sched, world, net, sensingID, []node.SensorConfig{
+		{ID: "SRt", Attr: "temp", Period: cfg.SamplingPeriod, Offset: offset},
+	}, nil, 0)
+	if err != nil {
+		return -1, -1, err
+	}
+	if err := mote.AddDetector(detect.Spec{
+		EventID: "S.hot",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "SRt", Window: 1}},
+		Cond:    condition.MustParse("x.temp > 50"),
+	}); err != nil {
+		return -1, -1, err
+	}
+	if err := sink.AddDetector(detect.Spec{
+		EventID: "CP.hot",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "S.hot", Window: 1}},
+		Cond:    condition.MustParse("x.temp > 50"),
+	}); err != nil {
+		return -1, -1, err
+	}
+	ccu, err := node.NewCCU(sched, bus, nil, "ccu", spatial.Pt(0, 10), 0)
+	if err != nil {
+		return -1, -1, err
+	}
+	if err := ccu.AddDetector(detect.Spec{
+		EventID: "E.hot",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "CP.hot", Window: 1}},
+		Cond:    condition.MustParse("true"),
+	}); err != nil {
+		return -1, -1, err
+	}
+
+	// Observe first detections via a bus tap.
+	if err := bus.Subscribe("tap", "CP.hot", func(m network.Message) {
+		if sinkGen < 0 {
+			if in, ok := m.Payload.(event.Instance); ok {
+				sinkGen = in.Gen
+			}
+		}
+	}); err != nil {
+		return -1, -1, err
+	}
+	if err := bus.Subscribe("tap", "E.hot", func(m network.Message) {
+		if ccuGen < 0 {
+			if in, ok := m.Payload.(event.Instance); ok {
+				ccuGen = in.Gen
+			}
+		}
+	}); err != nil {
+		return -1, -1, err
+	}
+
+	if err := mote.Start(); err != nil {
+		return -1, -1, err
+	}
+	sched.Run(cfg.Deadline)
+	return sinkGen, ccuGen, nil
+}

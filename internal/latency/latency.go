@@ -1,0 +1,102 @@
+// Package latency implements the Event Detection Latency (EDL) analysis
+// that Tan, Vuran, Goddard (ICDCSW 2009) name as future work in Section 6:
+// "a formal temporal analysis of Event Detection Latency (EDL) based on
+// the proposed framework and building an end-to-end latency model for
+// CPSs".
+//
+// The analytic model decomposes the end-to-end delay of a physical event's
+// journey through the layered architecture (Fig. 2):
+//
+//	EDL = discovery + transport + evaluation
+//	discovery  = time until the next sensor sample after the occurrence
+//	             (uniform over the sampling period: mean T/2, worst T)
+//	transport  = hop count × per-hop delay (WSN) + bus stages × bus delay
+//	evaluation = per-observer processing delay × observer stages
+//
+// The measurement harness (ChainExperiment) builds a mote chain of
+// configurable depth, injects a step stimulus with a known ground-truth
+// occurrence tick, and measures the generation-time difference at the
+// sink — so the analytic model can be validated against the simulated
+// system (experiments E1–E3 in DESIGN.md).
+package latency
+
+import (
+	"fmt"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/metrics"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Model is the analytic end-to-end EDL model.
+type Model struct {
+	// SamplingPeriod is the sensor sampling period T.
+	SamplingPeriod timemodel.Tick
+	// HopDelay is the WSN per-hop delay.
+	HopDelay timemodel.Tick
+	// Hops is the mote-to-sink hop count.
+	Hops int
+	// BusDelay is the CPS-network per-stage delivery delay.
+	BusDelay timemodel.Tick
+	// BusStages is the number of bus traversals (sink→CCU = 1,
+	// sink→CCU→CCU = 2, 0 when measuring at the sink).
+	BusStages int
+	// ProcDelay is the per-observer processing delay.
+	ProcDelay timemodel.Tick
+	// Observers is the number of condition-evaluating stages traversed
+	// (mote = 1, +sink = 2, +CCU = 3).
+	Observers int
+}
+
+// Expected returns the mean EDL in ticks: the discovery delay averages
+// half a sampling period.
+func (m Model) Expected() float64 {
+	return float64(m.SamplingPeriod)/2 + m.transportAndEval()
+}
+
+// Worst returns the worst-case EDL in ticks: a full sampling period of
+// discovery delay.
+func (m Model) Worst() timemodel.Tick {
+	return m.SamplingPeriod + timemodel.Tick(m.transportAndEval())
+}
+
+func (m Model) transportAndEval() float64 {
+	return float64(int64(m.HopDelay)*int64(m.Hops)) +
+		float64(int64(m.BusDelay)*int64(m.BusStages)) +
+		float64(int64(m.ProcDelay)*int64(m.Observers))
+}
+
+// String renders the decomposition for reports.
+func (m Model) String() string {
+	return fmt.Sprintf("E[EDL]=%.1f worst=%d (T=%d hops=%d×%d bus=%d×%d proc=%d×%d)",
+		m.Expected(), m.Worst(), m.SamplingPeriod,
+		m.Hops, m.HopDelay, m.BusStages, m.BusDelay, m.Observers, m.ProcDelay)
+}
+
+// MeasureEDL matches detected instances against ground-truth events and
+// returns the histogram of detection latencies: instance generation time
+// minus ground-truth occurrence start. Unmatched detections are skipped.
+func MeasureEDL(truth []event.PhysicalEvent, detected []event.Instance, opts metrics.MatchOptions) *metrics.Histogram {
+	mapEvent := opts.MapEvent
+	if mapEvent == nil {
+		mapEvent = func(s string) string { return s }
+	}
+	var h metrics.Histogram
+	for _, d := range detected {
+		mapped := mapEvent(d.Event)
+		for _, tr := range truth {
+			if mapped != tr.ID {
+				continue
+			}
+			widened := timemodel.MustBetween(
+				tr.Time.Start()-opts.TimeTolerance,
+				tr.Time.End()+opts.TimeTolerance,
+			)
+			if widened.Intersects(d.Occ) {
+				h.AddTick(d.Gen - tr.Time.Start())
+				break
+			}
+		}
+	}
+	return &h
+}

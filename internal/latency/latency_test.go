@@ -1,0 +1,142 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/metrics"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestModelExpectedAndWorst(t *testing.T) {
+	m := Model{
+		SamplingPeriod: 20,
+		HopDelay:       3,
+		Hops:           4,
+		BusDelay:       5,
+		BusStages:      1,
+		ProcDelay:      2,
+		Observers:      3,
+	}
+	wantExpected := 10.0 + 12 + 5 + 6
+	if got := m.Expected(); math.Abs(got-wantExpected) > 1e-9 {
+		t.Errorf("Expected = %v, want %v", got, wantExpected)
+	}
+	if got := m.Worst(); got != 20+12+5+6 {
+		t.Errorf("Worst = %v, want 43", got)
+	}
+	if m.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestMeasureEDL(t *testing.T) {
+	truth := []event.PhysicalEvent{
+		{ID: "P.step", Time: timemodel.At(100), Loc: spatial.AtPoint(0, 0)},
+	}
+	detected := []event.Instance{
+		{
+			Layer: event.LayerCyber, Observer: "c", Event: "P.step", Seq: 1,
+			Gen: 130, Occ: timemodel.At(105), Confidence: 1,
+		},
+		{ // unmatched event id: skipped
+			Layer: event.LayerCyber, Observer: "c", Event: "P.other", Seq: 2,
+			Gen: 110, Occ: timemodel.At(100), Confidence: 1,
+		},
+	}
+	h := MeasureEDL(truth, detected, metrics.MatchOptions{TimeTolerance: 10})
+	if h.N() != 1 {
+		t.Fatalf("samples = %d, want 1", h.N())
+	}
+	if h.Mean() != 30 {
+		t.Errorf("EDL = %v, want 30", h.Mean())
+	}
+}
+
+func TestRunChainValidation(t *testing.T) {
+	if _, err := RunChain(ChainConfig{Depth: 0, SamplingPeriod: 10}); err == nil {
+		t.Error("zero depth should error")
+	}
+	if _, err := RunChain(ChainConfig{Depth: 1, SamplingPeriod: 0}); err == nil {
+		t.Error("zero sampling period should error")
+	}
+}
+
+func TestRunChainMeasuresLatency(t *testing.T) {
+	cfg := ChainConfig{
+		Depth:          3,
+		SamplingPeriod: 16,
+		HopDelay:       4,
+		BusDelay:       2,
+		StepAt:         100,
+		Runs:           10,
+	}
+	res, err := RunChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected != cfg.Runs {
+		t.Fatalf("detected %d/%d runs without loss", res.Detected, cfg.Runs)
+	}
+	if res.Recall() != 1 {
+		t.Fatalf("recall = %v", res.Recall())
+	}
+	// Measured CCU latency must be at least the transport floor
+	// (hops×hopDelay + busDelay) and at most the analytic worst case
+	// (plus one tick of scheduling quantization).
+	floor := float64(cfg.HopDelay)*float64(cfg.Depth) + float64(cfg.BusDelay)
+	if res.CCUEDL.Min() < floor {
+		t.Errorf("min EDL %v below transport floor %v", res.CCUEDL.Min(), floor)
+	}
+	worst := float64(res.Analytic.Worst()) + 1
+	if res.CCUEDL.Max() > worst {
+		t.Errorf("max EDL %v above analytic worst %v", res.CCUEDL.Max(), worst)
+	}
+	// The sink detection must precede the CCU detection by the bus delay.
+	if res.SinkEDL.Mean() > res.CCUEDL.Mean() {
+		t.Errorf("sink EDL %v should not exceed CCU EDL %v", res.SinkEDL.Mean(), res.CCUEDL.Mean())
+	}
+}
+
+func TestRunChainDepthMonotonic(t *testing.T) {
+	mean := func(depth int) float64 {
+		res, err := RunChain(ChainConfig{
+			Depth:          depth,
+			SamplingPeriod: 8,
+			HopDelay:       6,
+			BusDelay:       1,
+			StepAt:         64,
+			Runs:           8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CCUEDL.Mean()
+	}
+	shallow, deep := mean(1), mean(6)
+	if deep <= shallow {
+		t.Errorf("EDL should grow with depth: depth1=%v depth6=%v", shallow, deep)
+	}
+}
+
+func TestRunChainWithLossStillDetects(t *testing.T) {
+	res, err := RunChain(ChainConfig{
+		Depth:          2,
+		SamplingPeriod: 10,
+		HopDelay:       2,
+		BusDelay:       1,
+		LossRate:       0.3,
+		StepAt:         50,
+		Runs:           6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh samples retry the path: recall should remain high, latency
+	// higher than the lossless floor on at least some runs.
+	if res.Recall() < 0.5 {
+		t.Errorf("recall = %v under 30%% loss", res.Recall())
+	}
+}

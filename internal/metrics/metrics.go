@@ -1,0 +1,228 @@
+// Package metrics provides the measurement utilities used by the
+// experiment harness: latency histograms with percentiles, and
+// precision/recall scoring of detected event instances against the
+// simulator's ground-truth physical events.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Histogram collects scalar samples and reports order statistics. The
+// zero value is ready to use. It is not safe for concurrent use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// AddTick records a tick-valued sample.
+func (h *Histogram) AddTick(t timemodel.Tick) { h.Add(float64(t)) }
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s / float64(len(h.samples))
+}
+
+// Min returns the smallest sample (0 for an empty histogram).
+func (h *Histogram) Min() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max returns the largest sample (0 for an empty histogram).
+func (h *Histogram) Max() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted samples. Empty histograms return 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.ensureSorted()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Stddev returns the population standard deviation (0 for fewer than two
+// samples).
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	m := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Summary renders "n=.. mean=.. p50=.. p99=.. max=.." for reports.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
+		h.N(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// MatchOptions controls ground-truth matching.
+type MatchOptions struct {
+	// EventID restricts scoring to truth events with this id prefix and
+	// detected instances of the mapped event; empty matches all.
+	EventID string
+	// MapEvent maps a detected instance's event id to the ground-truth
+	// event id space. Nil means identity.
+	MapEvent func(string) string
+	// TimeTolerance allows the detected occurrence to miss the truth
+	// occurrence by up to this many ticks and still count.
+	TimeTolerance timemodel.Tick
+}
+
+// Result is a precision/recall score.
+type Result struct {
+	// TP counts truth events matched by at least one detection.
+	TP int
+	// FP counts detections matching no truth event.
+	FP int
+	// FN counts truth events never detected.
+	FN int
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was detected and
+// nothing was expected, 0 otherwise on an empty denominator.
+func (r Result) Precision() float64 {
+	if r.TP+r.FP == 0 {
+		if r.FN == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(r.TP) / float64(r.TP+r.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there was nothing to detect.
+func (r Result) Recall() float64 {
+	if r.TP+r.FN == 0 {
+		return 1
+	}
+	return float64(r.TP) / float64(r.TP+r.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (r Result) F1() float64 {
+	p, rc := r.Precision(), r.Recall()
+	if p+rc == 0 {
+		return 0
+	}
+	return 2 * p * rc / (p + rc)
+}
+
+// String renders the score for reports.
+func (r Result) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d P=%.3f R=%.3f F1=%.3f",
+		r.TP, r.FP, r.FN, r.Precision(), r.Recall(), r.F1())
+}
+
+// Score matches detected instances against ground-truth physical events.
+// A detection matches a truth event when their occurrence times intersect
+// after widening the truth occurrence by the tolerance, and the (mapped)
+// event ids agree. Each truth event can absorb any number of detections;
+// a detection matching no truth event is a false positive.
+func Score(truth []event.PhysicalEvent, detected []event.Instance, opts MatchOptions) Result {
+	mapEvent := opts.MapEvent
+	if mapEvent == nil {
+		mapEvent = func(s string) string { return s }
+	}
+	var relevantTruth []event.PhysicalEvent
+	for _, tr := range truth {
+		if opts.EventID != "" && tr.ID != opts.EventID && !hasPrefix(tr.ID, opts.EventID) {
+			continue
+		}
+		relevantTruth = append(relevantTruth, tr)
+	}
+	matched := make([]bool, len(relevantTruth))
+	var res Result
+	for _, d := range detected {
+		mapped := mapEvent(d.Event)
+		if opts.EventID != "" && mapped != opts.EventID && !hasPrefix(mapped, opts.EventID) {
+			continue
+		}
+		found := false
+		for i, tr := range relevantTruth {
+			if mapped != tr.ID && !hasPrefix(tr.ID, mapped) {
+				continue
+			}
+			widened := timemodel.MustBetween(
+				tr.Time.Start()-opts.TimeTolerance,
+				tr.Time.End()+opts.TimeTolerance,
+			)
+			if widened.Intersects(d.Occ) {
+				matched[i] = true
+				found = true
+			}
+		}
+		if found {
+			continue
+		}
+		res.FP++
+	}
+	for _, m := range matched {
+		if m {
+			res.TP++
+		} else {
+			res.FN++
+		}
+	}
+	return res
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Summary() == "" {
+		t.Fatal("summary must render")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Mean() != 5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got != 9 {
+		t.Errorf("p100 = %v", got)
+	}
+	want := math.Sqrt(8)
+	if math.Abs(h.Stddev()-want) > 1e-9 {
+		t.Errorf("Stddev = %v, want %v", h.Stddev(), want)
+	}
+	// Adding after sorting keeps correctness.
+	h.AddTick(11)
+	if h.Max() != 11 {
+		t.Errorf("Max after AddTick = %v", h.Max())
+	}
+}
+
+func TestResultDerivedScores(t *testing.T) {
+	tests := []struct {
+		name   string
+		r      Result
+		wantP  float64
+		wantR  float64
+		wantF1 float64
+	}{
+		{"perfect", Result{TP: 10}, 1, 1, 1},
+		{"half precision", Result{TP: 5, FP: 5}, 0.5, 1, 2.0 / 3},
+		{"half recall", Result{TP: 5, FN: 5}, 1, 0.5, 2.0 / 3},
+		{"nothing expected or found", Result{}, 1, 1, 1},
+		{"missed everything", Result{FN: 3}, 0, 0, 0},
+		{"only noise", Result{FP: 3}, 0, 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if p := tt.r.Precision(); math.Abs(p-tt.wantP) > 1e-9 {
+				t.Errorf("P = %v, want %v", p, tt.wantP)
+			}
+			if r := tt.r.Recall(); math.Abs(r-tt.wantR) > 1e-9 {
+				t.Errorf("R = %v, want %v", r, tt.wantR)
+			}
+			if f := tt.r.F1(); math.Abs(f-tt.wantF1) > 1e-9 {
+				t.Errorf("F1 = %v, want %v", f, tt.wantF1)
+			}
+			if tt.r.String() == "" {
+				t.Error("String must render")
+			}
+		})
+	}
+}
+
+func truthEvent(id string, from, to timemodel.Tick) event.PhysicalEvent {
+	return event.PhysicalEvent{ID: id, Time: timemodel.MustBetween(from, to), Loc: spatial.AtPoint(0, 0)}
+}
+
+func detection(eventID string, occ timemodel.Time) event.Instance {
+	return event.Instance{
+		Layer: event.LayerCyber, Observer: "CCU", Event: eventID, Seq: 1,
+		Gen: occ.End() + 1, Occ: occ, Confidence: 1,
+	}
+}
+
+func TestScoreMatching(t *testing.T) {
+	truth := []event.PhysicalEvent{
+		truthEvent("P.fire", 100, 200),
+		truthEvent("P.fire", 500, 600),
+	}
+	detected := []event.Instance{
+		detection("P.fire", timemodel.MustBetween(110, 190)), // hits first
+		detection("P.fire", timemodel.At(800)),               // spurious
+	}
+	res := Score(truth, detected, MatchOptions{})
+	if res.TP != 1 || res.FP != 1 || res.FN != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScoreTolerance(t *testing.T) {
+	truth := []event.PhysicalEvent{truthEvent("P.e", 100, 110)}
+	late := detection("P.e", timemodel.At(130))
+	if res := Score(truth, []event.Instance{late}, MatchOptions{}); res.TP != 0 {
+		t.Fatal("late detection should miss without tolerance")
+	}
+	res := Score(truth, []event.Instance{late}, MatchOptions{TimeTolerance: 25})
+	if res.TP != 1 || res.FP != 0 || res.FN != 0 {
+		t.Fatalf("tolerant res = %+v", res)
+	}
+}
+
+func TestScoreEventMapping(t *testing.T) {
+	truth := []event.PhysicalEvent{truthEvent("P.fire", 100, 200)}
+	d := detection("E.fireAlarm", timemodel.At(150))
+	res := Score(truth, []event.Instance{d}, MatchOptions{
+		MapEvent: func(id string) string {
+			if id == "E.fireAlarm" {
+				return "P.fire"
+			}
+			return id
+		},
+	})
+	if res.TP != 1 {
+		t.Fatalf("mapped res = %+v", res)
+	}
+}
+
+func TestScoreEventIDFilter(t *testing.T) {
+	truth := []event.PhysicalEvent{
+		truthEvent("P.fire", 100, 200),
+		truthEvent("P.door", 100, 200),
+	}
+	detected := []event.Instance{
+		detection("P.fire", timemodel.At(150)),
+		detection("P.door", timemodel.At(150)),
+	}
+	res := Score(truth, detected, MatchOptions{EventID: "P.fire"})
+	if res.TP != 1 || res.FP != 0 || res.FN != 0 {
+		t.Fatalf("filtered res = %+v", res)
+	}
+}
+
+func TestScoreMultipleDetectionsOneTruth(t *testing.T) {
+	truth := []event.PhysicalEvent{truthEvent("P.e", 100, 200)}
+	detected := []event.Instance{
+		detection("P.e", timemodel.At(120)),
+		detection("P.e", timemodel.At(150)),
+		detection("P.e", timemodel.At(180)),
+	}
+	res := Score(truth, detected, MatchOptions{})
+	if res.TP != 1 || res.FP != 0 {
+		t.Fatalf("res = %+v (duplicates must not inflate TP or FP)", res)
+	}
+}

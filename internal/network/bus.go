@@ -1,0 +1,230 @@
+// Package network implements the CPS Network of the architecture
+// (Tan, Vuran, Goddard, ICDCSW 2009, Section 3): the backbone connecting
+// sink nodes, CPS control units, dispatch nodes and database servers,
+// carrying published event instances to their subscribers
+// ("Subscribe Interested Cyber-Physical Events and Cyber Events",
+// Fig. 1).
+//
+// Two implementations share one interface: SimBus delivers on the
+// deterministic simulation scheduler (used by all experiments), and
+// AsyncBus delivers over goroutines and channels in real time (used by the
+// live example). Both deliver per-topic in publish order.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// TopicAll subscribes to every topic.
+const TopicAll = "*"
+
+// ErrClosed is returned when publishing on a closed bus.
+var ErrClosed = errors.New("network: bus closed")
+
+// Message is a published payload with its routing metadata.
+type Message struct {
+	// Topic is the event id or command channel the message belongs to.
+	Topic string
+	// From identifies the publishing node.
+	From string
+	// Payload is the published value (typically an event.Instance or an
+	// actuator command).
+	Payload any
+}
+
+// Handler consumes delivered messages.
+type Handler func(Message)
+
+// Bus is the publish/subscribe interface shared by the deterministic and
+// asynchronous implementations.
+type Bus interface {
+	// Publish sends payload on topic; delivery is asynchronous.
+	Publish(from, topic string, payload any) error
+	// Subscribe registers a handler for a topic (TopicAll for every
+	// topic). Handlers of one subscriber are never invoked concurrently
+	// by AsyncBus and never reentrantly by SimBus.
+	Subscribe(subscriber, topic string, h Handler) error
+}
+
+// Stats counts bus traffic.
+type Stats struct {
+	// Published counts accepted publishes.
+	Published uint64
+	// Delivered counts handler invocations.
+	Delivered uint64
+}
+
+// SimBus is the deterministic bus: deliveries are scheduled on the
+// simulation clock after a fixed delay. It is not safe for concurrent
+// use (simulation goroutine only).
+type SimBus struct {
+	sched *sim.Scheduler
+	delay timemodel.Tick
+	subs  map[string][]subscription
+	stats Stats
+}
+
+type subscription struct {
+	subscriber string
+	h          Handler
+}
+
+// NewSimBus creates a scheduler-driven bus with a fixed delivery delay.
+func NewSimBus(sched *sim.Scheduler, delay timemodel.Tick) (*SimBus, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("network: delay %d must be non-negative", delay)
+	}
+	return &SimBus{
+		sched: sched,
+		delay: delay,
+		subs:  make(map[string][]subscription),
+	}, nil
+}
+
+// Publish implements Bus: delivery happens delay ticks later, in
+// subscription order.
+func (b *SimBus) Publish(from, topic string, payload any) error {
+	if topic == "" || topic == TopicAll {
+		return fmt.Errorf("network: invalid publish topic %q", topic)
+	}
+	b.stats.Published++
+	msg := Message{Topic: topic, From: from, Payload: payload}
+	targets := append(append([]subscription(nil), b.subs[topic]...), b.subs[TopicAll]...)
+	b.sched.After(b.delay, func() {
+		for _, s := range targets {
+			b.stats.Delivered++
+			s.h(msg)
+		}
+	})
+	return nil
+}
+
+// Subscribe implements Bus.
+func (b *SimBus) Subscribe(subscriber, topic string, h Handler) error {
+	if topic == "" || h == nil {
+		return fmt.Errorf("network: subscription needs topic and handler")
+	}
+	b.subs[topic] = append(b.subs[topic], subscription{subscriber: subscriber, h: h})
+	return nil
+}
+
+// Stats returns a copy of the traffic counters.
+func (b *SimBus) Stats() Stats { return b.stats }
+
+// AsyncBus is the real-time bus: each subscriber gets a buffered mailbox
+// drained by its own goroutine, so publishers never block on slow
+// consumers (the mailbox applies backpressure at capacity). Safe for
+// concurrent use.
+type AsyncBus struct {
+	mu     sync.Mutex
+	subs   map[string][]*asyncSub
+	closed bool
+	wg     sync.WaitGroup
+
+	published uint64
+	delivered uint64
+}
+
+type asyncSub struct {
+	subscriber string
+	ch         chan Message
+	h          Handler
+}
+
+// asyncMailbox is the per-subscriber buffer size. Sized generously so
+// simulation bursts don't block; publishers block (backpressure) when a
+// subscriber falls this far behind.
+const asyncMailbox = 1024
+
+// NewAsyncBus creates a goroutine-backed bus. Close must be called to
+// stop the delivery goroutines.
+func NewAsyncBus() *AsyncBus {
+	return &AsyncBus{subs: make(map[string][]*asyncSub)}
+}
+
+// Publish implements Bus.
+func (b *AsyncBus) Publish(from, topic string, payload any) error {
+	if topic == "" || topic == TopicAll {
+		return fmt.Errorf("network: invalid publish topic %q", topic)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.published++
+	targets := append(append([]*asyncSub(nil), b.subs[topic]...), b.subs[TopicAll]...)
+	b.mu.Unlock()
+
+	msg := Message{Topic: topic, From: from, Payload: payload}
+	for _, s := range targets {
+		s.ch <- msg
+	}
+	return nil
+}
+
+// Subscribe implements Bus and starts the subscriber's delivery
+// goroutine.
+func (b *AsyncBus) Subscribe(subscriber, topic string, h Handler) error {
+	if topic == "" || h == nil {
+		return fmt.Errorf("network: subscription needs topic and handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	s := &asyncSub{subscriber: subscriber, ch: make(chan Message, asyncMailbox), h: h}
+	b.subs[topic] = append(b.subs[topic], s)
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for msg := range s.ch {
+			s.h(msg)
+			b.mu.Lock()
+			b.delivered++
+			b.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// Close stops all delivery goroutines after draining their mailboxes and
+// waits for them to exit. Publishing after Close returns ErrClosed.
+func (b *AsyncBus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var chans []chan Message
+	for _, list := range b.subs {
+		for _, s := range list {
+			chans = append(chans, s.ch)
+		}
+	}
+	b.mu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+	b.wg.Wait()
+}
+
+// Stats returns a copy of the traffic counters.
+func (b *AsyncBus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Published: b.published, Delivered: b.delivered}
+}
+
+// Compile-time interface checks.
+var (
+	_ Bus = (*SimBus)(nil)
+	_ Bus = (*AsyncBus)(nil)
+)

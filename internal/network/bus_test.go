@@ -1,0 +1,216 @@
+package network
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/stcps/stcps/internal/sim"
+)
+
+func TestSimBusDeliversAfterDelay(t *testing.T) {
+	s := sim.New(1)
+	b, err := NewSimBus(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Message
+	var at []int64
+	_ = b.Subscribe("ccu1", "E.fire", func(m Message) {
+		got = append(got, m)
+		at = append(at, int64(s.Now()))
+	})
+	if err := b.Publish("sink1", "E.fire", 42); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("delivery must be asynchronous")
+	}
+	s.Run(100)
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(got))
+	}
+	if got[0].From != "sink1" || got[0].Topic != "E.fire" || got[0].Payload != 42 {
+		t.Fatalf("message = %+v", got[0])
+	}
+	if at[0] != 7 {
+		t.Fatalf("delivered at %d, want 7", at[0])
+	}
+	st := b.Stats()
+	if st.Published != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSimBusTopicFiltering(t *testing.T) {
+	s := sim.New(1)
+	b, _ := NewSimBus(s, 0)
+	var fire, all, other int
+	_ = b.Subscribe("a", "E.fire", func(Message) { fire++ })
+	_ = b.Subscribe("b", TopicAll, func(Message) { all++ })
+	_ = b.Subscribe("c", "E.other", func(Message) { other++ })
+	_ = b.Publish("x", "E.fire", nil)
+	_ = b.Publish("x", "E.fire", nil)
+	_ = b.Publish("x", "E.third", nil)
+	s.Run(10)
+	if fire != 2 || all != 3 || other != 0 {
+		t.Fatalf("fire=%d all=%d other=%d, want 2/3/0", fire, all, other)
+	}
+}
+
+func TestSimBusPerTopicOrder(t *testing.T) {
+	s := sim.New(1)
+	b, _ := NewSimBus(s, 3)
+	var got []any
+	_ = b.Subscribe("sub", "t", func(m Message) { got = append(got, m.Payload) })
+	for i := 0; i < 10; i++ {
+		_ = b.Publish("p", "t", i)
+	}
+	s.Run(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+func TestSimBusValidation(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewSimBus(s, -1); err == nil {
+		t.Error("negative delay should error")
+	}
+	b, _ := NewSimBus(s, 0)
+	if err := b.Publish("x", "", nil); err == nil {
+		t.Error("empty topic publish should error")
+	}
+	if err := b.Publish("x", TopicAll, nil); err == nil {
+		t.Error("publish to wildcard should error")
+	}
+	if err := b.Subscribe("x", "", func(Message) {}); err == nil {
+		t.Error("empty topic subscribe should error")
+	}
+	if err := b.Subscribe("x", "t", nil); err == nil {
+		t.Error("nil handler subscribe should error")
+	}
+}
+
+func TestSimBusSubscribersSnapshotAtPublish(t *testing.T) {
+	s := sim.New(1)
+	b, _ := NewSimBus(s, 5)
+	count := 0
+	_ = b.Publish("x", "t", nil) // no subscribers yet
+	_ = b.Subscribe("late", "t", func(Message) { count++ })
+	s.Run(100)
+	if count != 0 {
+		t.Fatal("late subscriber must not receive earlier publish")
+	}
+}
+
+func TestAsyncBusDelivery(t *testing.T) {
+	b := NewAsyncBus()
+	var mu sync.Mutex
+	var got []any
+	done := make(chan struct{}, 1)
+	_ = b.Subscribe("sub", "t", func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload)
+		n := len(got)
+		mu.Unlock()
+		if n == 100 {
+			done <- struct{}{}
+		}
+	})
+	for i := 0; i < 100; i++ {
+		if err := b.Publish("p", "t", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 100 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("per-subscriber order violated at %d: %v", i, v)
+		}
+	}
+	st := b.Stats()
+	if st.Published != 100 || st.Delivered != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAsyncBusWildcardAndMultipleSubscribers(t *testing.T) {
+	b := NewAsyncBus()
+	var wg sync.WaitGroup
+	// t1 publishes reach "a" and wildcard "b" (2 each); the t2 publish
+	// reaches only "b": 2 + 1 + 2 = 5 deliveries.
+	wg.Add(5)
+	count := func() func(Message) {
+		return func(Message) { wg.Done() }
+	}
+	_ = b.Subscribe("a", "t1", count())
+	_ = b.Subscribe("b", TopicAll, count())
+	_ = b.Publish("p", "t1", 1)
+	_ = b.Publish("p", "t2", 2)
+	_ = b.Publish("p", "t1", 3)
+	wg.Wait()
+	b.Close()
+}
+
+func TestAsyncBusClose(t *testing.T) {
+	b := NewAsyncBus()
+	_ = b.Subscribe("s", "t", func(Message) {})
+	b.Close()
+	b.Close() // idempotent
+	if err := b.Publish("p", "t", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish after close err = %v", err)
+	}
+	if err := b.Subscribe("s2", "t", func(Message) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe after close err = %v", err)
+	}
+}
+
+func TestAsyncBusValidation(t *testing.T) {
+	b := NewAsyncBus()
+	defer b.Close()
+	if err := b.Publish("x", "", nil); err == nil {
+		t.Error("empty topic publish should error")
+	}
+	if err := b.Subscribe("x", "t", nil); err == nil {
+		t.Error("nil handler subscribe should error")
+	}
+}
+
+func TestAsyncBusConcurrentPublishers(t *testing.T) {
+	b := NewAsyncBus()
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var all sync.WaitGroup
+	all.Add(200)
+	_ = b.Subscribe("s", "t", func(m Message) {
+		mu.Lock()
+		seen[m.Payload.(int)] = true
+		mu.Unlock()
+		all.Done()
+	})
+	var pubs sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pubs.Add(1)
+		go func(base int) {
+			defer pubs.Done()
+			for i := 0; i < 50; i++ {
+				_ = b.Publish("p", "t", base+i)
+			}
+		}(g * 50)
+	}
+	pubs.Wait()
+	all.Wait()
+	b.Close()
+	if len(seen) != 200 {
+		t.Fatalf("unique deliveries = %d, want 200", len(seen))
+	}
+}

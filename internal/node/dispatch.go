@@ -1,0 +1,103 @@
+package node
+
+import (
+	"fmt"
+
+	"github.com/stcps/stcps/internal/network"
+	"github.com/stcps/stcps/internal/phys"
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/internal/wsn"
+)
+
+// DispatchNode is the actor-network gateway: it receives actuator
+// commands from CCUs over the CPS network and disseminates them to actor
+// motes over the actor WSN ("a dispatch node disseminates the action
+// commands to multiple actor nodes", Section 3).
+type DispatchNode struct {
+	id  string
+	net *wsn.Network
+
+	// Dispatched counts commands forwarded to actor motes.
+	Dispatched uint64
+}
+
+// NewDispatchNode registers a dispatch gateway in the actor network at
+// pos and subscribes it to its command topic on the CPS network.
+func NewDispatchNode(bus network.Bus, actorNet *wsn.Network, id string, pos spatial.Point) (*DispatchNode, error) {
+	if id == "" {
+		return nil, fmt.Errorf("dispatch needs an id: %w", ErrBadNode)
+	}
+	d := &DispatchNode{id: id, net: actorNet}
+	// The dispatch node is a sink of the actor WSN (gateway role); its
+	// uplink handler receives executed-command acknowledgements.
+	if err := actorNet.AddSink(id, pos, func(string, any) {}); err != nil {
+		return nil, err
+	}
+	if err := bus.Subscribe(id, cmdTopic(id), d.onCommand); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ID returns the dispatch node identifier.
+func (d *DispatchNode) ID() string { return d.id }
+
+// onCommand forwards a command to its actor mote over the actor WSN.
+func (d *DispatchNode) onCommand(msg network.Message) {
+	cmd, ok := msg.Payload.(CommandMsg)
+	if !ok {
+		return
+	}
+	d.Dispatched++
+	// Radio loss on the downlink is part of the model.
+	_ = d.net.SendDown(d.id, cmd.Actor, cmd)
+}
+
+// ActorMote executes actuator commands against the physical world — the
+// paper's AR/actor mote pair. Executed commands are acknowledged upstream
+// ("Publish Executed Actuator Commands", Fig. 1).
+type ActorMote struct {
+	id    string
+	world *phys.World
+	net   *wsn.Network
+	sched *sim.Scheduler
+	delay timemodel.Tick
+
+	// Executed counts commands applied to the world.
+	Executed []CommandMsg
+}
+
+// NewActorMote registers the actuator logic on an existing actor-network
+// mote. delay models actuation latency between command receipt and
+// physical effect.
+func NewActorMote(sched *sim.Scheduler, world *phys.World, actorNet *wsn.Network, moteID string, delay timemodel.Tick) (*ActorMote, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("actor %q delay %d: %w", moteID, delay, ErrBadNode)
+	}
+	a := &ActorMote{id: moteID, world: world, net: actorNet, sched: sched, delay: delay}
+	if err := actorNet.SetMoteHandler(moteID, a.onCommand); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ID returns the actor mote identifier.
+func (a *ActorMote) ID() string { return a.id }
+
+// onCommand applies the actuation after the actuation delay and
+// acknowledges it upstream.
+func (a *ActorMote) onCommand(_ string, payload any) {
+	cmd, ok := payload.(CommandMsg)
+	if !ok {
+		return
+	}
+	a.sched.After(a.delay, func() {
+		if err := a.world.Apply(cmd.Cmd); err != nil {
+			return
+		}
+		a.Executed = append(a.Executed, cmd)
+		_ = a.net.SendUp(a.id, cmd)
+	})
+}

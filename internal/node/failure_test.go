@@ -1,0 +1,245 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/network"
+	"github.com/stcps/stcps/internal/phys"
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/internal/wsn"
+)
+
+// failureRig is a single mote chain with a step stimulus, used for
+// failure-injection experiments.
+type failureRig struct {
+	sched *sim.Scheduler
+	net   *wsn.Network
+	mote  *MoteNode
+	got   []event.Instance
+}
+
+func buildFailureRig(t *testing.T, seed int64) *failureRig {
+	t.Helper()
+	r := &failureRig{sched: sim.New(seed)}
+	world, err := phys.NewWorld(r.sched, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.AddPhenomenon("step", phys.Step{
+		Name: "temp", Before: 20, After: 80, At: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.net, err = wsn.New(r.sched, wsn.Radio{Range: 15, HopDelay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.net.AddSink("sink", spatial.Pt(0, 0), func(_ string, p any) {
+		if in, ok := p.(event.Instance); ok {
+			r.got = append(r.got, in)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.net.AddMote("m1", spatial.Pt(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.net.BuildRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	r.mote, err = NewMoteNode(r.sched, world, r.net, "m1", []SensorConfig{
+		{ID: "SRt", Attr: "temp", Period: 10},
+	}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mote.AddDetector(detect.Spec{
+		EventID: "S.hot",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "SRt", Window: 1}},
+		Cond:    condition.MustParse("x.temp > 50"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mote.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestLinkOutageAndRecovery injects a total link outage after the
+// stimulus and verifies (a) nothing is delivered during the outage,
+// (b) delivery resumes after recovery, (c) detection latency reflects
+// the outage window.
+func TestLinkOutageAndRecovery(t *testing.T) {
+	r := buildFailureRig(t, 9)
+	// Outage from t=90 (before the step at 100) until t=300.
+	if err := r.sched.At(90, func() {
+		if err := r.net.SetLossRate(1); err != nil {
+			t.Errorf("SetLossRate: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sched.At(300, func() {
+		if err := r.net.SetLossRate(0); err != nil {
+			t.Errorf("SetLossRate: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	r.sched.Run(295)
+	if len(r.got) != 0 {
+		t.Fatalf("instances delivered during outage: %d", len(r.got))
+	}
+	dropped := r.net.Stats().Dropped
+	if dropped == 0 {
+		t.Fatal("outage dropped nothing — stimulus never sent?")
+	}
+
+	r.sched.Run(600)
+	if len(r.got) == 0 {
+		t.Fatal("no delivery after recovery")
+	}
+	first := r.got[0]
+	// The first delivered detection is generated after recovery: its
+	// generation time must be at (or after) the first post-recovery
+	// sample.
+	if first.Gen < 300 {
+		t.Fatalf("first delivered instance generated at %d, inside the outage", first.Gen)
+	}
+	// Its detection latency against the step at 100 reflects the outage.
+	if edl := first.Gen - 100; edl < 200 {
+		t.Fatalf("EDL = %d, should include the outage window", edl)
+	}
+}
+
+// TestDeadRelayPartitionsNetwork removes a relay by rebuilding routes
+// without it: downstream motes become unreachable and SendUp fails
+// loudly rather than silently dropping.
+func TestDeadRelayPartitionsNetwork(t *testing.T) {
+	sched := sim.New(4)
+	net, err := wsn.New(sched, wsn.Radio{Range: 12, HopDelay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddSink("sink", spatial.Pt(0, 0), func(string, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddMote("relay", spatial.Pt(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddMote("edge", spatial.Pt(20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.BuildRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := net.Mote("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.Hops != 2 {
+		t.Fatalf("edge hops = %d, want 2", edge.Hops)
+	}
+
+	// Simulate the relay's death: a fresh network without it.
+	net2, err := wsn.New(sched, wsn.Radio{Range: 12, HopDelay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.AddSink("sink", spatial.Pt(0, 0), func(string, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net2.AddMote("edge", spatial.Pt(20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.BuildRoutes(); err == nil {
+		t.Fatal("partitioned network should report unrouted motes")
+	}
+	if err := net2.SendUp("edge", "x"); err == nil {
+		t.Fatal("send from partitioned mote should fail")
+	}
+}
+
+// TestNoisySensorStillConverges: heavy measurement noise produces false
+// positives at the mote level, but a sink-level conjunction over two
+// motes suppresses them — the fusion value of the observer hierarchy.
+func TestNoisySensorStillConverges(t *testing.T) {
+	sched := sim.New(11)
+	world, _ := phys.NewWorld(sched, 5)
+	_ = world.AddPhenomenon("step", phys.Step{Name: "temp", Before: 40, After: 80, At: 500})
+
+	net, _ := wsn.New(sched, wsn.Radio{Range: 30, HopDelay: 1})
+	bus, err := network.NewSimBus(sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := NewSinkNode(sched, net, bus, nil, "sink", spatial.Pt(0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.AddDetector(detect.Spec{
+		EventID: "CP.hot",
+		Roles: []detect.RoleSpec{
+			{Name: "a", Source: "S.hot.mA", Window: 1, MaxAge: 30},
+			{Name: "b", Source: "S.hot.mB", Window: 1, MaxAge: 30},
+		},
+		Cond: condition.MustParse("avg(a.temp, b.temp) > 55"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var fused []event.Instance
+	if err := bus.Subscribe("tap", "CP.hot", func(m network.Message) {
+		if in, ok := m.Payload.(event.Instance); ok {
+			fused = append(fused, in)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{"mA", "mB"} {
+		if _, err := net.AddMote(id, spatial.Pt(10, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.BuildRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"mA", "mB"} {
+		m, err := NewMoteNode(sched, world, net, id, []SensorConfig{
+			{ID: "SRt", Attr: "temp", Period: 10, Noise: 8},
+		}, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddDetector(detect.Spec{
+			EventID: "S.hot." + id,
+			Roles:   []detect.RoleSpec{{Name: "x", Source: "SRt", Window: 1}},
+			Cond:    condition.MustParse("x.temp > 55"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.Run(1000)
+
+	if len(fused) == 0 {
+		t.Fatal("fusion detected nothing after the step")
+	}
+	// No fused detection may predate the step minus noise tolerance.
+	for _, in := range fused {
+		if in.Occ.End() < 450 {
+			t.Fatalf("fused false positive at %v (step at 500)", in.Occ)
+		}
+	}
+}
+
+var _ = timemodel.Tick(0)

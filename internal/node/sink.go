@@ -1,0 +1,116 @@
+package node
+
+import (
+	"fmt"
+
+	"github.com/stcps/stcps/internal/db"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/network"
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/internal/wsn"
+)
+
+// SinkNode is a WSN sink — the second level of observers. It receives
+// sensor event instances from motes over the WSN, evaluates cyber-physical
+// event conditions, and publishes the resulting cyber-physical event
+// instances on the CPS network (Fig. 1: "Publish Cyber-Physical Event
+// Instances").
+type SinkNode struct {
+	id        string
+	pos       spatial.Point
+	sched     *sim.Scheduler
+	bus       network.Bus
+	store     *db.Store
+	detectors []*detect.Detector
+	logTTL    timemodel.Tick
+
+	// Received counts instances arriving from motes; Published counts
+	// cyber-physical instances published.
+	Received  uint64
+	Published uint64
+}
+
+// NewSinkNode creates a sink observer and registers it in the WSN at pos.
+// store may be nil.
+func NewSinkNode(sched *sim.Scheduler, net *wsn.Network, bus network.Bus, store *db.Store, id string, pos spatial.Point, logTTL timemodel.Tick) (*SinkNode, error) {
+	if id == "" {
+		return nil, fmt.Errorf("sink needs an id: %w", ErrBadNode)
+	}
+	s := &SinkNode{
+		id:     id,
+		pos:    pos,
+		sched:  sched,
+		bus:    bus,
+		store:  store,
+		logTTL: logTTL,
+	}
+	if err := net.AddSink(id, pos, s.handle); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ID returns the sink identifier.
+func (s *SinkNode) ID() string { return s.id }
+
+// AddDetector installs a cyber-physical event detector. Role sources
+// refer to sensor event ids.
+func (s *SinkNode) AddDetector(spec detect.Spec) error {
+	if spec.Layer == 0 {
+		spec.Layer = event.LayerCyberPhysical
+	}
+	if spec.Layer != event.LayerCyberPhysical {
+		return fmt.Errorf("sink detector layer %v: %w", spec.Layer, ErrBadNode)
+	}
+	d, err := detect.New(s.id, spec)
+	if err != nil {
+		return err
+	}
+	s.detectors = append(s.detectors, d)
+	return nil
+}
+
+// handle is the WSN uplink handler: sensor event instances arrive here.
+func (s *SinkNode) handle(from string, payload any) {
+	inst, ok := payload.(event.Instance)
+	if !ok {
+		return
+	}
+	s.Received++
+	if s.store != nil {
+		in := inst
+		s.sched.After(s.logTTL, func() { _ = s.store.Log(in) })
+	}
+	genLoc := spatial.AtPt(s.pos)
+	for _, d := range s.detectors {
+		for _, out := range d.Offer(inst.Event, inst, inst.Confidence, s.sched.Now(), genLoc) {
+			s.publish(out)
+		}
+	}
+}
+
+// publish sends a cyber-physical instance onto the CPS network and logs
+// it.
+func (s *SinkNode) publish(inst event.Instance) {
+	s.Published++
+	if s.store != nil {
+		in := inst
+		s.sched.After(s.logTTL, func() { _ = s.store.Log(in) })
+	}
+	// Topic is the event id; subscription errors are configuration
+	// errors caught in tests.
+	_ = s.bus.Publish(s.id, inst.Event, inst)
+}
+
+// FlushIntervals closes open interval detections (end of run).
+func (s *SinkNode) FlushIntervals() {
+	genLoc := spatial.AtPt(s.pos)
+	for _, d := range s.detectors {
+		for _, inst := range d.Flush(s.sched.Now(), genLoc) {
+			s.publish(inst)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package phys
+
+import (
+	"math"
+
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Phenomenon is a scalar physical phenomenon sampled at a point and time —
+// what one type of sensor measures ("one type of sensor is associated with
+// a single physical phenomenon or property", Section 3).
+type Phenomenon interface {
+	// AttrName returns the attribute name sensors report for this
+	// phenomenon (e.g. "temp").
+	AttrName() string
+	// Sample returns the phenomenon value at point p and tick t.
+	Sample(p spatial.Point, t timemodel.Tick) float64
+}
+
+// Uniform is a spatially and temporally constant phenomenon (ambient
+// value).
+type Uniform struct {
+	// Name is the sensed attribute name.
+	Name string
+	// Value is the constant value everywhere.
+	Value float64
+}
+
+// AttrName implements Phenomenon.
+func (u Uniform) AttrName() string { return u.Name }
+
+// Sample implements Phenomenon.
+func (u Uniform) Sample(spatial.Point, timemodel.Tick) float64 { return u.Value }
+
+// HotSpot is a Gaussian bump over an ambient base, optionally moving along
+// a trajectory. It models localized phenomena such as a heater or a
+// chemical plume.
+type HotSpot struct {
+	// Name is the sensed attribute name.
+	Name string
+	// Base is the ambient value far from the spot.
+	Base float64
+	// Amplitude is the peak value added at the spot center.
+	Amplitude float64
+	// Sigma is the Gaussian radius.
+	Sigma float64
+	// Center is the spot trajectory (Stationary for a fixed spot).
+	Center Trajectory
+}
+
+// AttrName implements Phenomenon.
+func (h HotSpot) AttrName() string { return h.Name }
+
+// Sample implements Phenomenon.
+func (h HotSpot) Sample(p spatial.Point, t timemodel.Tick) float64 {
+	c := h.Center.PositionAt(t)
+	d := p.Dist(c)
+	return h.Base + h.Amplitude*math.Exp(-(d*d)/(2*h.Sigma*h.Sigma))
+}
+
+// Step is a spatially uniform phenomenon whose value jumps from Before to
+// After at tick At. It is the controlled stimulus used by the event
+// detection latency experiments (E1/E2/E3): the ground-truth occurrence
+// time is exactly At.
+type Step struct {
+	// Name is the sensed attribute name.
+	Name string
+	// Before is the value prior to the step.
+	Before float64
+	// After is the value from tick At on.
+	After float64
+	// At is the step tick.
+	At timemodel.Tick
+}
+
+// AttrName implements Phenomenon.
+func (s Step) AttrName() string { return s.Name }
+
+// Sample implements Phenomenon.
+func (s Step) Sample(_ spatial.Point, t timemodel.Tick) float64 {
+	if t >= s.At {
+		return s.After
+	}
+	return s.Before
+}
+
+// Fire is a growing field phenomenon: ignited at a point at tick Ignite,
+// its front expands at Rate distance units per tick until extinguished or
+// until MaxRadius. Inside the front the temperature is Peak, decaying to
+// ambient outside. Fire is the paper's canonical field event example
+// ("a field event refers to a physical phenomena which occurs in an area,
+// e.g. a forest fire", Section 4.2).
+type Fire struct {
+	// Name is the sensed attribute name (typically "temp").
+	Name string
+	// Base is the ambient temperature.
+	Base float64
+	// Peak is the temperature inside the burning region.
+	Peak float64
+	// Origin is the ignition point.
+	Origin spatial.Point
+	// Ignite is the ignition tick.
+	Ignite timemodel.Tick
+	// Rate is the front expansion speed in distance units per tick.
+	Rate float64
+	// MaxRadius caps the front radius (0 means unbounded).
+	MaxRadius float64
+
+	extinguishedAt timemodel.Tick
+	extinguished   bool
+}
+
+// AttrName implements Phenomenon.
+func (f *Fire) AttrName() string { return f.Name }
+
+// Radius returns the fire front radius at tick t (0 before ignition).
+func (f *Fire) Radius(t timemodel.Tick) float64 {
+	end := t
+	if f.extinguished && f.extinguishedAt < end {
+		end = f.extinguishedAt
+	}
+	if end < f.Ignite {
+		return 0
+	}
+	r := f.Rate * float64(end-f.Ignite)
+	if f.MaxRadius > 0 && r > f.MaxRadius {
+		r = f.MaxRadius
+	}
+	return r
+}
+
+// Burning reports whether the fire is active at tick t.
+func (f *Fire) Burning(t timemodel.Tick) bool {
+	if t < f.Ignite {
+		return false
+	}
+	return !f.extinguished || t < f.extinguishedAt
+}
+
+// Extinguish stops the fire's growth at tick t; after t the region no
+// longer burns. Extinguishing an already-extinguished fire keeps the
+// earlier tick.
+func (f *Fire) Extinguish(t timemodel.Tick) {
+	if f.extinguished && f.extinguishedAt <= t {
+		return
+	}
+	f.extinguished = true
+	f.extinguishedAt = t
+}
+
+// Sample implements Phenomenon: Peak inside the front, exponential decay
+// with distance outside it, ambient when not burning.
+func (f *Fire) Sample(p spatial.Point, t timemodel.Tick) float64 {
+	if !f.Burning(t) {
+		return f.Base
+	}
+	r := f.Radius(t)
+	d := p.Dist(f.Origin)
+	if d <= r {
+		return f.Peak
+	}
+	// Heat decays over roughly one front-radius beyond the edge.
+	scale := math.Max(r, 1)
+	return f.Base + (f.Peak-f.Base)*math.Exp(-(d-r)/scale)
+}
+
+// Region returns the burning region at tick t as a polygon field
+// (ground-truth field event extent) and whether a region exists.
+func (f *Fire) Region(t timemodel.Tick) (spatial.Field, bool) {
+	r := f.Radius(t)
+	if r <= 0 || !f.Burning(t) {
+		return spatial.Field{}, false
+	}
+	fl, err := spatial.Circle(f.Origin, r, 24)
+	if err != nil {
+		return spatial.Field{}, false
+	}
+	return fl, true
+}

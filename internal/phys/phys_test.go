@@ -1,0 +1,342 @@
+package phys
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestStationary(t *testing.T) {
+	s := Stationary{P: spatial.Pt(3, 4)}
+	if !s.PositionAt(0).Equal(spatial.Pt(3, 4)) || !s.PositionAt(1e6).Equal(spatial.Pt(3, 4)) {
+		t.Fatal("stationary object moved")
+	}
+}
+
+func TestWaypointsInterpolation(t *testing.T) {
+	traj := NewWaypoints([]Waypoint{
+		{T: 100, P: spatial.Pt(0, 0)},
+		{T: 200, P: spatial.Pt(10, 0)},
+		{T: 300, P: spatial.Pt(10, 20)},
+	})
+	tests := []struct {
+		tick timemodel.Tick
+		want spatial.Point
+	}{
+		{0, spatial.Pt(0, 0)},     // before first: clamp
+		{100, spatial.Pt(0, 0)},   // at first
+		{150, spatial.Pt(5, 0)},   // halfway leg 1
+		{200, spatial.Pt(10, 0)},  // at second
+		{250, spatial.Pt(10, 10)}, // halfway leg 2
+		{999, spatial.Pt(10, 20)}, // after last: clamp
+	}
+	for _, tt := range tests {
+		got := traj.PositionAt(tt.tick)
+		if !got.Equal(tt.want) {
+			t.Errorf("PositionAt(%d) = %v, want %v", tt.tick, got, tt.want)
+		}
+	}
+}
+
+func TestWaypointsUnsortedInput(t *testing.T) {
+	traj := NewWaypoints([]Waypoint{
+		{T: 200, P: spatial.Pt(10, 0)},
+		{T: 0, P: spatial.Pt(0, 0)},
+	})
+	if !traj.PositionAt(100).Equal(spatial.Pt(5, 0)) {
+		t.Fatal("waypoints not sorted by time")
+	}
+	empty := NewWaypoints(nil)
+	if !empty.PositionAt(5).Equal(spatial.Pt(0, 0)) {
+		t.Fatal("empty waypoints should be stationary origin")
+	}
+}
+
+func TestRandomWalkDeterministicAndBounded(t *testing.T) {
+	mk := func(seed int64) Trajectory {
+		return RandomWalk(rand.New(rand.NewSource(seed)), spatial.Pt(5, 5), 2, 50, 10, 0, 0, 10, 10)
+	}
+	a, b := mk(7), mk(7)
+	c := mk(8)
+	diverged := false
+	for tick := timemodel.Tick(0); tick <= 500; tick += 10 {
+		pa, pb := a.PositionAt(tick), b.PositionAt(tick)
+		if !pa.Equal(pb) {
+			t.Fatalf("same seed diverged at %d", tick)
+		}
+		if pa.X < -0.5 || pa.X > 10.5 || pa.Y < -0.5 || pa.Y > 10.5 {
+			t.Fatalf("walk escaped bounds at %d: %v", tick, pa)
+		}
+		if !pa.Equal(c.PositionAt(tick)) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical walks")
+	}
+}
+
+func TestHotSpotSample(t *testing.T) {
+	h := HotSpot{
+		Name: "temp", Base: 20, Amplitude: 80, Sigma: 2,
+		Center: Stationary{P: spatial.Pt(0, 0)},
+	}
+	atCenter := h.Sample(spatial.Pt(0, 0), 0)
+	if math.Abs(atCenter-100) > 1e-9 {
+		t.Errorf("center sample = %v, want 100", atCenter)
+	}
+	far := h.Sample(spatial.Pt(100, 0), 0)
+	if math.Abs(far-20) > 0.01 {
+		t.Errorf("far sample = %v, want ~20", far)
+	}
+	if h.AttrName() != "temp" {
+		t.Error("wrong attribute name")
+	}
+}
+
+func TestFireLifecycle(t *testing.T) {
+	f := &Fire{
+		Name: "temp", Base: 20, Peak: 400,
+		Origin: spatial.Pt(50, 50), Ignite: 100, Rate: 0.5, MaxRadius: 40,
+	}
+	if f.Burning(50) {
+		t.Error("fire burning before ignition")
+	}
+	if r := f.Radius(50); r != 0 {
+		t.Errorf("radius before ignition = %v", r)
+	}
+	if r := f.Radius(120); math.Abs(r-10) > 1e-9 {
+		t.Errorf("radius at 120 = %v, want 10", r)
+	}
+	if r := f.Radius(1000); r != 40 {
+		t.Errorf("radius capped = %v, want 40", r)
+	}
+	if v := f.Sample(spatial.Pt(50, 50), 120); v != 400 {
+		t.Errorf("sample inside = %v, want 400", v)
+	}
+	if v := f.Sample(spatial.Pt(50, 50), 50); v != 20 {
+		t.Errorf("sample before ignition = %v, want 20", v)
+	}
+	region, ok := f.Region(120)
+	if !ok {
+		t.Fatal("burning fire should have a region")
+	}
+	if !region.ContainsPoint(spatial.Pt(55, 50)) {
+		t.Error("region should contain point within radius")
+	}
+	f.Extinguish(150)
+	if f.Burning(160) {
+		t.Error("fire burning after extinguish")
+	}
+	if r := f.Radius(1000); math.Abs(r-25) > 1e-9 {
+		t.Errorf("radius frozen at extinguish = %v, want 25", r)
+	}
+	// Extinguishing later must not resurrect growth.
+	f.Extinguish(500)
+	if r := f.Radius(1000); math.Abs(r-25) > 1e-9 {
+		t.Errorf("later extinguish changed radius to %v", r)
+	}
+	if _, ok := f.Region(200); ok {
+		t.Error("extinguished fire should have no region")
+	}
+}
+
+func TestWorldObjectsAndPhenomena(t *testing.T) {
+	s := sim.New(1)
+	w, err := NewWorld(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(s, 0); err == nil {
+		t.Error("zero resolution should error")
+	}
+	obj := &Object{ID: "userA", Traj: Stationary{P: spatial.Pt(1, 2)}}
+	if err := w.AddObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddObject(&Object{ID: "userA"}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate object err = %v", err)
+	}
+	if err := w.AddObject(&Object{}); err == nil {
+		t.Error("object without id should error")
+	}
+	pos, err := w.ObjectPos("userA")
+	if err != nil || !pos.Equal(spatial.Pt(1, 2)) {
+		t.Errorf("ObjectPos = %v, %v", pos, err)
+	}
+	if _, err := w.ObjectPos("ghost"); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown object err = %v", err)
+	}
+
+	if err := w.AddPhenomenon("ambient", Uniform{Name: "temp", Value: 21}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPhenomenon("ambient", Uniform{Name: "temp", Value: 22}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate phenomenon err = %v", err)
+	}
+	v, ok := w.SampleAttr("temp", spatial.Pt(0, 0))
+	if !ok || v != 21 {
+		t.Errorf("SampleAttr = %v,%v, want 21,true", v, ok)
+	}
+	if _, ok := w.SampleAttr("humidity", spatial.Pt(0, 0)); ok {
+		t.Error("unknown attribute should not resolve")
+	}
+}
+
+func TestWorldMaxCombination(t *testing.T) {
+	s := sim.New(1)
+	w, _ := NewWorld(s, 10)
+	_ = w.AddPhenomenon("ambient", Uniform{Name: "temp", Value: 20})
+	fire := &Fire{Name: "temp", Base: 20, Peak: 400, Origin: spatial.Pt(0, 0), Ignite: 0, Rate: 1}
+	_ = w.AddPhenomenon("fire", fire)
+	s.Run(10)
+	v, ok := w.SampleAttr("temp", spatial.Pt(0, 0))
+	if !ok || v != 400 {
+		t.Errorf("fire should dominate ambient: got %v", v)
+	}
+}
+
+func TestWatchRegionGroundTruth(t *testing.T) {
+	s := sim.New(1)
+	w, _ := NewWorld(s, 5)
+	// User walks through the window region [40,60]x[0,10] between ticks
+	// 100 and 300.
+	traj := NewWaypoints([]Waypoint{
+		{T: 0, P: spatial.Pt(0, 5)},
+		{T: 400, P: spatial.Pt(100, 5)},
+	})
+	_ = w.AddObject(&Object{ID: "userA", Traj: traj})
+	region, _ := spatial.Rect(40, 0, 60, 10)
+	if err := w.WatchRegion("P.nearbyWindow", "userA", region); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WatchRegion("P.x", "ghost", region); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("watch unknown object err = %v", err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal("Start must be idempotent")
+	}
+	s.Run(400)
+	w.Finish()
+
+	truth := w.Truth()
+	if len(truth) != 1 {
+		t.Fatalf("truth events = %d, want 1: %+v", len(truth), truth)
+	}
+	ev := truth[0]
+	if ev.ID != "P.nearbyWindow" {
+		t.Errorf("event id = %q", ev.ID)
+	}
+	// Crossing [40,60] at 0.25 units/tick from x=0: enter ~160, exit ~240.
+	// Ground truth resolution is 5 ticks.
+	if ev.Time.Start() < 155 || ev.Time.Start() > 165 {
+		t.Errorf("enter = %d, want ~160", ev.Time.Start())
+	}
+	if ev.Time.End() < 240 || ev.Time.End() > 250 {
+		t.Errorf("exit = %d, want ~245", ev.Time.End())
+	}
+	if ev.TemporalClass().String() != "interval" {
+		t.Error("region event should be interval")
+	}
+}
+
+func TestWatcherOpenIntervalClosedByFinish(t *testing.T) {
+	s := sim.New(1)
+	w, _ := NewWorld(s, 5)
+	_ = w.AddObject(&Object{ID: "u", Traj: Stationary{P: spatial.Pt(5, 5)}})
+	region, _ := spatial.Rect(0, 0, 10, 10)
+	_ = w.WatchRegion("P.in", "u", region)
+	_ = w.Start()
+	s.Run(100)
+	if len(w.Truth()) != 0 {
+		t.Fatal("open interval should not be recorded before Finish")
+	}
+	w.Finish()
+	truth := w.Truth()
+	if len(truth) != 1 {
+		t.Fatalf("truth = %d events, want 1", len(truth))
+	}
+	if truth[0].Time.Start() != 0 || truth[0].Time.End() != 100 {
+		t.Errorf("interval = %v, want [0,100]", truth[0].Time)
+	}
+}
+
+func TestApplyActuatorCommands(t *testing.T) {
+	s := sim.New(1)
+	w, _ := NewWorld(s, 10)
+	_ = w.AddObject(&Object{ID: "light"})
+	fire := &Fire{Name: "temp", Base: 20, Peak: 300, Origin: spatial.Pt(0, 0), Ignite: 0, Rate: 1}
+	_ = w.AddPhenomenon("fire1", fire)
+
+	if err := w.Apply(ActuatorCommand{Target: "light", Attr: "on", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := w.Object("light")
+	if o.Attrs["on"] != 1 {
+		t.Error("attribute not set")
+	}
+	if err := w.Apply(ActuatorCommand{Target: "light"}); err == nil {
+		t.Error("missing attr should error")
+	}
+	if err := w.Apply(ActuatorCommand{Target: "ghost", Attr: "x", Value: 0}); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown target err = %v", err)
+	}
+
+	s.Run(50)
+	if err := w.Apply(ActuatorCommand{Target: "fire1", Extinguish: true}); err != nil {
+		t.Fatal(err)
+	}
+	if fire.Burning(60) {
+		t.Error("fire should be extinguished")
+	}
+	if err := w.Apply(ActuatorCommand{Target: "light", Extinguish: true}); err == nil {
+		t.Error("extinguishing a non-fire should error")
+	}
+	if err := w.Apply(ActuatorCommand{Target: "nope", Extinguish: true}); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown fire err = %v", err)
+	}
+}
+
+func TestRecordEventAutoID(t *testing.T) {
+	s := sim.New(1)
+	w, _ := NewWorld(s, 10)
+	w.RecordEvent("", timemodel.At(5), spatial.AtPoint(0, 0), nil)
+	w.RecordEvent("", timemodel.At(3), spatial.AtPoint(0, 0), nil)
+	truth := w.Truth()
+	if len(truth) != 2 {
+		t.Fatalf("truth = %d", len(truth))
+	}
+	// Sorted by start time.
+	if truth[0].Time.Start() != 3 {
+		t.Error("truth not sorted by start")
+	}
+	if truth[0].ID == truth[1].ID {
+		t.Error("auto ids must be unique")
+	}
+}
+
+// Property: waypoint interpolation never exits the segment bounding box.
+func TestWaypointsWithinHullProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2 int8, frac uint8) bool {
+		a := spatial.Pt(float64(x1), float64(y1))
+		b := spatial.Pt(float64(x2), float64(y2))
+		traj := NewWaypoints([]Waypoint{{T: 0, P: a}, {T: 100, P: b}})
+		tk := timemodel.Tick(frac) % 101
+		p := traj.PositionAt(tk)
+		minX, maxX := math.Min(a.X, b.X), math.Max(a.X, b.X)
+		minY, maxY := math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+		return p.X >= minX-1e-9 && p.X <= maxX+1e-9 && p.Y >= minY-1e-9 && p.Y <= maxY+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package phys simulates the physical world of the CPS architecture
+// (Tan, Vuran, Goddard, ICDCSW 2009, Fig. 1 left side): physical objects
+// with trajectories, scalar phenomena (temperature fields), growing field
+// phenomena (fires), and switchable object attributes.
+//
+// The paper's cyber side only ever sees the physical world through sampled
+// observations {t°, l°, V}; this package produces exactly those samples
+// while also recording ground-truth physical events (Eq. 5.1) so that
+// detection accuracy and event detection latency can be scored — something
+// a real deployment cannot do. This is the substitution documented in
+// DESIGN.md §2.
+package phys
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Trajectory yields an object's position as a function of virtual time.
+// Implementations must be deterministic: the same tick always yields the
+// same position.
+type Trajectory interface {
+	// PositionAt returns the position at tick t.
+	PositionAt(t timemodel.Tick) spatial.Point
+}
+
+// Stationary is a trajectory that never moves.
+type Stationary struct {
+	// P is the fixed position.
+	P spatial.Point
+}
+
+// PositionAt implements Trajectory.
+func (s Stationary) PositionAt(timemodel.Tick) spatial.Point { return s.P }
+
+// Waypoint is a timed position on a Waypoints trajectory.
+type Waypoint struct {
+	// T is the arrival tick.
+	T timemodel.Tick
+	// P is the position at tick T.
+	P spatial.Point
+}
+
+// Waypoints is a piecewise-linear trajectory through timed waypoints.
+// Before the first waypoint the object sits at the first position; after
+// the last it sits at the last.
+type Waypoints struct {
+	points []Waypoint
+}
+
+// NewWaypoints builds a waypoint trajectory. Waypoints are sorted by time;
+// at least one waypoint is required (enforced by returning a Stationary
+// origin trajectory for empty input).
+func NewWaypoints(points []Waypoint) Trajectory {
+	if len(points) == 0 {
+		return Stationary{}
+	}
+	own := make([]Waypoint, len(points))
+	copy(own, points)
+	sort.SliceStable(own, func(i, j int) bool { return own[i].T < own[j].T })
+	return Waypoints{points: own}
+}
+
+// PositionAt implements Trajectory by linear interpolation.
+func (w Waypoints) PositionAt(t timemodel.Tick) spatial.Point {
+	pts := w.points
+	if t <= pts[0].T {
+		return pts[0].P
+	}
+	last := pts[len(pts)-1]
+	if t >= last.T {
+		return last.P
+	}
+	// Binary search for the first waypoint with T > t.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
+	a, b := pts[i-1], pts[i]
+	if b.T == a.T {
+		return b.P
+	}
+	frac := float64(t-a.T) / float64(b.T-a.T)
+	return spatial.Pt(
+		a.P.X+(b.P.X-a.P.X)*frac,
+		a.P.Y+(b.P.Y-a.P.Y)*frac,
+	)
+}
+
+// RandomWalk generates a deterministic waypoint trajectory by a bounded
+// random walk: n steps of length step, every dt ticks, starting at start,
+// reflected at the bounding rectangle [minX,maxX]×[minY,maxY]. The walk is
+// drawn entirely from rng at construction, so playback is deterministic.
+func RandomWalk(rng *rand.Rand, start spatial.Point, step float64, n int, dt timemodel.Tick, minX, minY, maxX, maxY float64) Trajectory {
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo + (lo - v) // reflect
+		}
+		if v > hi {
+			return hi - (v - hi)
+		}
+		return v
+	}
+	pts := make([]Waypoint, 0, n+1)
+	cur := start
+	pts = append(pts, Waypoint{T: 0, P: cur})
+	for i := 1; i <= n; i++ {
+		dx := (rng.Float64()*2 - 1) * step
+		dy := (rng.Float64()*2 - 1) * step
+		cur = spatial.Pt(
+			clamp(cur.X+dx, minX, maxX),
+			clamp(cur.Y+dy, minY, maxY),
+		)
+		pts = append(pts, Waypoint{T: timemodel.Tick(i) * dt, P: cur})
+	}
+	return NewWaypoints(pts)
+}

@@ -1,0 +1,281 @@
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// World errors.
+var (
+	// ErrDuplicateID is returned when an object or phenomenon id is
+	// registered twice.
+	ErrDuplicateID = errors.New("phys: duplicate id")
+	// ErrUnknownID is returned when an id cannot be resolved.
+	ErrUnknownID = errors.New("phys: unknown id")
+)
+
+// Object is a physical object: a user, a chair, a window, a light. It has
+// a trajectory and a mutable attribute set (the physical state actuators
+// can change).
+type Object struct {
+	// ID identifies the object.
+	ID string
+	// Traj is the object's movement.
+	Traj Trajectory
+	// Attrs is the mutable physical state (e.g. light "on" = 1).
+	Attrs event.Attrs
+}
+
+// World is the simulated physical world: objects, phenomena, and a
+// ground-truth physical event log. It advances on the shared simulation
+// scheduler.
+type World struct {
+	sched      *sim.Scheduler
+	objects    map[string]*Object
+	phenomena  map[string]Phenomenon
+	truth      []event.PhysicalEvent
+	truthSeq   uint64
+	watchers   []*regionWatcher
+	resolution timemodel.Tick
+	started    bool
+}
+
+// regionWatcher tracks an object against a region to produce ground-truth
+// interval events ("user A is nearby window B", Section 4.2).
+type regionWatcher struct {
+	eventID string
+	object  string
+	region  spatial.Field
+	inside  bool
+	enter   timemodel.Tick
+}
+
+// NewWorld creates a world bound to the scheduler. resolution is the
+// ground-truth sampling period for region watchers; it bounds the timing
+// error of ground-truth intervals.
+func NewWorld(sched *sim.Scheduler, resolution timemodel.Tick) (*World, error) {
+	if resolution <= 0 {
+		return nil, fmt.Errorf("phys: resolution %d must be positive", resolution)
+	}
+	return &World{
+		sched:      sched,
+		objects:    make(map[string]*Object),
+		phenomena:  make(map[string]Phenomenon),
+		resolution: resolution,
+	}, nil
+}
+
+// AddObject registers a physical object.
+func (w *World) AddObject(o *Object) error {
+	if o == nil || o.ID == "" {
+		return fmt.Errorf("phys: object must have an id")
+	}
+	if _, ok := w.objects[o.ID]; ok {
+		return fmt.Errorf("object %q: %w", o.ID, ErrDuplicateID)
+	}
+	if o.Traj == nil {
+		o.Traj = Stationary{}
+	}
+	if o.Attrs == nil {
+		o.Attrs = make(event.Attrs)
+	}
+	w.objects[o.ID] = o
+	return nil
+}
+
+// AddPhenomenon registers a phenomenon under an id.
+func (w *World) AddPhenomenon(id string, p Phenomenon) error {
+	if id == "" || p == nil {
+		return fmt.Errorf("phys: phenomenon must have an id and value")
+	}
+	if _, ok := w.phenomena[id]; ok {
+		return fmt.Errorf("phenomenon %q: %w", id, ErrDuplicateID)
+	}
+	w.phenomena[id] = p
+	return nil
+}
+
+// Object returns a registered object.
+func (w *World) Object(id string) (*Object, error) {
+	o, ok := w.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("object %q: %w", id, ErrUnknownID)
+	}
+	return o, nil
+}
+
+// Phenomenon returns a registered phenomenon.
+func (w *World) Phenomenon(id string) (Phenomenon, error) {
+	p, ok := w.phenomena[id]
+	if !ok {
+		return nil, fmt.Errorf("phenomenon %q: %w", id, ErrUnknownID)
+	}
+	return p, nil
+}
+
+// ObjectPos returns an object's position at the current virtual time.
+func (w *World) ObjectPos(id string) (spatial.Point, error) {
+	o, err := w.Object(id)
+	if err != nil {
+		return spatial.Point{}, err
+	}
+	return o.Traj.PositionAt(w.sched.Now()), nil
+}
+
+// SampleAttr samples the named attribute at point p and the current time.
+// Attributes resolve in two steps: a phenomenon whose AttrName matches
+// wins; otherwise the zero value is returned with ok=false.
+func (w *World) SampleAttr(attr string, p spatial.Point) (float64, bool) {
+	var (
+		sum   float64
+		found bool
+	)
+	for _, ph := range w.phenomena {
+		if ph.AttrName() != attr {
+			continue
+		}
+		v := ph.Sample(p, w.sched.Now())
+		if !found || v > sum {
+			// Multiple phenomena with the same attribute combine by max:
+			// a fire dominates ambient temperature.
+			sum = v
+		}
+		found = true
+	}
+	return sum, found
+}
+
+// Now returns the world's current virtual time.
+func (w *World) Now() timemodel.Tick { return w.sched.Now() }
+
+// RecordEvent appends a ground-truth physical event P_id{t°, l°, V}
+// (Eq. 5.1) to the truth log.
+func (w *World) RecordEvent(id string, t timemodel.Time, loc spatial.Location, attrs event.Attrs) {
+	w.truthSeq++
+	if id == "" {
+		id = fmt.Sprintf("P.%d", w.truthSeq)
+	}
+	w.truth = append(w.truth, event.PhysicalEvent{
+		ID: id, Time: t, Loc: loc, Attrs: attrs.Clone(),
+	})
+}
+
+// Truth returns a copy of the ground-truth physical event log, sorted by
+// occurrence start time.
+func (w *World) Truth() []event.PhysicalEvent {
+	out := make([]event.PhysicalEvent, len(w.truth))
+	copy(out, w.truth)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Time.Start() < out[j].Time.Start()
+	})
+	return out
+}
+
+// WatchRegion installs a ground-truth watcher producing interval physical
+// events named eventID while object objID is inside region. Start must be
+// called afterwards for watchers to sample.
+func (w *World) WatchRegion(eventID, objID string, region spatial.Field) error {
+	if _, err := w.Object(objID); err != nil {
+		return err
+	}
+	w.watchers = append(w.watchers, &regionWatcher{
+		eventID: eventID,
+		object:  objID,
+		region:  region,
+	})
+	return nil
+}
+
+// Start begins ground-truth sampling. It is idempotent.
+func (w *World) Start() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	_, err := w.sched.Every(0, w.resolution, w.sampleWatchers)
+	if err != nil {
+		return fmt.Errorf("phys: start: %w", err)
+	}
+	return nil
+}
+
+// Finish closes any open watcher intervals at the current time, recording
+// their ground-truth events. Call once at the end of a run.
+func (w *World) Finish() {
+	now := w.sched.Now()
+	for _, rw := range w.watchers {
+		if rw.inside {
+			w.closeWatcher(rw, now)
+		}
+	}
+}
+
+func (w *World) sampleWatchers() {
+	now := w.sched.Now()
+	for _, rw := range w.watchers {
+		obj := w.objects[rw.object]
+		pos := obj.Traj.PositionAt(now)
+		in := rw.region.ContainsPoint(pos)
+		switch {
+		case in && !rw.inside:
+			rw.inside = true
+			rw.enter = now
+		case !in && rw.inside:
+			w.closeWatcher(rw, now)
+		}
+	}
+}
+
+func (w *World) closeWatcher(rw *regionWatcher, now timemodel.Tick) {
+	rw.inside = false
+	iv, err := timemodel.Between(rw.enter, now)
+	if err != nil {
+		return
+	}
+	w.RecordEvent(rw.eventID, iv, spatial.InField(rw.region), nil)
+}
+
+// ActuatorCommand is a physical actuation: set an object attribute or
+// extinguish a fire phenomenon. Actor motes apply these, closing the
+// paper's control loop (Fig. 1: "Changing ... the Physical World").
+type ActuatorCommand struct {
+	// Target is the object or phenomenon id.
+	Target string `json:"target"`
+	// Attr is the object attribute to set; ignored for Extinguish.
+	Attr string `json:"attr,omitempty"`
+	// Value is the new attribute value.
+	Value float64 `json:"value,omitempty"`
+	// Extinguish stops a Fire phenomenon instead of setting an attribute.
+	Extinguish bool `json:"extinguish,omitempty"`
+}
+
+// Apply executes the command against the world at the current time.
+func (w *World) Apply(cmd ActuatorCommand) error {
+	if cmd.Extinguish {
+		p, err := w.Phenomenon(cmd.Target)
+		if err != nil {
+			return err
+		}
+		f, ok := p.(*Fire)
+		if !ok {
+			return fmt.Errorf("phys: %q is not a fire", cmd.Target)
+		}
+		f.Extinguish(w.sched.Now())
+		return nil
+	}
+	o, err := w.Object(cmd.Target)
+	if err != nil {
+		return err
+	}
+	if cmd.Attr == "" {
+		return fmt.Errorf("phys: actuator command for %q has no attribute", cmd.Target)
+	}
+	o.Attrs[cmd.Attr] = cmd.Value
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package placement implements the third future-work item of Tan, Vuran,
+// Goddard (ICDCSW 2009, Section 6): "we will investigate the event
+// condition evaluation at different CPS components."
+//
+// The same event condition ("temperature above threshold") is evaluated
+// at three different observers of the hierarchy, and the experiment
+// measures what moves where:
+//
+//   - AtMote — the sensor mote gates its own observations and only sends
+//     sensor event instances when the condition holds (edge evaluation);
+//   - AtSink — the mote forwards every observation as an ungated sensor
+//     event; the sink evaluates the condition (fog evaluation);
+//   - AtCCU — mote and sink both forward unconditionally; the CCU
+//     evaluates the condition over the CPS network (cloud evaluation).
+//
+// The metrics are WSN messages, bus messages, and the event detection
+// latency at the CCU — experiment E11 in DESIGN.md. The expected shape:
+// edge evaluation minimizes radio traffic at identical latency, because
+// the condition is a stateless threshold; evaluation placement is a
+// traffic/coupling trade-off, not a latency one, until conditions need
+// data from multiple motes (then the sink is the lowest level that can
+// evaluate at all).
+package placement
+
+import (
+	"fmt"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/network"
+	"github.com/stcps/stcps/internal/node"
+	"github.com/stcps/stcps/internal/phys"
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/internal/wsn"
+)
+
+// Placement selects the observer that evaluates the event condition.
+type Placement int
+
+// Evaluation placements.
+const (
+	// AtMote evaluates at the sensor mote (edge).
+	AtMote Placement = iota + 1
+	// AtSink evaluates at the WSN sink.
+	AtSink
+	// AtCCU evaluates at the CPS control unit.
+	AtCCU
+)
+
+var placementNames = map[Placement]string{
+	AtMote: "mote",
+	AtSink: "sink",
+	AtCCU:  "ccu",
+}
+
+// String returns the placement name.
+func (p Placement) String() string {
+	if s, ok := placementNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// All lists placements in hierarchy order.
+func All() []Placement { return []Placement{AtMote, AtSink, AtCCU} }
+
+// Config parameterizes one placement run.
+type Config struct {
+	// Placement is where the condition is evaluated.
+	Placement Placement
+	// SamplingPeriod is the mote's sampling period.
+	SamplingPeriod timemodel.Tick
+	// HopDelay is the WSN per-hop delay.
+	HopDelay timemodel.Tick
+	// BusDelay is the CPS network delay.
+	BusDelay timemodel.Tick
+	// StepAt is the stimulus tick.
+	StepAt timemodel.Tick
+	// Horizon is the run length after the step.
+	Horizon timemodel.Tick
+	// Seed drives the simulation.
+	Seed int64
+}
+
+func (c *Config) normalize() error {
+	switch c.Placement {
+	case AtMote, AtSink, AtCCU:
+	default:
+		return fmt.Errorf("placement: unknown placement %v", c.Placement)
+	}
+	if c.SamplingPeriod <= 0 {
+		return fmt.Errorf("placement: sampling period %d must be positive", c.SamplingPeriod)
+	}
+	if c.StepAt <= 0 {
+		c.StepAt = 200
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Result reports what one placement cost.
+type Result struct {
+	// Placement is the evaluated configuration.
+	Placement Placement
+	// WSNSent counts radio messages originated by the mote.
+	WSNSent uint64
+	// BusPublished counts CPS-network publishes.
+	BusPublished uint64
+	// Detections counts condition matches at the final observer.
+	Detections int
+	// FirstEDL is the detection latency of the first match at the CCU
+	// (-1 when never detected).
+	FirstEDL timemodel.Tick
+}
+
+// String renders one E11 table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-5s wsn=%-4d bus=%-4d detections=%-4d firstEDL=%d",
+		r.Placement, r.WSNSent, r.BusPublished, r.Detections, r.FirstEDL)
+}
+
+const threshold = "x.temp > 50"
+
+// Run executes one placement experiment.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	sched := sim.New(cfg.Seed)
+	world, err := phys.NewWorld(sched, cfg.SamplingPeriod)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := world.AddPhenomenon("step", phys.Step{
+		Name: "temp", Before: 20, After: 80, At: cfg.StepAt,
+	}); err != nil {
+		return Result{}, err
+	}
+	net, err := wsn.New(sched, wsn.Radio{Range: 15, HopDelay: cfg.HopDelay})
+	if err != nil {
+		return Result{}, err
+	}
+	bus, err := network.NewSimBus(sched, cfg.BusDelay)
+	if err != nil {
+		return Result{}, err
+	}
+	sink, err := node.NewSinkNode(sched, net, bus, nil, "sink", spatial.Pt(0, 0), 0)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := net.AddMote("m1", spatial.Pt(10, 0)); err != nil {
+		return Result{}, err
+	}
+	if err := net.BuildRoutes(); err != nil {
+		return Result{}, err
+	}
+	mote, err := node.NewMoteNode(sched, world, net, "m1", []node.SensorConfig{
+		{ID: "SRt", Attr: "temp", Period: cfg.SamplingPeriod},
+	}, nil, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	ccu, err := node.NewCCU(sched, bus, nil, "ccu", spatial.Pt(0, 10), 0)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Conditions per placement: exactly one stage evaluates the
+	// threshold; the stages below it forward unconditionally.
+	moteCond, sinkCond, ccuCond := "true", "true", "true"
+	switch cfg.Placement {
+	case AtMote:
+		moteCond = threshold
+	case AtSink:
+		sinkCond = threshold
+	case AtCCU:
+		ccuCond = threshold
+	}
+	if err := mote.AddDetector(detect.Spec{
+		EventID: "S.t",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "SRt", Window: 1}},
+		Cond:    condition.MustParse(moteCond),
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := sink.AddDetector(detect.Spec{
+		EventID: "CP.t",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "S.t", Window: 1}},
+		Cond:    condition.MustParse(sinkCond),
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := ccu.AddDetector(detect.Spec{
+		EventID: "E.t",
+		Roles:   []detect.RoleSpec{{Name: "x", Source: "CP.t", Window: 1}},
+		Cond:    condition.MustParse(ccuCond),
+	}); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Placement: cfg.Placement, FirstEDL: -1}
+	if err := bus.Subscribe("tap", "E.t", func(m network.Message) {
+		in, ok := m.Payload.(event.Instance)
+		if !ok {
+			return
+		}
+		res.Detections++
+		if res.FirstEDL < 0 {
+			res.FirstEDL = in.Gen - cfg.StepAt
+		}
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := mote.Start(); err != nil {
+		return Result{}, err
+	}
+	sched.Run(cfg.StepAt + cfg.Horizon)
+
+	res.WSNSent = net.Stats().Sent
+	res.BusPublished = bus.Stats().Published
+	return res, nil
+}
+
+// Sweep runs all three placements under one configuration.
+func Sweep(base Config) ([]Result, error) {
+	out := make([]Result, 0, 3)
+	for _, p := range All() {
+		cfg := base
+		cfg.Placement = p
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package placement
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func baseConfig() Config {
+	return Config{
+		SamplingPeriod: 10,
+		HopDelay:       2,
+		BusDelay:       3,
+		StepAt:         200,
+		Horizon:        400,
+		Seed:           5,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Placement = Placement(0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("missing placement should error")
+	}
+	cfg = baseConfig()
+	cfg.Placement = AtMote
+	cfg.SamplingPeriod = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero sampling period should error")
+	}
+}
+
+func TestAllPlacementsDetect(t *testing.T) {
+	for _, p := range All() {
+		cfg := baseConfig()
+		cfg.Placement = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Detections == 0 {
+			t.Errorf("%v: no detections", p)
+		}
+		if res.FirstEDL < 0 {
+			t.Errorf("%v: no EDL", p)
+		}
+		if res.String() == "" {
+			t.Error("result must render")
+		}
+	}
+}
+
+// TestE11EdgeEvaluationSavesTraffic is the E11 headline: evaluating at
+// the mote sends radically fewer radio messages than forwarding raw
+// samples, while first-detection latency stays in the same band.
+func TestE11EdgeEvaluationSavesTraffic(t *testing.T) {
+	results, err := Sweep(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPlace := make(map[Placement]Result, 3)
+	for _, r := range results {
+		byPlace[r.Placement] = r
+	}
+	mote, sink, ccu := byPlace[AtMote], byPlace[AtSink], byPlace[AtCCU]
+
+	// Edge evaluation sends only post-step events; sink/CCU placements
+	// ship every sample (including the 20 pre-step ones).
+	if mote.WSNSent >= sink.WSNSent {
+		t.Errorf("edge placement should send less: mote=%d sink=%d", mote.WSNSent, sink.WSNSent)
+	}
+	if sink.WSNSent != ccu.WSNSent {
+		t.Errorf("sink and ccu placements ship the same WSN load: %d vs %d", sink.WSNSent, ccu.WSNSent)
+	}
+	// CCU placement additionally floods the bus with pre-step publishes.
+	if ccu.BusPublished <= mote.BusPublished {
+		t.Errorf("ccu placement should publish more: ccu=%d mote=%d", ccu.BusPublished, mote.BusPublished)
+	}
+	// Latency is placement-invariant for a stateless threshold (same
+	// sampling grid, same transport path).
+	maxEDL, minEDL := mote.FirstEDL, mote.FirstEDL
+	for _, r := range []Result{sink, ccu} {
+		if r.FirstEDL > maxEDL {
+			maxEDL = r.FirstEDL
+		}
+		if r.FirstEDL < minEDL {
+			minEDL = r.FirstEDL
+		}
+	}
+	if maxEDL-minEDL > timemodel.Tick(baseConfig().SamplingPeriod) {
+		t.Errorf("EDL spread %d exceeds one sampling period: %+v", maxEDL-minEDL, results)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if AtMote.String() != "mote" || AtSink.String() != "sink" || AtCCU.String() != "ccu" {
+		t.Error("placement names wrong")
+	}
+	if Placement(9).String() == "" {
+		t.Error("unknown placement must render")
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim provides the discrete-event simulation kernel that drives
+// the ST-CPS reproduction: a virtual clock over the paper's discrete time
+// model, a deterministic task scheduler, and a seeded random source.
+//
+// All substrates (physical world, sensor network, CPS network) schedule
+// their work here, so a whole system run is reproducible from a single
+// seed. One tick is interpreted as one millisecond by convention.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// ErrPastTick is returned when a task is scheduled before the current
+// virtual time.
+var ErrPastTick = errors.New("sim: cannot schedule in the past")
+
+// Task is a unit of scheduled work. Tasks run synchronously on the
+// simulation goroutine at their scheduled tick.
+type Task func()
+
+// item is a heap entry; seq breaks ties so same-tick tasks run in
+// scheduling order (deterministic).
+type item struct {
+	at  timemodel.Tick
+	seq uint64
+	fn  Task
+}
+
+type taskHeap []item
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is a deterministic discrete-event scheduler with a virtual
+// clock. It is not safe for concurrent use: all tasks run on the caller's
+// goroutine inside Run or Step.
+type Scheduler struct {
+	now   timemodel.Tick
+	queue taskHeap
+	seq   uint64
+	rng   *rand.Rand
+	ran   uint64
+}
+
+// New returns a scheduler starting at tick 0 with a random source seeded
+// by seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() timemodel.Tick { return s.now }
+
+// RNG returns the scheduler's deterministic random source. All simulated
+// randomness (noise, loss, trajectories) must come from here so runs are
+// reproducible.
+func (s *Scheduler) RNG() *rand.Rand { return s.rng }
+
+// TasksRun returns the number of tasks executed so far.
+func (s *Scheduler) TasksRun() uint64 { return s.ran }
+
+// Pending returns the number of queued tasks.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at tick t. Scheduling at the current tick is
+// allowed (the task runs before time advances further).
+func (s *Scheduler) At(t timemodel.Tick, fn Task) error {
+	if t < s.now {
+		return fmt.Errorf("tick %d < now %d: %w", t, s.now, ErrPastTick)
+	}
+	heap.Push(&s.queue, item{at: t, seq: s.seq, fn: fn})
+	s.seq++
+	return nil
+}
+
+// After schedules fn to run d ticks from now. Negative delays are clamped
+// to zero.
+func (s *Scheduler) After(d timemodel.Tick, fn Task) {
+	if d < 0 {
+		d = 0
+	}
+	// Scheduling now+d can never be in the past.
+	_ = s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run periodically, first at tick start and then
+// every period ticks, until the returned cancel function is called.
+// period must be positive.
+func (s *Scheduler) Every(start, period timemodel.Tick, fn Task) (cancel func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: period %d must be positive", period)
+	}
+	stopped := false
+	var tick Task
+	next := start
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		next += period
+		_ = s.At(next, tick)
+	}
+	if err := s.At(start, tick); err != nil {
+		return nil, err
+	}
+	return func() { stopped = true }, nil
+}
+
+// Step executes the next queued task, advancing the clock to its tick.
+// It reports whether a task was run.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(item)
+	s.now = it.at
+	s.ran++
+	it.fn()
+	return true
+}
+
+// Run executes tasks in time order until the queue is empty or the next
+// task is scheduled after the until tick. It returns the number of tasks
+// executed. The clock finishes at min(until, last executed tick) — it
+// advances to until if tasks remain beyond it.
+func (s *Scheduler) Run(until timemodel.Tick) uint64 {
+	var count uint64
+	for len(s.queue) > 0 && s.queue[0].at <= until {
+		s.Step()
+		count++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return count
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	_ = s.At(30, func() { order = append(order, 3) })
+	_ = s.At(10, func() { order = append(order, 1) })
+	_ = s.At(20, func() { order = append(order, 2) })
+	if n := s.Run(100); n != 3 {
+		t.Fatalf("Run executed %d tasks, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d, want clock advanced to 100", s.Now())
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		_ = s.At(10, func() { order = append(order, i) })
+	}
+	s.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := New(1)
+	ran := false
+	_ = s.At(50, func() { ran = true })
+	if n := s.Run(49); n != 0 {
+		t.Fatalf("Run executed %d tasks before until, want 0", n)
+	}
+	if ran {
+		t.Fatal("task beyond until must not run")
+	}
+	if s.Now() != 49 {
+		t.Fatalf("Now = %d, want 49", s.Now())
+	}
+	s.Run(50)
+	if !ran {
+		t.Fatal("task at until should run")
+	}
+}
+
+func TestAtPastFails(t *testing.T) {
+	s := New(1)
+	_ = s.At(10, func() {})
+	s.Run(10)
+	if err := s.At(5, func() {}); !errors.Is(err, ErrPastTick) {
+		t.Fatalf("At(past) err = %v, want ErrPastTick", err)
+	}
+	// Scheduling at the current tick is allowed.
+	if err := s.At(s.Now(), func() {}); err != nil {
+		t.Fatalf("At(now) err = %v", err)
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	s := New(1)
+	ran := false
+	_ = s.At(10, func() {
+		s.After(-5, func() { ran = true })
+	})
+	s.Run(20)
+	if !ran {
+		t.Fatal("After with negative delay should still run")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	var ticks []timemodel.Tick
+	cancel, err := s.Every(5, 10, func() { ticks = append(ticks, s.Now()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(36)
+	if len(ticks) != 4 { // 5, 15, 25, 35
+		t.Fatalf("ticks = %v, want 4 firings", ticks)
+	}
+	cancel()
+	s.Run(100)
+	if len(ticks) != 4 {
+		t.Fatalf("cancel did not stop periodic task: %v", ticks)
+	}
+	if _, err := s.Every(0, 0, func() {}); err == nil {
+		t.Fatal("zero period should error")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var hits []timemodel.Tick
+	_ = s.At(10, func() {
+		hits = append(hits, s.Now())
+		s.After(15, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run(100)
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 25 {
+		t.Fatalf("hits = %v, want [10 25]", hits)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		s := New(seed)
+		var vals []float64
+		cancel, _ := s.Every(0, 1, func() { vals = append(vals, s.RNG().Float64()) })
+		s.Run(50)
+		cancel()
+		return vals
+	}
+	a, b := run(42), run(42)
+	c := run(43)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStepAndCounters(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+	_ = s.At(3, func() {})
+	_ = s.At(7, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	if !s.Step() {
+		t.Fatal("Step should run first task")
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %d, want 3", s.Now())
+	}
+	if s.TasksRun() != 1 {
+		t.Fatalf("TasksRun = %d, want 1", s.TasksRun())
+	}
+}

@@ -1,0 +1,152 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoOperands is returned by aggregation functions applied to an empty
+// operand list.
+var ErrNoOperands = errors.New("spatial: aggregation over no operands")
+
+// AggFunc is a spatial aggregation function g_s from the paper's spatial
+// event conditions (Eq. 4.4): it combines the occurrence locations of n
+// entities into a single location.
+type AggFunc func(locs []Location) (Location, error)
+
+// Centroid returns the point location at the mean of the operands'
+// representative points (field operands contribute their area centroid).
+func Centroid(locs []Location) (Location, error) {
+	if len(locs) == 0 {
+		return Location{}, fmt.Errorf("centroid: %w", ErrNoOperands)
+	}
+	var sx, sy float64
+	for _, l := range locs {
+		p := l.Centroid()
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(locs))
+	return AtPoint(sx/n, sy/n), nil
+}
+
+// BoundingBox returns the smallest axis-aligned rectangular field covering
+// every operand. A single point operand yields a degenerate box, which is
+// reported as an error because fields require non-zero area.
+func BoundingBox(locs []Location) (Location, error) {
+	if len(locs) == 0 {
+		return Location{}, fmt.Errorf("bbox: %w", ErrNoOperands)
+	}
+	pts := gatherPoints(locs)
+	b := boundsOf(pts)
+	f, err := Rect(b.minX, b.minY, b.maxX, b.maxY)
+	if err != nil {
+		return Location{}, fmt.Errorf("bbox: %w", err)
+	}
+	return InField(f), nil
+}
+
+// Hull returns the convex hull of all operand vertices as a field location.
+// It requires at least three non-collinear contributing points.
+func Hull(locs []Location) (Location, error) {
+	if len(locs) == 0 {
+		return Location{}, fmt.Errorf("hull: %w", ErrNoOperands)
+	}
+	pts := gatherPoints(locs)
+	ring := ConvexHull(pts)
+	f, err := NewField(ring)
+	if err != nil {
+		return Location{}, fmt.Errorf("hull: %w", err)
+	}
+	return InField(f), nil
+}
+
+// gatherPoints flattens locations into contributing points: point locations
+// contribute themselves, fields contribute their vertices.
+func gatherPoints(locs []Location) []Point {
+	var pts []Point
+	for _, l := range locs {
+		if f, ok := l.Field(); ok {
+			pts = append(pts, f.ring...)
+			continue
+		}
+		pts = append(pts, l.point)
+	}
+	return pts
+}
+
+// ConvexHull returns the convex hull ring (counter-clockwise, no closing
+// duplicate) of the given points using Andrew's monotone chain. Collinear
+// boundary points are dropped. Degenerate inputs (fewer than 3 distinct
+// non-collinear points) return the reduced chain, which NewField will then
+// reject.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) < 3 {
+		out := make([]Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return uniq
+	}
+	build := func(points []Point) []Point {
+		var chain []Point
+		for _, p := range points {
+			for len(chain) >= 2 && orientation(chain[len(chain)-2], chain[len(chain)-1], p) <= 0 {
+				chain = chain[:len(chain)-1]
+			}
+			chain = append(chain, p)
+		}
+		return chain
+	}
+	lower := build(uniq)
+	reversed := make([]Point, len(uniq))
+	for i, p := range uniq {
+		reversed[len(uniq)-1-i] = p
+	}
+	upper := build(reversed)
+	// Concatenate, dropping the duplicated endpoints.
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return hull
+}
+
+// spatialAggregations is the registry used by the condition language to
+// resolve g_s by name.
+var spatialAggregations = map[string]AggFunc{
+	"centroid": Centroid,
+	"bbox":     BoundingBox,
+	"hull":     Hull,
+}
+
+// Aggregation resolves a spatial aggregation function by its
+// condition-language name ("centroid", "bbox", "hull").
+func Aggregation(name string) (AggFunc, bool) {
+	f, ok := spatialAggregations[name]
+	return f, ok
+}
+
+// AggregationNames lists the registered spatial aggregation names; the
+// order is unspecified.
+func AggregationNames() []string {
+	names := make([]string, 0, len(spatialAggregations))
+	for n := range spatialAggregations {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,155 @@
+package spatial
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCentroidAgg(t *testing.T) {
+	locs := []Location{AtPoint(0, 0), AtPoint(4, 0), AtPoint(2, 6)}
+	got, err := Centroid(locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Point().Equal(Pt(2, 2)) {
+		t.Fatalf("Centroid = %v, want (2,2)", got.Point())
+	}
+	if _, err := Centroid(nil); !errors.Is(err, ErrNoOperands) {
+		t.Errorf("empty centroid err = %v", err)
+	}
+}
+
+func TestBoundingBoxAgg(t *testing.T) {
+	locs := []Location{
+		AtPoint(1, 1),
+		InField(MustField(Pt(4, 4), Pt(6, 4), Pt(6, 8), Pt(4, 8))),
+	}
+	got, err := BoundingBox(locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := got.Field()
+	if !ok {
+		t.Fatal("bbox should be a field")
+	}
+	want, _ := Rect(1, 1, 6, 8)
+	if !f.Equal(want) {
+		t.Fatalf("bbox = %v, want %v", f, want)
+	}
+	// A single point cannot form a non-degenerate box.
+	if _, err := BoundingBox([]Location{AtPoint(3, 3)}); err == nil {
+		t.Error("degenerate bbox should error")
+	}
+}
+
+func TestHullAgg(t *testing.T) {
+	locs := []Location{
+		AtPoint(0, 0), AtPoint(4, 0), AtPoint(4, 4), AtPoint(0, 4),
+		AtPoint(2, 2), // interior point must not appear on the hull
+	}
+	got, err := Hull(locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := got.Field()
+	if !ok {
+		t.Fatal("hull should be a field")
+	}
+	if f.NumVertices() != 4 {
+		t.Fatalf("hull has %d vertices, want 4", f.NumVertices())
+	}
+	if math.Abs(f.Area()-16) > Epsilon {
+		t.Fatalf("hull area = %v, want 16", f.Area())
+	}
+	if _, err := Hull([]Location{AtPoint(0, 0), AtPoint(1, 1)}); err == nil {
+		t.Error("hull of 2 points should error")
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	hull := ConvexHull(pts)
+	if len(hull) >= 3 {
+		t.Fatalf("collinear hull should reduce below 3 points, got %d", len(hull))
+	}
+}
+
+func TestConvexHullDuplicates(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(0, 0), Pt(2, 0), Pt(2, 0), Pt(1, 2)}
+	hull := ConvexHull(pts)
+	if len(hull) != 3 {
+		t.Fatalf("hull of duplicated triangle = %d vertices, want 3", len(hull))
+	}
+}
+
+func TestSpatialAggregationRegistry(t *testing.T) {
+	for _, name := range []string{"centroid", "bbox", "hull"} {
+		if _, ok := Aggregation(name); !ok {
+			t.Errorf("Aggregation(%q) missing", name)
+		}
+	}
+	if _, ok := Aggregation("nope"); ok {
+		t.Error("unknown aggregation resolved")
+	}
+	if len(AggregationNames()) < 3 {
+		t.Error("expected at least 3 spatial aggregations")
+	}
+}
+
+// Property: every input point is inside or on the convex hull.
+func TestHullContainsInputsProperty(t *testing.T) {
+	f := func(raw [][2]int8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		locs := make([]Location, len(raw))
+		for i, xy := range raw {
+			pts[i] = Pt(float64(xy[0]), float64(xy[1]))
+			locs[i] = AtPt(pts[i])
+		}
+		hl, err := Hull(locs)
+		if err != nil {
+			return true // collinear or degenerate: nothing to check
+		}
+		hf, _ := hl.Field()
+		for _, p := range pts {
+			if !hf.ContainsPoint(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hull is convex — every orientation along the ring is CCW.
+func TestHullIsConvexProperty(t *testing.T) {
+	f := func(raw [][2]int8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, xy := range raw {
+			pts[i] = Pt(float64(xy[0]), float64(xy[1]))
+		}
+		ring := ConvexHull(pts)
+		if len(ring) < 3 {
+			return true
+		}
+		n := len(ring)
+		for i := 0; i < n; i++ {
+			if orientation(ring[i], ring[(i+1)%n], ring[(i+2)%n]) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform spatial hash index over locations. The database server
+// (Section 3) uses it for region retrieval of event instances; it is also
+// reusable for neighbor queries in the sensor network substrate.
+//
+// Grid is not safe for concurrent use; callers synchronize externally.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]string
+	locs  map[string]Location
+}
+
+type cellKey struct{ cx, cy int }
+
+// NewGrid returns a grid index with the given cell size. Cell size must be
+// positive.
+func NewGrid(cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("spatial: grid cell size %g must be positive", cellSize)
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]string),
+		locs:  make(map[string]Location),
+	}, nil
+}
+
+// Len returns the number of indexed entries.
+func (g *Grid) Len() int { return len(g.locs) }
+
+// Insert indexes the location under id, replacing any previous entry for
+// the same id.
+func (g *Grid) Insert(id string, loc Location) {
+	if _, ok := g.locs[id]; ok {
+		g.Remove(id)
+	}
+	g.locs[id] = loc
+	for _, k := range g.keysFor(loc) {
+		g.cells[k] = append(g.cells[k], id)
+	}
+}
+
+// Remove drops the entry for id. Removing an unknown id is a no-op.
+func (g *Grid) Remove(id string) {
+	loc, ok := g.locs[id]
+	if !ok {
+		return
+	}
+	delete(g.locs, id)
+	for _, k := range g.keysFor(loc) {
+		bucket := g.cells[k]
+		for i, v := range bucket {
+			if v == id {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(g.cells, k)
+		} else {
+			g.cells[k] = bucket
+		}
+	}
+}
+
+// QueryRegion returns the ids of all entries whose location is Joint with
+// the query region. Results are exact (candidates from the grid are
+// verified with the Joint operator) and unordered.
+func (g *Grid) QueryRegion(region Location) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, k := range g.keysFor(region) {
+		for _, id := range g.cells[k] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			if OpJoint.Apply(g.locs[id], region) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// QueryRadius returns the ids of all entries within dist of the center
+// point.
+func (g *Grid) QueryRadius(center Point, dist float64) []string {
+	if dist < 0 {
+		return nil
+	}
+	b := rect{
+		minX: center.X - dist, minY: center.Y - dist,
+		maxX: center.X + dist, maxY: center.Y + dist,
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for _, k := range g.keysForRect(b) {
+		for _, id := range g.cells[k] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			if Dist(g.locs[id], AtPt(center)) <= dist+Epsilon {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// keysFor returns the grid cells overlapped by the location's bounding box.
+func (g *Grid) keysFor(loc Location) []cellKey {
+	var b rect
+	if f, ok := loc.Field(); ok {
+		b = f.bbox
+	} else {
+		p := loc.Point()
+		b = rect{minX: p.X, minY: p.Y, maxX: p.X, maxY: p.Y}
+	}
+	return g.keysForRect(b)
+}
+
+func (g *Grid) keysForRect(b rect) []cellKey {
+	x0 := int(math.Floor(b.minX / g.cell))
+	x1 := int(math.Floor(b.maxX / g.cell))
+	y0 := int(math.Floor(b.minY / g.cell))
+	y1 := int(math.Floor(b.maxY / g.cell))
+	keys := make([]cellKey, 0, (x1-x0+1)*(y1-y0+1))
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			keys = append(keys, cellKey{cx: cx, cy: cy})
+		}
+	}
+	return keys
+}

@@ -1,0 +1,120 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0); err == nil {
+		t.Error("zero cell size should error")
+	}
+	if _, err := NewGrid(-3); err == nil {
+		t.Error("negative cell size should error")
+	}
+}
+
+func TestGridInsertQueryRemove(t *testing.T) {
+	g, err := NewGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert("a", AtPoint(5, 5))
+	g.Insert("b", AtPoint(25, 25))
+	g.Insert("c", InField(MustField(Pt(0, 0), Pt(12, 0), Pt(12, 12), Pt(0, 12))))
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+
+	region, _ := Rect(0, 0, 10, 10)
+	got := g.QueryRegion(InField(region))
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[a c]" {
+		t.Fatalf("QueryRegion = %v, want [a c]", got)
+	}
+
+	g.Remove("a")
+	got = g.QueryRegion(InField(region))
+	if len(got) != 1 || got[0] != "c" {
+		t.Fatalf("after Remove, QueryRegion = %v, want [c]", got)
+	}
+	g.Remove("nonexistent") // must not panic
+	if g.Len() != 2 {
+		t.Fatalf("Len after removes = %d, want 2", g.Len())
+	}
+}
+
+func TestGridReplaceSameID(t *testing.T) {
+	g, _ := NewGrid(10)
+	g.Insert("x", AtPoint(5, 5))
+	g.Insert("x", AtPoint(95, 95))
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", g.Len())
+	}
+	region, _ := Rect(0, 0, 10, 10)
+	if got := g.QueryRegion(InField(region)); len(got) != 0 {
+		t.Fatalf("old location still indexed: %v", got)
+	}
+	region2, _ := Rect(90, 90, 100, 100)
+	if got := g.QueryRegion(InField(region2)); len(got) != 1 {
+		t.Fatalf("new location not found: %v", got)
+	}
+}
+
+func TestGridQueryRadius(t *testing.T) {
+	g, _ := NewGrid(5)
+	g.Insert("near", AtPoint(1, 0))
+	g.Insert("far", AtPoint(40, 0))
+	g.Insert("edge", AtPoint(3, 4)) // distance exactly 5 from origin
+	got := g.QueryRadius(Pt(0, 0), 5)
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[edge near]" {
+		t.Fatalf("QueryRadius = %v, want [edge near]", got)
+	}
+	if got := g.QueryRadius(Pt(0, 0), -1); got != nil {
+		t.Fatalf("negative radius should return nil, got %v", got)
+	}
+}
+
+// TestGridMatchesLinearScan cross-checks the grid against a brute-force
+// scan over random points and regions — the index must be exact.
+func TestGridMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, _ := NewGrid(8)
+	type entry struct {
+		id  string
+		loc Location
+	}
+	var entries []entry
+	for i := 0; i < 200; i++ {
+		loc := AtPoint(rng.Float64()*100, rng.Float64()*100)
+		id := fmt.Sprintf("p%03d", i)
+		g.Insert(id, loc)
+		entries = append(entries, entry{id: id, loc: loc})
+	}
+	for trial := 0; trial < 25; trial++ {
+		x := rng.Float64() * 90
+		y := rng.Float64() * 90
+		w := rng.Float64()*20 + 1
+		region, err := Rect(x, y, x+w, y+w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rloc := InField(region)
+
+		var want []string
+		for _, e := range entries {
+			if OpJoint.Apply(e.loc, rloc) {
+				want = append(want, e.id)
+			}
+		}
+		got := g.QueryRegion(rloc)
+		sort.Strings(got)
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: grid %v != scan %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package spatial
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestLocationZeroValueIsPoint(t *testing.T) {
+	var l Location
+	if !l.IsPoint() {
+		t.Fatal("zero Location should be a point")
+	}
+	if l.Kind() != KindPoint {
+		t.Fatalf("Kind = %v, want KindPoint", l.Kind())
+	}
+	if !l.Point().Equal(Pt(0, 0)) {
+		t.Fatalf("zero point = %v", l.Point())
+	}
+}
+
+func TestLocationAccessors(t *testing.T) {
+	p := AtPoint(3, 4)
+	if p.IsField() {
+		t.Error("point location reports field")
+	}
+	if _, ok := p.Field(); ok {
+		t.Error("point location returned a field")
+	}
+	sq := unitSquare()
+	fl := InField(sq)
+	if !fl.IsField() {
+		t.Error("field location reports point")
+	}
+	f, ok := fl.Field()
+	if !ok || !f.Equal(sq) {
+		t.Error("field accessor mismatch")
+	}
+	if !fl.Centroid().Equal(Pt(0.5, 0.5)) {
+		t.Errorf("field centroid = %v", fl.Centroid())
+	}
+	if !fl.Point().Equal(Pt(0.5, 0.5)) {
+		t.Errorf("field Point() should be the centroid, got %v", fl.Point())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPoint.String() != "point" || KindField.String() != "field" {
+		t.Error("kind names wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestLocationJSONRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		loc  Location
+	}{
+		{"point", AtPoint(1.5, -2.25)},
+		{"field", InField(MustField(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)))},
+		{"origin point", AtPoint(0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			data, err := json.Marshal(tt.loc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Location
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind() != tt.loc.Kind() {
+				t.Fatalf("kind changed: %v -> %v", tt.loc.Kind(), got.Kind())
+			}
+			if !OpEqualS.Apply(got, tt.loc) {
+				t.Fatalf("round trip changed location: %v -> %v", tt.loc, got)
+			}
+		})
+	}
+}
+
+func TestLocationJSONErrors(t *testing.T) {
+	var l Location
+	if err := json.Unmarshal([]byte(`{"kind":"blob"}`), &l); !errors.Is(err, ErrUnknownLocationKind) {
+		t.Errorf("unknown kind err = %v", err)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"field","ring":[[0,0],[1,1]]}`), &l); err == nil {
+		t.Error("degenerate field ring should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{`), &l); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	if AtPoint(1, 2).String() != "point(1 2)" {
+		t.Errorf("point string = %q", AtPoint(1, 2).String())
+	}
+	if InField(unitSquare()).String() == "" {
+		t.Error("field string empty")
+	}
+}

@@ -1,0 +1,126 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOperatorApplyTable(t *testing.T) {
+	room := InField(MustField(Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)))
+	closet := InField(MustField(Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3)))
+	yard := InField(MustField(Pt(20, 20), Pt(30, 20), Pt(30, 30), Pt(20, 30)))
+	door := AtPoint(5, 0)
+	outside := AtPoint(15, 15)
+
+	tests := []struct {
+		name string
+		op   Operator
+		a, b Location
+		want bool
+	}{
+		{"point inside field", OpInside, AtPoint(5, 5), room, true},
+		{"boundary point inside field", OpInside, door, room, true},
+		{"point not inside field", OpInside, outside, room, false},
+		{"field inside field", OpInside, closet, room, true},
+		{"field not inside smaller field", OpInside, room, closet, false},
+		{"field never inside point", OpInside, room, door, false},
+		{"point inside equal point", OpInside, AtPoint(1, 1), AtPoint(1, 1), true},
+		{"outside disjoint fields", OpOutside, yard, room, true},
+		{"outside fails when joint", OpOutside, closet, room, false},
+		{"joint overlapping fields", OpJoint, room, closet, true},
+		{"joint point on field", OpJoint, room, door, true},
+		{"joint fails disjoint", OpJoint, room, yard, false},
+		{"equal points", OpEqualS, AtPoint(2, 3), AtPoint(2, 3), true},
+		{"equal point field false", OpEqualS, door, room, false},
+		{"covers", OpCovers, room, closet, true},
+		{"covers point", OpCovers, room, AtPoint(5, 5), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.op.Apply(tt.a, tt.b); got != tt.want {
+				t.Fatalf("%v.Apply = %v, want %v", tt.op, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistLocations(t *testing.T) {
+	room := InField(MustField(Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)))
+	tests := []struct {
+		name string
+		a, b Location
+		want float64
+	}{
+		{"point-point", AtPoint(0, 0), AtPoint(3, 4), 5},
+		{"point in field", AtPoint(5, 5), room, 0},
+		{"point outside field", AtPoint(13, 5), room, 3},
+		{"field-point symmetric", room, AtPoint(13, 5), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("Dist = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSpatialFamilyOf(t *testing.T) {
+	room := InField(unitSquare())
+	if FamilyOf(AtPoint(0, 0), AtPoint(1, 1)) != PointPoint {
+		t.Error("want point-point")
+	}
+	if FamilyOf(AtPoint(0, 0), room) != PointField {
+		t.Error("want point-field")
+	}
+	if FamilyOf(room, room) != FieldField {
+		t.Error("want field-field")
+	}
+	for _, f := range []SpatialFamily{PointPoint, PointField, FieldField, SpatialFamily(99)} {
+		if f.String() == "" {
+			t.Error("family must render")
+		}
+	}
+}
+
+func TestParseSpatialOperator(t *testing.T) {
+	for op, name := range spatialOperatorNames {
+		got, ok := ParseOperator(name)
+		if !ok || got != op {
+			t.Errorf("ParseOperator(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := ParseOperator("around"); ok {
+		t.Error("unknown keyword accepted")
+	}
+	if Operator(99).Apply(AtPoint(0, 0), AtPoint(0, 0)) {
+		t.Error("unknown operator must evaluate false")
+	}
+	if Operator(99).String() == "" {
+		t.Error("unknown operator must render")
+	}
+}
+
+// Property: Joint is symmetric, Outside is its negation, Inside implies
+// Joint, and Dist(a,b) == 0 iff Joint(a,b) — over random points and a
+// fixed field.
+func TestSpatialOperatorLawsProperty(t *testing.T) {
+	room := InField(MustField(Pt(0, 0), Pt(8, 0), Pt(8, 8), Pt(0, 8)))
+	f := func(x, y int8) bool {
+		p := AtPoint(float64(x)/8, float64(y)/8)
+		if OpJoint.Apply(p, room) != OpJoint.Apply(room, p) {
+			return false
+		}
+		if OpOutside.Apply(p, room) == OpJoint.Apply(p, room) {
+			return false
+		}
+		if OpInside.Apply(p, room) && !OpJoint.Apply(p, room) {
+			return false
+		}
+		return (Dist(p, room) == 0) == OpJoint.Apply(p, room)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package spatial implements the 2-dimensional Cartesian spatial model of
+// the ST-CPS event model (Tan, Vuran, Goddard, ICDCSW 2009, Section 4).
+//
+// An event occurrence location is either a location point (x, y) — a Point
+// Event — or a location field, a polytope — a Field Event (Section 4.2).
+// The package provides the paper's spatial operators (Inside, Outside,
+// Joint, Equal and the distance function used in the S1 example), the
+// point/field relation families, the spatial aggregation functions g_s used
+// by spatial event conditions (Eq. 4.4), and a uniform grid index used by
+// the database server for region retrieval.
+package spatial
+
+import "math"
+
+// Epsilon is the tolerance used for coordinate equality throughout the
+// package. Two coordinates closer than Epsilon are considered equal.
+const Epsilon = 1e-9
+
+// Point is a location point (x, y) in the 2-D Cartesian spatial model.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns the component-wise sum p + q.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns the component-wise difference p - q.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns the point scaled by k.
+func (p Point) Scale(k float64) Point { return Point{X: p.X * k, Y: p.Y * k} }
+
+// Dot returns the dot product p · q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Equal reports whether p and q coincide within Epsilon.
+func (p Point) Equal(q Point) bool {
+	return math.Abs(p.X-q.X) <= Epsilon && math.Abs(p.Y-q.Y) <= Epsilon
+}
+
+// orientation returns >0 if the triple (a,b,c) turns counter-clockwise,
+// <0 if clockwise, and 0 if collinear (within Epsilon of zero area).
+func orientation(a, b, c Point) float64 {
+	v := b.Sub(a).Cross(c.Sub(a))
+	if math.Abs(v) <= Epsilon {
+		return 0
+	}
+	return v
+}
+
+// onSegment reports whether point p lies on the closed segment [a, b],
+// assuming a, b, p are collinear.
+func onSegment(p, a, b Point) bool {
+	return p.X >= math.Min(a.X, b.X)-Epsilon && p.X <= math.Max(a.X, b.X)+Epsilon &&
+		p.Y >= math.Min(a.Y, b.Y)-Epsilon && p.Y <= math.Max(a.Y, b.Y)+Epsilon
+}
+
+// SegmentsIntersect reports whether the closed segments [a1,a2] and [b1,b2]
+// share at least one point, including collinear overlap and endpoint touch.
+func SegmentsIntersect(a1, a2, b1, b2 Point) bool {
+	o1 := orientation(a1, a2, b1)
+	o2 := orientation(a1, a2, b2)
+	o3 := orientation(b1, b2, a1)
+	o4 := orientation(b1, b2, a2)
+
+	if ((o1 > 0 && o2 < 0) || (o1 < 0 && o2 > 0)) &&
+		((o3 > 0 && o4 < 0) || (o3 < 0 && o4 > 0)) {
+		return true
+	}
+	switch {
+	case o1 == 0 && onSegment(b1, a1, a2):
+		return true
+	case o2 == 0 && onSegment(b2, a1, a2):
+		return true
+	case o3 == 0 && onSegment(a1, b1, b2):
+		return true
+	case o4 == 0 && onSegment(a2, b1, b2):
+		return true
+	}
+	return false
+}
+
+// DistPointSegment returns the Euclidean distance from point p to the
+// closed segment [a, b].
+func DistPointSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	den := ab.Dot(ab)
+	if den <= Epsilon {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := a.Add(ab.Scale(t))
+	return p.Dist(proj)
+}
+
+// distSegments returns the minimum distance between two closed segments.
+func distSegments(a1, a2, b1, b2 Point) float64 {
+	if SegmentsIntersect(a1, a2, b1, b2) {
+		return 0
+	}
+	d := DistPointSegment(a1, b1, b2)
+	if v := DistPointSegment(a2, b1, b2); v < d {
+		d = v
+	}
+	if v := DistPointSegment(b1, a1, a2); v < d {
+		d = v
+	}
+	if v := DistPointSegment(b2, a1, a2); v < d {
+		d = v
+	}
+	return d
+}

@@ -1,0 +1,106 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1*3+2*(-4) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); math.Abs(d-5) > Epsilon {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	if !Pt(1, 1).Equal(Pt(1+Epsilon/2, 1)) {
+		t.Error("points within Epsilon should be equal")
+	}
+	if Pt(1, 1).Equal(Pt(1.001, 1)) {
+		t.Error("distinct points reported equal")
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name           string
+		a1, a2, b1, b2 Point
+		want           bool
+	}{
+		{"proper cross", Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0), true},
+		{"disjoint parallel", Pt(0, 0), Pt(2, 0), Pt(0, 1), Pt(2, 1), false},
+		{"endpoint touch", Pt(0, 0), Pt(2, 0), Pt(2, 0), Pt(4, 2), true},
+		{"collinear overlap", Pt(0, 0), Pt(4, 0), Pt(2, 0), Pt(6, 0), true},
+		{"collinear disjoint", Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0), false},
+		{"T junction", Pt(0, 0), Pt(4, 0), Pt(2, -1), Pt(2, 0), true},
+		{"near miss", Pt(0, 0), Pt(4, 0), Pt(2, 0.01), Pt(2, 3), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SegmentsIntersect(tt.a1, tt.a2, tt.b1, tt.b2); got != tt.want {
+				t.Fatalf("SegmentsIntersect = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentsIntersectSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		a1, a2 := Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by))
+		b1, b2 := Pt(float64(cx), float64(cy)), Pt(float64(dx), float64(dy))
+		return SegmentsIntersect(a1, a2, b1, b2) == SegmentsIntersect(b1, b2, a1, a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Point
+		a, b Point
+		want float64
+	}{
+		{"perpendicular foot", Pt(2, 3), Pt(0, 0), Pt(4, 0), 3},
+		{"clamp to endpoint a", Pt(-3, 4), Pt(0, 0), Pt(4, 0), 5},
+		{"clamp to endpoint b", Pt(7, 4), Pt(0, 0), Pt(4, 0), 5},
+		{"degenerate segment", Pt(3, 4), Pt(0, 0), Pt(0, 0), 5},
+		{"on segment", Pt(2, 0), Pt(0, 0), Pt(4, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DistPointSegment(tt.p, tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("DistPointSegment = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSegments(t *testing.T) {
+	if d := distSegments(Pt(0, 0), Pt(2, 2), Pt(0, 2), Pt(2, 0)); d != 0 {
+		t.Errorf("intersecting segments distance = %v, want 0", d)
+	}
+	if d := distSegments(Pt(0, 0), Pt(2, 0), Pt(0, 3), Pt(2, 3)); math.Abs(d-3) > 1e-9 {
+		t.Errorf("parallel segments distance = %v, want 3", d)
+	}
+}

@@ -1,0 +1,106 @@
+package timemodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoOperands is returned by aggregation functions applied to an empty
+// operand list.
+var ErrNoOperands = errors.New("timemodel: aggregation over no operands")
+
+// AggFunc is a temporal aggregation function g_t from the paper's temporal
+// event conditions (Eq. 4.3): it combines the occurrence times of n entities
+// into a single occurrence time.
+type AggFunc func(times []Time) (Time, error)
+
+// Earliest returns the occurrence with the smallest start tick; ties are
+// broken toward the smaller end tick so the result is deterministic.
+func Earliest(times []Time) (Time, error) {
+	if len(times) == 0 {
+		return Time{}, fmt.Errorf("earliest: %w", ErrNoOperands)
+	}
+	best := times[0]
+	for _, t := range times[1:] {
+		if t.start < best.start || (t.start == best.start && t.end < best.end) {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// Latest returns the occurrence with the largest end tick; ties are broken
+// toward the larger start tick.
+func Latest(times []Time) (Time, error) {
+	if len(times) == 0 {
+		return Time{}, fmt.Errorf("latest: %w", ErrNoOperands)
+	}
+	best := times[0]
+	for _, t := range times[1:] {
+		if t.end > best.end || (t.end == best.end && t.start > best.start) {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// Span returns the smallest interval containing every operand — the temporal
+// hull. Observers use it to estimate the occurrence time of a composite
+// event from the occurrence times of its constituents.
+func Span(times []Time) (Time, error) {
+	if len(times) == 0 {
+		return Time{}, fmt.Errorf("span: %w", ErrNoOperands)
+	}
+	out := times[0]
+	for _, t := range times[1:] {
+		out = out.Hull(t)
+	}
+	return out, nil
+}
+
+// Common returns the intersection of all operands, the ticks during which
+// every operand holds. It returns an error when the intersection is empty.
+func Common(times []Time) (Time, error) {
+	if len(times) == 0 {
+		return Time{}, fmt.Errorf("common: %w", ErrNoOperands)
+	}
+	lo, hi := times[0].start, times[0].end
+	for _, t := range times[1:] {
+		if t.start > lo {
+			lo = t.start
+		}
+		if t.end < hi {
+			hi = t.end
+		}
+	}
+	if hi < lo {
+		return Time{}, errors.New("timemodel: common: operands share no ticks")
+	}
+	return Time{start: lo, end: hi}, nil
+}
+
+// aggregations is the registry used by the condition language to resolve
+// g_t by name.
+var aggregations = map[string]AggFunc{
+	"earliest": Earliest,
+	"latest":   Latest,
+	"span":     Span,
+	"common":   Common,
+}
+
+// Aggregation resolves a temporal aggregation function by its
+// condition-language name ("earliest", "latest", "span", "common").
+func Aggregation(name string) (AggFunc, bool) {
+	f, ok := aggregations[name]
+	return f, ok
+}
+
+// AggregationNames lists the registered temporal aggregation names; the
+// order is unspecified.
+func AggregationNames() []string {
+	names := make([]string, 0, len(aggregations))
+	for n := range aggregations {
+		names = append(names, n)
+	}
+	return names
+}

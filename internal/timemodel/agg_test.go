@@ -1,0 +1,106 @@
+package timemodel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregationsTable(t *testing.T) {
+	in := []Time{MustBetween(5, 9), At(2), MustBetween(3, 12), At(7)}
+	tests := []struct {
+		name    string
+		f       AggFunc
+		want    Time
+		wantErr bool
+	}{
+		{name: "earliest", f: Earliest, want: At(2)},
+		{name: "latest", f: Latest, want: MustBetween(3, 12)},
+		{name: "span", f: Span, want: MustBetween(2, 12)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.f(in)
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !got.Equal(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCommon(t *testing.T) {
+	got, err := Common([]Time{MustBetween(1, 8), MustBetween(5, 12), MustBetween(4, 9)})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !got.Equal(MustBetween(5, 8)) {
+		t.Fatalf("Common = %v, want [5,8]", got)
+	}
+	if _, err := Common([]Time{At(1), At(5)}); err == nil {
+		t.Fatal("Common of disjoint times should error")
+	}
+}
+
+func TestAggregationEmptyOperands(t *testing.T) {
+	for _, name := range AggregationNames() {
+		f, ok := Aggregation(name)
+		if !ok {
+			t.Fatalf("Aggregation(%q) missing", name)
+		}
+		if _, err := f(nil); !errors.Is(err, ErrNoOperands) && err == nil {
+			t.Errorf("%s(nil) should error", name)
+		}
+	}
+}
+
+func TestAggregationRegistry(t *testing.T) {
+	if _, ok := Aggregation("earliest"); !ok {
+		t.Error("earliest not registered")
+	}
+	if _, ok := Aggregation("nope"); ok {
+		t.Error("unknown aggregation resolved")
+	}
+	if len(AggregationNames()) < 4 {
+		t.Errorf("expected at least 4 aggregations, got %d", len(AggregationNames()))
+	}
+}
+
+// Property: Span contains every operand; Earliest/Latest are operands.
+func TestSpanContainsOperandsProperty(t *testing.T) {
+	f := func(raw [][2]int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		times := make([]Time, len(raw))
+		for i, r := range raw {
+			times[i] = normTime(Tick(r[0]), Tick(r[1]))
+		}
+		span, err := Span(times)
+		if err != nil {
+			return false
+		}
+		for _, tm := range times {
+			if !span.Contains(tm.Start()) || !span.Contains(tm.End()) {
+				return false
+			}
+		}
+		e, _ := Earliest(times)
+		l, _ := Latest(times)
+		foundE, foundL := false, false
+		for _, tm := range times {
+			if tm.Equal(e) {
+				foundE = true
+			}
+			if tm.Equal(l) {
+				foundL = true
+			}
+		}
+		return foundE && foundL
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package timemodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRelationOperatorCorrespondence verifies that the classification
+// returned by Relate and the predicates of the paper's operators agree:
+// each relation implies the operators that must hold for it.
+func TestRelationOperatorCorrespondence(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		b := normTime(Tick(b1), Tick(b2))
+		switch Relate(a, b) {
+		case RelBefore:
+			return OpBefore.Apply(a, b) && !OpOverlap.Apply(a, b)
+		case RelAfter:
+			return OpAfter.Apply(a, b) && !OpOverlap.Apply(a, b)
+		case RelEquals:
+			return OpEqualT.Apply(a, b) && OpDuring.Apply(a, b) &&
+				OpBegin.Apply(a, b) && OpEnd.Apply(a, b)
+		case RelStarts:
+			return OpBegin.Apply(a, b) && OpDuring.Apply(a, b) && OpOverlap.Apply(a, b)
+		case RelStartedBy:
+			return OpBegin.Apply(a, b) && OpDuring.Apply(b, a) && OpOverlap.Apply(a, b)
+		case RelFinishes:
+			return OpEnd.Apply(a, b) && OpDuring.Apply(a, b)
+		case RelFinishedBy:
+			return OpEnd.Apply(a, b) && OpDuring.Apply(b, a)
+		case RelDuring:
+			return OpDuring.Apply(a, b) && OpOverlap.Apply(a, b) && !OpBegin.Apply(a, b)
+		case RelContains:
+			return OpDuring.Apply(b, a) && OpOverlap.Apply(a, b)
+		case RelMeets:
+			return OpMeet.Apply(a, b) && OpOverlap.Apply(a, b)
+		case RelMetBy:
+			return OpMeet.Apply(b, a) && OpOverlap.Apply(a, b)
+		case RelOverlaps, RelOverlappedBy:
+			return OpOverlap.Apply(a, b) && !OpDuring.Apply(a, b) && !OpDuring.Apply(b, a)
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelationFamilyConsistency: the relation family never contradicts
+// the operand classifications.
+func TestRelationFamilyConsistency(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		b := normTime(Tick(b1), Tick(b2))
+		switch FamilyOf(a, b) {
+		case PunctualPunctual:
+			return a.IsPunctual() && b.IsPunctual()
+		case IntervalInterval:
+			return a.IsInterval() && b.IsInterval()
+		case PunctualInterval:
+			return a.IsPunctual() != b.IsPunctual()
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

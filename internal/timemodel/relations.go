@@ -1,0 +1,265 @@
+package timemodel
+
+import "fmt"
+
+// Relation is one of the thirteen Allen interval relations, generalized to
+// the paper's three temporal relation families (Section 4.2): punctual with
+// punctual, punctual with interval, and interval with interval. Points are
+// treated as degenerate closed intervals, so every pair of occurrences is
+// related by exactly one Relation (see TestRelationPartition).
+type Relation int
+
+// The thirteen Allen relations. RelEquals is first so that the zero value
+// of Relation is invalid (enums start at one per style guide).
+const (
+	// RelEquals: both occurrences cover exactly the same ticks.
+	RelEquals Relation = iota + 1
+	// RelBefore: a ends strictly before b starts.
+	RelBefore
+	// RelAfter: a starts strictly after b ends.
+	RelAfter
+	// RelMeets: a ends exactly where b starts (one shared tick) and the
+	// pair is not better described by Starts/Finishes/Equals.
+	RelMeets
+	// RelMetBy: inverse of Meets.
+	RelMetBy
+	// RelOverlaps: a starts first, they share ticks, b ends last.
+	RelOverlaps
+	// RelOverlappedBy: inverse of Overlaps.
+	RelOverlappedBy
+	// RelStarts: same start, a ends strictly inside b.
+	RelStarts
+	// RelStartedBy: inverse of Starts.
+	RelStartedBy
+	// RelDuring: a lies strictly inside b.
+	RelDuring
+	// RelContains: inverse of During.
+	RelContains
+	// RelFinishes: same end, a starts strictly inside b.
+	RelFinishes
+	// RelFinishedBy: inverse of Finishes.
+	RelFinishedBy
+)
+
+var relationNames = map[Relation]string{
+	RelEquals:       "equals",
+	RelBefore:       "before",
+	RelAfter:        "after",
+	RelMeets:        "meets",
+	RelMetBy:        "met-by",
+	RelOverlaps:     "overlaps",
+	RelOverlappedBy: "overlapped-by",
+	RelStarts:       "starts",
+	RelStartedBy:    "started-by",
+	RelDuring:       "during",
+	RelContains:     "contains",
+	RelFinishes:     "finishes",
+	RelFinishedBy:   "finished-by",
+}
+
+// String returns the lower-case name of the relation.
+func (r Relation) String() string {
+	if s, ok := relationNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Inverse returns the converse relation: Inverse(Relate(a,b)) == Relate(b,a).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case RelBefore:
+		return RelAfter
+	case RelAfter:
+		return RelBefore
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	case RelDuring:
+		return RelContains
+	case RelContains:
+		return RelDuring
+	case RelFinishes:
+		return RelFinishedBy
+	case RelFinishedBy:
+		return RelFinishes
+	default:
+		return RelEquals
+	}
+}
+
+// Relate classifies the pair (a, b) into exactly one Relation.
+//
+// Closed discrete intervals make some classic Allen conditions overlap for
+// degenerate (punctual) operands; Relate resolves the ambiguity with a fixed
+// priority — Equals, Before/After, Starts/StartedBy, Finishes/FinishedBy,
+// During/Contains, Meets/MetBy, Overlaps/OverlappedBy — which yields a true
+// partition (property-tested).
+func Relate(a, b Time) Relation {
+	switch {
+	case a.Equal(b):
+		return RelEquals
+	case a.end < b.start:
+		return RelBefore
+	case b.end < a.start:
+		return RelAfter
+	case a.start == b.start:
+		if a.end < b.end {
+			return RelStarts
+		}
+		return RelStartedBy
+	case a.end == b.end:
+		if a.start > b.start {
+			return RelFinishes
+		}
+		return RelFinishedBy
+	case a.start > b.start && a.end < b.end:
+		return RelDuring
+	case a.start < b.start && a.end > b.end:
+		return RelContains
+	case a.end == b.start:
+		return RelMeets
+	case b.end == a.start:
+		return RelMetBy
+	case a.start < b.start:
+		return RelOverlaps
+	default:
+		return RelOverlappedBy
+	}
+}
+
+// Operator is a temporal operator OP_T from the paper's temporal event
+// conditions (Eq. 4.3): "Before, After, During, Begin, End" plus the
+// extended relations "Meet, Overlap" named in Section 4.2, and "Equal" for
+// completeness of the relation families.
+type Operator int
+
+// Temporal operators of the event condition language.
+const (
+	// OpBefore: the left occurrence ends strictly before the right starts.
+	OpBefore Operator = iota + 1
+	// OpAfter: the left occurrence starts strictly after the right ends.
+	OpAfter
+	// OpDuring: the left occurrence lies within the right one (the paper's
+	// punctual-with-interval relation; boundary ticks are included, so a
+	// punctual event at an interval's endpoint is During that interval).
+	OpDuring
+	// OpBegin: both occurrences start at the same tick.
+	OpBegin
+	// OpEnd: both occurrences end at the same tick.
+	OpEnd
+	// OpMeet: the left occurrence ends exactly where the right starts.
+	OpMeet
+	// OpOverlap: the occurrences share at least one tick.
+	OpOverlap
+	// OpEqualT: the occurrences cover exactly the same ticks.
+	OpEqualT
+)
+
+var operatorNames = map[Operator]string{
+	OpBefore:  "before",
+	OpAfter:   "after",
+	OpDuring:  "during",
+	OpBegin:   "begins",
+	OpEnd:     "ends",
+	OpMeet:    "meets",
+	OpOverlap: "overlaps",
+	OpEqualT:  "equals",
+}
+
+// String returns the operator keyword used by the condition language.
+func (op Operator) String() string {
+	if s, ok := operatorNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Operator(%d)", int(op))
+}
+
+// ParseOperator maps a condition-language keyword to its Operator.
+func ParseOperator(s string) (Operator, bool) {
+	for op, name := range operatorNames {
+		if name == s {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// Apply evaluates the operator on the occurrence pair (a, b).
+//
+// Unlike Relate, operators are predicates, not a partition: During holds for
+// Starts/Finishes/Equals boundary cases as well, and Overlap holds whenever
+// the occurrences share a tick. This matches the paper's use of operators as
+// constraints ("every instance of event x must occur AFTER ... event y").
+func (op Operator) Apply(a, b Time) bool {
+	switch op {
+	case OpBefore:
+		return a.end < b.start
+	case OpAfter:
+		return a.start > b.end
+	case OpDuring:
+		return b.start <= a.start && a.end <= b.end
+	case OpBegin:
+		return a.start == b.start
+	case OpEnd:
+		return a.end == b.end
+	case OpMeet:
+		return a.end == b.start
+	case OpOverlap:
+		return a.Intersects(b)
+	case OpEqualT:
+		return a.Equal(b)
+	default:
+		return false
+	}
+}
+
+// Family identifies which of the paper's three temporal relation families a
+// pair of occurrences belongs to (Section 4.2).
+type Family int
+
+// Temporal relation families.
+const (
+	// PunctualPunctual relates two punctual events (e.g. Before, After).
+	PunctualPunctual Family = iota + 1
+	// PunctualInterval relates a punctual and an interval event
+	// (e.g. During, Meet).
+	PunctualInterval
+	// IntervalInterval relates two interval events (e.g. Overlap).
+	IntervalInterval
+)
+
+// String returns a readable family name.
+func (f Family) String() string {
+	switch f {
+	case PunctualPunctual:
+		return "punctual-punctual"
+	case PunctualInterval:
+		return "punctual-interval"
+	case IntervalInterval:
+		return "interval-interval"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// FamilyOf classifies the occurrence pair into its relation family.
+func FamilyOf(a, b Time) Family {
+	switch {
+	case a.IsPunctual() && b.IsPunctual():
+		return PunctualPunctual
+	case a.IsInterval() && b.IsInterval():
+		return IntervalInterval
+	default:
+		return PunctualInterval
+	}
+}

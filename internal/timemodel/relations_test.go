@@ -1,0 +1,212 @@
+package timemodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allRelations = []Relation{
+	RelEquals, RelBefore, RelAfter, RelMeets, RelMetBy,
+	RelOverlaps, RelOverlappedBy, RelStarts, RelStartedBy,
+	RelDuring, RelContains, RelFinishes, RelFinishedBy,
+}
+
+func TestRelateTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Time
+		want Relation
+	}{
+		{"interval before", MustBetween(1, 3), MustBetween(5, 9), RelBefore},
+		{"interval after", MustBetween(5, 9), MustBetween(1, 3), RelAfter},
+		{"point before point", At(1), At(2), RelBefore},
+		{"point equals point", At(4), At(4), RelEquals},
+		{"intervals equal", MustBetween(2, 6), MustBetween(2, 6), RelEquals},
+		{"meets", MustBetween(1, 4), MustBetween(4, 8), RelMeets},
+		{"met by", MustBetween(4, 8), MustBetween(1, 4), RelMetBy},
+		{"overlaps", MustBetween(1, 5), MustBetween(3, 8), RelOverlaps},
+		{"overlapped by", MustBetween(3, 8), MustBetween(1, 5), RelOverlappedBy},
+		{"starts", MustBetween(2, 4), MustBetween(2, 9), RelStarts},
+		{"started by", MustBetween(2, 9), MustBetween(2, 4), RelStartedBy},
+		{"during", MustBetween(3, 5), MustBetween(1, 9), RelDuring},
+		{"contains", MustBetween(1, 9), MustBetween(3, 5), RelContains},
+		{"finishes", MustBetween(6, 9), MustBetween(1, 9), RelFinishes},
+		{"finished by", MustBetween(1, 9), MustBetween(6, 9), RelFinishedBy},
+		// Degenerate (punctual) operands: priority resolves ambiguity.
+		{"point starts interval", At(2), MustBetween(2, 9), RelStarts},
+		{"point finishes interval", At(9), MustBetween(2, 9), RelFinishes},
+		{"point during interval", At(5), MustBetween(2, 9), RelDuring},
+		{"interval started by point", MustBetween(2, 9), At(2), RelStartedBy},
+		{"point meets point is before", At(3), At(4), RelBefore},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Relate(tt.a, tt.b); got != tt.want {
+				t.Fatalf("Relate(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestRelationPartition verifies the central algebraic property: for every
+// pair of occurrences exactly one of the 13 relations holds, and the inverse
+// relation holds for the swapped pair.
+func TestRelationPartition(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		b := normTime(Tick(b1), Tick(b2))
+		r := Relate(a, b)
+		// Exactly one relation: Relate is a function, so we check instead
+		// that the result is a valid relation and the inverse matches.
+		valid := false
+		for _, k := range allRelations {
+			if k == r {
+				valid = true
+				break
+			}
+		}
+		return valid && Relate(b, a) == r.Inverse()
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelationExhaustivePartition enumerates all small intervals and checks
+// that the relation classification is stable and self-consistent: the
+// relation name exists and inverse-of-inverse is identity.
+func TestRelationExhaustivePartition(t *testing.T) {
+	const n = 6
+	counts := make(map[Relation]int)
+	for a1 := 0; a1 < n; a1++ {
+		for a2 := a1; a2 < n; a2++ {
+			for b1 := 0; b1 < n; b1++ {
+				for b2 := b1; b2 < n; b2++ {
+					a := MustBetween(Tick(a1), Tick(a2))
+					b := MustBetween(Tick(b1), Tick(b2))
+					r := Relate(a, b)
+					counts[r]++
+					if r.Inverse().Inverse() != r {
+						t.Fatalf("Inverse not involutive for %v", r)
+					}
+				}
+			}
+		}
+	}
+	// All thirteen relations must be realizable on a small domain.
+	for _, r := range allRelations {
+		if counts[r] == 0 {
+			t.Errorf("relation %v never produced on exhaustive domain", r)
+		}
+	}
+}
+
+func TestOperatorApplyTable(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Operator
+		a, b Time
+		want bool
+	}{
+		{"before holds", OpBefore, At(1), At(5), true},
+		{"before fails on touch", OpBefore, MustBetween(1, 5), MustBetween(5, 9), false},
+		{"after holds", OpAfter, At(9), MustBetween(1, 5), true},
+		{"during includes boundary", OpDuring, At(5), MustBetween(5, 9), true},
+		{"during strict inside", OpDuring, MustBetween(3, 4), MustBetween(1, 9), true},
+		{"during fails outside", OpDuring, At(0), MustBetween(1, 9), false},
+		{"begins", OpBegin, MustBetween(2, 4), MustBetween(2, 9), true},
+		{"ends", OpEnd, MustBetween(5, 9), MustBetween(1, 9), true},
+		{"meets", OpMeet, MustBetween(1, 4), MustBetween(4, 9), true},
+		{"meets fails with gap", OpMeet, MustBetween(1, 3), MustBetween(4, 9), false},
+		{"overlaps on shared tick", OpOverlap, MustBetween(1, 5), MustBetween(5, 9), true},
+		{"overlap fails disjoint", OpOverlap, MustBetween(1, 4), MustBetween(5, 9), false},
+		{"equals", OpEqualT, MustBetween(1, 4), MustBetween(1, 4), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.op.Apply(tt.a, tt.b); got != tt.want {
+				t.Fatalf("%v.Apply(%v,%v) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestOperatorConsistencyProperty: the paper's operator pairs are converses:
+// Before(a,b) == After(b,a); Begin and End are symmetric; Overlap symmetric.
+func TestOperatorConsistencyProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		b := normTime(Tick(b1), Tick(b2))
+		if OpBefore.Apply(a, b) != OpAfter.Apply(b, a) {
+			return false
+		}
+		if OpBegin.Apply(a, b) != OpBegin.Apply(b, a) {
+			return false
+		}
+		if OpEnd.Apply(a, b) != OpEnd.Apply(b, a) {
+			return false
+		}
+		if OpOverlap.Apply(a, b) != OpOverlap.Apply(b, a) {
+			return false
+		}
+		// Before implies not Overlap.
+		if OpBefore.Apply(a, b) && OpOverlap.Apply(a, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseOperator(t *testing.T) {
+	for op, name := range operatorNames {
+		got, ok := ParseOperator(name)
+		if !ok || got != op {
+			t.Errorf("ParseOperator(%q) = %v,%v, want %v,true", name, got, ok, op)
+		}
+	}
+	if _, ok := ParseOperator("sideways"); ok {
+		t.Error("ParseOperator accepted unknown keyword")
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Time
+		want Family
+	}{
+		{"pp", At(1), At(2), PunctualPunctual},
+		{"pi", At(1), MustBetween(1, 5), PunctualInterval},
+		{"ip", MustBetween(1, 5), At(7), PunctualInterval},
+		{"ii", MustBetween(1, 5), MustBetween(2, 8), IntervalInterval},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FamilyOf(tt.a, tt.b); got != tt.want {
+				t.Fatalf("FamilyOf = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRelationStringAndUnknown(t *testing.T) {
+	if RelBefore.String() != "before" {
+		t.Errorf("RelBefore.String() = %q", RelBefore.String())
+	}
+	if Relation(99).String() == "" {
+		t.Error("unknown relation should still render")
+	}
+	if Operator(99).String() == "" {
+		t.Error("unknown operator should still render")
+	}
+	if Family(99).String() == "" {
+		t.Error("unknown family should still render")
+	}
+	if Operator(99).Apply(At(0), At(1)) {
+		t.Error("unknown operator must evaluate false")
+	}
+}

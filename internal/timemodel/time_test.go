@@ -1,0 +1,167 @@
+package timemodel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtIsPunctual(t *testing.T) {
+	tm := At(42)
+	if !tm.IsPunctual() {
+		t.Fatalf("At(42).IsPunctual() = false, want true")
+	}
+	if tm.IsInterval() {
+		t.Fatalf("At(42).IsInterval() = true, want false")
+	}
+	if tm.Start() != 42 || tm.End() != 42 {
+		t.Fatalf("At(42) bounds = (%d,%d), want (42,42)", tm.Start(), tm.End())
+	}
+	if tm.Duration() != 0 {
+		t.Fatalf("At(42).Duration() = %d, want 0", tm.Duration())
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		name       string
+		start, end Tick
+		wantErr    bool
+		wantPoint  bool
+	}{
+		{name: "proper interval", start: 1, end: 5},
+		{name: "degenerate interval is punctual", start: 3, end: 3, wantPoint: true},
+		{name: "inverted", start: 5, end: 1, wantErr: true},
+		{name: "negative ticks ok", start: -10, end: -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tm, err := Between(tt.start, tt.end)
+			if tt.wantErr {
+				if !errors.Is(err, ErrInvertedInterval) {
+					t.Fatalf("Between(%d,%d) err = %v, want ErrInvertedInterval", tt.start, tt.end, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Between(%d,%d) unexpected err: %v", tt.start, tt.end, err)
+			}
+			if tm.IsPunctual() != tt.wantPoint {
+				t.Fatalf("IsPunctual() = %v, want %v", tm.IsPunctual(), tt.wantPoint)
+			}
+			if tm.Duration() != tt.end-tt.start {
+				t.Fatalf("Duration() = %d, want %d", tm.Duration(), tt.end-tt.start)
+			}
+		})
+	}
+}
+
+func TestMustBetweenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBetween(5,1) did not panic")
+		}
+	}()
+	MustBetween(5, 1)
+}
+
+func TestShift(t *testing.T) {
+	tm := MustBetween(10, 20).Shift(-5)
+	if tm.Start() != 5 || tm.End() != 15 {
+		t.Fatalf("Shift(-5) = %v, want [5,15]", tm)
+	}
+	if !At(7).Shift(3).Equal(At(10)) {
+		t.Fatalf("At(7).Shift(3) != At(10)")
+	}
+}
+
+func TestExtendAndHull(t *testing.T) {
+	tm := At(5).Extend(9)
+	if !tm.Equal(MustBetween(5, 9)) {
+		t.Fatalf("At(5).Extend(9) = %v, want [5,9]", tm)
+	}
+	tm = tm.Extend(2)
+	if !tm.Equal(MustBetween(2, 9)) {
+		t.Fatalf("Extend(2) = %v, want [2,9]", tm)
+	}
+	h := MustBetween(1, 3).Hull(MustBetween(7, 9))
+	if !h.Equal(MustBetween(1, 9)) {
+		t.Fatalf("Hull = %v, want [1,9]", h)
+	}
+}
+
+func TestContainsAndIntersects(t *testing.T) {
+	iv := MustBetween(10, 20)
+	tests := []struct {
+		p    Tick
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {20, true}, {21, false},
+	}
+	for _, tt := range tests {
+		if got := iv.Contains(tt.p); got != tt.want {
+			t.Errorf("[10,20].Contains(%d) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !iv.Intersects(MustBetween(20, 30)) {
+		t.Error("[10,20] should intersect [20,30] at shared tick 20")
+	}
+	if iv.Intersects(MustBetween(21, 30)) {
+		t.Error("[10,20] should not intersect [21,30]")
+	}
+	if !iv.Intersects(At(10)) {
+		t.Error("[10,20] should intersect @10")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := At(7).String(); got != "@7" {
+		t.Errorf("At(7).String() = %q, want \"@7\"", got)
+	}
+	if got := MustBetween(3, 9).String(); got != "[3,9]" {
+		t.Errorf("[3,9].String() = %q, want \"[3,9]\"", got)
+	}
+}
+
+// normTime converts two arbitrary ticks into a valid Time for property tests.
+func normTime(a, b Tick) Time {
+	if b < a {
+		a, b = b, a
+	}
+	return Time{start: a, end: b}
+}
+
+func TestHullContainsBothProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		b := normTime(Tick(b1), Tick(b2))
+		h := a.Hull(b)
+		return h.Contains(a.Start()) && h.Contains(a.End()) &&
+			h.Contains(b.Start()) && h.Contains(b.End())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectsSymmetricProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		b := normTime(Tick(b1), Tick(b2))
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftPreservesDurationProperty(t *testing.T) {
+	f := func(a1, a2, d int16) bool {
+		a := normTime(Tick(a1), Tick(a2))
+		s := a.Shift(Tick(d))
+		return s.Duration() == a.Duration() && s.IsPunctual() == a.IsPunctual()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

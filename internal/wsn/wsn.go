@@ -1,0 +1,404 @@
+// Package wsn simulates the sensor and actor network substrate of the CPS
+// architecture (Tan, Vuran, Goddard, ICDCSW 2009, Section 3): sensor
+// motes, actor motes, sink nodes, and the multi-hop wireless links between
+// them ("sensor and actor motes can also serve as repeaters to relay and
+// aggregate packets from other motes").
+//
+// The radio model is parameterized by communication range, per-hop delay,
+// and per-hop loss probability; routing is a shortest-hop tree rooted at
+// the sinks. These three parameters are exactly what the paper's future
+// work (event detection latency analysis) depends on, so they are
+// first-class here.
+package wsn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Network errors.
+var (
+	// ErrDuplicateID is returned when a mote or sink id is reused.
+	ErrDuplicateID = errors.New("wsn: duplicate id")
+	// ErrUnknownID is returned when an id cannot be resolved.
+	ErrUnknownID = errors.New("wsn: unknown id")
+	// ErrUnrouted is returned when sending from or to a mote with no
+	// route to a sink.
+	ErrUnrouted = errors.New("wsn: mote has no route to a sink")
+	// ErrNoHandler is returned when a message arrives at a node without
+	// a handler.
+	ErrNoHandler = errors.New("wsn: destination has no handler")
+)
+
+// Radio holds the wireless channel model.
+type Radio struct {
+	// Range is the maximum link distance.
+	Range float64
+	// HopDelay is the per-hop transmission delay in ticks.
+	HopDelay timemodel.Tick
+	// LossRate is the independent per-hop loss probability in [0, 1].
+	LossRate float64
+}
+
+// Validate checks the radio parameters.
+func (r Radio) Validate() error {
+	if r.Range <= 0 {
+		return fmt.Errorf("wsn: radio range %g must be positive", r.Range)
+	}
+	if r.HopDelay < 0 {
+		return fmt.Errorf("wsn: hop delay %d must be non-negative", r.HopDelay)
+	}
+	if r.LossRate < 0 || r.LossRate > 1 {
+		return fmt.Errorf("wsn: loss rate %g outside [0,1]", r.LossRate)
+	}
+	return nil
+}
+
+// Handler receives a delivered payload. from is the original sender's id.
+type Handler func(from string, payload any)
+
+// Mote is a sensor or actor mote: position plus routing state filled by
+// BuildRoutes.
+type Mote struct {
+	// ID identifies the mote MT_id.
+	ID string
+	// Pos is the mote's fixed position.
+	Pos spatial.Point
+	// Parent is the next hop toward the sink ("" before routing or when
+	// unreachable; the sink id on the last hop).
+	Parent string
+	// SinkID is the sink this mote routes to ("" when unreachable).
+	SinkID string
+	// Hops is the hop count to the sink (0 when unreachable).
+	Hops int
+
+	handler Handler
+}
+
+// Stats counts radio activity.
+type Stats struct {
+	// Sent counts originated messages.
+	Sent uint64
+	// Delivered counts messages that reached their destination.
+	Delivered uint64
+	// Dropped counts messages lost on some hop.
+	Dropped uint64
+	// HopsTraveled counts total hop transmissions (including those of
+	// dropped messages up to the loss point).
+	HopsTraveled uint64
+}
+
+// Network is the simulated sensor/actor network. It is not safe for
+// concurrent use: everything runs on the simulation goroutine.
+type Network struct {
+	sched *sim.Scheduler
+	radio Radio
+	motes map[string]*Mote
+	sinks map[string]*sinkEndpoint
+	stats Stats
+}
+
+type sinkEndpoint struct {
+	id      string
+	pos     spatial.Point
+	handler Handler
+}
+
+// New creates a network with the given radio model.
+func New(sched *sim.Scheduler, radio Radio) (*Network, error) {
+	if err := radio.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		sched: sched,
+		radio: radio,
+		motes: make(map[string]*Mote),
+		sinks: make(map[string]*sinkEndpoint),
+	}, nil
+}
+
+// Radio returns the channel model.
+func (n *Network) Radio() Radio { return n.radio }
+
+// SetLossRate changes the per-hop loss probability mid-run. Experiments
+// use it to inject transient link failures (loss 1.0 = total outage) and
+// recoveries.
+func (n *Network) SetLossRate(rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("wsn: loss rate %g outside [0,1]", rate)
+	}
+	n.radio.LossRate = rate
+	return nil
+}
+
+// Stats returns a copy of the radio statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddMote registers a mote at a position and returns it.
+func (n *Network) AddMote(id string, pos spatial.Point) (*Mote, error) {
+	if id == "" {
+		return nil, fmt.Errorf("wsn: mote needs an id")
+	}
+	if _, ok := n.motes[id]; ok {
+		return nil, fmt.Errorf("mote %q: %w", id, ErrDuplicateID)
+	}
+	if _, ok := n.sinks[id]; ok {
+		return nil, fmt.Errorf("mote %q collides with sink: %w", id, ErrDuplicateID)
+	}
+	m := &Mote{ID: id, Pos: pos}
+	n.motes[id] = m
+	return m, nil
+}
+
+// AddSink registers a sink node at a position with its uplink handler
+// (called when mote traffic arrives).
+func (n *Network) AddSink(id string, pos spatial.Point, h Handler) error {
+	if id == "" {
+		return fmt.Errorf("wsn: sink needs an id")
+	}
+	if _, ok := n.sinks[id]; ok {
+		return fmt.Errorf("sink %q: %w", id, ErrDuplicateID)
+	}
+	if _, ok := n.motes[id]; ok {
+		return fmt.Errorf("sink %q collides with mote: %w", id, ErrDuplicateID)
+	}
+	n.sinks[id] = &sinkEndpoint{id: id, pos: pos, handler: h}
+	return nil
+}
+
+// SetMoteHandler installs the downlink handler on a mote (used by actor
+// motes receiving actuator commands).
+func (n *Network) SetMoteHandler(id string, h Handler) error {
+	m, ok := n.motes[id]
+	if !ok {
+		return fmt.Errorf("mote %q: %w", id, ErrUnknownID)
+	}
+	m.handler = h
+	return nil
+}
+
+// SetSinkHandler replaces a sink's uplink handler.
+func (n *Network) SetSinkHandler(id string, h Handler) error {
+	s, ok := n.sinks[id]
+	if !ok {
+		return fmt.Errorf("sink %q: %w", id, ErrUnknownID)
+	}
+	s.handler = h
+	return nil
+}
+
+// Mote returns a registered mote.
+func (n *Network) Mote(id string) (*Mote, error) {
+	m, ok := n.motes[id]
+	if !ok {
+		return nil, fmt.Errorf("mote %q: %w", id, ErrUnknownID)
+	}
+	return m, nil
+}
+
+// Motes returns all mote ids, sorted.
+func (n *Network) Motes() []string {
+	out := make([]string, 0, len(n.motes))
+	for id := range n.motes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// positionOf resolves any node id (mote or sink) to its position.
+func (n *Network) positionOf(id string) (spatial.Point, bool) {
+	if m, ok := n.motes[id]; ok {
+		return m.Pos, true
+	}
+	if s, ok := n.sinks[id]; ok {
+		return s.pos, true
+	}
+	return spatial.Point{}, false
+}
+
+// linked reports whether two node ids are within radio range.
+func (n *Network) linked(a, b string) bool {
+	pa, oka := n.positionOf(a)
+	pb, okb := n.positionOf(b)
+	return oka && okb && pa.Dist(pb) <= n.radio.Range+spatial.Epsilon
+}
+
+// Neighbors returns the node ids (motes and sinks) within radio range of
+// the given node, sorted.
+func (n *Network) Neighbors(id string) []string {
+	var out []string
+	for mid := range n.motes {
+		if mid != id && n.linked(id, mid) {
+			out = append(out, mid)
+		}
+	}
+	for sid := range n.sinks {
+		if sid != id && n.linked(id, sid) {
+			out = append(out, sid)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildRoutes computes a shortest-hop tree from every mote to its nearest
+// sink (multi-source BFS; ties break toward the lexicographically smaller
+// parent for determinism). It returns the ids of unreachable motes, if
+// any, as an error wrapping ErrUnrouted; reachable motes are still routed.
+func (n *Network) BuildRoutes() error {
+	// Reset.
+	for _, m := range n.motes {
+		m.Parent, m.SinkID, m.Hops = "", "", 0
+	}
+	type qe struct{ id string }
+	dist := make(map[string]int, len(n.motes)+len(n.sinks))
+	via := make(map[string]string, len(n.motes))
+	sinkOf := make(map[string]string, len(n.motes))
+
+	frontier := make([]string, 0, len(n.sinks))
+	for sid := range n.sinks {
+		frontier = append(frontier, sid)
+		dist[sid] = 0
+		sinkOf[sid] = sid
+	}
+	sort.Strings(frontier)
+
+	for len(frontier) > 0 {
+		var next []string
+		for _, cur := range frontier {
+			for _, nb := range n.Neighbors(cur) {
+				if _, seen := dist[nb]; seen {
+					continue
+				}
+				if _, isSink := n.sinks[nb]; isSink {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				via[nb] = cur
+				sinkOf[nb] = sinkOf[cur]
+				next = append(next, nb)
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+
+	var unreachable []string
+	for id, m := range n.motes {
+		d, ok := dist[id]
+		if !ok {
+			unreachable = append(unreachable, id)
+			continue
+		}
+		m.Hops = d
+		m.Parent = via[id]
+		m.SinkID = sinkOf[id]
+	}
+	if len(unreachable) > 0 {
+		sort.Strings(unreachable)
+		return fmt.Errorf("motes %v: %w", unreachable, ErrUnrouted)
+	}
+	return nil
+}
+
+// pathUp returns the hop sequence from a mote to its sink (excluding the
+// mote itself, including the sink).
+func (n *Network) pathUp(moteID string) ([]string, error) {
+	m, err := n.Mote(moteID)
+	if err != nil {
+		return nil, err
+	}
+	if m.SinkID == "" {
+		return nil, fmt.Errorf("mote %q: %w", moteID, ErrUnrouted)
+	}
+	var path []string
+	cur := m
+	for {
+		path = append(path, cur.Parent)
+		if cur.Parent == m.SinkID {
+			return path, nil
+		}
+		nxt, ok := n.motes[cur.Parent]
+		if !ok {
+			return nil, fmt.Errorf("broken route at %q: %w", cur.Parent, ErrUnrouted)
+		}
+		cur = nxt
+	}
+}
+
+// SendUp transmits a payload from a mote to its sink, hop by hop, with
+// per-hop delay and loss. Delivery invokes the sink handler at the arrival
+// tick. The error reports routing problems only; loss is silent (counted
+// in Stats), exactly like a real radio.
+func (n *Network) SendUp(moteID string, payload any) error {
+	path, err := n.pathUp(moteID)
+	if err != nil {
+		return err
+	}
+	sink := n.sinks[path[len(path)-1]]
+	if sink.handler == nil {
+		return fmt.Errorf("sink %q: %w", sink.id, ErrNoHandler)
+	}
+	n.stats.Sent++
+	n.transmit(path, 0, moteID, payload, func(from string, p any) {
+		sink.handler(from, p)
+	})
+	return nil
+}
+
+// SendDown transmits a payload from a sink to a mote along the reverse of
+// the mote's uplink path (used by dispatch nodes to reach actor motes).
+func (n *Network) SendDown(sinkID, moteID string, payload any) error {
+	if _, ok := n.sinks[sinkID]; !ok {
+		return fmt.Errorf("sink %q: %w", sinkID, ErrUnknownID)
+	}
+	m, err := n.Mote(moteID)
+	if err != nil {
+		return err
+	}
+	if m.handler == nil {
+		return fmt.Errorf("mote %q: %w", moteID, ErrNoHandler)
+	}
+	up, err := n.pathUp(moteID)
+	if err != nil {
+		return err
+	}
+	if up[len(up)-1] != sinkID {
+		return fmt.Errorf("mote %q routes to sink %q, not %q: %w", moteID, up[len(up)-1], sinkID, ErrUnrouted)
+	}
+	// Reverse path: sink -> ... -> mote has the same hop count.
+	down := make([]string, 0, len(up))
+	for i := len(up) - 2; i >= 0; i-- {
+		down = append(down, up[i])
+	}
+	down = append(down, moteID)
+	n.stats.Sent++
+	n.transmit(down, 0, sinkID, payload, func(from string, p any) {
+		m.handler(from, p)
+	})
+	return nil
+}
+
+// transmit recursively schedules hops; deliver runs at the final arrival.
+func (n *Network) transmit(path []string, hop int, origin string, payload any, deliver Handler) {
+	if hop >= len(path) {
+		n.stats.Delivered++
+		deliver(origin, payload)
+		return
+	}
+	// Sample loss for this hop.
+	if n.radio.LossRate > 0 && n.sched.RNG().Float64() < n.radio.LossRate {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.HopsTraveled++
+	n.sched.After(n.radio.HopDelay, func() {
+		n.transmit(path, hop+1, origin, payload, deliver)
+	})
+}

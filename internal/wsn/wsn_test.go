@@ -1,0 +1,327 @@
+package wsn
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/stcps/stcps/internal/sim"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func testRadio() Radio {
+	return Radio{Range: 12, HopDelay: 5, LossRate: 0}
+}
+
+// line builds a chain: sink at x=0, motes at x=10, 20, 30 ... each within
+// range of only its neighbors.
+func line(t *testing.T, s *sim.Scheduler, motes int, h Handler) *Network {
+	t.Helper()
+	n, err := New(s, testRadio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSink("sink", spatial.Pt(0, 0), h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= motes; i++ {
+		id := string(rune('a'-1+i)) + "1" // a1, b1, c1...
+		if _, err := n.AddMote(id, spatial.Pt(float64(i)*10, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.BuildRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRadioValidate(t *testing.T) {
+	tests := []struct {
+		name  string
+		radio Radio
+		ok    bool
+	}{
+		{"valid", Radio{Range: 1, HopDelay: 0, LossRate: 0}, true},
+		{"zero range", Radio{Range: 0}, false},
+		{"negative delay", Radio{Range: 1, HopDelay: -1}, false},
+		{"loss > 1", Radio{Range: 1, LossRate: 1.5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.radio.Validate()
+			if tt.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestBuildRoutesChain(t *testing.T) {
+	s := sim.New(1)
+	n := line(t, s, 3, func(string, any) {})
+	for i, id := range []string{"a1", "b1", "c1"} {
+		m, err := n.Mote(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Hops != i+1 {
+			t.Errorf("%s hops = %d, want %d", id, m.Hops, i+1)
+		}
+		if m.SinkID != "sink" {
+			t.Errorf("%s sink = %q", id, m.SinkID)
+		}
+	}
+	a, _ := n.Mote("a1")
+	if a.Parent != "sink" {
+		t.Errorf("a1 parent = %q, want sink", a.Parent)
+	}
+	b, _ := n.Mote("b1")
+	if b.Parent != "a1" {
+		t.Errorf("b1 parent = %q, want a1", b.Parent)
+	}
+}
+
+func TestBuildRoutesUnreachable(t *testing.T) {
+	s := sim.New(1)
+	n, _ := New(s, testRadio())
+	_ = n.AddSink("sink", spatial.Pt(0, 0), func(string, any) {})
+	_, _ = n.AddMote("near", spatial.Pt(10, 0))
+	_, _ = n.AddMote("far", spatial.Pt(500, 0))
+	err := n.BuildRoutes()
+	if !errors.Is(err, ErrUnrouted) {
+		t.Fatalf("err = %v, want ErrUnrouted", err)
+	}
+	near, _ := n.Mote("near")
+	if near.SinkID != "sink" {
+		t.Error("reachable mote should still be routed")
+	}
+	far, _ := n.Mote("far")
+	if far.SinkID != "" {
+		t.Error("unreachable mote must not be routed")
+	}
+	if err := n.SendUp("far", "x"); !errors.Is(err, ErrUnrouted) {
+		t.Errorf("SendUp from unrouted: %v", err)
+	}
+}
+
+func TestNearestSinkSelection(t *testing.T) {
+	s := sim.New(1)
+	n, _ := New(s, testRadio())
+	_ = n.AddSink("sinkL", spatial.Pt(0, 0), func(string, any) {})
+	_ = n.AddSink("sinkR", spatial.Pt(100, 0), func(string, any) {})
+	_, _ = n.AddMote("m1", spatial.Pt(10, 0))  // 1 hop to L, far from R
+	_, _ = n.AddMote("m2", spatial.Pt(90, 0))  // 1 hop to R
+	_, _ = n.AddMote("mid", spatial.Pt(50, 0)) // unreachable from both (gap)
+	_, _ = n.AddMote("m3", spatial.Pt(20, 0))
+	_, _ = n.AddMote("m4", spatial.Pt(30, 0))
+	_, _ = n.AddMote("m5", spatial.Pt(40, 0))
+	_ = n.BuildRoutes()
+	m1, _ := n.Mote("m1")
+	if m1.SinkID != "sinkL" || m1.Hops != 1 {
+		t.Errorf("m1 -> %s in %d hops", m1.SinkID, m1.Hops)
+	}
+	m2, _ := n.Mote("m2")
+	if m2.SinkID != "sinkR" || m2.Hops != 1 {
+		t.Errorf("m2 -> %s in %d hops", m2.SinkID, m2.Hops)
+	}
+	mid, _ := n.Mote("mid")
+	if mid.SinkID != "sinkL" || mid.Hops != 5 {
+		t.Errorf("mid -> %s in %d hops, want sinkL in 5", mid.SinkID, mid.Hops)
+	}
+}
+
+func TestSendUpDeliversWithHopDelay(t *testing.T) {
+	s := sim.New(1)
+	var gotFrom string
+	var gotPayload any
+	var at timemodel.Tick
+	n := line(t, s, 3, func(from string, p any) {
+		gotFrom, gotPayload = from, p
+		at = s.Now()
+	})
+	if err := n.SendUp("c1", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	if gotFrom != "c1" || gotPayload != "hello" {
+		t.Fatalf("delivery = (%q, %v)", gotFrom, gotPayload)
+	}
+	// 3 hops × 5 ticks.
+	if at != 15 {
+		t.Fatalf("arrival at %d, want 15", at)
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 || st.HopsTraveled != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendDownToActorMote(t *testing.T) {
+	s := sim.New(1)
+	n := line(t, s, 2, func(string, any) {})
+	var got any
+	var at timemodel.Tick
+	if err := n.SendDown("sink", "b1", "cmd"); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("SendDown without handler: %v", err)
+	}
+	_ = n.SetMoteHandler("b1", func(from string, p any) {
+		got = p
+		at = s.Now()
+		if from != "sink" {
+			t.Errorf("from = %q", from)
+		}
+	})
+	if err := n.SendDown("sink", "b1", "cmd"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	if got != "cmd" {
+		t.Fatalf("payload = %v", got)
+	}
+	if at != 10 { // 2 hops
+		t.Fatalf("arrival = %d, want 10", at)
+	}
+	if err := n.SendDown("nosink", "b1", "x"); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown sink err = %v", err)
+	}
+	if err := n.SendDown("sink", "nomote", "x"); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown mote err = %v", err)
+	}
+}
+
+func TestSendDownWrongSink(t *testing.T) {
+	s := sim.New(1)
+	n, _ := New(s, testRadio())
+	_ = n.AddSink("s1", spatial.Pt(0, 0), func(string, any) {})
+	_ = n.AddSink("s2", spatial.Pt(100, 0), func(string, any) {})
+	_, _ = n.AddMote("m", spatial.Pt(10, 0))
+	_ = n.SetMoteHandler("m", func(string, any) {})
+	_ = n.BuildRoutes()
+	if err := n.SendDown("s2", "m", "x"); !errors.Is(err, ErrUnrouted) {
+		t.Errorf("cross-tree SendDown err = %v", err)
+	}
+}
+
+func TestLossDropsMessages(t *testing.T) {
+	s := sim.New(42)
+	n, _ := New(s, Radio{Range: 12, HopDelay: 1, LossRate: 0.5})
+	delivered := 0
+	_ = n.AddSink("sink", spatial.Pt(0, 0), func(string, any) { delivered++ })
+	_, _ = n.AddMote("m1", spatial.Pt(10, 0))
+	_, _ = n.AddMote("m2", spatial.Pt(20, 0))
+	_ = n.BuildRoutes()
+	const total = 400
+	for i := 0; i < total; i++ {
+		_ = n.SendUp("m2", i) // 2 hops: P(delivery) = 0.25
+	}
+	s.Run(10000)
+	st := n.Stats()
+	if st.Delivered != uint64(delivered) {
+		t.Fatalf("stats delivered %d != handler count %d", st.Delivered, delivered)
+	}
+	if st.Delivered+st.Dropped != total {
+		t.Fatalf("delivered+dropped = %d, want %d", st.Delivered+st.Dropped, total)
+	}
+	// Expect ~25% delivery; allow generous slack.
+	frac := float64(delivered) / total
+	if frac < 0.15 || frac > 0.38 {
+		t.Fatalf("delivery fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestDuplicateAndUnknownIDs(t *testing.T) {
+	s := sim.New(1)
+	n, _ := New(s, testRadio())
+	_ = n.AddSink("x", spatial.Pt(0, 0), nil)
+	if _, err := n.AddMote("x", spatial.Pt(1, 0)); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("mote/sink collision err = %v", err)
+	}
+	if _, err := n.AddMote("", spatial.Pt(1, 0)); err == nil {
+		t.Error("empty mote id should error")
+	}
+	_, _ = n.AddMote("m", spatial.Pt(1, 0))
+	if _, err := n.AddMote("m", spatial.Pt(2, 0)); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate mote err = %v", err)
+	}
+	if err := n.AddSink("m", spatial.Pt(0, 0), nil); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("sink/mote collision err = %v", err)
+	}
+	if err := n.AddSink("", spatial.Pt(0, 0), nil); err == nil {
+		t.Error("empty sink id should error")
+	}
+	if err := n.SetMoteHandler("ghost", nil); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown mote handler err = %v", err)
+	}
+	if err := n.SetSinkHandler("ghost", nil); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown sink handler err = %v", err)
+	}
+	if _, err := n.Mote("ghost"); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown mote err = %v", err)
+	}
+	if _, err := New(s, Radio{}); err == nil {
+		t.Error("invalid radio should error")
+	}
+}
+
+func TestSendUpNoSinkHandler(t *testing.T) {
+	s := sim.New(1)
+	n, _ := New(s, testRadio())
+	_ = n.AddSink("sink", spatial.Pt(0, 0), nil)
+	_, _ = n.AddMote("m", spatial.Pt(10, 0))
+	_ = n.BuildRoutes()
+	if err := n.SendUp("m", "x"); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestNeighborsAndMotes(t *testing.T) {
+	s := sim.New(1)
+	n := line(t, s, 3, func(string, any) {})
+	nb := n.Neighbors("b1")
+	if len(nb) != 2 || nb[0] != "a1" || nb[1] != "c1" {
+		t.Errorf("Neighbors(b1) = %v", nb)
+	}
+	nbA := n.Neighbors("a1")
+	if len(nbA) != 2 || nbA[0] != "b1" || nbA[1] != "sink" {
+		t.Errorf("Neighbors(a1) = %v", nbA)
+	}
+	ids := n.Motes()
+	if len(ids) != 3 || ids[0] != "a1" {
+		t.Errorf("Motes = %v", ids)
+	}
+	if n.Radio().Range != 12 {
+		t.Error("Radio accessor wrong")
+	}
+}
+
+func TestRoutesDeterministic(t *testing.T) {
+	build := func() map[string]string {
+		s := sim.New(1)
+		n, _ := New(s, Radio{Range: 15, HopDelay: 1})
+		_ = n.AddSink("sink", spatial.Pt(0, 0), func(string, any) {})
+		// A grid where multiple parents are equally near.
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				id := string(rune('a'+i)) + string(rune('0'+j))
+				_, _ = n.AddMote(id, spatial.Pt(float64(i)*10, float64(j)*10))
+			}
+		}
+		_ = n.BuildRoutes()
+		out := make(map[string]string)
+		for _, id := range n.Motes() {
+			m, _ := n.Mote(id)
+			out[id] = m.Parent
+		}
+		return out
+	}
+	a, b := build(), build()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("routing not deterministic at %s: %q vs %q", k, v, b[k])
+		}
+	}
+}

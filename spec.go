@@ -1,0 +1,108 @@
+package stcps
+
+import (
+	"fmt"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Role connects one condition role to an input stream: a sensor ID at the
+// mote level, or an event ID at the sink/CCU levels.
+type Role struct {
+	// Name is the role referenced by the condition (e.g. "x").
+	Name string
+	// Source is the input stream key.
+	Source string
+	// Window is the number of retained entities (default 16).
+	Window int
+	// MaxAge drops entities older than this many ticks (0 = unbounded).
+	MaxAge Tick
+}
+
+// EventSpec declares a detected event in the paper's terms: an event ID,
+// the roles binding entities, and a composite condition over them
+// (Eq. 4.5) in the condition language.
+type EventSpec struct {
+	// ID is the event identifier E_id.
+	ID string
+	// Roles connect condition roles to input streams.
+	Roles []Role
+	// When is the composite event condition text, e.g.
+	// "x.time before y.time and dist(x.loc, y.loc) < 5".
+	When string
+	// Interval selects interval detection (open/close state machine)
+	// instead of punctual detection (Section 4.2).
+	Interval bool
+	// Confidence names the input-confidence combination policy:
+	// "min" (default), "product", "mean", "noisy-or".
+	Confidence string
+	// BaseConfidence is the observer's own confidence multiplier
+	// (0 means 1).
+	BaseConfidence float64
+	// EstimateTime selects the t^eo policy: "span" (default),
+	// "earliest", "latest".
+	EstimateTime string
+	// EstimateLoc selects the l^eo policy: "centroid" (default),
+	// "hull", "first".
+	EstimateLoc string
+}
+
+// toDetect compiles the spec into a detector spec at the given layer.
+func (e EventSpec) toDetect(layer Layer) (detect.Spec, error) {
+	cond, err := condition.Parse(e.When)
+	if err != nil {
+		return detect.Spec{}, fmt.Errorf("stcps: event %q: %w", e.ID, err)
+	}
+	roles := make([]detect.RoleSpec, len(e.Roles))
+	for i, r := range e.Roles {
+		roles[i] = detect.RoleSpec{
+			Name:   r.Name,
+			Source: r.Source,
+			Window: r.Window,
+			MaxAge: timemodel.Tick(r.MaxAge),
+		}
+	}
+	spec := detect.Spec{
+		EventID:        e.ID,
+		Layer:          event.Layer(layer),
+		Roles:          roles,
+		Cond:           cond,
+		BaseConfidence: e.BaseConfidence,
+	}
+	if e.Interval {
+		spec.Mode = detect.ModeInterval
+	}
+	if e.Confidence != "" {
+		p, ok := detect.ParsePolicy(e.Confidence)
+		if !ok {
+			return detect.Spec{}, fmt.Errorf("stcps: event %q: unknown confidence policy %q", e.ID, e.Confidence)
+		}
+		spec.Confidence = p
+	}
+	switch e.EstimateTime {
+	case "":
+	case "span":
+		spec.TimeEst = detect.EstimateSpan
+	case "earliest":
+		spec.TimeEst = detect.EstimateEarliest
+	case "latest":
+		spec.TimeEst = detect.EstimateLatest
+	default:
+		return detect.Spec{}, fmt.Errorf("stcps: event %q: unknown time estimate %q", e.ID, e.EstimateTime)
+	}
+	switch e.EstimateLoc {
+	case "":
+	case "centroid":
+		spec.LocEst = detect.EstimateCentroid
+	case "hull":
+		spec.LocEst = detect.EstimateHull
+	case "first":
+		spec.LocEst = detect.EstimateFirst
+	default:
+		return detect.Spec{}, fmt.Errorf("stcps: event %q: unknown location estimate %q", e.ID, e.EstimateLoc)
+	}
+	return spec, nil
+}

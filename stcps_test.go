@@ -1,0 +1,281 @@
+package stcps
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildBuildingSystem assembles the paper's running example with the
+// public API: user A walking past window B, range-sensing motes, one
+// sink, one CCU with an alarm rule.
+func buildBuildingSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{Seed: 7, Radio: Radio{Range: 40, HopDelay: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sys.World()
+	if err := w.AddObject(&Object{ID: "userA", Traj: NewWaypoints([]Waypoint{
+		{T: 0, P: Pt(0, 5)},
+		{T: 400, P: Pt(100, 5)},
+	})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddObject(&Object{ID: "alarm"}); err != nil {
+		t.Fatal(err)
+	}
+	window, err := Rect(40, 0, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WatchRegion("P.nearby", "userA", window); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []struct {
+		id string
+		at Point
+	}{{"MT1", Pt(40, 8)}, {"MT2", Pt(60, 8)}} {
+		if err := sys.AddSensorMote(m.id, m.at, []SensorConfig{
+			{ID: "SRrange", Object: "userA", Period: 10},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AddSink("sink1", Pt(50, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddCCU("CCU1", Pt(50, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDispatch("disp1", Pt(50, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddActorMote("AR1", Pt(55, 40), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each mote publishes its own sensor event; the sink joins them: the
+	// user is "nearby the window" when both motes measure a short range
+	// at (almost) the same time — a two-entity composite condition in the
+	// style of the paper's S1 example.
+	for _, id := range []string{"MT1", "MT2"} {
+		if err := sys.OnMote(id, EventSpec{
+			ID:    "S.near." + id,
+			Roles: []Role{{Name: "x", Source: "SRrange", Window: 1}},
+			When:  "x.range < 15",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.OnSink("sink1", EventSpec{
+		ID: "CP.nearby",
+		Roles: []Role{
+			{Name: "x", Source: "S.near.MT1", Window: 1, MaxAge: 20},
+			{Name: "y", Source: "S.near.MT2", Window: 1, MaxAge: 20},
+		},
+		When: "x.range < 15 and y.range < 15",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OnCCU("CCU1", EventSpec{
+		ID:    "E.alert",
+		Roles: []Role{{Name: "x", Source: "CP.nearby", Window: 1}},
+		When:  "true",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddRule("CCU1", Rule{
+		Event:    "E.alert",
+		Dispatch: "disp1",
+		Actor:    "AR1",
+		Cmd:      ActuatorCommand{Target: "alarm", Attr: "on", Value: 1},
+		Once:     true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := buildBuildingSystem(t)
+	report, err := sys.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Truth) != 1 {
+		t.Fatalf("ground truth events = %d, want 1", len(report.Truth))
+	}
+	for _, layer := range []Layer{LayerSensor, LayerCyberPhysical, LayerCyber} {
+		if len(report.AtLayer(layer)) == 0 {
+			t.Errorf("no instances at %v layer", layer)
+		}
+	}
+	if report.Actions() != 1 {
+		t.Errorf("actions = %d, want 1", report.Actions())
+	}
+	if report.Executed() != 1 {
+		t.Errorf("executed = %d, want 1", report.Executed())
+	}
+	alarm, err := sys.World().Object("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm.Attrs["on"] != 1 {
+		t.Error("control loop did not actuate the alarm")
+	}
+
+	// Detection quality: the cyber-physical event should match the
+	// ground-truth nearby interval.
+	score := report.Score("P.nearby", "CP.nearby", 20)
+	if score.Recall() < 1 {
+		t.Errorf("recall = %v, want 1: %v", score.Recall(), score)
+	}
+	if score.Precision() < 0.9 {
+		t.Errorf("precision = %v: %v", score.Precision(), score)
+	}
+	edl := report.EDL("P.nearby", "CP.nearby", 20)
+	if edl.N() == 0 {
+		t.Fatal("no EDL samples")
+	}
+	// Latency must be non-negative and bounded by sampling period +
+	// transport + the conjunction's wait for the second mote.
+	if edl.Min() < 0 || edl.Mean() > 100 {
+		t.Errorf("EDL out of plausible range: %s", edl.Summary())
+	}
+
+	// Provenance from a cyber instance reaches an observation.
+	cyber := report.AtLayer(LayerCyber)
+	chain, err := report.Lineage(cyber[0].EntityID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasObs := false
+	for _, id := range chain {
+		if strings.HasPrefix(id, "O(") {
+			hasObs = true
+		}
+	}
+	if !hasObs {
+		t.Errorf("lineage lacks an observation: %v", chain)
+	}
+
+	sum := report.Summary()
+	for _, want := range []string{"sensor layer", "cyber-physical layer", "cyber layer", "S.near", "CP.nearby", "E.alert"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestSystemRunOnce(t *testing.T) {
+	sys := buildBuildingSystem(t)
+	if _, err := sys.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100); !errors.Is(err, ErrStarted) {
+		t.Fatalf("second Run err = %v, want ErrStarted", err)
+	}
+	if err := sys.AddSink("late", Pt(0, 0)); !errors.Is(err, ErrStarted) {
+		t.Fatalf("mutate after run err = %v", err)
+	}
+	if err := sys.AddCCU("late", Pt(0, 0)); !errors.Is(err, ErrStarted) {
+		t.Fatalf("mutate after run err = %v", err)
+	}
+	if err := sys.AddSensorMote("late", Pt(0, 0), nil); !errors.Is(err, ErrStarted) {
+		t.Fatalf("mutate after run err = %v", err)
+	}
+	if err := sys.AddDispatch("late", Pt(0, 0)); !errors.Is(err, ErrStarted) {
+		t.Fatalf("mutate after run err = %v", err)
+	}
+	if err := sys.AddActorMote("late", Pt(0, 0), 0); !errors.Is(err, ErrStarted) {
+		t.Fatalf("mutate after run err = %v", err)
+	}
+}
+
+func TestSystemUnknownNodes(t *testing.T) {
+	sys, _ := NewSystem(Config{})
+	spec := EventSpec{ID: "e", Roles: []Role{{Name: "x", Source: "s"}}, When: "true"}
+	if err := sys.OnMote("ghost", spec); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("OnMote ghost err = %v", err)
+	}
+	if err := sys.OnSink("ghost", spec); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("OnSink ghost err = %v", err)
+	}
+	if err := sys.OnCCU("ghost", spec); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("OnCCU ghost err = %v", err)
+	}
+	if err := sys.AddRule("ghost", Rule{Event: "e", Dispatch: "d", Actor: "a"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("AddRule ghost err = %v", err)
+	}
+}
+
+func TestEventSpecValidation(t *testing.T) {
+	sys, _ := NewSystem(Config{})
+	_ = sys.AddSink("sk", Pt(0, 0))
+	tests := []struct {
+		name string
+		spec EventSpec
+	}{
+		{"bad condition", EventSpec{ID: "e", Roles: []Role{{Name: "x", Source: "s"}}, When: ">>>"}},
+		{"bad confidence", EventSpec{ID: "e", Roles: []Role{{Name: "x", Source: "s"}}, When: "true", Confidence: "magic"}},
+		{"bad time estimate", EventSpec{ID: "e", Roles: []Role{{Name: "x", Source: "s"}}, When: "true", EstimateTime: "soonish"}},
+		{"bad loc estimate", EventSpec{ID: "e", Roles: []Role{{Name: "x", Source: "s"}}, When: "true", EstimateLoc: "nearby"}},
+		{"unfed role", EventSpec{ID: "e", Roles: []Role{{Name: "x", Source: "s"}}, When: "y.v > 0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := sys.OnSink("sk", tt.spec); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	// All valid options accepted.
+	ok := EventSpec{
+		ID:           "e2",
+		Roles:        []Role{{Name: "x", Source: "s", Window: 4, MaxAge: 100}},
+		When:         "true",
+		Interval:     true,
+		Confidence:   "noisy-or",
+		EstimateTime: "latest",
+		EstimateLoc:  "hull",
+	}
+	if err := sys.OnSink("sk", ok); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.normalize()
+	if c.Seed != 1 || c.Radio.Range != 30 || c.BusDelay != 3 || c.WorldResolution != 5 || c.LogTTL != 10 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.ActorRadio.Range != c.Radio.Range {
+		t.Error("actor radio should default to sensor radio")
+	}
+}
+
+func TestAliasConstructors(t *testing.T) {
+	if !At(5).IsPunctual() {
+		t.Error("At alias broken")
+	}
+	iv, err := Between(1, 5)
+	if err != nil || !iv.IsInterval() {
+		t.Error("Between alias broken")
+	}
+	if AtPoint(1, 2).Point() != Pt(1, 2) {
+		t.Error("AtPoint alias broken")
+	}
+	f, err := Circle(Pt(0, 0), 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !InField(f).IsField() {
+		t.Error("InField alias broken")
+	}
+	if _, err := ParseCondition("x.v > 0"); err != nil {
+		t.Errorf("ParseCondition: %v", err)
+	}
+}
