@@ -439,6 +439,49 @@ func BenchmarkE11_Placement(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_OfferPrune measures the Offer hot path under aged,
+// multi-role windows. Offers round-robin across the sources while the
+// condition stays false, so the benchmark isolates buffer maintenance:
+// the age-prune pass dominates once windows are full.
+func BenchmarkE12_OfferPrune(b *testing.B) {
+	for _, roles := range []int{2, 8} {
+		for _, window := range []int{16, 128} {
+			b.Run(fmt.Sprintf("roles=%d/window=%d", roles, window), func(b *testing.B) {
+				rs := make([]detect.RoleSpec, roles)
+				for i := range rs {
+					rs[i] = detect.RoleSpec{
+						Name:   fmt.Sprintf("r%d", i),
+						Source: fmt.Sprintf("s%d", i),
+						Window: window,
+						MaxAge: 1 << 40, // never expires: prune passes find nothing
+					}
+				}
+				d, err := detect.New("OB", detect.Spec{
+					EventID:     "e",
+					Layer:       event.LayerSensor,
+					Roles:       rs,
+					Cond:        condition.MustParse("r0.v < 0"),
+					MaxBindings: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				genLoc := spatial.AtPoint(0, 0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					obs := event.Observation{
+						Mote: "M", Sensor: "S", Seq: uint64(i),
+						Time:  timemodel.At(timemodel.Tick(i)),
+						Loc:   genLoc,
+						Attrs: event.Attrs{"v": 1},
+					}
+					d.Offer(fmt.Sprintf("s%d", i%roles), obs, 1, timemodel.Tick(i), genLoc)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkE10_Confidence measures the confidence combination policies
 // (the ◊ ablation) and reports the combined ρ for 4 corroborating
 // observers at ρ=0.8 each.

@@ -12,18 +12,27 @@
 //	edlbench -exp E8    # baseline expressiveness/correctness matrix
 //	edlbench -exp E11   # condition evaluation placement
 //	edlbench -runs 32   # more runs per configuration
+//	edlbench -json BENCH_1.json   # also write the machine-readable artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/stcps/stcps/internal/baseline"
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/engine"
+	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/latency"
 	"github.com/stcps/stcps/internal/placement"
+	"github.com/stcps/stcps/internal/spatial"
 	"github.com/stcps/stcps/internal/timemodel"
 )
 
@@ -34,32 +43,93 @@ func main() {
 	}
 }
 
+// edlRow is one configuration of the E1/E2 latency sweeps.
+type edlRow struct {
+	Depth          int     `json:"depth,omitempty"`
+	SamplingPeriod int64   `json:"samplingPeriod,omitempty"`
+	AnalyticMean   float64 `json:"analyticMean"`
+	AnalyticWorst  int64   `json:"analyticWorst"`
+	MeasMean       float64 `json:"measMean"`
+	MeasP95        float64 `json:"measP95"`
+	MeasMax        float64 `json:"measMax"`
+}
+
+// lossRow is one configuration of the E3 loss sweep.
+type lossRow struct {
+	Loss     float64 `json:"loss"`
+	Recall   float64 `json:"recall"`
+	MeasMean float64 `json:"measMean"`
+	MeasP95  float64 `json:"measP95"`
+	MeasMax  float64 `json:"measMax"`
+}
+
+// engineRow is one engine-throughput measurement (the streaming
+// detection runtime driven directly, no network in between).
+type engineRow struct {
+	Shards      int     `json:"shards"`
+	Entities    int     `json:"entities"`
+	NsPerEntity float64 `json:"nsPerEntity"`
+	Emitted     uint64  `json:"emitted"`
+}
+
+// artifact is the machine-readable benchmark output: the perf
+// trajectory record accumulated across PRs.
+type artifact struct {
+	Schema    string      `json:"schema"`
+	Generated string      `json:"generated"`
+	GoVersion string      `json:"goVersion"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Runs      int         `json:"runs"`
+	E1        []edlRow    `json:"e1,omitempty"`
+	E2        []edlRow    `json:"e2,omitempty"`
+	E3        []lossRow   `json:"e3,omitempty"`
+	Engine    []engineRow `json:"engineIngest,omitempty"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E11 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
+	jsonPath := fs.String("json", "", "write a machine-readable benchmark artifact to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	which := strings.ToUpper(*exp)
+	art := artifact{
+		Schema:    "stcps-bench/1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Runs:      *runs,
+	}
 	any := false
 	if which == "ALL" || which == "E1" {
 		any = true
-		if err := e1(out, *runs); err != nil {
+		rows, err := e1(out, *runs)
+		if err != nil {
 			return err
 		}
+		art.E1 = rows
 	}
 	if which == "ALL" || which == "E2" {
 		any = true
-		if err := e2(out, *runs); err != nil {
+		rows, err := e2(out, *runs)
+		if err != nil {
 			return err
 		}
+		art.E2 = rows
 	}
 	if which == "ALL" || which == "E3" {
 		any = true
-		if err := e3(out, *runs); err != nil {
+		rows, err := e3(out, *runs)
+		if err != nil {
 			return err
 		}
+		art.E3 = rows
 	}
 	if which == "ALL" || which == "E8" {
 		any = true
@@ -76,13 +146,30 @@ func run(args []string, out io.Writer) error {
 	if !any {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if *jsonPath != "" {
+		rows, err := engineThroughput(out)
+		if err != nil {
+			return err
+		}
+		art.Engine = rows
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+	}
 	return nil
 }
 
 // e1 sweeps network depth (hops) at a fixed sampling period.
-func e1(out io.Writer, runs int) error {
+func e1(out io.Writer, runs int) ([]edlRow, error) {
 	fmt.Fprintln(out, "=== E1: EDL vs. network depth (sampling=16, hop=4, bus=2) ===")
 	fmt.Fprintln(out, "depth\tanalyticE\tanalyticWorst\tmeasMean\tmeasP95\tmeasMax")
+	var rows []edlRow
 	for depth := 1; depth <= 8; depth++ {
 		res, err := latency.RunChain(latency.ChainConfig{
 			Depth:          depth,
@@ -93,20 +180,30 @@ func e1(out io.Writer, runs int) error {
 			Runs:           runs,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
+		row := edlRow{
+			Depth:         depth,
+			AnalyticMean:  res.Analytic.Expected(),
+			AnalyticWorst: int64(res.Analytic.Worst()),
+			MeasMean:      res.CCUEDL.Mean(),
+			MeasP95:       res.CCUEDL.Percentile(95),
+			MeasMax:       res.CCUEDL.Max(),
+		}
+		rows = append(rows, row)
 		fmt.Fprintf(out, "%d\t%.1f\t%d\t%.1f\t%.0f\t%.0f\n",
-			depth, res.Analytic.Expected(), res.Analytic.Worst(),
-			res.CCUEDL.Mean(), res.CCUEDL.Percentile(95), res.CCUEDL.Max())
+			row.Depth, row.AnalyticMean, row.AnalyticWorst,
+			row.MeasMean, row.MeasP95, row.MeasMax)
 	}
 	fmt.Fprintln(out)
-	return nil
+	return rows, nil
 }
 
 // e2 sweeps the sampling period at a fixed depth.
-func e2(out io.Writer, runs int) error {
+func e2(out io.Writer, runs int) ([]edlRow, error) {
 	fmt.Fprintln(out, "=== E2: EDL vs. sampling period (depth=3, hop=4, bus=2) ===")
 	fmt.Fprintln(out, "period\tanalyticE\tanalyticWorst\tmeasMean\tmeasP95\tmeasMax")
+	var rows []edlRow
 	for _, period := range []timemodel.Tick{1, 2, 4, 8, 16, 32, 64, 128} {
 		res, err := latency.RunChain(latency.ChainConfig{
 			Depth:          3,
@@ -117,21 +214,31 @@ func e2(out io.Writer, runs int) error {
 			Runs:           runs,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
+		row := edlRow{
+			SamplingPeriod: int64(period),
+			AnalyticMean:   res.Analytic.Expected(),
+			AnalyticWorst:  int64(res.Analytic.Worst()),
+			MeasMean:       res.CCUEDL.Mean(),
+			MeasP95:        res.CCUEDL.Percentile(95),
+			MeasMax:        res.CCUEDL.Max(),
+		}
+		rows = append(rows, row)
 		fmt.Fprintf(out, "%d\t%.1f\t%d\t%.1f\t%.0f\t%.0f\n",
-			period, res.Analytic.Expected(), res.Analytic.Worst(),
-			res.CCUEDL.Mean(), res.CCUEDL.Percentile(95), res.CCUEDL.Max())
+			row.SamplingPeriod, row.AnalyticMean, row.AnalyticWorst,
+			row.MeasMean, row.MeasP95, row.MeasMax)
 	}
 	fmt.Fprintln(out)
-	return nil
+	return rows, nil
 }
 
 // e3 sweeps per-hop loss; fresh samples act as retransmissions, so loss
 // shows up as latency first and as missed detections only at the extreme.
-func e3(out io.Writer, runs int) error {
+func e3(out io.Writer, runs int) ([]lossRow, error) {
 	fmt.Fprintln(out, "=== E3: recall and EDL vs. per-hop loss (depth=3, sampling=16) ===")
 	fmt.Fprintln(out, "loss\trecall\tmeasMean\tmeasP95\tmeasMax")
+	var rows []lossRow
 	for _, loss := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
 		res, err := latency.RunChain(latency.ChainConfig{
 			Depth:          3,
@@ -143,14 +250,93 @@ func e3(out io.Writer, runs int) error {
 			Runs:           runs,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
+		row := lossRow{
+			Loss:     loss,
+			Recall:   res.Recall(),
+			MeasMean: res.CCUEDL.Mean(),
+			MeasP95:  res.CCUEDL.Percentile(95),
+			MeasMax:  res.CCUEDL.Max(),
+		}
+		rows = append(rows, row)
 		fmt.Fprintf(out, "%.1f\t%.2f\t%.1f\t%.0f\t%.0f\n",
-			loss, res.Recall(),
-			res.CCUEDL.Mean(), res.CCUEDL.Percentile(95), res.CCUEDL.Max())
+			row.Loss, row.Recall, row.MeasMean, row.MeasP95, row.MeasMax)
 	}
 	fmt.Fprintln(out)
-	return nil
+	return rows, nil
+}
+
+// engineThroughput drives the streaming detection engine directly — a
+// 64-event two-role spatio-temporal join workload — and reports
+// sustained per-entity cost for the sequential bank and the sharded
+// runtime (mirrors BenchmarkEngineShardedIngest).
+func engineThroughput(out io.Writer) ([]engineRow, error) {
+	const (
+		nEvents  = 64
+		entities = 100_000
+	)
+	fmt.Fprintln(out, "=== engine: streaming ingest throughput (64 events, 2-role join) ===")
+	fmt.Fprintln(out, "shards\tentities\tns/entity\temitted")
+	specs := make([]detect.Spec, nEvents)
+	for i := range specs {
+		specs[i] = detect.Spec{
+			EventID: fmt.Sprintf("E%d", i),
+			Layer:   event.LayerSensor,
+			Roles: []detect.RoleSpec{
+				{Name: "x", Source: fmt.Sprintf("S%d", i), Window: 8},
+				{Name: "y", Source: fmt.Sprintf("T%d", i), Window: 8},
+			},
+			Cond: condition.MustParse("x.time before y.time and dist(x.loc, y.loc) < 2"),
+		}
+	}
+	loc := spatial.AtPoint(0, 0)
+	var rows []engineRow
+	for _, shards := range []int{1, 4} {
+		s, err := engine.NewSharded(engine.Config{Observer: "bench"}, shards)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			if err := s.AddDetector(spec); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Start(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < entities; i++ {
+			ev := (i / 2) % nEvents
+			src := fmt.Sprintf("S%d", ev)
+			if i%2 == 1 {
+				src = fmt.Sprintf("T%d", ev)
+			}
+			now := timemodel.Tick(i)
+			o := event.Observation{
+				Mote: "M", Sensor: src, Seq: uint64(i),
+				Time: timemodel.At(now),
+				Loc:  spatial.AtPoint(float64(i%7), 0),
+			}
+			if err := s.Ingest(src, o, 1, now, loc); err != nil {
+				return nil, err
+			}
+		}
+		s.Drain()
+		elapsed := time.Since(start)
+		st := s.Stats()
+		s.Close(timemodel.Tick(entities), loc)
+		row := engineRow{
+			Shards:      shards,
+			Entities:    entities,
+			NsPerEntity: float64(elapsed.Nanoseconds()) / entities,
+			Emitted:     st.Emitted,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "%d\t%d\t%.0f\t%d\n", row.Shards, row.Entities, row.NsPerEntity, row.Emitted)
+	}
+	fmt.Fprintln(out)
+	return rows, nil
 }
 
 // e8 prints the baseline comparison matrix: which engine from the

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,6 +34,50 @@ func TestRunSingleExperiments(t *testing.T) {
 				t.Errorf("table too short:\n%s", out.String())
 			}
 		})
+	}
+}
+
+func TestRunJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-exp", "E3", "-runs", "2", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Schema string `json:"schema"`
+		E3     []struct {
+			Loss   float64 `json:"loss"`
+			Recall float64 `json:"recall"`
+		} `json:"e3"`
+		Engine []struct {
+			Shards      int     `json:"shards"`
+			NsPerEntity float64 `json:"nsPerEntity"`
+			Emitted     uint64  `json:"emitted"`
+		} `json:"engineIngest"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Schema != "stcps-bench/1" {
+		t.Errorf("schema = %q", art.Schema)
+	}
+	if len(art.E3) != 6 {
+		t.Errorf("e3 rows = %d, want 6", len(art.E3))
+	}
+	if art.E3[0].Recall < art.E3[len(art.E3)-1].Recall {
+		t.Errorf("recall should not improve with loss: %v", art.E3)
+	}
+	if len(art.Engine) == 0 {
+		t.Fatal("no engine throughput rows")
+	}
+	for _, row := range art.Engine {
+		if row.NsPerEntity <= 0 || row.Emitted == 0 {
+			t.Errorf("degenerate engine row %+v", row)
+		}
 	}
 }
 

@@ -1,0 +1,256 @@
+// Command stcpsd is the streaming detection daemon: a standalone
+// stcps.Engine fed from stdin — the paper's observer logic (Eqs.
+// 5.3–5.5) serving a live entity feed with no simulator attached.
+//
+// Input is JSONL, one entity per line: event instances (objects with an
+// "event" field, the wire form of stcps.Instance) are ingested under
+// their event id carrying their confidence; raw observations (objects
+// with a "sensor" field) are ingested under their sensor id with
+// confidence 1. Emitted instances are written to stdout as JSONL; a
+// summary goes to stderr at EOF, after open interval detections are
+// flushed at the latest ingested tick.
+//
+// Detected events are declared in a JSON file:
+//
+//	[{"id": "E.hot", "layer": "cyber",
+//	  "roles": [{"name": "x", "source": "S.temp", "window": 4, "maxAge": 100}],
+//	  "when": "x.temp > 30", "confidence": "noisy-or"}]
+//
+// Usage:
+//
+//	stcpsd -events events.json < entities.jsonl > instances.jsonl
+//	stcpsd -events events.json -workers 8    # sharded engine, 8 shards
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/stcps/stcps"
+	"github.com/stcps/stcps/internal/event"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "stcpsd:", err)
+		os.Exit(1)
+	}
+}
+
+// roleJSON mirrors stcps.Role in the events file.
+type roleJSON struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Window int    `json:"window"`
+	MaxAge int64  `json:"maxAge"`
+}
+
+// eventJSON mirrors stcps.EventSpec plus its layer in the events file.
+type eventJSON struct {
+	ID             string     `json:"id"`
+	Layer          string     `json:"layer"`
+	Roles          []roleJSON `json:"roles"`
+	When           string     `json:"when"`
+	Interval       bool       `json:"interval"`
+	Confidence     string     `json:"confidence"`
+	BaseConfidence float64    `json:"baseConfidence"`
+	EstimateTime   string     `json:"estimateTime"`
+	EstimateLoc    string     `json:"estimateLoc"`
+}
+
+// parseLayer maps the events-file layer name to the instance layer;
+// empty defaults to cyber (the top of the hierarchy, where a standalone
+// consumer of instance feeds typically sits).
+func parseLayer(s string) (stcps.Layer, error) {
+	switch s {
+	case "sensor":
+		return stcps.LayerSensor, nil
+	case "cyber-physical":
+		return stcps.LayerCyberPhysical, nil
+	case "", "cyber":
+		return stcps.LayerCyber, nil
+	default:
+		return 0, fmt.Errorf("unknown layer %q (want sensor, cyber-physical or cyber)", s)
+	}
+}
+
+func loadEvents(path string) ([]eventJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var evs []eventJSON
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return nil, fmt.Errorf("events file %s: %w", path, err)
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("events file %s declares no events", path)
+	}
+	return evs, nil
+}
+
+func run(args []string, in io.Reader, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("stcpsd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	eventsPath := fs.String("events", "", "JSON file declaring the detected events (required)")
+	observer := fs.String("observer", "stcpsd", "observer id stamped on emitted instances")
+	workers := fs.Int("workers", 1, "worker shards (>1 selects the concurrent sharded engine)")
+	x := fs.Float64("x", 0, "observer location x")
+	y := fs.Float64("y", 0, "observer location y")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *eventsPath == "" {
+		return fmt.Errorf("missing -events file")
+	}
+	evs, err := loadEvents(*eventsPath)
+	if err != nil {
+		return err
+	}
+
+	// Serialize instance output: in sharded mode OnInstance runs on
+	// worker goroutines.
+	w := bufio.NewWriter(out)
+	var mu sync.Mutex
+	var emitted uint64
+	var writeErr error
+	eng, err := stcps.NewEngine(stcps.EngineConfig{
+		Observer: *observer,
+		Loc:      stcps.AtPoint(*x, *y),
+		Workers:  *workers,
+		OnInstance: func(inst stcps.Instance) {
+			data, err := event.EncodeInstance(inst)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if writeErr == nil {
+					writeErr = err
+				}
+				return
+			}
+			data = append(data, '\n')
+			if _, err := w.Write(data); err != nil {
+				if writeErr == nil {
+					writeErr = err
+				}
+				return
+			}
+			emitted++
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		layer, err := parseLayer(ev.Layer)
+		if err != nil {
+			return fmt.Errorf("event %q: %w", ev.ID, err)
+		}
+		spec := stcps.EventSpec{
+			ID:             ev.ID,
+			When:           ev.When,
+			Interval:       ev.Interval,
+			Confidence:     ev.Confidence,
+			BaseConfidence: ev.BaseConfidence,
+			EstimateTime:   ev.EstimateTime,
+			EstimateLoc:    ev.EstimateLoc,
+		}
+		for _, r := range ev.Roles {
+			spec.Roles = append(spec.Roles, stcps.Role{
+				Name: r.Name, Source: r.Source,
+				Window: r.Window, MaxAge: stcps.Tick(r.MaxAge),
+			})
+		}
+		if err := eng.Detect(layer, spec); err != nil {
+			return err
+		}
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+
+	var (
+		ingested, skipped uint64
+		maxTick           stcps.Tick
+		feedErr           error
+	)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+scan:
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Event  string `json:"event"`
+			Sensor string `json:"sensor"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			skipped++
+			fmt.Fprintf(errw, "stcpsd: skipping malformed line: %v\n", err)
+			continue
+		}
+		switch {
+		case probe.Event != "":
+			inst, err := event.DecodeInstance(line)
+			if err != nil {
+				skipped++
+				fmt.Fprintf(errw, "stcpsd: skipping bad instance: %v\n", err)
+				continue
+			}
+			if inst.Gen > maxTick {
+				maxTick = inst.Gen
+			}
+			if _, err := eng.Feed(inst); err != nil {
+				feedErr = err
+				break scan
+			}
+		case probe.Sensor != "":
+			obs, err := event.DecodeObservation(line)
+			if err != nil {
+				skipped++
+				fmt.Fprintf(errw, "stcpsd: skipping bad observation: %v\n", err)
+				continue
+			}
+			if obs.Time.End() > maxTick {
+				maxTick = obs.Time.End()
+			}
+			if _, err := eng.Observe(obs); err != nil {
+				feedErr = err
+				break scan
+			}
+		default:
+			skipped++
+			fmt.Fprintln(errw, "stcpsd: skipping line with neither event nor sensor")
+			continue
+		}
+		ingested++
+	}
+	if feedErr == nil {
+		feedErr = sc.Err()
+	}
+
+	// Always tear down: stop the worker shards, flush open intervals,
+	// and land whatever output is buffered — even on a mid-stream
+	// error, partial results reach stdout.
+	eng.Close(maxTick)
+	mu.Lock()
+	defer mu.Unlock()
+	flushErr := w.Flush()
+	fmt.Fprintf(errw, "stcpsd: ingested=%d skipped=%d emitted=%d events=%d workers=%d\n",
+		ingested, skipped, emitted, len(evs), *workers)
+	switch {
+	case feedErr != nil:
+		return feedErr
+	case writeErr != nil:
+		return writeErr
+	default:
+		return flushErr
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+const testEvents = `[
+  {"id": "E.hot", "layer": "cyber",
+   "roles": [{"name": "x", "source": "S.temp", "window": 2, "maxAge": 100}],
+   "when": "x.temp > 30"},
+  {"id": "E.warm", "layer": "cyber",
+   "roles": [{"name": "x", "source": "S.temp", "window": 2}],
+   "when": "x.temp > 20", "interval": true},
+  {"id": "E.obsHigh", "layer": "sensor",
+   "roles": [{"name": "x", "source": "SR1", "window": 1}],
+   "when": "x.v > 5"}
+]`
+
+func writeEvents(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.json")
+	if err := os.WriteFile(path, []byte(testEvents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func feedLines(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < 6; i++ {
+		line, err := event.EncodeInstance(event.Instance{
+			Layer: event.LayerSensor, Observer: "MT1", Event: "S.temp",
+			Seq: uint64(i + 1), Gen: timemodel.Tick(i * 10),
+			GenLoc:     spatial.AtPoint(0, 0),
+			Occ:        timemodel.At(timemodel.Tick(i * 10)),
+			Loc:        spatial.AtPoint(0, 0),
+			Attrs:      event.Attrs{"temp": 22 + float64(i)*3}, // 22..37: crosses both thresholds
+			Confidence: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	// One raw observation for the sensor-layer event.
+	obs, err := event.EncodeObservation(event.Observation{
+		Mote: "MT1", Sensor: "SR1", Seq: 1,
+		Time: timemodel.At(60), Loc: spatial.AtPoint(1, 1),
+		Attrs: event.Attrs{"v": 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(obs)
+	sb.WriteByte('\n')
+	// Garbage and unknown lines are skipped, not fatal.
+	sb.WriteString("{not json}\n")
+	sb.WriteString(`{"neither":"kind"}` + "\n")
+	return sb.String()
+}
+
+// runDaemon runs stcpsd and decodes its emitted instances.
+func runDaemon(t *testing.T, args []string, stdin string) ([]event.Instance, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	if err := run(args, strings.NewReader(stdin), &out, &errw); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	var insts []event.Instance
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		in, err := event.DecodeInstance([]byte(line))
+		if err != nil {
+			t.Fatalf("bad output line %q: %v", line, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, errw.String()
+}
+
+func TestDaemonSynchronous(t *testing.T) {
+	events := writeEvents(t)
+	insts, stderr := runDaemon(t, []string{"-events", events, "-observer", "edge-1"}, feedLines(t))
+
+	byEvent := make(map[string]int)
+	for _, in := range insts {
+		if in.Observer != "edge-1" {
+			t.Errorf("observer = %q", in.Observer)
+		}
+		byEvent[in.Event]++
+	}
+	// temps 22,25,28,31,34,37: three cross 30 (punctual E.hot), the warm
+	// interval opens at 22 and flushes at EOF, and the observation fires
+	// E.obsHigh once.
+	if byEvent["E.hot"] != 3 {
+		t.Errorf("E.hot fired %d times, want 3 (stderr: %s)", byEvent["E.hot"], stderr)
+	}
+	if byEvent["E.warm"] != 1 {
+		t.Errorf("E.warm fired %d times, want 1", byEvent["E.warm"])
+	}
+	if byEvent["E.obsHigh"] != 1 {
+		t.Errorf("E.obsHigh fired %d times, want 1", byEvent["E.obsHigh"])
+	}
+	if !strings.Contains(stderr, "ingested=7 skipped=2") {
+		t.Errorf("stderr summary = %q", stderr)
+	}
+}
+
+func TestDaemonSharded(t *testing.T) {
+	events := writeEvents(t)
+	insts, _ := runDaemon(t, []string{"-events", events, "-workers", "4"}, feedLines(t))
+	byEvent := make(map[string]int)
+	for _, in := range insts {
+		byEvent[in.Event]++
+	}
+	if byEvent["E.hot"] != 3 || byEvent["E.warm"] != 1 || byEvent["E.obsHigh"] != 1 {
+		t.Errorf("sharded run emitted %v, want map[E.hot:3 E.obsHigh:1 E.warm:1]", byEvent)
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run(nil, strings.NewReader(""), &out, &errw); err == nil {
+		t.Error("missing -events should error")
+	}
+	if err := run([]string{"-events", "/nonexistent.json"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Error("unreadable events file should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-events", empty}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Error("empty events file should error")
+	}
+	badLayer := filepath.Join(t.TempDir(), "bad.json")
+	spec := `[{"id":"E","layer":"bogus","roles":[{"name":"x","source":"s"}],"when":"true"}]`
+	if err := os.WriteFile(badLayer, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-events", badLayer}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Error("bad layer should error")
+	}
+}

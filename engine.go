@@ -1,0 +1,199 @@
+package stcps
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/stcps/stcps/internal/db"
+	"github.com/stcps/stcps/internal/engine"
+	"github.com/stcps/stcps/internal/event"
+)
+
+// Engine errors.
+var (
+	// ErrEngineConfig is returned for invalid engine configurations.
+	ErrEngineConfig = errors.New("stcps: invalid engine config")
+)
+
+// EngineStats counts engine traffic (entities ingested, instances
+// emitted).
+type EngineStats = engine.Stats
+
+// EngineConfig parameterizes a standalone detection Engine.
+type EngineConfig struct {
+	// Observer is the observer identifier OB_id stamped on emitted
+	// instances. Required.
+	Observer string
+	// Loc is the observer's generation location l^g (where this engine
+	// runs), used for every emitted instance.
+	Loc Location
+	// Workers selects the concurrent sharded runtime when > 1: that
+	// many worker shards evaluate detectors in parallel,
+	// hash-partitioned by event ID. With 0 or 1 the engine is
+	// synchronous and Ingest returns emitted instances directly.
+	Workers int
+	// OnInstance, when set, receives every emitted instance. Required
+	// when Workers > 1 (the sharded engine emits asynchronously, from
+	// worker goroutines) unless WithStore captures the output instead.
+	OnInstance func(Instance)
+	// WithStore keeps an in-process database server: every emitted
+	// instance is logged immediately (the engine is clock-agnostic, so
+	// there is no simulated transfer delay). Query it via Store.
+	WithStore bool
+	// DBCell is the store's spatial-index cell size (0 = default).
+	DBCell float64
+}
+
+// Engine is the standalone streaming detection runtime: the observer
+// logic of the paper (Eqs. 5.3–5.5) without the simulator, for driving
+// detections from live entity feeds. Declare events with Detect, then
+// push entities with Feed / Observe / Ingest; emitted instances are
+// returned (synchronous mode), delivered to OnInstance, and/or logged
+// to the store.
+//
+// In sharded mode (Workers > 1) call Start after declaring events, push
+// from a single feeder goroutine, and Close to drain and flush; the
+// OnInstance callback then runs on worker goroutines and must be safe
+// for concurrent use.
+type Engine struct {
+	cfg     EngineConfig
+	bank    *engine.Bank
+	sharded *engine.Sharded
+	store   *db.Store
+}
+
+// NewEngine creates a detection engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Observer == "" {
+		return nil, fmt.Errorf("missing observer id: %w", ErrEngineConfig)
+	}
+	if cfg.Workers > 1 && cfg.OnInstance == nil && !cfg.WithStore {
+		return nil, fmt.Errorf("sharded engine needs OnInstance or WithStore (emissions would be lost): %w", ErrEngineConfig)
+	}
+	e := &Engine{cfg: cfg}
+	var logHook engine.EmitFunc
+	if cfg.WithStore {
+		store, err := db.New(cfg.DBCell)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
+		logHook = func(in event.Instance) { _ = store.Log(in) }
+	}
+	var emit engine.EmitFunc
+	if cfg.OnInstance != nil {
+		emit = func(in event.Instance) { e.cfg.OnInstance(in) }
+	}
+	ecfg := engine.Config{
+		Observer: cfg.Observer,
+		Loc:      cfg.Loc,
+		Log:      logHook,
+		Emit:     emit,
+	}
+	if cfg.Workers > 1 {
+		sh, err := engine.NewSharded(ecfg, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		e.sharded = sh
+		return e, nil
+	}
+	b, err := engine.NewBank(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	e.bank = b
+	return e, nil
+}
+
+// Detect declares a detected event at the given layer (LayerSensor,
+// LayerCyberPhysical or LayerCyber). Role sources name the input
+// streams passed to Feed/Observe/Ingest. In sharded mode all events
+// must be declared before Start.
+func (e *Engine) Detect(layer Layer, spec EventSpec) error {
+	ds, err := spec.toDetect(layer)
+	if err != nil {
+		return err
+	}
+	if e.sharded != nil {
+		return e.sharded.AddDetector(ds)
+	}
+	_, err = e.bank.AddDetector(ds)
+	return err
+}
+
+// Start launches the worker shards. It is a no-op for a synchronous
+// engine.
+func (e *Engine) Start() error {
+	if e.sharded != nil {
+		return e.sharded.Start()
+	}
+	return nil
+}
+
+// Ingest pushes one entity from an input stream at virtual time now —
+// the fully general, clock-agnostic path. Synchronous engines return
+// the emitted instances; sharded engines detect asynchronously and
+// return nil (instances flow through OnInstance / the store).
+func (e *Engine) Ingest(source string, ent Entity, conf float64, now Tick) ([]Instance, error) {
+	if e.sharded != nil {
+		return nil, e.sharded.Ingest(source, ent, conf, now, e.cfg.Loc)
+	}
+	return e.bank.Ingest(source, ent, conf, now, e.cfg.Loc), nil
+}
+
+// Feed pushes a lower-layer event instance (e.g. decoded from a live
+// feed) under its event id, carrying its confidence, at its generation
+// time.
+func (e *Engine) Feed(in Instance) ([]Instance, error) {
+	return e.Ingest(in.Event, in, in.Confidence, in.Gen)
+}
+
+// Observe pushes a raw physical observation under its sensor id with
+// confidence 1 at its sampling time.
+func (e *Engine) Observe(o Observation) ([]Instance, error) {
+	return e.Ingest(o.Sensor, o, 1, o.Time.End())
+}
+
+// Drain blocks until every queued entity has been processed (sharded
+// mode); it is a no-op for a synchronous engine.
+func (e *Engine) Drain() {
+	if e.sharded != nil {
+		e.sharded.Drain()
+	}
+}
+
+// Flush closes open interval detections at virtual time now and returns
+// the flushed instances. In sharded mode this drains, stops the
+// workers and flushes: the engine cannot ingest afterwards.
+func (e *Engine) Flush(now Tick) []Instance {
+	if e.sharded != nil {
+		return e.sharded.Close(now, e.cfg.Loc)
+	}
+	return e.bank.Flush(now, e.cfg.Loc)
+}
+
+// Close is Flush under its lifecycle name: use it when tearing a
+// sharded engine down.
+func (e *Engine) Close(now Tick) []Instance { return e.Flush(now) }
+
+// Sources returns the distinct input stream keys the engine consumes,
+// sorted — e.g. the topics to subscribe on a pub/sub feed.
+func (e *Engine) Sources() []string {
+	if e.sharded != nil {
+		return e.sharded.Sources()
+	}
+	return e.bank.Sources()
+}
+
+// Store returns the in-process database server (nil unless WithStore).
+func (e *Engine) Store() *db.Store { return e.store }
+
+// Stats returns the engine's traffic counters. In sharded mode call
+// after Drain or Close for exact numbers.
+func (e *Engine) Stats() EngineStats {
+	if e.sharded != nil {
+		return e.sharded.Stats()
+	}
+	return e.bank.Stats()
+}

@@ -1,0 +1,304 @@
+package stcps
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/stcps/stcps/internal/engine"
+	"github.com/stcps/stcps/internal/event"
+)
+
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{}); !errors.Is(err, ErrEngineConfig) {
+		t.Fatalf("missing observer err = %v", err)
+	}
+	if _, err := NewEngine(EngineConfig{Observer: "OB", Workers: 4}); !errors.Is(err, ErrEngineConfig) {
+		t.Fatalf("sharded without sink err = %v", err)
+	}
+	if _, err := NewEngine(EngineConfig{Observer: "OB", Workers: 4, WithStore: true}); err != nil {
+		t.Fatalf("sharded with store err = %v", err)
+	}
+}
+
+func TestEngineSynchronous(t *testing.T) {
+	var seen []Instance
+	eng, err := NewEngine(EngineConfig{
+		Observer:   "edge-1",
+		Loc:        AtPoint(10, 10),
+		OnInstance: func(in Instance) { seen = append(seen, in) },
+		WithStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Detect(LayerCyber, EventSpec{
+		ID:    "E.hot",
+		Roles: []Role{{Name: "x", Source: "S.temp", Window: 2}},
+		When:  "x.temp > 30",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Detect(LayerCyber, EventSpec{
+		ID:       "E.warm",
+		Roles:    []Role{{Name: "x", Source: "S.temp", Window: 2}},
+		When:     "x.temp > 20",
+		Interval: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Sources(); len(got) != 1 || got[0] != "S.temp" {
+		t.Fatalf("Sources() = %v", got)
+	}
+	if err := eng.Start(); err != nil { // no-op in sync mode
+		t.Fatal(err)
+	}
+
+	feed := func(seq uint64, tick Tick, temp float64) []Instance {
+		out, err := eng.Feed(Instance{
+			Layer: LayerSensor, Observer: "MT1", Event: "S.temp", Seq: seq,
+			Gen: tick, Occ: At(tick), Loc: AtPoint(0, 0),
+			Attrs: Attrs{"temp": temp}, Confidence: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if out := feed(1, 10, 25); len(out) != 0 {
+		t.Fatalf("cool feed emitted %v", out)
+	}
+	out := feed(2, 20, 35)
+	if len(out) != 1 || out[0].Event != "E.hot" || out[0].Observer != "edge-1" {
+		t.Fatalf("hot feed emitted %v", out)
+	}
+	if out[0].Confidence != 0.9 {
+		t.Errorf("confidence = %g, want 0.9 (min policy over one input)", out[0].Confidence)
+	}
+
+	// Observe: raw observation path.
+	if _, err := eng.Observe(Observation{
+		Mote: "MT1", Sensor: "SRx", Seq: 1, Time: At(30), Loc: AtPoint(0, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	flushed := eng.Flush(40)
+	if len(flushed) != 1 || flushed[0].Event != "E.warm" {
+		t.Fatalf("flush emitted %v", flushed)
+	}
+	if flushed[0].Occ.Start() != 10 || flushed[0].Occ.End() != 20 {
+		t.Errorf("interval = %v, want [10,20]", flushed[0].Occ)
+	}
+
+	if len(seen) != 2 {
+		t.Errorf("OnInstance saw %d instances, want 2", len(seen))
+	}
+	if eng.Store().Len() != 2 {
+		t.Errorf("store logged %d instances, want 2", eng.Store().Len())
+	}
+	st := eng.Stats()
+	if st.Ingested != 3 || st.Emitted != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineSharded(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Instance
+	eng, err := NewEngine(EngineConfig{
+		Observer: "edge-s",
+		Workers:  4,
+		OnInstance: func(in Instance) {
+			mu.Lock()
+			seen = append(seen, in)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nEvents = 8
+	for i := 0; i < nEvents; i++ {
+		if err := eng.Detect(LayerCyber, EventSpec{
+			ID:    fmt.Sprintf("E.hot%d", i),
+			Roles: []Role{{Name: "x", Source: fmt.Sprintf("S.temp%d", i), Window: 2}},
+			When:  "x.temp > 30",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := eng.Feed(Instance{
+			Layer: LayerSensor, Observer: "MT1",
+			Event: fmt.Sprintf("S.temp%d", i%nEvents), Seq: uint64(i/nEvents + 1),
+			Gen: Tick(i), Occ: At(Tick(i)), Loc: AtPoint(0, 0),
+			Attrs: Attrs{"temp": 40}, Confidence: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	st := eng.Stats()
+	if st.Ingested != n || st.Emitted != n {
+		t.Errorf("stats = %+v, want %d/%d", st, n, n)
+	}
+	eng.Close(Tick(n))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Errorf("OnInstance saw %d instances, want %d", len(seen), n)
+	}
+}
+
+// traceRec captures one observer's bank inputs and outputs during a
+// simulation run.
+type traceRec struct {
+	ops  []engine.TraceOp
+	outs []event.Instance
+}
+
+func record(b *engine.Bank) *traceRec {
+	r := &traceRec{}
+	b.Trace = func(op engine.TraceOp) { r.ops = append(r.ops, op) }
+	b.Tap = func(in event.Instance) { r.outs = append(r.outs, in) }
+	return r
+}
+
+// TestEngineSimDifferential proves the extracted engine is the same
+// machine the simulated nodes run: the entity trace each observer saw
+// during a fixed-seed System.Run, replayed through a fresh
+// engine.Bank, reproduces that observer's emitted instances
+// byte-identically (IDs, occurrence intervals, confidences — the full
+// wire form).
+func TestEngineSimDifferential(t *testing.T) {
+	moteNear := EventSpec{
+		ID:    "S.near",
+		Roles: []Role{{Name: "x", Source: "SRrange", Window: 1}},
+		When:  "x.range < 25",
+	}
+	moteOcc := EventSpec{
+		ID:       "S.occ",
+		Roles:    []Role{{Name: "x", Source: "SRrange", Window: 1, MaxAge: 50}},
+		When:     "x.range < 40",
+		Interval: true,
+	}
+	sinkPresence := EventSpec{
+		ID:         "CP.presence",
+		Roles:      []Role{{Name: "x", Source: "S.near", Window: 4, MaxAge: 60}},
+		When:       "x.range < 25",
+		Confidence: "noisy-or",
+	}
+	ccuAlert := EventSpec{
+		ID:    "E.alert",
+		Roles: []Role{{Name: "x", Source: "CP.presence", Window: 2}},
+		When:  "true",
+	}
+
+	sys, err := NewSystem(Config{Seed: 7, Radio: Radio{Range: 40, HopDelay: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.World().AddObject(&Object{ID: "userA", Traj: NewWaypoints([]Waypoint{
+		{T: 0, P: Pt(0, 5)},
+		{T: 400, P: Pt(100, 5)},
+	})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddSink("sink1", Pt(45, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddCCU("CCU1", Pt(45, 30)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"MT1", "MT2"} {
+		pos := Pt(30, 8)
+		if id == "MT2" {
+			pos = Pt(60, 8)
+		}
+		if err := sys.AddSensorMote(id, pos, []SensorConfig{
+			{ID: "SRrange", Object: "userA", Period: 10, Noise: 0.5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.OnMote(id, moteNear); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.OnMote(id, moteOcc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.OnSink("sink1", sinkPresence); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OnCCU("CCU1", ccuAlert); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := map[string]*traceRec{
+		"MT1":   record(sys.motes["MT1"].Bank()),
+		"MT2":   record(sys.motes["MT2"].Bank()),
+		"sink1": record(sys.sinks["sink1"].Bank()),
+		"CCU1":  record(sys.ccus["CCU1"].Bank()),
+	}
+
+	if _, err := sys.Run(400); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay every observer's trace through a standalone bank built from
+	// the same specs, in the same registration order.
+	replaySpecs := map[string][]struct {
+		layer Layer
+		spec  EventSpec
+	}{
+		"MT1":   {{LayerSensor, moteNear}, {LayerSensor, moteOcc}},
+		"MT2":   {{LayerSensor, moteNear}, {LayerSensor, moteOcc}},
+		"sink1": {{LayerCyberPhysical, sinkPresence}},
+		"CCU1":  {{LayerCyber, ccuAlert}},
+	}
+	for obs, rec := range recs {
+		if len(rec.ops) == 0 {
+			t.Fatalf("%s: empty trace (scenario produced no traffic)", obs)
+		}
+		if len(rec.outs) == 0 {
+			t.Fatalf("%s: no emissions during the run", obs)
+		}
+		bank, err := engine.NewBank(engine.Config{Observer: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, es := range replaySpecs[obs] {
+			ds, err := es.spec.toDetect(es.layer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bank.AddDetector(ds); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := bank.Replay(rec.ops)
+		if len(got) != len(rec.outs) {
+			t.Fatalf("%s: replay emitted %d instances, sim emitted %d", obs, len(got), len(rec.outs))
+		}
+		for i := range got {
+			want, err := event.EncodeInstance(rec.outs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := event.EncodeInstance(got[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, have) {
+				t.Fatalf("%s instance %d differs:\nsim:    %s\nengine: %s", obs, i, want, have)
+			}
+		}
+	}
+}

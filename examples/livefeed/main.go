@@ -1,15 +1,14 @@
-// Command livefeed demonstrates the real-time mode of the CPS network:
-// instead of the deterministic simulation bus, event instances stream
-// over the goroutine/channel-backed AsyncBus while detection runs
-// concurrently — the shape a live deployment of the paper's architecture
-// would take.
+// Command livefeed demonstrates the real-time mode of the architecture:
+// instead of the deterministic simulation, event instances stream over
+// the goroutine/channel-backed AsyncBus into a standalone stcps.Engine —
+// the shape a live deployment of the paper's observer hierarchy takes.
 //
-// A producer goroutine publishes temperature observations (as ungated
-// sensor event instances) for two rooms; a consumer evaluates the paper's
-// composite condition over the stream and prints alerts as they happen.
-// This example deliberately reaches below the simulation facade into the
-// library's building blocks (condition + detect + network) to show they
-// are usable standalone.
+// Two producer goroutines publish temperature readings (as ungated
+// sensor event instances) for two rooms onto the CPS network; one
+// consumer drains the bus into a sharded detection engine evaluating the
+// paper's composite condition ("both rooms hot at nearly the same time")
+// and prints alerts as they happen. No System, no scheduler: the engine
+// is the reusable detection runtime, fed straight from the live feed.
 package main
 
 import (
@@ -19,12 +18,8 @@ import (
 	"sync"
 	"time"
 
-	"github.com/stcps/stcps/internal/condition"
-	"github.com/stcps/stcps/internal/detect"
-	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps"
 	"github.com/stcps/stcps/internal/network"
-	"github.com/stcps/stcps/internal/spatial"
-	"github.com/stcps/stcps/internal/timemodel"
 )
 
 func main() {
@@ -34,46 +29,63 @@ func main() {
 }
 
 func run() error {
-	bus := network.NewAsyncBus()
-	defer bus.Close()
-
-	// The consumer: a cyber-level detector evaluating "both rooms hot at
-	// (nearly) the same time" over the live stream.
-	det, err := detect.New("CCU-live", detect.Spec{
-		EventID: "E.bothHot",
-		Layer:   event.LayerCyber,
-		Roles: []detect.RoleSpec{
-			{Name: "a", Source: "S.temp.room1", Window: 1, MaxAge: 40},
-			{Name: "b", Source: "S.temp.room2", Window: 1, MaxAge: 40},
+	var (
+		alertMu sync.Mutex
+		alerts  []stcps.Instance
+	)
+	eng, err := stcps.NewEngine(stcps.EngineConfig{
+		Observer: "CCU-live",
+		Loc:      stcps.AtPoint(0, 0),
+		Workers:  2, // sharded: detection runs concurrently with the feed
+		OnInstance: func(in stcps.Instance) {
+			alertMu.Lock()
+			alerts = append(alerts, in)
+			alertMu.Unlock()
+			fmt.Printf("  ALERT %s  t^eo=%v  ρ=%.2f  inputs=%v\n",
+				in.EntityID(), in.Occ, in.Confidence, in.Inputs)
 		},
-		Cond:       condition.MustParse("a.temp > 30 and b.temp > 30 and span(a.time, b.time) during [0, 100000]"),
-		Confidence: detect.PolicyNoisyOr,
 	})
 	if err != nil {
 		return err
 	}
+	if err := eng.Detect(stcps.LayerCyber, stcps.EventSpec{
+		ID: "E.bothHot",
+		Roles: []stcps.Role{
+			{Name: "a", Source: "S.temp.room1", Window: 1, MaxAge: 40},
+			{Name: "b", Source: "S.temp.room2", Window: 1, MaxAge: 40},
+		},
+		When:       "a.temp > 30 and b.temp > 30 and span(a.time, b.time) during [0, 100000]",
+		Confidence: "noisy-or",
+	}); err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
 
-	var (
-		mu     sync.Mutex
-		alerts []event.Instance
-		done   = make(chan struct{})
-	)
+	bus := network.NewAsyncBus()
+	defer bus.Close()
+
+	// The consumer: one goroutine drains the bus into the engine (the
+	// engine's shards parallelize detection, the feed stays ordered).
 	const total = 40
-	received := 0
+	var (
+		mu       sync.Mutex
+		received int
+		feedErr  error
+		done     = make(chan struct{})
+	)
 	err = bus.Subscribe("ccu", network.TopicAll, func(m network.Message) {
-		in, ok := m.Payload.(event.Instance)
+		in, ok := m.Payload.(stcps.Instance)
 		if !ok {
 			return
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		received++
-		genLoc := spatial.AtPoint(0, 0)
-		for _, out := range det.Offer(in.Event, in, in.Confidence, in.Gen, genLoc) {
-			alerts = append(alerts, out)
-			fmt.Printf("  ALERT %s  t^eo=%v  ρ=%.2f  inputs=%v\n",
-				out.EntityID(), out.Occ, out.Confidence, out.Inputs)
+		if _, err := eng.Feed(in); err != nil && feedErr == nil {
+			feedErr = err
 		}
+		received++
 		if received == total {
 			close(done)
 		}
@@ -84,7 +96,7 @@ func run() error {
 
 	// Two producer goroutines, one per room: temperatures ramp up over
 	// the stream so the composite fires partway through.
-	fmt.Println("=== livefeed: streaming detection over the async CPS network ===")
+	fmt.Println("=== livefeed: streaming detection engine over the async CPS network ===")
 	var wg sync.WaitGroup
 	for _, room := range []string{"room1", "room2"} {
 		room := room
@@ -94,16 +106,16 @@ func run() error {
 			rng := rand.New(rand.NewSource(int64(len(room))))
 			for i := 0; i < total/2; i++ {
 				temp := 20 + float64(i) + rng.Float64()
-				inst := event.Instance{
-					Layer:      event.LayerSensor,
+				inst := stcps.Instance{
+					Layer:      stcps.LayerSensor,
 					Observer:   "MT-" + room,
 					Event:      "S.temp." + room,
 					Seq:        uint64(i + 1),
-					Gen:        timemodel.Tick(i * 10),
-					GenLoc:     spatial.AtPoint(0, 0),
-					Occ:        timemodel.At(timemodel.Tick(i * 10)),
-					Loc:        spatial.AtPoint(0, 0),
-					Attrs:      event.Attrs{"temp": temp},
+					Gen:        stcps.Tick(i * 10),
+					GenLoc:     stcps.AtPoint(0, 0),
+					Occ:        stcps.At(stcps.Tick(i * 10)),
+					Loc:        stcps.AtPoint(0, 0),
+					Attrs:      stcps.Attrs{"temp": temp},
 					Confidence: 0.9,
 				}
 				if err := bus.Publish("MT-"+room, inst.Event, inst); err != nil {
@@ -120,13 +132,21 @@ func run() error {
 	case <-time.After(5 * time.Second):
 		return fmt.Errorf("timed out waiting for stream")
 	}
-
+	eng.Close(stcps.Tick(total * 10)) // drain the shards, flush intervals
 	mu.Lock()
-	defer mu.Unlock()
+	ferr := feedErr
+	mu.Unlock()
+	if ferr != nil {
+		return fmt.Errorf("feeding the engine: %w", ferr)
+	}
+
+	alertMu.Lock()
+	defer alertMu.Unlock()
+	st := eng.Stats()
 	fmt.Printf("\nstream complete: %d instances consumed, %d alerts raised\n",
-		received, len(alerts))
-	st := bus.Stats()
-	fmt.Printf("bus: published=%d delivered=%d\n", st.Published, st.Delivered)
+		st.Ingested, len(alerts))
+	bst := bus.Stats()
+	fmt.Printf("bus: published=%d delivered=%d\n", bst.Published, bst.Delivered)
 	if len(alerts) == 0 {
 		return fmt.Errorf("no alerts fired")
 	}

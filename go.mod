@@ -1,0 +1,3 @@
+module github.com/stcps/stcps
+
+go 1.24

@@ -17,14 +17,43 @@ type entry struct {
 	conf float64
 }
 
+// roleBuf is one role's retention window. minEnd is a lower bound on the
+// earliest occurrence end among the entries: age pruning can be skipped
+// whenever now-minEnd is within MaxAge, because then no entry can have
+// expired. Window evictions leave minEnd stale (still a valid lower
+// bound); each real prune scan recomputes it exactly.
+type roleBuf struct {
+	entries []entry
+	minEnd  timemodel.Tick
+}
+
+// prune evicts age-expired entries and recomputes the exact minEnd.
+func (rb *roleBuf) prune(now, maxAge timemodel.Tick) {
+	keep := rb.entries[:0]
+	first := true
+	var min timemodel.Tick
+	for _, e := range rb.entries {
+		end := e.ent.OccTime().End()
+		if now-end <= maxAge {
+			if first || end < min {
+				min = end
+				first = false
+			}
+			keep = append(keep, e)
+		}
+	}
+	rb.entries = keep
+	rb.minEnd = min
+}
+
 // Detector evaluates one event's conditions at one observer. It is not
 // safe for concurrent use; each observer owns its detectors and offers
 // entities from the simulation goroutine.
 type Detector struct {
 	spec     Spec
 	observer string
-	buffers  map[string][]entry // role -> window, oldest first
-	bySource map[string][]int   // source -> indexes into spec.Roles
+	buffers  map[string]*roleBuf // role -> window, oldest first
+	bySource map[string][]int    // source -> indexes into spec.Roles
 	seq      uint64
 	emitted  map[string]struct{}
 
@@ -49,12 +78,15 @@ func New(observerID string, spec Spec) (*Detector, error) {
 	d := &Detector{
 		spec:     spec,
 		observer: observerID,
-		buffers:  make(map[string][]entry, len(spec.Roles)),
+		buffers:  make(map[string]*roleBuf, len(spec.Roles)),
 		bySource: make(map[string][]int),
 		emitted:  make(map[string]struct{}),
 	}
 	for i, r := range spec.Roles {
 		d.bySource[r.Source] = append(d.bySource[r.Source], i)
+		if d.buffers[r.Name] == nil {
+			d.buffers[r.Name] = &roleBuf{}
+		}
 	}
 	return d, nil
 }
@@ -100,23 +132,19 @@ func (d *Detector) Offer(source string, ent event.Entity, conf float64, now time
 }
 
 // pruneAll evicts age-expired entities from every role buffer, so MaxAge
-// bounds bindings regardless of which role receives traffic.
+// bounds bindings regardless of which role receives traffic. Buffers
+// whose earliest-expiry bound proves nothing expired are skipped in O(1),
+// keeping the Offer hot path O(roles) instead of O(roles×window).
 func (d *Detector) pruneAll(now timemodel.Tick) {
 	for _, r := range d.spec.Roles {
 		if r.MaxAge <= 0 {
 			continue
 		}
-		buf := d.buffers[r.Name]
-		if len(buf) == 0 {
+		rb := d.buffers[r.Name]
+		if len(rb.entries) == 0 || now-rb.minEnd <= r.MaxAge {
 			continue
 		}
-		keep := buf[:0]
-		for _, e := range buf {
-			if now-e.ent.OccTime().End() <= r.MaxAge {
-				keep = append(keep, e)
-			}
-		}
-		d.buffers[r.Name] = keep
+		rb.prune(now, r.MaxAge)
 	}
 }
 
@@ -133,21 +161,18 @@ func (d *Detector) Flush(now timemodel.Tick, genLoc spatial.Location) []event.In
 // insert adds the entity to the role buffer, evicting by window size and
 // age.
 func (d *Detector) insert(r RoleSpec, ent event.Entity, conf float64, now timemodel.Tick) {
-	buf := d.buffers[r.Name]
-	buf = append(buf, entry{ent: ent, conf: conf})
-	if r.MaxAge > 0 {
-		keep := buf[:0]
-		for _, e := range buf {
-			if now-e.ent.OccTime().End() <= r.MaxAge {
-				keep = append(keep, e)
-			}
-		}
-		buf = keep
+	rb := d.buffers[r.Name]
+	end := ent.OccTime().End()
+	if len(rb.entries) == 0 || end < rb.minEnd {
+		rb.minEnd = end
 	}
-	if len(buf) > r.Window {
-		buf = buf[len(buf)-r.Window:]
+	rb.entries = append(rb.entries, entry{ent: ent, conf: conf})
+	if r.MaxAge > 0 && now-rb.minEnd > r.MaxAge {
+		rb.prune(now, r.MaxAge)
 	}
-	d.buffers[r.Name] = buf
+	if len(rb.entries) > r.Window {
+		rb.entries = rb.entries[len(rb.entries)-r.Window:]
+	}
 }
 
 // stepPunctual enumerates bindings that include the new entity and emits
@@ -198,7 +223,7 @@ func (d *Detector) enumerate(roles []RoleSpec, fixedRole string, fixed event.Ent
 		if r.Name == fixedRole {
 			choices = []entry{{ent: fixed, conf: d.confOf(r.Name, fixed)}}
 		} else {
-			choices = d.buffers[r.Name]
+			choices = d.buffers[r.Name].entries
 		}
 		if len(choices) == 0 {
 			return nil // a role with no entities: no complete binding
@@ -227,7 +252,7 @@ func (d *Detector) enumerate(roles []RoleSpec, fixedRole string, fixed event.Ent
 // (1 if not found — the entity was just offered with its confidence and
 // inserted, so it is always present in practice).
 func (d *Detector) confOf(role string, ent event.Entity) float64 {
-	buf := d.buffers[role]
+	buf := d.buffers[role].entries
 	for i := len(buf) - 1; i >= 0; i-- {
 		if buf[i].ent.EntityID() == ent.EntityID() {
 			return buf[i].conf
@@ -242,7 +267,7 @@ func (d *Detector) stepInterval(now timemodel.Tick, genLoc spatial.Location) []e
 	bind := condition.Binding{}
 	var confs []float64
 	for _, r := range d.spec.Roles {
-		buf := d.buffers[r.Name]
+		buf := d.buffers[r.Name].entries
 		if len(buf) == 0 {
 			return d.fallIfOpen(now, genLoc)
 		}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func obsAt(sensor string, seq uint64, t timemodel.Tick, v float64) event.Observation {
+	return event.Observation{
+		Mote: "MT1", Sensor: sensor, Seq: seq,
+		Time:  timemodel.At(t),
+		Loc:   spatial.AtPoint(1, 2),
+		Attrs: event.Attrs{"v": v},
+	}
+}
+
+func punctualSpec(eventID, source string) detect.Spec {
+	return detect.Spec{
+		EventID: eventID,
+		Layer:   event.LayerSensor,
+		Roles:   []detect.RoleSpec{{Name: "x", Source: source, Window: 4}},
+		Cond:    condition.MustParse("x.v > 0"),
+	}
+}
+
+func TestBankValidation(t *testing.T) {
+	if _, err := NewBank(Config{}); !errors.Is(err, ErrNoObserver) {
+		t.Fatalf("missing observer err = %v", err)
+	}
+	b, err := NewBank(Config{Observer: "OB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDetector(detect.Spec{}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if b.Observer() != "OB" {
+		t.Error("Observer accessor")
+	}
+}
+
+func TestBankFanOutAndHooks(t *testing.T) {
+	var logged, emitted, tapped []string
+	b, err := NewBank(Config{
+		Observer: "OB",
+		Log:      func(in event.Instance) { logged = append(logged, in.EntityID()) },
+		Emit:     func(in event.Instance) { emitted = append(emitted, in.EntityID()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tap = func(in event.Instance) { tapped = append(tapped, in.EntityID()) }
+
+	// Two detectors on source "sa", one on "sb": fan-out is per source.
+	for _, id := range []string{"E.a1", "E.a2"} {
+		if _, err := b.AddDetector(punctualSpec(id, "sa")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AddDetector(punctualSpec("E.b", "sb")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Sources(); len(got) != 2 || got[0] != "sa" || got[1] != "sb" {
+		t.Fatalf("Sources() = %v", got)
+	}
+	if !b.HasSource("sa") || b.HasSource("nope") {
+		t.Error("HasSource")
+	}
+	if b.Detectors() != 3 {
+		t.Errorf("Detectors() = %d", b.Detectors())
+	}
+
+	loc := spatial.AtPoint(0, 0)
+	out := b.Ingest("sa", obsAt("sa", 1, 10, 1), 1, 10, loc)
+	if len(out) != 2 {
+		t.Fatalf("sa fan-out emitted %d instances, want 2", len(out))
+	}
+	out = b.Ingest("sb", obsAt("sb", 1, 11, 1), 1, 11, loc)
+	if len(out) != 1 {
+		t.Fatalf("sb emitted %d instances, want 1", len(out))
+	}
+	if out[0].Observer != "OB" || out[0].Event != "E.b" {
+		t.Errorf("instance = %+v", out[0])
+	}
+	// Unknown sources are ignored without error.
+	if out := b.Ingest("nope", obsAt("x", 1, 12, 1), 1, 12, loc); out != nil {
+		t.Errorf("unknown source emitted %v", out)
+	}
+
+	if len(logged) != 3 || len(emitted) != 3 || len(tapped) != 3 {
+		t.Fatalf("hooks saw %d/%d/%d instances, want 3 each", len(logged), len(emitted), len(tapped))
+	}
+	st := b.Stats()
+	if st.Ingested != 3 || st.Emitted != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if b.EvalErrors() != 0 {
+		t.Errorf("eval errors = %d", b.EvalErrors())
+	}
+}
+
+func TestBankFlushIntervals(t *testing.T) {
+	b, err := NewBank(Config{Observer: "OB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := punctualSpec("E.i", "s")
+	spec.Mode = detect.ModeInterval
+	if _, err := b.AddDetector(spec); err != nil {
+		t.Fatal(err)
+	}
+	loc := spatial.AtPoint(0, 0)
+	if out := b.Ingest("s", obsAt("s", 1, 5, 1), 1, 5, loc); len(out) != 0 {
+		t.Fatalf("interval emitted early: %v", out)
+	}
+	out := b.Flush(20, loc)
+	if len(out) != 1 {
+		t.Fatalf("flush emitted %d, want 1", len(out))
+	}
+	if out[0].TemporalClass() != event.Interval && out[0].Occ.Start() != 5 {
+		t.Errorf("flushed occurrence = %v", out[0].Occ)
+	}
+}
+
+// TestBankTraceReplay proves a recorded trace replays byte-identically
+// through a fresh bank.
+func TestBankTraceReplay(t *testing.T) {
+	mkBank := func() *Bank {
+		b, err := NewBank(Config{Observer: "OB"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := punctualSpec("E.p", "s")
+		if _, err := b.AddDetector(spec); err != nil {
+			t.Fatal(err)
+		}
+		ispec := punctualSpec("E.i", "s")
+		ispec.Mode = detect.ModeInterval
+		if _, err := b.AddDetector(ispec); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	live := mkBank()
+	var trace []TraceOp
+	live.Trace = func(op TraceOp) { trace = append(trace, op) }
+	loc := spatial.AtPoint(3, 4)
+	var want []event.Instance
+	for i := 0; i < 20; i++ {
+		v := float64(i%5) - 1 // mixes satisfied and unsatisfied steps
+		now := timemodel.Tick(i * 3)
+		want = append(want, live.Ingest("s", obsAt("s", uint64(i+1), now, v), 0.9, now, loc)...)
+	}
+	want = append(want, live.Flush(100, loc)...)
+
+	got := mkBank().Replay(trace)
+	if len(got) != len(want) {
+		t.Fatalf("replay emitted %d instances, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wb, err := event.EncodeInstance(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := event.EncodeInstance(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("instance %d differs:\nlive:   %s\nreplay: %s", i, wb, gb)
+		}
+	}
+}
+
+func TestBankHookOrder(t *testing.T) {
+	var order []string
+	b, err := NewBank(Config{
+		Observer: "OB",
+		Log:      func(event.Instance) { order = append(order, "log") },
+		Emit:     func(event.Instance) { order = append(order, "emit") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tap = func(event.Instance) { order = append(order, "tap") }
+	if _, err := b.AddDetector(punctualSpec("E", "s")); err != nil {
+		t.Fatal(err)
+	}
+	b.Ingest("s", obsAt("s", 1, 0, 1), 1, 0, spatial.AtPoint(0, 0))
+	want := fmt.Sprint([]string{"log", "emit", "tap"})
+	if fmt.Sprint(order) != want {
+		t.Fatalf("hook order = %v, want %v", order, want)
+	}
+}

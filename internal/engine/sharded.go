@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// DefaultBatch is the per-shard offer batch size when Sharded.Batch is
+// zero.
+const DefaultBatch = 32
+
+// shardChanCap is the per-shard queue capacity, in batches.
+const shardChanCap = 64
+
+// offerMsg is one buffered Ingest call.
+type offerMsg struct {
+	source string
+	ent    event.Entity
+	conf   float64
+	now    timemodel.Tick
+	loc    spatial.Location
+}
+
+// Sharded is the concurrent detection engine: N worker shards, each
+// owning a Bank, hash-partitioned by detected event ID so every
+// detector sees a sequential stream while distinct events evaluate in
+// parallel. Offers are batched per shard and batch buffers are pooled.
+//
+// Usage: AddDetector everything, Start, then Ingest from ONE producer
+// goroutine (the shards parallelize detection, not the feed); Drain to
+// wait for quiescence; Close to stop the workers and flush open
+// intervals. The Config Emit/Log hooks run on worker goroutines and
+// must be safe for concurrent use.
+type Sharded struct {
+	cfg   Config
+	banks []*Bank
+	// routes maps each input source to the shards hosting a detector
+	// that consumes it. Immutable after Start.
+	routes map[string][]int
+	in     []chan *[]offerMsg
+	// pending is the producer-side partial batch per shard.
+	pending []*[]offerMsg
+
+	// Batch overrides the offer batch size when set before Start.
+	Batch int
+
+	pool     sync.Pool
+	wg       sync.WaitGroup
+	ingested atomic.Uint64
+	started  bool
+	closed   bool
+
+	// inflight counts dispatched-but-unprocessed offers; idle is
+	// signalled when it reaches zero so Drain can block without
+	// spinning.
+	mu       sync.Mutex
+	idle     *sync.Cond
+	inflight int64
+}
+
+// NewSharded creates a sharded engine with the given shard count
+// (clamped to at least 1). Each shard bank shares cfg.
+func NewSharded(cfg Config, shards int) (*Sharded, error) {
+	if cfg.Observer == "" {
+		return nil, ErrNoObserver
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		routes: make(map[string][]int),
+	}
+	s.idle = sync.NewCond(&s.mu)
+	for i := 0; i < shards; i++ {
+		b, err := NewBank(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.banks = append(s.banks, b)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.banks) }
+
+// shardOf hash-partitions a detected event ID onto a shard.
+func (s *Sharded) shardOf(eventID string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(eventID))
+	return int(h.Sum32() % uint32(len(s.banks)))
+}
+
+// AddDetector registers a detector on the shard owning its event ID.
+// All registration must happen before Start.
+func (s *Sharded) AddDetector(spec detect.Spec) error {
+	if s.started {
+		return ErrStarted
+	}
+	shard := s.shardOf(spec.EventID)
+	d, err := s.banks[shard].AddDetector(spec)
+	if err != nil {
+		return err
+	}
+	for _, src := range d.Sources() {
+		if !containsInt(s.routes[src], shard) {
+			s.routes[src] = append(s.routes[src], shard)
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Start spawns the worker shards. No detectors may be added afterwards.
+func (s *Sharded) Start() error {
+	if s.started {
+		return ErrStarted
+	}
+	s.started = true
+	batch := s.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	s.Batch = batch
+	s.pool.New = func() any {
+		buf := make([]offerMsg, 0, batch)
+		return &buf
+	}
+	s.in = make([]chan *[]offerMsg, len(s.banks))
+	s.pending = make([]*[]offerMsg, len(s.banks))
+	for i := range s.banks {
+		s.in[i] = make(chan *[]offerMsg, shardChanCap)
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return nil
+}
+
+// worker drains one shard's batch queue into its bank.
+func (s *Sharded) worker(i int) {
+	defer s.wg.Done()
+	bank := s.banks[i]
+	for bp := range s.in[i] {
+		buf := *bp
+		for _, m := range buf {
+			bank.Ingest(m.source, m.ent, m.conf, m.now, m.loc)
+		}
+		s.mu.Lock()
+		s.inflight -= int64(len(buf))
+		if s.inflight == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+		*bp = buf[:0]
+		s.pool.Put(bp)
+	}
+}
+
+// Ingest buffers one entity toward every shard hosting a detector for
+// its source. Detection happens asynchronously on the workers; emitted
+// instances flow through the Config hooks. Ingest is intended for a
+// single producer goroutine.
+func (s *Sharded) Ingest(source string, ent event.Entity, conf float64, now timemodel.Tick, loc spatial.Location) error {
+	if !s.started {
+		return ErrNotStarted
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	s.ingested.Add(1)
+	m := offerMsg{source: source, ent: ent, conf: conf, now: now, loc: loc}
+	for _, shard := range s.routes[source] {
+		bp := s.pending[shard]
+		if bp == nil {
+			bp = s.pool.Get().(*[]offerMsg)
+			s.pending[shard] = bp
+		}
+		*bp = append(*bp, m)
+		if len(*bp) >= s.Batch {
+			s.dispatch(shard)
+		}
+	}
+	return nil
+}
+
+// dispatch sends a shard's pending batch to its worker.
+func (s *Sharded) dispatch(shard int) {
+	bp := s.pending[shard]
+	if bp == nil || len(*bp) == 0 {
+		return
+	}
+	s.pending[shard] = nil
+	s.mu.Lock()
+	s.inflight += int64(len(*bp))
+	s.mu.Unlock()
+	s.in[shard] <- bp
+}
+
+// Drain flushes all partial batches and blocks until every queued offer
+// has been processed — the barrier before reading Stats or measuring
+// throughput.
+func (s *Sharded) Drain() {
+	if !s.started || s.closed {
+		return
+	}
+	for shard := range s.pending {
+		s.dispatch(shard)
+	}
+	s.mu.Lock()
+	for s.inflight != 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close drains the queues, stops the workers, then flushes open
+// interval detections at virtual time now, returning the flushed
+// instances (which also flow through the Config hooks).
+func (s *Sharded) Close(now timemodel.Tick, loc spatial.Location) []event.Instance {
+	if !s.started || s.closed {
+		return nil
+	}
+	s.Drain()
+	s.closed = true
+	for _, ch := range s.in {
+		close(ch)
+	}
+	s.wg.Wait()
+	var out []event.Instance
+	for _, b := range s.banks {
+		out = append(out, b.Flush(now, loc)...)
+	}
+	return out
+}
+
+// Stats aggregates the shard banks' counters. Ingested counts producer
+// offers (not per-shard fan-out copies); Emitted counts generated
+// instances. Call after Drain or Close for exact numbers.
+func (s *Sharded) Stats() Stats {
+	out := Stats{Ingested: s.ingested.Load()}
+	for _, b := range s.banks {
+		out.Emitted += b.Stats().Emitted
+	}
+	return out
+}
+
+// Sources returns the distinct input stream keys consumed across all
+// shards, sorted.
+func (s *Sharded) Sources() []string {
+	seen := make(map[string]bool)
+	var union []string
+	for _, b := range s.banks {
+		for _, src := range b.Sources() {
+			if !seen[src] {
+				seen[src] = true
+				union = append(union, src)
+			}
+		}
+	}
+	sort.Strings(union)
+	return union
+}
+
+// String describes the sharded engine for logs.
+func (s *Sharded) String() string {
+	return fmt.Sprintf("engine.Sharded{observer=%s shards=%d}", s.cfg.Observer, len(s.banks))
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/network"
 	"github.com/stcps/stcps/internal/phys"
@@ -56,14 +57,12 @@ type Rule struct {
 // other CCUs, evaluates cyber event conditions, publishes new cyber event
 // instances, and executes event–action rules.
 type CCU struct {
-	id        string
-	pos       spatial.Point
-	sched     *sim.Scheduler
-	bus       network.Bus
-	store     *db.Store
-	detectors []*detect.Detector
-	rules     []*Rule
-	logTTL    timemodel.Tick
+	id    string
+	pos   spatial.Point
+	sched *sim.Scheduler
+	bus   network.Bus
+	bank  *engine.Bank
+	rules []*Rule
 
 	// Received counts bus instances consumed; Published counts cyber
 	// instances published; Actions counts rule firings.
@@ -79,14 +78,23 @@ func NewCCU(sched *sim.Scheduler, bus network.Bus, store *db.Store, id string, p
 	if id == "" {
 		return nil, fmt.Errorf("ccu needs an id: %w", ErrBadNode)
 	}
-	return &CCU{
-		id:     id,
-		pos:    pos,
-		sched:  sched,
-		bus:    bus,
-		store:  store,
-		logTTL: logTTL,
-	}, nil
+	c := &CCU{
+		id:    id,
+		pos:   pos,
+		sched: sched,
+		bus:   bus,
+	}
+	bank, err := engine.NewBank(engine.Config{
+		Observer: id,
+		Loc:      spatial.AtPt(pos),
+		Log:      logAfter(sched, store, logTTL),
+		Emit:     c.publish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.bank = bank
+	return c, nil
 }
 
 // ID returns the CCU identifier.
@@ -101,11 +109,10 @@ func (c *CCU) AddDetector(spec detect.Spec) error {
 	if spec.Layer != event.LayerCyber {
 		return fmt.Errorf("ccu detector layer %v: %w", spec.Layer, ErrBadNode)
 	}
-	d, err := detect.New(c.id, spec)
+	d, err := c.bank.AddDetector(spec)
 	if err != nil {
 		return err
 	}
-	c.detectors = append(c.detectors, d)
 	// Subscribe to every source the detector needs.
 	for _, src := range d.Sources() {
 		if err := c.SubscribeTo(src); err != nil {
@@ -114,6 +121,9 @@ func (c *CCU) AddDetector(spec detect.Spec) error {
 	}
 	return nil
 }
+
+// Bank exposes the CCU's detection engine bank (tracing, stats).
+func (c *CCU) Bank() *engine.Bank { return c.bank }
 
 // SubscribeTo subscribes the CCU to an event topic on the CPS network
 // (Fig. 1: "Subscribe Interested Cyber-Physical Events and Cyber
@@ -150,24 +160,16 @@ func (c *CCU) onMessage(msg network.Message) {
 
 // consume runs detectors and rules on one instance.
 func (c *CCU) consume(inst event.Instance) {
-	genLoc := spatial.AtPt(c.pos)
-	for _, d := range c.detectors {
-		for _, out := range d.Offer(inst.Event, inst, inst.Confidence, c.sched.Now(), genLoc) {
-			c.publish(out)
-		}
-	}
+	c.bank.Ingest(inst.Event, inst, inst.Confidence, c.sched.Now(), spatial.AtPt(c.pos))
 	c.fireRules(inst)
 }
 
-// publish emits a cyber event instance: onto the bus, into the log, and
-// through the CCU's own rules (actions associate with generated cyber
-// events).
+// publish is the bank's emit hook for generated cyber event instances:
+// onto the bus and through the CCU's own rules (actions associate with
+// generated cyber events; logging already happened via the bank's log
+// hook).
 func (c *CCU) publish(inst event.Instance) {
 	c.Published++
-	if c.store != nil {
-		in := inst
-		c.sched.After(c.logTTL, func() { _ = c.store.Log(in) })
-	}
 	_ = c.bus.Publish(c.id, inst.Event, inst)
 	c.fireRules(inst)
 }
@@ -196,10 +198,5 @@ func (c *CCU) fireRules(inst event.Instance) {
 
 // FlushIntervals closes open interval detections (end of run).
 func (c *CCU) FlushIntervals() {
-	genLoc := spatial.AtPt(c.pos)
-	for _, d := range c.detectors {
-		for _, inst := range d.Flush(c.sched.Now(), genLoc) {
-			c.publish(inst)
-		}
-	}
+	c.bank.Flush(c.sched.Now(), spatial.AtPt(c.pos))
 }

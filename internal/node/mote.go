@@ -22,6 +22,7 @@ import (
 
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/phys"
 	"github.com/stcps/stcps/internal/sim"
@@ -29,6 +30,19 @@ import (
 	"github.com/stcps/stcps/internal/timemodel"
 	"github.com/stcps/stcps/internal/wsn"
 )
+
+// logAfter builds the engine log hook shared by all observer nodes: the
+// paper's "automatically transferred to the database server after a
+// certain time" — each emitted instance is appended to the store ttl
+// ticks after its generation. A nil store disables logging.
+func logAfter(sched *sim.Scheduler, store *db.Store, ttl timemodel.Tick) engine.EmitFunc {
+	if store == nil {
+		return nil
+	}
+	return func(in event.Instance) {
+		sched.After(ttl, func() { _ = store.Log(in) })
+	}
+}
 
 // Node errors.
 var (
@@ -89,16 +103,16 @@ func (c SensorConfig) attrName() string {
 // MoteNode is a sensor mote observer. It is driven entirely by the
 // simulation scheduler.
 type MoteNode struct {
-	id        string
-	mote      *wsn.Mote
-	world     *phys.World
-	net       *wsn.Network
-	sched     *sim.Scheduler
-	sensors   []SensorConfig
-	detectors []*detect.Detector
-	store     *db.Store
-	logTTL    timemodel.Tick
-	seq       map[string]uint64
+	id      string
+	mote    *wsn.Mote
+	world   *phys.World
+	net     *wsn.Network
+	sched   *sim.Scheduler
+	sensors []SensorConfig
+	bank    *engine.Bank
+	store   *db.Store
+	logTTL  timemodel.Tick
+	seq     map[string]uint64
 
 	// Observations counts samples taken; Sent counts instances sent
 	// upstream.
@@ -122,7 +136,7 @@ func NewMoteNode(sched *sim.Scheduler, world *phys.World, net *wsn.Network, mote
 			return nil, err
 		}
 	}
-	return &MoteNode{
+	mn := &MoteNode{
 		id:      moteID,
 		mote:    m,
 		world:   world,
@@ -132,7 +146,17 @@ func NewMoteNode(sched *sim.Scheduler, world *phys.World, net *wsn.Network, mote
 		store:   store,
 		logTTL:  logTTL,
 		seq:     make(map[string]uint64, len(sensors)),
-	}, nil
+	}
+	mn.bank, err = engine.NewBank(engine.Config{
+		Observer: moteID,
+		Loc:      spatial.AtPt(m.Pos),
+		Log:      logAfter(sched, store, logTTL),
+		Emit:     mn.send,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mn, nil
 }
 
 // ID returns the mote identifier.
@@ -147,13 +171,12 @@ func (m *MoteNode) AddDetector(spec detect.Spec) error {
 	if spec.Layer != event.LayerSensor {
 		return fmt.Errorf("mote detector layer %v: %w", spec.Layer, ErrBadNode)
 	}
-	d, err := detect.New(m.id, spec)
-	if err != nil {
-		return err
-	}
-	m.detectors = append(m.detectors, d)
-	return nil
+	_, err := m.bank.AddDetector(spec)
+	return err
 }
+
+// Bank exposes the mote's detection engine bank (tracing, stats).
+func (m *MoteNode) Bank() *engine.Bank { return m.bank }
 
 // Start schedules periodic sampling for every sensor.
 func (m *MoteNode) Start() error {
@@ -187,12 +210,7 @@ func (m *MoteNode) sample(sc SensorConfig) {
 		o := obs
 		m.sched.After(m.logTTL, func() { m.store.LogObservation(o) })
 	}
-	genLoc := spatial.AtPt(m.mote.Pos)
-	for _, d := range m.detectors {
-		for _, inst := range d.Offer(sc.ID, obs, 1, m.sched.Now(), genLoc) {
-			m.emit(inst)
-		}
-	}
+	m.bank.Ingest(sc.ID, obs, 1, m.sched.Now(), spatial.AtPt(m.mote.Pos))
 }
 
 // measure resolves the sensor's physical value at the current time.
@@ -226,13 +244,10 @@ func (m *MoteNode) measure(sc SensorConfig) (float64, bool) {
 	return v, true
 }
 
-// emit sends a sensor event instance up the WSN and logs it after TTL.
-func (m *MoteNode) emit(inst event.Instance) {
+// send is the bank's emit hook: sensor event instances go up the WSN
+// (logging already happened via the bank's log hook).
+func (m *MoteNode) send(inst event.Instance) {
 	m.Sent++
-	if m.store != nil {
-		in := inst
-		m.sched.After(m.logTTL, func() { _ = m.store.Log(in) })
-	}
 	// Radio loss is part of the model; routing errors are programming
 	// errors surfaced by tests via Stats.
 	_ = m.net.SendUp(m.id, inst)
@@ -241,10 +256,5 @@ func (m *MoteNode) emit(inst event.Instance) {
 // FlushIntervals closes any open interval detections at the current time
 // (end of run).
 func (m *MoteNode) FlushIntervals() {
-	genLoc := spatial.AtPt(m.mote.Pos)
-	for _, d := range m.detectors {
-		for _, inst := range d.Flush(m.sched.Now(), genLoc) {
-			m.emit(inst)
-		}
-	}
+	m.bank.Flush(m.sched.Now(), spatial.AtPt(m.mote.Pos))
 }

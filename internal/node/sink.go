@@ -5,6 +5,7 @@ import (
 
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/network"
 	"github.com/stcps/stcps/internal/sim"
@@ -19,13 +20,13 @@ import (
 // instances on the CPS network (Fig. 1: "Publish Cyber-Physical Event
 // Instances").
 type SinkNode struct {
-	id        string
-	pos       spatial.Point
-	sched     *sim.Scheduler
-	bus       network.Bus
-	store     *db.Store
-	detectors []*detect.Detector
-	logTTL    timemodel.Tick
+	id     string
+	pos    spatial.Point
+	sched  *sim.Scheduler
+	bus    network.Bus
+	store  *db.Store
+	bank   *engine.Bank
+	logTTL timemodel.Tick
 
 	// Received counts instances arriving from motes; Published counts
 	// cyber-physical instances published.
@@ -47,6 +48,16 @@ func NewSinkNode(sched *sim.Scheduler, net *wsn.Network, bus network.Bus, store 
 		store:  store,
 		logTTL: logTTL,
 	}
+	bank, err := engine.NewBank(engine.Config{
+		Observer: id,
+		Loc:      spatial.AtPt(pos),
+		Log:      logAfter(sched, store, logTTL),
+		Emit:     s.publish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.bank = bank
 	if err := net.AddSink(id, pos, s.handle); err != nil {
 		return nil, err
 	}
@@ -65,13 +76,12 @@ func (s *SinkNode) AddDetector(spec detect.Spec) error {
 	if spec.Layer != event.LayerCyberPhysical {
 		return fmt.Errorf("sink detector layer %v: %w", spec.Layer, ErrBadNode)
 	}
-	d, err := detect.New(s.id, spec)
-	if err != nil {
-		return err
-	}
-	s.detectors = append(s.detectors, d)
-	return nil
+	_, err := s.bank.AddDetector(spec)
+	return err
 }
+
+// Bank exposes the sink's detection engine bank (tracing, stats).
+func (s *SinkNode) Bank() *engine.Bank { return s.bank }
 
 // handle is the WSN uplink handler: sensor event instances arrive here.
 func (s *SinkNode) handle(from string, payload any) {
@@ -84,22 +94,13 @@ func (s *SinkNode) handle(from string, payload any) {
 		in := inst
 		s.sched.After(s.logTTL, func() { _ = s.store.Log(in) })
 	}
-	genLoc := spatial.AtPt(s.pos)
-	for _, d := range s.detectors {
-		for _, out := range d.Offer(inst.Event, inst, inst.Confidence, s.sched.Now(), genLoc) {
-			s.publish(out)
-		}
-	}
+	s.bank.Ingest(inst.Event, inst, inst.Confidence, s.sched.Now(), spatial.AtPt(s.pos))
 }
 
-// publish sends a cyber-physical instance onto the CPS network and logs
-// it.
+// publish is the bank's emit hook: cyber-physical instances go onto the
+// CPS network (logging already happened via the bank's log hook).
 func (s *SinkNode) publish(inst event.Instance) {
 	s.Published++
-	if s.store != nil {
-		in := inst
-		s.sched.After(s.logTTL, func() { _ = s.store.Log(in) })
-	}
 	// Topic is the event id; subscription errors are configuration
 	// errors caught in tests.
 	_ = s.bus.Publish(s.id, inst.Event, inst)
@@ -107,10 +108,5 @@ func (s *SinkNode) publish(inst event.Instance) {
 
 // FlushIntervals closes open interval detections (end of run).
 func (s *SinkNode) FlushIntervals() {
-	genLoc := spatial.AtPt(s.pos)
-	for _, d := range s.detectors {
-		for _, inst := range d.Flush(s.sched.Now(), genLoc) {
-			s.publish(inst)
-		}
-	}
+	s.bank.Flush(s.sched.Now(), spatial.AtPt(s.pos))
 }
