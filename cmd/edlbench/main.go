@@ -10,6 +10,7 @@
 //	edlbench -exp E2    # EDL vs. sampling period
 //	edlbench -exp E3    # recall and EDL vs. packet loss
 //	edlbench -exp E8    # baseline expressiveness/correctness matrix
+//	edlbench -exp E9    # combined region×time retrieval: QueryST vs. scan
 //	edlbench -exp E11   # condition evaluation placement
 //	edlbench -runs 32   # more runs per configuration
 //	edlbench -json BENCH_1.json   # also write the machine-readable artifact
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
@@ -27,6 +29,7 @@ import (
 
 	"github.com/stcps/stcps/internal/baseline"
 	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/detect"
 	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
@@ -72,6 +75,27 @@ type engineRow struct {
 	Emitted     uint64  `json:"emitted"`
 }
 
+// queryRow is one E9 measurement: combined region×time retrieval via
+// the indexed QueryST path or the linear-scan oracle.
+type queryRow struct {
+	Instances  int     `json:"instances"`
+	Queries    int     `json:"queries"`
+	Mode       string  `json:"mode"`
+	NsPerQuery float64 `json:"nsPerQuery"`
+	Hits       int     `json:"hits"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// retentionRow reports the steady state of a retention-bounded store
+// after logging well past its cap.
+type retentionRow struct {
+	Logged       int     `json:"logged"`
+	MaxInstances int     `json:"maxInstances"`
+	Live         int     `json:"live"`
+	Evicted      uint64  `json:"evicted"`
+	HeapMB       float64 `json:"heapMB"`
+}
+
 // artifact is the machine-readable benchmark output: the perf
 // trajectory record accumulated across PRs.
 type artifact struct {
@@ -82,16 +106,19 @@ type artifact struct {
 	GOARCH    string      `json:"goarch"`
 	CPUs      int         `json:"cpus"`
 	Runs      int         `json:"runs"`
-	E1        []edlRow    `json:"e1,omitempty"`
-	E2        []edlRow    `json:"e2,omitempty"`
-	E3        []lossRow   `json:"e3,omitempty"`
-	Engine    []engineRow `json:"engineIngest,omitempty"`
+	E1        []edlRow      `json:"e1,omitempty"`
+	E2        []edlRow      `json:"e2,omitempty"`
+	E3        []lossRow     `json:"e3,omitempty"`
+	E9        []queryRow    `json:"e9,omitempty"`
+	Retention *retentionRow `json:"retention,omitempty"`
+	Engine    []engineRow   `json:"engineIngest,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E11 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E11 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
+	queryInstances := fs.Int("queryInstances", 100_000, "logged instances for the E9 query experiment")
 	jsonPath := fs.String("json", "", "write a machine-readable benchmark artifact to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +163,15 @@ func run(args []string, out io.Writer) error {
 		if err := e8(out); err != nil {
 			return err
 		}
+	}
+	if which == "ALL" || which == "E9" {
+		any = true
+		rows, ret, err := e9(out, *queryInstances)
+		if err != nil {
+			return err
+		}
+		art.E9 = rows
+		art.Retention = ret
 	}
 	if which == "ALL" || which == "E11" {
 		any = true
@@ -337,6 +373,140 @@ func engineThroughput(out io.Writer) ([]engineRow, error) {
 	}
 	fmt.Fprintln(out)
 	return rows, nil
+}
+
+// e9 measures the database server's combined region×time retrieval:
+// the indexed QueryST path (cheaper-index selection + verification)
+// against the ScanTime∩ScanRegion linear oracle at nInstances logged
+// instances, then demonstrates the retention policy holding a bounded
+// store at steady state while logging twice past its cap. Both modes
+// must return identical hit counts — the benchmark doubles as a
+// differential check at scale.
+func e9(out io.Writer, nInstances int) ([]queryRow, *retentionRow, error) {
+	const (
+		nEvents  = 64
+		nQueries = 64
+		space    = 4096.0
+		span     = 1_000_000
+	)
+	fmt.Fprintf(out, "=== E9: combined region×time retrieval, %d instances, %d queries ===\n", nInstances, nQueries)
+	fmt.Fprintln(out, "mode\tns/query\thits\tspeedup")
+	rng := rand.New(rand.NewSource(9))
+	s, err := db.New(16)
+	if err != nil {
+		return nil, nil, err
+	}
+	mkInst := func(i int) event.Instance {
+		start := timemodel.Tick(rng.Int63n(span))
+		return event.Instance{
+			Layer:      event.LayerSensor,
+			Observer:   fmt.Sprintf("M%d", i%257),
+			Event:      fmt.Sprintf("E%d", rng.Intn(nEvents)),
+			Seq:        uint64(i),
+			Gen:        start,
+			GenLoc:     spatial.AtPoint(0, 0),
+			Occ:        timemodel.MustBetween(start, start+timemodel.Tick(rng.Intn(100))),
+			Loc:        spatial.AtPoint(rng.Float64()*space, rng.Float64()*space),
+			Confidence: 1,
+		}
+	}
+	for i := 0; i < nInstances; i++ {
+		if err := s.Log(mkInst(i)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	type qspec struct {
+		ev       string
+		region   spatial.Location
+		from, to timemodel.Tick
+	}
+	queries := make([]qspec, nQueries)
+	for i := range queries {
+		x, y := rng.Float64()*(space-256), rng.Float64()*(space-256)
+		f, err := spatial.Rect(x, y, x+256, y+256)
+		if err != nil {
+			return nil, nil, err
+		}
+		from := timemodel.Tick(rng.Int63n(span))
+		queries[i] = qspec{
+			ev:     fmt.Sprintf("E%d", rng.Intn(nEvents)),
+			region: spatial.InField(f),
+			from:   from,
+			to:     from + span/50,
+		}
+	}
+
+	start := time.Now()
+	idxHits := 0
+	for i := range queries {
+		q := &queries[i]
+		res, err := s.QueryST(db.Query{
+			Event: q.ev, Region: &q.region,
+			HasTime: true, From: q.from, To: q.to,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		idxHits += len(res.Instances)
+	}
+	idxNs := float64(time.Since(start).Nanoseconds()) / nQueries
+
+	start = time.Now()
+	scanHits := 0
+	for i := range queries {
+		q := &queries[i]
+		inRegion := make(map[string]bool)
+		for _, in := range s.ScanRegion(q.region) {
+			inRegion[in.EntityID()] = true
+		}
+		for _, in := range s.ScanTime(q.ev, q.from, q.to) {
+			if inRegion[in.EntityID()] {
+				scanHits++
+			}
+		}
+	}
+	scanNs := float64(time.Since(start).Nanoseconds()) / nQueries
+
+	if idxHits != scanHits {
+		return nil, nil, fmt.Errorf("E9: QueryST found %d hits, scan oracle %d", idxHits, scanHits)
+	}
+	speedup := scanNs / idxNs
+	rows := []queryRow{
+		{Instances: nInstances, Queries: nQueries, Mode: "queryST", NsPerQuery: idxNs, Hits: idxHits, Speedup: speedup},
+		{Instances: nInstances, Queries: nQueries, Mode: "scan", NsPerQuery: scanNs, Hits: scanHits},
+	}
+	fmt.Fprintf(out, "queryST\t%.0f\t%d\t%.1fx\n", idxNs, idxHits, speedup)
+	fmt.Fprintf(out, "scan\t%.0f\t%d\t\n", scanNs, scanHits)
+
+	// Retention steady state: log 2× the cap and report what survives.
+	capInstances := nInstances / 2
+	bounded, err := db.New(16)
+	if err != nil {
+		return nil, nil, err
+	}
+	bounded.SetRetention(db.Retention{MaxInstances: capInstances})
+	logged := 2 * nInstances
+	for i := 0; i < logged; i++ {
+		if err := bounded.Log(mkInst(nInstances + i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := bounded.Stats()
+	ret := &retentionRow{
+		Logged:       logged,
+		MaxInstances: capInstances,
+		Live:         st.Instances,
+		Evicted:      st.Evicted,
+		HeapMB:       float64(ms.HeapAlloc) / 1e6,
+	}
+	fmt.Fprintf(out, "retention: logged=%d cap=%d live=%d evicted=%d heap=%.1fMB\n\n",
+		ret.Logged, ret.MaxInstances, ret.Live, ret.Evicted, ret.HeapMB)
+	runtime.KeepAlive(bounded)
+	return rows, ret, nil
 }
 
 // e8 prints the baseline comparison matrix: which engine from the

@@ -81,6 +81,52 @@ func TestRunJSONArtifact(t *testing.T) {
 	}
 }
 
+// TestE9QuerySpeedup runs the combined retrieval experiment at reduced
+// scale and checks the indexed path wins and both modes agree (hit
+// mismatch fails inside e9).
+func TestE9QuerySpeedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-exp", "E9", "-queryInstances", "20000", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E9: combined region×time retrieval") {
+		t.Fatalf("output missing E9 table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		E9 []struct {
+			Mode       string  `json:"mode"`
+			NsPerQuery float64 `json:"nsPerQuery"`
+			Hits       int     `json:"hits"`
+			Speedup    float64 `json:"speedup"`
+		} `json:"e9"`
+		Retention *struct {
+			Logged  int    `json:"logged"`
+			Live    int    `json:"live"`
+			Evicted uint64 `json:"evicted"`
+		} `json:"retention"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.E9) != 2 || art.E9[0].Mode != "queryST" || art.E9[1].Mode != "scan" {
+		t.Fatalf("e9 rows = %+v", art.E9)
+	}
+	if art.E9[0].Hits != art.E9[1].Hits {
+		t.Errorf("hit mismatch: %+v", art.E9)
+	}
+	if art.E9[0].Speedup <= 1 {
+		t.Errorf("indexed path slower than scan: %+v", art.E9)
+	}
+	if art.Retention == nil || art.Retention.Live != 10000 || art.Retention.Evicted != 30000 {
+		t.Errorf("retention row = %+v", art.Retention)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "E99"}, &out); err == nil {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"github.com/stcps/stcps"
+	"github.com/stcps/stcps/internal/db"
+)
+
+// api serves the spatio-temporal query endpoints from the daemon's live
+// store-backed engine, concurrently with stdin ingest. The store is
+// internally synchronized, so queries never block the feed beyond its
+// RWMutex.
+type api struct {
+	eng      *stcps.Engine
+	observer string
+	events   int
+	workers  int
+	ingested *atomic.Uint64
+	skipped  *atomic.Uint64
+	emitted  *atomic.Uint64
+}
+
+// handler builds the query API routes.
+func (a *api) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("GET /stats", a.stats)
+	mux.HandleFunc("GET /query", a.query)
+	mux.HandleFunc("GET /lineage/{entity}", a.lineage)
+	return mux
+}
+
+func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statsResponse is the /stats document: daemon counters plus the
+// store's content counters.
+type statsResponse struct {
+	Observer string           `json:"observer"`
+	Events   int              `json:"events"`
+	Workers  int              `json:"workers"`
+	Ingested uint64           `json:"ingested"`
+	Skipped  uint64           `json:"skipped"`
+	Emitted  uint64           `json:"emitted"`
+	Store    stcps.StoreStats `json:"store"`
+}
+
+func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Observer: a.observer,
+		Events:   a.events,
+		Workers:  a.workers,
+		Ingested: a.ingested.Load(),
+		Skipped:  a.skipped.Load(),
+		Emitted:  a.emitted.Load(),
+		Store:    a.eng.StoreStats(),
+	})
+}
+
+// queryResponse is one /query page.
+type queryResponse struct {
+	Count      int              `json:"count"`
+	Instances  []stcps.Instance `json:"instances"`
+	NextCursor string           `json:"nextCursor,omitempty"`
+	Index      string           `json:"index"`
+	Scanned    int              `json:"scanned"`
+}
+
+// query answers GET /query?event=&x1=&y1=&x2=&y2=&from=&to=&limit=&cursor=.
+// The region is an axis-aligned rectangle (all four corners or none);
+// from/to bound the occurrence window (either implies the other's
+// extreme).
+func (a *api) query(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query()
+	q := stcps.Query{Event: v.Get("event"), Cursor: v.Get("cursor")}
+
+	var corner [4]float64
+	given := 0
+	for i, name := range [...]string{"x1", "y1", "x2", "y2"} {
+		s := v.Get(name)
+		if s == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad %s: %v", name, err)
+			return
+		}
+		corner[i] = f
+		given++
+	}
+	switch given {
+	case 0:
+	case 4:
+		f, err := stcps.Rect(corner[0], corner[1], corner[2], corner[3])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad region: %v", err)
+			return
+		}
+		loc := stcps.InField(f)
+		q.Region = &loc
+	default:
+		httpError(w, http.StatusBadRequest, "region needs all of x1, y1, x2, y2")
+		return
+	}
+
+	fromS, toS := v.Get("from"), v.Get("to")
+	if fromS != "" || toS != "" {
+		q.HasTime = true
+		q.From, q.To = stcps.Tick(math.MinInt64), stcps.Tick(math.MaxInt64)
+		if fromS != "" {
+			t, err := strconv.ParseInt(fromS, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad from: %v", err)
+				return
+			}
+			q.From = stcps.Tick(t)
+		}
+		if toS != "" {
+			t, err := strconv.ParseInt(toS, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad to: %v", err)
+				return
+			}
+			q.To = stcps.Tick(t)
+		}
+	}
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", s)
+			return
+		}
+		q.Limit = n
+	}
+
+	res, err := a.eng.QueryST(q)
+	switch {
+	case errors.Is(err, db.ErrBadCursor):
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Count:      len(res.Instances),
+		Instances:  res.Instances,
+		NextCursor: res.NextCursor,
+		Index:      res.Index,
+		Scanned:    res.Scanned,
+	})
+}
+
+// lineageResponse is the /lineage/{entity} document.
+type lineageResponse struct {
+	Entity string   `json:"entity"`
+	Chain  []string `json:"chain"`
+}
+
+func (a *api) lineage(w http.ResponseWriter, r *http.Request) {
+	entity := r.PathValue("entity")
+	chain, err := a.eng.Lineage(entity)
+	switch {
+	case errors.Is(err, db.ErrNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, lineageResponse{Entity: entity, Chain: chain})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

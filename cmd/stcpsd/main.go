@@ -16,10 +16,18 @@
 //	  "roles": [{"name": "x", "source": "S.temp", "window": 4, "maxAge": 100}],
 //	  "when": "x.temp > 30", "confidence": "noisy-or"}]
 //
+// With -http the daemon additionally keeps an in-process database
+// server (the paper's Section-3 logging service) and serves the
+// spatio-temporal query API from it, concurrently with ingest:
+// GET /query (event, region, time window, pagination),
+// GET /lineage/{entity}, GET /stats and GET /healthz. The
+// -db-max-instances / -db-max-age flags bound the store's memory.
+//
 // Usage:
 //
 //	stcpsd -events events.json < entities.jsonl > instances.jsonl
 //	stcpsd -events events.json -workers 8    # sharded engine, 8 shards
+//	stcpsd -events events.json -http :8080 -db-max-instances 1000000
 package main
 
 import (
@@ -28,8 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"github.com/stcps/stcps"
 	"github.com/stcps/stcps/internal/event"
@@ -41,6 +52,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// httpReady, when non-nil, receives the query API's bound address once
+// the listener is up — the hook integration tests use to reach a
+// daemon serving on ":0".
+var httpReady func(addr string)
 
 // roleJSON mirrors stcps.Role in the events file.
 type roleJSON struct {
@@ -102,6 +118,9 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	workers := fs.Int("workers", 1, "worker shards (>1 selects the concurrent sharded engine)")
 	x := fs.Float64("x", 0, "observer location x")
 	y := fs.Float64("y", 0, "observer location y")
+	httpAddr := fs.String("http", "", "serve the spatio-temporal query API on this address (e.g. :8080); enables the in-process store")
+	dbMaxInstances := fs.Int("db-max-instances", 0, "retention: max live instances in the store (0 = unlimited)")
+	dbMaxAge := fs.Int64("db-max-age", 0, "retention: evict instances older than this many ticks behind the newest (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,15 +133,21 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	}
 
 	// Serialize instance output: in sharded mode OnInstance runs on
-	// worker goroutines.
+	// worker goroutines. The counters are atomic so the /stats endpoint
+	// can read them while the feed runs.
 	w := bufio.NewWriter(out)
 	var mu sync.Mutex
-	var emitted uint64
+	var ingested, skipped, emitted atomic.Uint64
 	var writeErr error
 	eng, err := stcps.NewEngine(stcps.EngineConfig{
-		Observer: *observer,
-		Loc:      stcps.AtPoint(*x, *y),
-		Workers:  *workers,
+		Observer:  *observer,
+		Loc:       stcps.AtPoint(*x, *y),
+		Workers:   *workers,
+		WithStore: *httpAddr != "",
+		DBRetention: stcps.Retention{
+			MaxInstances: *dbMaxInstances,
+			MaxAge:       stcps.Tick(*dbMaxAge),
+		},
 		OnInstance: func(inst stcps.Instance) {
 			data, err := event.EncodeInstance(inst)
 			mu.Lock()
@@ -140,7 +165,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 				}
 				return
 			}
-			emitted++
+			emitted.Add(1)
 		},
 	})
 	if err != nil {
@@ -174,10 +199,33 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		return err
 	}
 
+	// Serve the query API from the live engine while the feed runs.
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("query API: %w", err)
+		}
+		a := &api{
+			eng:      eng,
+			observer: *observer,
+			events:   len(evs),
+			workers:  *workers,
+			ingested: &ingested,
+			skipped:  &skipped,
+			emitted:  &emitted,
+		}
+		srv := &http.Server{Handler: a.handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(errw, "stcpsd: query API on http://%s\n", ln.Addr())
+		if httpReady != nil {
+			httpReady(ln.Addr().String())
+		}
+	}
+
 	var (
-		ingested, skipped uint64
-		maxTick           stcps.Tick
-		feedErr           error
+		maxTick stcps.Tick
+		feedErr error
 	)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -192,7 +240,7 @@ scan:
 			Sensor string `json:"sensor"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
-			skipped++
+			skipped.Add(1)
 			fmt.Fprintf(errw, "stcpsd: skipping malformed line: %v\n", err)
 			continue
 		}
@@ -200,7 +248,7 @@ scan:
 		case probe.Event != "":
 			inst, err := event.DecodeInstance(line)
 			if err != nil {
-				skipped++
+				skipped.Add(1)
 				fmt.Fprintf(errw, "stcpsd: skipping bad instance: %v\n", err)
 				continue
 			}
@@ -214,7 +262,7 @@ scan:
 		case probe.Sensor != "":
 			obs, err := event.DecodeObservation(line)
 			if err != nil {
-				skipped++
+				skipped.Add(1)
 				fmt.Fprintf(errw, "stcpsd: skipping bad observation: %v\n", err)
 				continue
 			}
@@ -226,11 +274,11 @@ scan:
 				break scan
 			}
 		default:
-			skipped++
+			skipped.Add(1)
 			fmt.Fprintln(errw, "stcpsd: skipping line with neither event nor sensor")
 			continue
 		}
-		ingested++
+		ingested.Add(1)
 	}
 	if feedErr == nil {
 		feedErr = sc.Err()
@@ -244,7 +292,7 @@ scan:
 	defer mu.Unlock()
 	flushErr := w.Flush()
 	fmt.Fprintf(errw, "stcpsd: ingested=%d skipped=%d emitted=%d events=%d workers=%d\n",
-		ingested, skipped, emitted, len(evs), *workers)
+		ingested.Load(), skipped.Load(), emitted.Load(), len(evs), *workers)
 	switch {
 	case feedErr != nil:
 		return feedErr

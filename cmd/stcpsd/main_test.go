@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/spatial"
@@ -126,6 +131,247 @@ func TestDaemonSharded(t *testing.T) {
 	}
 	if byEvent["E.hot"] != 3 || byEvent["E.warm"] != 1 || byEvent["E.obsHigh"] != 1 {
 		t.Errorf("sharded run emitted %v, want map[E.hot:3 E.obsHigh:1 E.warm:1]", byEvent)
+	}
+}
+
+// tempLine encodes one S.temp instance at the given tick.
+func tempLine(t *testing.T, seq uint64, tick timemodel.Tick, temp float64) string {
+	t.Helper()
+	line, err := event.EncodeInstance(event.Instance{
+		Layer: event.LayerSensor, Observer: "MT1", Event: "S.temp",
+		Seq: seq, Gen: tick,
+		GenLoc:     spatial.AtPoint(0, 0),
+		Occ:        timemodel.At(tick),
+		Loc:        spatial.AtPoint(0, 0),
+		Attrs:      event.Attrs{"temp": temp},
+		Confidence: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(line) + "\n"
+}
+
+// TestDaemonFlushAtMaxTick feeds out of order: the open E.warm interval
+// must flush at the MAX ingested tick (100), not the last line's tick
+// (50) — a last-line tracker would stamp the flushed instance's
+// generation time in the past.
+func TestDaemonFlushAtMaxTick(t *testing.T) {
+	events := writeEvents(t)
+	stdin := tempLine(t, 1, 100, 25) + tempLine(t, 2, 50, 25) // warm, never hot
+	insts, stderr := runDaemon(t, []string{"-events", events}, stdin)
+	var warm []event.Instance
+	for _, in := range insts {
+		if in.Event == "E.warm" {
+			warm = append(warm, in)
+		}
+	}
+	if len(warm) != 1 {
+		t.Fatalf("E.warm fired %d times, want 1 (stderr: %s)", len(warm), stderr)
+	}
+	if warm[0].Gen != 100 {
+		t.Errorf("flushed at tick %d, want max ingested tick 100", warm[0].Gen)
+	}
+}
+
+// TestDaemonEmptyInput: nothing ingested, nothing flushed, clean exit.
+func TestDaemonEmptyInput(t *testing.T) {
+	events := writeEvents(t)
+	insts, stderr := runDaemon(t, []string{"-events", events}, "")
+	if len(insts) != 0 {
+		t.Errorf("empty input emitted %v", insts)
+	}
+	if !strings.Contains(stderr, "ingested=0 skipped=0 emitted=0") {
+		t.Errorf("stderr summary = %q", stderr)
+	}
+}
+
+// httpGetJSON fetches a URL and decodes the JSON body into out,
+// returning the status code.
+func httpGetJSON(t *testing.T, rawURL string, out any) int {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", rawURL, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonHTTPQueryAPI runs the daemon with -http against a pipe held
+// open, queries the live store mid-ingest, then closes stdin and checks
+// the normal teardown.
+func TestDaemonHTTPQueryAPI(t *testing.T) {
+	events := writeEvents(t)
+	pr, pw := io.Pipe()
+	addrCh := make(chan string, 1)
+	httpReady = func(addr string) { addrCh <- addr }
+	defer func() { httpReady = nil }()
+
+	var out, errw strings.Builder
+	done := make(chan error, 1)
+	// Synchronous engine: emissions (and store logging) happen inline
+	// with each fed line, so the mid-ingest queries below see them. With
+	// -workers >1 offers batch toward the shards and small feeds only
+	// land at Drain/Close.
+	go func() {
+		done <- run([]string{"-events", events, "-http", "127.0.0.1:0"}, pr, &out, &errw)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query API never came up")
+	}
+	base := "http://" + addr
+
+	if _, err := io.WriteString(pw, feedLines(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The feed is async to the HTTP server: poll /stats until the three
+	// E.hot and one E.obsHigh emissions are logged.
+	var st statsResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := httpGetJSON(t, base+"/stats", &st); code != http.StatusOK {
+			t.Fatalf("/stats = %d", code)
+		}
+		if st.Store.Instances >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store never filled: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Ingested != 7 || st.Skipped != 2 {
+		t.Errorf("stats = %+v, want ingested=7 skipped=2", st)
+	}
+
+	if code := httpGetJSON(t, base+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("/healthz = %d", code)
+	}
+
+	// Combined event×time query: hot crossings at ticks 30, 40, 50.
+	var qr queryResponse
+	if code := httpGetJSON(t, base+"/query?event=E.hot&from=0&to=45", &qr); code != http.StatusOK {
+		t.Fatalf("/query = %d", code)
+	}
+	if qr.Count != 2 || qr.Index != "time" {
+		t.Errorf("time query = %+v, want 2 hits via time index", qr)
+	}
+
+	// Region query: only E.obsHigh sits at (1,1).
+	if code := httpGetJSON(t, base+"/query?x1=0.5&y1=0.5&x2=2&y2=2", &qr); code != http.StatusOK {
+		t.Fatalf("region /query = %d", code)
+	}
+	if qr.Count != 1 || qr.Instances[0].Event != "E.obsHigh" {
+		t.Errorf("region query = %+v, want the E.obsHigh instance", qr)
+	}
+
+	// Pagination.
+	qr = queryResponse{}
+	if httpGetJSON(t, base+"/query?event=E.hot&limit=2", &qr); qr.Count != 2 || qr.NextCursor == "" {
+		t.Fatalf("page 1 = %+v", qr)
+	}
+	page2 := queryResponse{}
+	if httpGetJSON(t, base+"/query?event=E.hot&limit=2&cursor="+qr.NextCursor, &page2); page2.Count != 1 || page2.NextCursor != "" {
+		t.Errorf("page 2 = %+v", page2)
+	}
+	qr = page2
+
+	// Lineage of an emitted instance reaches its (unlogged) input leaf.
+	var lr lineageResponse
+	id := url.PathEscape(qr.Instances[0].EntityID())
+	if code := httpGetJSON(t, base+"/lineage/"+id, &lr); code != http.StatusOK {
+		t.Fatalf("/lineage = %d", code)
+	}
+	if len(lr.Chain) != 2 {
+		t.Errorf("lineage chain = %v", lr.Chain)
+	}
+
+	// Error paths.
+	var errBody map[string]string
+	if code := httpGetJSON(t, base+"/query?x1=3", &errBody); code != http.StatusBadRequest {
+		t.Errorf("partial region = %d (%v)", code, errBody)
+	}
+	if code := httpGetJSON(t, base+"/query?cursor=bogus", &errBody); code != http.StatusBadRequest {
+		t.Errorf("bad cursor = %d", code)
+	}
+	if code := httpGetJSON(t, base+"/query?limit=nope", &errBody); code != http.StatusBadRequest {
+		t.Errorf("bad limit = %d", code)
+	}
+	if code := httpGetJSON(t, base+"/lineage/"+url.PathEscape("E(none,none,0)"), &errBody); code != http.StatusNotFound {
+		t.Errorf("missing lineage = %d", code)
+	}
+
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "query API on http://") {
+		t.Errorf("stderr missing listen line: %q", errw.String())
+	}
+}
+
+// TestDaemonHTTPRetention bounds the store from the command line and
+// reads the eviction counters back through /stats.
+func TestDaemonHTTPRetention(t *testing.T) {
+	events := writeEvents(t)
+	pr, pw := io.Pipe()
+	addrCh := make(chan string, 1)
+	httpReady = func(addr string) { addrCh <- addr }
+	defer func() { httpReady = nil }()
+
+	var out, errw strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-events", events, "-http", "127.0.0.1:0", "-db-max-instances", "2"}, pr, &out, &errw)
+	}()
+	addr := <-addrCh
+	base := "http://" + addr
+
+	// 10 hot readings -> 10 E.hot emissions, store capped at 2.
+	var feed strings.Builder
+	for i := 0; i < 10; i++ {
+		feed.WriteString(tempLine(t, uint64(i+1), timemodel.Tick(i*10), 35))
+	}
+	if _, err := io.WriteString(pw, feed.String()); err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		httpGetJSON(t, base+"/stats", &st)
+		if st.Store.Evicted >= 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Store.Instances != 2 {
+		t.Errorf("store holds %d instances, want 2", st.Store.Instances)
+	}
+	var qr queryResponse
+	httpGetJSON(t, base+"/query?event=E.hot", &qr)
+	if qr.Count != 2 {
+		t.Errorf("query over bounded store = %d hits, want 2", qr.Count)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }
 

@@ -13,11 +13,29 @@ import (
 var (
 	// ErrEngineConfig is returned for invalid engine configurations.
 	ErrEngineConfig = errors.New("stcps: invalid engine config")
+	// ErrNoStore is returned when querying an engine built without
+	// WithStore.
+	ErrNoStore = errors.New("stcps: engine has no store (set WithStore)")
 )
 
 // EngineStats counts engine traffic (entities ingested, instances
 // emitted).
 type EngineStats = engine.Stats
+
+// Query describes one combined spatio-temporal retrieval against the
+// database server: any subset of {event id, occurrence region,
+// occurrence window}, paginated via Limit/Cursor.
+type Query = db.Query
+
+// QueryResult is one page of QueryST output.
+type QueryResult = db.Result
+
+// Retention bounds the database server's memory (max live instances
+// and/or max generation-time age). The zero value retains everything.
+type Retention = db.Retention
+
+// StoreStats summarizes the database server's contents.
+type StoreStats = db.Stats
 
 // EngineConfig parameterizes a standalone detection Engine.
 type EngineConfig struct {
@@ -38,10 +56,14 @@ type EngineConfig struct {
 	OnInstance func(Instance)
 	// WithStore keeps an in-process database server: every emitted
 	// instance is logged immediately (the engine is clock-agnostic, so
-	// there is no simulated transfer delay). Query it via Store.
+	// there is no simulated transfer delay). Query it via QueryST or
+	// Store.
 	WithStore bool
 	// DBCell is the store's spatial-index cell size (0 = default).
 	DBCell float64
+	// DBRetention bounds the store's memory when WithStore is set. The
+	// zero value retains everything.
+	DBRetention Retention
 }
 
 // Engine is the standalone streaming detection runtime: the observer
@@ -77,6 +99,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		store.SetRetention(cfg.DBRetention)
 		e.store = store
 		logHook = func(in event.Instance) { _ = store.Log(in) }
 	}
@@ -188,6 +211,36 @@ func (e *Engine) Sources() []string {
 
 // Store returns the in-process database server (nil unless WithStore).
 func (e *Engine) Store() *db.Store { return e.store }
+
+// QueryST retrieves logged instances matching every predicate of q —
+// the combined region×time retrieval path of the database server. It
+// picks the cheaper index (per-event time index vs. spatial grid) from
+// cardinality estimates and paginates via q.Limit/q.Cursor. Safe to
+// call concurrently with ingestion. Requires WithStore.
+func (e *Engine) QueryST(q Query) (QueryResult, error) {
+	if e.store == nil {
+		return QueryResult{}, ErrNoStore
+	}
+	return e.store.QueryST(q)
+}
+
+// Lineage resolves the provenance chain of a logged entity back to its
+// original inputs. Requires WithStore.
+func (e *Engine) Lineage(entityID string) ([]string, error) {
+	if e.store == nil {
+		return nil, ErrNoStore
+	}
+	return e.store.Lineage(entityID)
+}
+
+// StoreStats returns the database server's content counters (zero
+// value unless WithStore).
+func (e *Engine) StoreStats() StoreStats {
+	if e.store == nil {
+		return StoreStats{}
+	}
+	return e.store.Stats()
+}
 
 // Stats returns the engine's traffic counters. In sharded mode call
 // after Drain or Close for exact numbers.

@@ -105,6 +105,97 @@ func TestEngineSynchronous(t *testing.T) {
 	}
 }
 
+// TestEngineQueryST drives the public query path: a store-backed engine
+// answering combined region×time queries, with retention bounding the
+// store.
+func TestEngineQueryST(t *testing.T) {
+	// No store: query and lineage must refuse.
+	bare, err := NewEngine(EngineConfig{Observer: "edge-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.QueryST(Query{}); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("storeless QueryST err = %v", err)
+	}
+	if _, err := bare.Lineage("x"); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("storeless Lineage err = %v", err)
+	}
+
+	eng, err := NewEngine(EngineConfig{
+		Observer:    "edge-q",
+		WithStore:   true,
+		DBRetention: Retention{MaxInstances: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Detect(LayerCyber, EventSpec{
+		ID:    "E.hot",
+		Roles: []Role{{Name: "x", Source: "S.temp", Window: 1}},
+		When:  "x.temp > 30",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 200 hot feeds at x=i%100: every one emits, retention keeps 50.
+	for i := 0; i < 200; i++ {
+		if _, err := eng.Feed(Instance{
+			Layer: LayerSensor, Observer: "MT1", Event: "S.temp", Seq: uint64(i + 1),
+			Gen: Tick(i), Occ: At(Tick(i)), Loc: AtPoint(float64(i%100), 0),
+			Attrs: Attrs{"temp": 40}, Confidence: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.StoreStats()
+	if st.Instances != 50 || st.Evicted != 150 {
+		t.Fatalf("store stats = %+v, want 50 live / 150 evicted", st)
+	}
+
+	region, err := Rect(-1, -1, 80.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := InField(region)
+	res, err := eng.QueryST(Query{
+		Event: "E.hot", Region: &loc,
+		HasTime: true, From: 150, To: 1000,
+		Limit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live occurrences are ticks 150..199 at x = 50..99; window [150,1000]
+	// keeps all 50, region x<=80.5 keeps 31 of them; page one holds 10.
+	if len(res.Instances) != 10 || res.NextCursor == "" {
+		t.Fatalf("page = %d instances, cursor %q", len(res.Instances), res.NextCursor)
+	}
+	total := 0
+	q := Query{Event: "E.hot", Region: &loc, HasTime: true, From: 150, To: 1000, Limit: 10}
+	for {
+		page, err := eng.QueryST(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(page.Instances)
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	if total != 31 {
+		t.Fatalf("paged total = %d, want 31", total)
+	}
+
+	// Lineage of a live emission reaches its input feed instance.
+	chain, err := eng.Lineage(res.Instances[0].EntityID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 {
+		t.Fatalf("lineage = %v", chain)
+	}
+}
+
 func TestEngineSharded(t *testing.T) {
 	var mu sync.Mutex
 	var seen []Instance

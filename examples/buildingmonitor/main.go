@@ -168,6 +168,53 @@ func run() error {
 	edl := report.EDL("P.nearby", "CP.nearby", 30)
 	fmt.Printf("event detection latency (punctual): %s\n", edl.Summary())
 
+	// "Later retrieval" (Section 3): the database server answers
+	// combined region×time queries over everything the observers
+	// logged. Page through the punctual detections estimated inside the
+	// window region during the first pass of the walk.
+	nearWindow := stcps.InField(window)
+	q := stcps.Query{
+		Event:   "CP.nearby",
+		Region:  &nearWindow,
+		HasTime: true, From: 0, To: 500,
+		Limit: 3,
+	}
+	fmt.Println("\nquery: CP.nearby joint with the window region, t^eo ∈ [0, 500]:")
+	queried := 0
+	var first string
+	for {
+		page, err := sys.Store().QueryST(q)
+		if err != nil {
+			return err
+		}
+		for _, in := range page.Instances {
+			if first == "" {
+				first = in.EntityID()
+			}
+			queried++
+			fmt.Printf("  %s  t^eo=%v  l^eo=%v\n", in.EntityID(), in.Occ, in.Loc)
+		}
+		if page.NextCursor == "" {
+			fmt.Printf("  %d instances via the %q index (%d candidates verified)\n",
+				queried, page.Index, page.Scanned)
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+
+	// Provenance of the first retrieved detection, back to the raw
+	// range observations.
+	if first != "" {
+		chain, err := sys.Store().Lineage(first)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lineage of %s: %d entities deep\n", first, len(chain))
+		for _, id := range chain {
+			fmt.Printf("  %s\n", id)
+		}
+	}
+
 	light, err := world.Object("lightB")
 	if err != nil {
 		return err

@@ -1,0 +1,218 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// ErrBadCursor is returned when a Query carries an unparseable cursor.
+var ErrBadCursor = errors.New("db: bad query cursor")
+
+// Query describes one combined spatio-temporal retrieval: any subset of
+// {event id, occurrence region, occurrence window}, paginated. The zero
+// Query matches every live instance.
+type Query struct {
+	// Event filters to one event id; empty matches every event.
+	Event string
+	// Region, when non-nil, keeps instances whose estimated occurrence
+	// location is Joint with it.
+	Region *spatial.Location
+	// HasTime gates the temporal predicate: the estimated occurrence
+	// must intersect [From, To].
+	HasTime bool
+	// From and To bound the occurrence window (inclusive) when HasTime.
+	From, To timemodel.Tick
+	// Limit caps the page size (0 = unlimited).
+	Limit int
+	// Cursor resumes after a previous Result's NextCursor. Cursors are
+	// stable across retention eviction: evicted instances simply stop
+	// appearing.
+	Cursor string
+}
+
+// Result is one page of QueryST output, in arrival order.
+type Result struct {
+	// Instances is the page of matching instances.
+	Instances []event.Instance
+	// NextCursor is non-empty when more results remain; pass it back in
+	// Query.Cursor for the next page.
+	NextCursor string
+	// Index names the access path the planner chose: "time" (per-event
+	// time index), "region" (spatial grid), or "log" (sequential scan,
+	// only when no indexed predicate applies).
+	Index string
+	// Scanned counts the candidate instances examined before predicate
+	// verification — the planner's actual work, for observability.
+	Scanned int
+}
+
+// QueryST retrieves instances matching every predicate of q, in arrival
+// order. With both a region and a time window it picks the cheaper index
+// from cardinality estimates (per-event time index vs. spatial grid) and
+// verifies candidates with the other predicate, so cost tracks the more
+// selective dimension rather than the store size.
+func (s *Store) QueryST(q Query) (Result, error) {
+	empty := Result{Instances: []event.Instance{}, Index: s.timeIndexName(q)}
+	var after uint64
+	hasAfter := false
+	if q.Cursor != "" {
+		v, err := strconv.ParseUint(q.Cursor, 10, 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("%q: %w", q.Cursor, ErrBadCursor)
+		}
+		after, hasAfter = v, true
+	}
+	if q.HasTime && q.To < q.From {
+		return empty, nil
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// minSeq excludes everything at or before the cursor inside the
+	// collectors, so later pages never accumulate (or sort) instances
+	// already returned.
+	var minSeq uint64
+	if hasAfter {
+		if after == ^uint64(0) {
+			return empty, nil
+		}
+		minSeq = after + 1
+	}
+
+	res := Result{}
+	var seqs []uint64
+	if q.Region != nil && s.regionEstimateLocked(q) < s.timeEstimateLocked(q) {
+		res.Index = "region"
+		seqs = s.collectRegionLocked(q, minSeq, &res.Scanned)
+	} else {
+		res.Index = s.timeIndexName(q)
+		seqs = s.collectTimeLocked(q, minSeq, &res.Scanned)
+	}
+
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	if q.Limit > 0 && len(seqs) > q.Limit {
+		seqs = seqs[:q.Limit]
+		res.NextCursor = strconv.FormatUint(seqs[len(seqs)-1], 10)
+	}
+	res.Instances = make([]event.Instance, len(seqs))
+	for i, seq := range seqs {
+		res.Instances[i] = *s.at(seq)
+	}
+	return res, nil
+}
+
+// timeIndexName labels the non-region access path for Result.Index.
+func (s *Store) timeIndexName(q Query) string {
+	if q.Event != "" {
+		return "time"
+	}
+	return "log"
+}
+
+// timeEstimateLocked is the candidate count of the time-index path: how
+// many instances the per-event index would touch for q.
+func (s *Store) timeEstimateLocked(q Query) int {
+	if q.Event == "" {
+		return len(s.log)
+	}
+	if !q.HasTime {
+		return len(s.byEvent[q.Event])
+	}
+	_, lo, hi := s.timeWindowLocked(q.Event, q.From, q.To)
+	return hi - lo
+}
+
+// regionEstimateLocked is the candidate count of the grid path.
+func (s *Store) regionEstimateLocked(q Query) int {
+	return s.grid.EstimateRegion(*q.Region)
+}
+
+// collectTimeLocked drives the per-event time index (or the sequential
+// log when no event id is given) and verifies the remaining predicates.
+// Sequence numbers below minSeq (already returned on earlier pages) are
+// excluded; the log path additionally seeks to minSeq and stops at
+// Limit+1 matches, since it alone yields in sequence order.
+func (s *Store) collectTimeLocked(q Query, minSeq uint64, scanned *int) []uint64 {
+	var seqs []uint64
+	if q.Event != "" {
+		lst := s.byEvent[q.Event]
+		lo, hi := 0, len(lst)
+		if q.HasTime {
+			_, lo, hi = s.timeWindowLocked(q.Event, q.From, q.To)
+		}
+		for _, seq := range lst[lo:hi] {
+			*scanned++
+			if seq >= minSeq && s.matchLocked(seq, q) {
+				seqs = append(seqs, seq)
+			}
+		}
+		return seqs
+	}
+	start := 0
+	if minSeq > s.base {
+		off := minSeq - s.base
+		// A cursor past the live range (e.g. a forged value above
+		// MaxInt64) means nothing remains; converting it to int would
+		// wrap negative.
+		if off > uint64(len(s.log)) {
+			return nil
+		}
+		start = int(off)
+	}
+	for i := start; i < len(s.log); i++ {
+		*scanned++
+		seq := s.base + uint64(i)
+		if s.matchLocked(seq, q) {
+			seqs = append(seqs, seq)
+			if q.Limit > 0 && len(seqs) > q.Limit {
+				break
+			}
+		}
+	}
+	return seqs
+}
+
+// collectRegionLocked drives the spatial grid and verifies the remaining
+// predicates. The grid already verified the Joint relation.
+func (s *Store) collectRegionLocked(q Query, minSeq uint64, scanned *int) []uint64 {
+	ids := s.grid.QueryRegion(*q.Region)
+	var seqs []uint64
+	for _, id := range ids {
+		*scanned++
+		seq, ok := s.byEntity[id]
+		if !ok || seq < minSeq {
+			continue
+		}
+		in := s.at(seq)
+		if q.Event != "" && in.Event != q.Event {
+			continue
+		}
+		if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+// matchLocked verifies every predicate of q against one live instance.
+func (s *Store) matchLocked(seq uint64, q Query) bool {
+	in := s.at(seq)
+	if q.Event != "" && in.Event != q.Event {
+		return false
+	}
+	if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+		return false
+	}
+	if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {
+		return false
+	}
+	return true
+}

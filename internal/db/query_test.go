@@ -1,0 +1,411 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// randomStore fills a store with n random instances over four events:
+// mostly points, some field occurrences, occurrence windows in
+// [0,1000+50].
+func randomStore(t *testing.T, rng *rand.Rand, n int, ret Retention) *Store {
+	t.Helper()
+	s, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRetention(ret)
+	for i := 0; i < n; i++ {
+		start := timemodel.Tick(rng.Intn(1000))
+		length := timemodel.Tick(rng.Intn(50))
+		var loc spatial.Location
+		if rng.Intn(10) == 0 {
+			x, y := rng.Float64()*90, rng.Float64()*90
+			f, err := spatial.Rect(x, y, x+5+rng.Float64()*10, y+5+rng.Float64()*10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loc = spatial.InField(f)
+		} else {
+			loc = spatial.AtPoint(rng.Float64()*100, rng.Float64()*100)
+		}
+		in := inst(fmt.Sprintf("M%d", i%3), fmt.Sprintf("E%d", rng.Intn(4)), uint64(i+1),
+			timemodel.MustBetween(start, start+length), loc)
+		in.Gen = timemodel.Tick(i) // arrival order = generation order
+		if err := s.Log(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func entityIDs(list []event.Instance) []string {
+	out := make([]string, len(list))
+	for i, in := range list {
+		out[i] = in.EntityID()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// oracleST is the unindexed reference: ScanTime ∩ ScanRegion, the
+// composition the issue names as the ground truth for QueryST.
+func oracleST(s *Store, q Query) []string {
+	var timeSide []event.Instance
+	if q.HasTime {
+		timeSide = s.ScanTime(q.Event, q.From, q.To)
+	} else {
+		timeSide = s.ScanTime(q.Event, 0, timemodel.Tick(1<<62))
+	}
+	ids := entityIDs(timeSide)
+	if q.Region == nil {
+		return ids
+	}
+	inRegion := make(map[string]bool)
+	for _, in := range s.ScanRegion(*q.Region) {
+		inRegion[in.EntityID()] = true
+	}
+	var out []string
+	for _, id := range ids {
+		if inRegion[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// randomQuery builds a random subset of {event, region, window}.
+func randomQuery(t *testing.T, rng *rand.Rand) Query {
+	t.Helper()
+	var q Query
+	if rng.Intn(3) > 0 {
+		q.Event = fmt.Sprintf("E%d", rng.Intn(4))
+	}
+	if rng.Intn(3) > 0 {
+		x, y := rng.Float64()*80, rng.Float64()*80
+		w := 5 + rng.Float64()*30
+		f, err := spatial.Rect(x, y, x+w, y+w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc := spatial.InField(f)
+		q.Region = &loc
+	}
+	if rng.Intn(3) > 0 {
+		q.HasTime = true
+		q.From = timemodel.Tick(rng.Intn(1000))
+		q.To = q.From + timemodel.Tick(rng.Intn(300))
+	}
+	return q
+}
+
+// TestQuerySTMatchesOracle is the differential test: QueryST must equal
+// the ScanTime∩ScanRegion oracle over randomized instance sets, regions
+// and windows — on an unbounded store and on a retention-evicted one.
+func TestQuerySTMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ret  Retention
+	}{
+		{name: "unbounded"},
+		{name: "evicting", ret: Retention{MaxInstances: 150}},
+		{name: "aged", ret: Retention{MaxAge: 120}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			s := randomStore(t, rng, 400, tc.ret)
+			if tc.ret.MaxInstances > 0 && s.Len() != tc.ret.MaxInstances {
+				t.Fatalf("Len = %d, want retention cap %d", s.Len(), tc.ret.MaxInstances)
+			}
+			for trial := 0; trial < 60; trial++ {
+				q := randomQuery(t, rng)
+				res, err := s.QueryST(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := entityIDs(res.Instances)
+				want := oracleST(s, q)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("trial %d (%+v, index=%s): QueryST %d ids != oracle %d ids",
+						trial, q, res.Index, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestQuerySTPagination walks a query through pages and asserts the
+// concatenation equals the unpaginated result, in arrival order.
+func TestQuerySTPagination(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randomStore(t, rng, 300, Retention{})
+	region := spatial.InField(spatial.MustField(
+		spatial.Pt(10, 10), spatial.Pt(80, 10), spatial.Pt(80, 80), spatial.Pt(10, 80)))
+	base := Query{Event: "E1", Region: &region, HasTime: true, From: 100, To: 900}
+
+	full, err := s.QueryST(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NextCursor != "" {
+		t.Fatalf("unlimited query returned a cursor %q", full.NextCursor)
+	}
+	if len(full.Instances) == 0 {
+		t.Fatal("query matched nothing; broaden the fixture")
+	}
+
+	var pages []event.Instance
+	q := base
+	q.Limit = 7
+	for {
+		res, err := s.QueryST(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Instances) > q.Limit {
+			t.Fatalf("page of %d exceeds limit %d", len(res.Instances), q.Limit)
+		}
+		pages = append(pages, res.Instances...)
+		if res.NextCursor == "" {
+			break
+		}
+		q.Cursor = res.NextCursor
+	}
+	if len(pages) != len(full.Instances) {
+		t.Fatalf("paged %d != full %d", len(pages), len(full.Instances))
+	}
+	for i := range pages {
+		if pages[i].EntityID() != full.Instances[i].EntityID() {
+			t.Fatalf("page order diverges at %d", i)
+		}
+	}
+
+	if _, err := s.QueryST(Query{Cursor: "not-a-seq"}); !errors.Is(err, ErrBadCursor) {
+		t.Errorf("bad cursor err = %v", err)
+	}
+	if res, err := s.QueryST(Query{HasTime: true, From: 10, To: 5}); err != nil || len(res.Instances) != 0 {
+		t.Errorf("inverted window = %v, %v", res.Instances, err)
+	}
+
+	// Forged cursors past the live range (including values above
+	// MaxInt64, which would wrap an int conversion) must yield a clean
+	// empty page, never a panic.
+	for _, cursor := range []string{
+		"9223372036854775808",  // 2^63
+		"18446744073709551615", // MaxUint64
+		"400",                  // just past the data
+	} {
+		res, err := s.QueryST(Query{Cursor: cursor, Limit: 5})
+		if err != nil {
+			t.Fatalf("cursor %s: %v", cursor, err)
+		}
+		if len(res.Instances) != 0 || res.NextCursor != "" {
+			t.Errorf("cursor %s returned %d instances, cursor %q", cursor, len(res.Instances), res.NextCursor)
+		}
+		if res.Instances == nil {
+			t.Errorf("cursor %s: Instances nil, want empty slice for stable JSON", cursor)
+		}
+	}
+	if res, _ := s.QueryST(Query{HasTime: true, From: 10, To: 5}); res.Instances == nil {
+		t.Error("inverted window: Instances nil, want empty slice")
+	}
+}
+
+// TestQuerySTOpenEndedWindow regresses the time-window floor underflow:
+// an open-ended From (MinInt64, what the HTTP handler sends when only
+// `to` is given) must not wrap positive when the event has interval
+// instances (maxDur > 0) and empty the window.
+func TestQuerySTOpenEndedWindow(t *testing.T) {
+	s, _ := New(0)
+	if err := s.Log(inst("M", "E1", 1, timemodel.MustBetween(10, 20), spatial.AtPoint(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.QueryST(Query{Event: "E1", HasTime: true, From: math.MinInt64, To: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("open-ended window found %d instances (index=%s), want 1", len(res.Instances), res.Index)
+	}
+	// Open-ended To as well.
+	res, err = s.QueryST(Query{Event: "E1", HasTime: true, From: 0, To: math.MaxInt64})
+	if err != nil || len(res.Instances) != 1 {
+		t.Fatalf("open-ended To = %d instances, %v", len(res.Instances), err)
+	}
+	if got := s.QueryTime("E1", math.MinInt64, 100); len(got) != 1 {
+		t.Fatalf("QueryTime open-ended = %d", len(got))
+	}
+}
+
+// TestQuerySTCursorSurvivesEviction pages across a store that evicts
+// between pages: later pages must stay disjoint from and ordered after
+// earlier ones.
+func TestQuerySTCursorSurvivesEviction(t *testing.T) {
+	s, _ := New(8)
+	s.SetRetention(Retention{MaxInstances: 100})
+	log := func(lo, n int) {
+		for i := lo; i < lo+n; i++ {
+			in := inst("M", "E", uint64(i+1), timemodel.At(timemodel.Tick(i)),
+				spatial.AtPoint(float64(i%50), 0))
+			in.Gen = timemodel.Tick(i)
+			if err := s.Log(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	log(0, 100)
+	q := Query{Event: "E", Limit: 10}
+	page1, err := s.QueryST(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log(100, 50) // evicts the 50 oldest, including part of page 1
+	q.Cursor = page1.NextCursor
+	page2, err := s.QueryST(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, in := range page1.Instances {
+		seen[in.EntityID()] = true
+	}
+	for _, in := range page2.Instances {
+		if seen[in.EntityID()] {
+			t.Fatalf("instance %s repeated across pages", in.EntityID())
+		}
+	}
+	if len(page2.Instances) == 0 {
+		t.Fatal("page 2 empty")
+	}
+	if first := page2.Instances[0].Seq; first <= page1.Instances[len(page1.Instances)-1].Seq {
+		t.Fatalf("page 2 starts at seq %d, not after page 1", first)
+	}
+}
+
+// TestQuerySTIndexSelection pins the planner's choices on a store where
+// the cheap side is known.
+func TestQuerySTIndexSelection(t *testing.T) {
+	s, _ := New(8)
+	// 200 instances of E.busy spread over time at x=0..99; 2 instances
+	// of E.rare in a far corner.
+	for i := 0; i < 200; i++ {
+		_ = s.Log(inst("M", "E.busy", uint64(i+1), timemodel.At(timemodel.Tick(i)),
+			spatial.AtPoint(float64(i%100), 0)))
+	}
+	for i := 0; i < 2; i++ {
+		_ = s.Log(inst("M", "E.rare", uint64(i+1), timemodel.At(timemodel.Tick(i)),
+			spatial.AtPoint(500, 500)))
+	}
+	corner, _ := spatial.Rect(495, 495, 505, 505)
+	cornerLoc := spatial.InField(corner)
+	res, err := s.QueryST(Query{Event: "E.busy", Region: &cornerLoc, HasTime: true, From: 0, To: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != "region" {
+		t.Errorf("corner query used %q index (scanned %d), want region", res.Index, res.Scanned)
+	}
+	if len(res.Instances) != 0 {
+		t.Errorf("corner query matched %d E.busy", len(res.Instances))
+	}
+
+	wide, _ := spatial.Rect(-10, -10, 110, 10)
+	wideLoc := spatial.InField(wide)
+	res, err = s.QueryST(Query{Event: "E.rare", Region: &wideLoc, HasTime: true, From: 0, To: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != "time" {
+		t.Errorf("rare-event query used %q index (scanned %d), want time", res.Index, res.Scanned)
+	}
+	if res.Scanned > 5 {
+		t.Errorf("rare-event query scanned %d candidates", res.Scanned)
+	}
+
+	// No predicates at all: sequential log path, everything returned.
+	res, err = s.QueryST(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != "log" || len(res.Instances) != 202 {
+		t.Errorf("empty query: index=%q n=%d", res.Index, len(res.Instances))
+	}
+}
+
+// TestRetentionConsistency hammers a bounded store and asserts every
+// index agrees with the live log afterwards.
+func TestRetentionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := randomStore(t, rng, 2000, Retention{MaxInstances: 100})
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	st := s.Stats()
+	if st.Instances != 100 || st.Evicted != 1900 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.byEntity) != len(s.log) {
+		t.Fatalf("byEntity %d != log %d", len(s.byEntity), len(s.log))
+	}
+	if s.grid.Len() != len(s.log) {
+		t.Fatalf("grid %d != log %d", s.grid.Len(), len(s.log))
+	}
+	total := 0
+	for ev, lst := range s.byEvent {
+		total += len(lst)
+		for i, seq := range lst {
+			if seq < s.base || seq >= s.base+uint64(len(s.log)) {
+				t.Fatalf("byEvent[%s][%d] = dead seq %d", ev, i, seq)
+			}
+			in := s.at(seq)
+			if in.Event != ev {
+				t.Fatalf("byEvent[%s] points at %s", ev, in.Event)
+			}
+			if i > 0 && s.at(lst[i-1]).Occ.Start() > in.Occ.Start() {
+				t.Fatalf("byEvent[%s] start order broken at %d", ev, i)
+			}
+		}
+	}
+	if total != len(s.log) {
+		t.Fatalf("byEvent total %d != log %d", total, len(s.log))
+	}
+	for i := range s.log {
+		id := s.log[i].EntityID()
+		if seq, ok := s.byEntity[id]; !ok || seq != s.base+uint64(i) {
+			t.Fatalf("byEntity[%s] = %d, want %d", id, seq, s.base+uint64(i))
+		}
+	}
+}
+
+// TestRetentionMaxAge evicts by generation-time age.
+func TestRetentionMaxAge(t *testing.T) {
+	s, _ := New(0)
+	s.SetRetention(Retention{MaxAge: 50})
+	for i := 0; i < 10; i++ {
+		in := inst("M", "E", uint64(i+1), timemodel.At(timemodel.Tick(i*10)), spatial.AtPoint(0, 0))
+		in.Gen = timemodel.Tick(i * 10)
+		if err := s.Log(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gens 0..90 with MaxAge 50: gens < 90-50 = 40 evicted.
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	if _, err := s.Get("E(M,E,1)"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("evicted instance still resolvable: %v", err)
+	}
+	if got := s.QueryTime("E", 0, 1000); len(got) != 6 {
+		t.Errorf("QueryTime after aging = %d", len(got))
+	}
+}

@@ -7,7 +7,11 @@
 // The store indexes instances three ways: an append log, a per-event
 // time-ordered index (binary searched for range queries), and a uniform
 // spatial grid over the estimated occurrence locations (for region
-// queries). A linear-scan query path is kept alongside the indexes for
+// queries). Instances are addressed by a monotonic global sequence
+// number, so a retention policy (Retention) can evict from the front of
+// the log while every index stays consistent. QueryST serves combined
+// region×time retrieval, choosing the cheaper index from cardinality
+// estimates. A linear-scan query path is kept alongside the indexes for
 // the E9 experiment and as a cross-check oracle in tests.
 package db
 
@@ -25,14 +29,54 @@ import (
 // ErrNotFound is returned when an entity id cannot be resolved.
 var ErrNotFound = errors.New("db: not found")
 
+// Retention bounds the store's memory. The zero value retains
+// everything.
+type Retention struct {
+	// MaxInstances caps the number of live instances; the oldest
+	// arrivals are evicted first (0 = unlimited).
+	MaxInstances int
+	// MaxAge evicts instances whose generation time has fallen more
+	// than MaxAge ticks behind the newest logged generation time
+	// (0 = unlimited).
+	MaxAge timemodel.Tick
+}
+
+// Stats summarizes the store's contents for monitoring endpoints.
+type Stats struct {
+	// Instances is the live instance count.
+	Instances int `json:"instances"`
+	// Observations is the logged raw-observation count.
+	Observations int `json:"observations"`
+	// Events is the number of distinct event ids with live instances.
+	Events int `json:"events"`
+	// Evicted counts instances dropped by the retention policy.
+	Evicted uint64 `json:"evicted"`
+	// MaxGen is the newest generation time logged (the retention clock).
+	MaxGen timemodel.Tick `json:"maxGen"`
+}
+
 // Store is the event-instance database. It is safe for concurrent use.
+//
+// Live instances occupy s.log and are addressed by a global sequence
+// number: instance seq lives at s.log[seq-s.base]. Eviction advances
+// base, so sequence numbers (and query cursors built from them) stay
+// valid across evictions — an evicted instance simply stops resolving.
 type Store struct {
 	mu       sync.RWMutex
-	log      []event.Instance
-	byEvent  map[string][]int // event id -> log indexes, Occ.Start-ordered
-	byEntity map[string]int   // entity id -> log index
+	base     uint64              // global sequence number of log[0]
+	log      []event.Instance    // live instances in arrival order
+	byEvent  map[string][]uint64 // event id -> seqs, Occ.Start-ordered
+	byEntity map[string]uint64   // entity id -> seq
 	grid     *spatial.Grid
 	obs      map[string]event.Observation // logged observations by id
+	ret      Retention
+	evicted  uint64
+	maxGen   timemodel.Tick
+	// maxDur is the longest occurrence duration ever logged per event —
+	// the window lower bound for the time index: every instance
+	// intersecting [from, to] has Occ.Start >= from-maxDur. Grow-only
+	// (eviction leaves it as a safe over-approximation).
+	maxDur map[string]timemodel.Tick
 }
 
 // DefaultGridCell is the spatial index cell size.
@@ -48,11 +92,46 @@ func New(cellSize float64) (*Store, error) {
 		return nil, fmt.Errorf("db: %w", err)
 	}
 	return &Store{
-		byEvent:  make(map[string][]int),
-		byEntity: make(map[string]int),
+		byEvent:  make(map[string][]uint64),
+		byEntity: make(map[string]uint64),
 		grid:     g,
 		obs:      make(map[string]event.Observation),
+		maxDur:   make(map[string]timemodel.Tick),
 	}, nil
+}
+
+// at resolves a live sequence number to its instance. Callers hold mu.
+func (s *Store) at(seq uint64) *event.Instance {
+	return &s.log[seq-s.base]
+}
+
+// SetRetention installs (or replaces) the eviction policy and enforces
+// it immediately.
+func (s *Store) SetRetention(r Retention) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ret = r
+	s.enforceRetentionLocked()
+}
+
+// Retention returns the active eviction policy.
+func (s *Store) Retention() Retention {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ret
+}
+
+// Stats returns a snapshot of the store's contents.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Instances:    len(s.log),
+		Observations: len(s.obs),
+		Events:       len(s.byEvent),
+		Evicted:      s.evicted,
+		MaxGen:       s.maxGen,
+	}
 }
 
 // Log appends an instance. Invalid instances are rejected; duplicate
@@ -67,23 +146,80 @@ func (s *Store) Log(in event.Instance) error {
 	if _, dup := s.byEntity[id]; dup {
 		return nil
 	}
-	idx := len(s.log)
+	seq := s.base + uint64(len(s.log))
 	s.log = append(s.log, in)
-	s.byEntity[id] = idx
+	s.byEntity[id] = seq
 
 	lst := s.byEvent[in.Event]
 	// Insert keeping Occ.Start order (instances usually arrive almost in
 	// order, so the insertion point is near the end).
 	pos := sort.Search(len(lst), func(i int) bool {
-		return s.log[lst[i]].Occ.Start() > in.Occ.Start()
+		return s.at(lst[i]).Occ.Start() > in.Occ.Start()
 	})
 	lst = append(lst, 0)
 	copy(lst[pos+1:], lst[pos:])
-	lst[pos] = idx
+	lst[pos] = seq
 	s.byEvent[in.Event] = lst
 
 	s.grid.Insert(id, in.Loc)
+	if dur := in.Occ.End() - in.Occ.Start(); dur > s.maxDur[in.Event] {
+		s.maxDur[in.Event] = dur
+	}
+	if in.Gen > s.maxGen {
+		s.maxGen = in.Gen
+	}
+	s.enforceRetentionLocked()
 	return nil
+}
+
+// enforceRetentionLocked evicts from the front of the log until the
+// retention bounds hold. Callers hold mu.
+func (s *Store) enforceRetentionLocked() {
+	if s.ret.MaxAge > 0 {
+		for len(s.log) > 0 && s.log[0].Gen < s.maxGen-s.ret.MaxAge {
+			s.evictFrontLocked()
+		}
+	}
+	if s.ret.MaxInstances > 0 {
+		for len(s.log) > s.ret.MaxInstances {
+			s.evictFrontLocked()
+		}
+	}
+}
+
+// evictFrontLocked drops the oldest live instance from the log and every
+// index. Callers hold mu and guarantee the log is non-empty.
+func (s *Store) evictFrontLocked() {
+	in := s.log[0]
+	id := in.EntityID()
+	delete(s.byEntity, id)
+	s.grid.Remove(id)
+
+	lst := s.byEvent[in.Event]
+	// The per-event index is start-ordered: binary search to the run of
+	// equal starts, then scan it for our sequence number.
+	pos := sort.Search(len(lst), func(i int) bool {
+		return s.at(lst[i]).Occ.Start() >= in.Occ.Start()
+	})
+	for pos < len(lst) && lst[pos] != s.base {
+		pos++
+	}
+	if pos < len(lst) {
+		lst = append(lst[:pos], lst[pos+1:]...)
+	}
+	if len(lst) == 0 {
+		delete(s.byEvent, in.Event)
+	} else {
+		s.byEvent[in.Event] = lst
+	}
+
+	// Zero before re-slicing so the evicted instance's attribute map and
+	// input slice are collectable; append reuses the remaining capacity
+	// and reallocates only the live tail, keeping memory flat.
+	s.log[0] = event.Instance{}
+	s.log = s.log[1:]
+	s.base++
+	s.evicted++
 }
 
 // LogObservation records a raw physical observation for provenance
@@ -94,14 +230,14 @@ func (s *Store) LogObservation(o event.Observation) {
 	s.obs[o.EntityID()] = o
 }
 
-// Len returns the number of logged instances.
+// Len returns the number of live instances.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.log)
 }
 
-// All returns a copy of the full instance log in arrival order.
+// All returns a copy of the live instance log in arrival order.
 func (s *Store) All() []event.Instance {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -114,11 +250,11 @@ func (s *Store) All() []event.Instance {
 func (s *Store) Get(entityID string) (event.Instance, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	idx, ok := s.byEntity[entityID]
+	seq, ok := s.byEntity[entityID]
 	if !ok {
 		return event.Instance{}, fmt.Errorf("%q: %w", entityID, ErrNotFound)
 	}
-	return s.log[idx], nil
+	return *s.at(seq), nil
 }
 
 // QueryTime returns instances of eventID whose estimated occurrence
@@ -130,21 +266,48 @@ func (s *Store) QueryTime(eventID string, from, to timemodel.Tick) []event.Insta
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if eventID == "" {
+	lst, lo, hi := s.timeWindowLocked(eventID, from, to)
+	if lst == nil {
 		return s.scanTimeLocked("", from, to)
 	}
-	lst := s.byEvent[eventID]
-	// Occurrences are ordered by start; every match has start <= to.
-	hi := sort.Search(len(lst), func(i int) bool {
-		return s.log[lst[i]].Occ.Start() > to
-	})
 	var out []event.Instance
-	for _, idx := range lst[:hi] {
-		if s.log[idx].Occ.End() >= from {
-			out = append(out, s.log[idx])
+	for _, seq := range lst[lo:hi] {
+		if s.at(seq).Occ.End() >= from {
+			out = append(out, *s.at(seq))
 		}
 	}
 	return out
+}
+
+// timeWindowLocked returns the slice [lo, hi) of the event's
+// start-ordered index that can intersect [from, to]: starts <= to, and
+// starts >= from minus the event's longest logged duration (an interval
+// reaching into the window cannot have started earlier than that). A
+// nil lst means the event id is empty and callers must scan. Callers
+// hold mu.
+func (s *Store) timeWindowLocked(eventID string, from, to timemodel.Tick) (lst []uint64, lo, hi int) {
+	if eventID == "" {
+		return nil, 0, 0
+	}
+	lst = s.byEvent[eventID]
+	if lst == nil {
+		lst = []uint64{}
+	}
+	hi = sort.Search(len(lst), func(i int) bool {
+		return s.at(lst[i]).Occ.Start() > to
+	})
+	// Saturate the subtraction: from can be MinInt64 (an open-ended
+	// window), where subtracting the duration would wrap positive and
+	// empty the window.
+	floor := from - s.maxDur[eventID]
+	if floor > from {
+		lo = 0
+		return lst, lo, hi
+	}
+	lo = sort.Search(hi, func(i int) bool {
+		return s.at(lst[i]).Occ.Start() >= floor
+	})
+	return lst, lo, hi
 }
 
 // ScanTime is the unindexed equivalent of QueryTime, retained for the E9
@@ -180,16 +343,16 @@ func (s *Store) QueryRegion(region spatial.Location) []event.Instance {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ids := s.grid.QueryRegion(region)
-	idxs := make([]int, 0, len(ids))
+	seqs := make([]uint64, 0, len(ids))
 	for _, id := range ids {
-		if idx, ok := s.byEntity[id]; ok {
-			idxs = append(idxs, idx)
+		if seq, ok := s.byEntity[id]; ok {
+			seqs = append(seqs, seq)
 		}
 	}
-	sort.Ints(idxs)
-	out := make([]event.Instance, len(idxs))
-	for i, idx := range idxs {
-		out[i] = s.log[idx]
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]event.Instance, len(seqs))
+	for i, seq := range seqs {
+		out[i] = *s.at(seq)
 	}
 	return out
 }
@@ -211,9 +374,9 @@ func (s *Store) ScanRegion(region spatial.Location) []event.Instance {
 // Lineage resolves the provenance chain of an entity: the transitive
 // closure of Inputs, depth-first, deduplicated, starting from (and
 // including) entityID. Unresolvable input ids (e.g. observations that
-// were never logged) are included as leaves — the chain back to the
-// original physical observation stays intact exactly as the paper
-// requires.
+// were never logged, or instances evicted by retention) are included as
+// leaves — the chain back to the original physical observation stays
+// intact exactly as the paper requires.
 func (s *Store) Lineage(entityID string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -231,8 +394,8 @@ func (s *Store) Lineage(entityID string) ([]string, error) {
 		}
 		seen[id] = true
 		out = append(out, id)
-		if idx, ok := s.byEntity[id]; ok {
-			for _, inp := range s.log[idx].Inputs {
+		if seq, ok := s.byEntity[id]; ok {
+			for _, inp := range s.at(seq).Inputs {
 				walk(inp)
 			}
 		}
@@ -241,7 +404,7 @@ func (s *Store) Lineage(entityID string) ([]string, error) {
 	return out, nil
 }
 
-// EventIDs lists the distinct event ids with logged instances, sorted.
+// EventIDs lists the distinct event ids with live instances, sorted.
 func (s *Store) EventIDs() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

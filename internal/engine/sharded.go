@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +28,13 @@ type offerMsg struct {
 	loc    spatial.Location
 }
 
+// Lifecycle states of a Sharded engine.
+const (
+	stateNew int32 = iota
+	stateStarted
+	stateClosed
+)
+
 // Sharded is the concurrent detection engine: N worker shards, each
 // owning a Bank, hash-partitioned by detected event ID so every
 // detector sees a sequential stream while distinct events evaluate in
@@ -37,7 +43,9 @@ type offerMsg struct {
 // Usage: AddDetector everything, Start, then Ingest from ONE producer
 // goroutine (the shards parallelize detection, not the feed); Drain to
 // wait for quiescence; Close to stop the workers and flush open
-// intervals. The Config Emit/Log hooks run on worker goroutines and
+// intervals. Close may be called from any goroutine — including
+// concurrently with Ingest, which then returns ErrClosed — and is
+// idempotent. The Config Emit/Log hooks run on worker goroutines and
 // must be safe for concurrent use.
 type Sharded struct {
 	cfg   Config
@@ -46,7 +54,8 @@ type Sharded struct {
 	// that consumes it. Immutable after Start.
 	routes map[string][]int
 	in     []chan *[]offerMsg
-	// pending is the producer-side partial batch per shard.
+	// pending is the producer-side partial batch per shard, guarded by
+	// pmu.
 	pending []*[]offerMsg
 
 	// Batch overrides the offer batch size when set before Start.
@@ -55,8 +64,13 @@ type Sharded struct {
 	pool     sync.Pool
 	wg       sync.WaitGroup
 	ingested atomic.Uint64
-	started  bool
-	closed   bool
+	// state is the atomic lifecycle: New -> Started -> Closed. Ingest
+	// checks it under pmu so a concurrent Close can never race it into
+	// a send on a closed channel.
+	state atomic.Int32
+	// pmu serializes the producer side (pending buffers and channel
+	// sends) against Close. Uncontended in the single-producer case.
+	pmu sync.Mutex
 
 	// inflight counts dispatched-but-unprocessed offers; idle is
 	// signalled when it reaches zero so Drain can block without
@@ -93,17 +107,28 @@ func NewSharded(cfg Config, shards int) (*Sharded, error) {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.banks) }
 
-// shardOf hash-partitions a detected event ID onto a shard.
+// FNV-1a constants (hash/fnv), inlined so routing never allocates.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+// shardOf hash-partitions a detected event ID onto a shard with an
+// inline zero-allocation FNV-1a — hash/fnv.New32a allocates a hasher
+// per call, which showed up on the routing path.
 func (s *Sharded) shardOf(eventID string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(eventID))
-	return int(h.Sum32() % uint32(len(s.banks)))
+	h := fnvOffset32
+	for i := 0; i < len(eventID); i++ {
+		h ^= uint32(eventID[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(len(s.banks)))
 }
 
 // AddDetector registers a detector on the shard owning its event ID.
 // All registration must happen before Start.
 func (s *Sharded) AddDetector(spec detect.Spec) error {
-	if s.started {
+	if s.state.Load() != stateNew {
 		return ErrStarted
 	}
 	shard := s.shardOf(spec.EventID)
@@ -130,10 +155,11 @@ func containsInt(xs []int, x int) bool {
 
 // Start spawns the worker shards. No detectors may be added afterwards.
 func (s *Sharded) Start() error {
-	if s.started {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.state.Load() != stateNew {
 		return ErrStarted
 	}
-	s.started = true
 	batch := s.Batch
 	if batch <= 0 {
 		batch = DefaultBatch
@@ -150,6 +176,7 @@ func (s *Sharded) Start() error {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	s.state.Store(stateStarted)
 	return nil
 }
 
@@ -176,12 +203,15 @@ func (s *Sharded) worker(i int) {
 // Ingest buffers one entity toward every shard hosting a detector for
 // its source. Detection happens asynchronously on the workers; emitted
 // instances flow through the Config hooks. Ingest is intended for a
-// single producer goroutine.
+// single producer goroutine; after a (possibly concurrent) Close it
+// returns ErrClosed.
 func (s *Sharded) Ingest(source string, ent event.Entity, conf float64, now timemodel.Tick, loc spatial.Location) error {
-	if !s.started {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	switch s.state.Load() {
+	case stateNew:
 		return ErrNotStarted
-	}
-	if s.closed {
+	case stateClosed:
 		return ErrClosed
 	}
 	s.ingested.Add(1)
@@ -200,7 +230,8 @@ func (s *Sharded) Ingest(source string, ent event.Entity, conf float64, now time
 	return nil
 }
 
-// dispatch sends a shard's pending batch to its worker.
+// dispatch sends a shard's pending batch to its worker. Callers hold
+// pmu in a state where the channels are open.
 func (s *Sharded) dispatch(shard int) {
 	bp := s.pending[shard]
 	if bp == nil || len(*bp) == 0 {
@@ -217,12 +248,21 @@ func (s *Sharded) dispatch(shard int) {
 // has been processed — the barrier before reading Stats or measuring
 // throughput.
 func (s *Sharded) Drain() {
-	if !s.started || s.closed {
+	s.pmu.Lock()
+	if s.state.Load() != stateStarted {
+		s.pmu.Unlock()
 		return
 	}
 	for shard := range s.pending {
 		s.dispatch(shard)
 	}
+	s.pmu.Unlock()
+	s.waitIdle()
+}
+
+// waitIdle blocks until the workers have consumed every dispatched
+// batch.
+func (s *Sharded) waitIdle() {
 	s.mu.Lock()
 	for s.inflight != 0 {
 		s.idle.Wait()
@@ -232,13 +272,23 @@ func (s *Sharded) Drain() {
 
 // Close drains the queues, stops the workers, then flushes open
 // interval detections at virtual time now, returning the flushed
-// instances (which also flow through the Config hooks).
+// instances (which also flow through the Config hooks). Close is safe
+// to call from any goroutine, including concurrently with Ingest
+// (which then returns ErrClosed); repeated Close calls return nil.
 func (s *Sharded) Close(now timemodel.Tick, loc spatial.Location) []event.Instance {
-	if !s.started || s.closed {
+	s.pmu.Lock()
+	if !s.state.CompareAndSwap(stateStarted, stateClosed) {
+		s.pmu.Unlock()
 		return nil
 	}
-	s.Drain()
-	s.closed = true
+	// Flush partial batches under pmu: a concurrent Ingest is either
+	// already blocked on pmu (and will observe the closed state) or
+	// finished, so no send can follow once pmu is released.
+	for shard := range s.pending {
+		s.dispatch(shard)
+	}
+	s.pmu.Unlock()
+	s.waitIdle()
 	for _, ch := range s.in {
 		close(ch)
 	}

@@ -137,6 +137,98 @@ func TestShardedLifecycle(t *testing.T) {
 	}
 }
 
+// TestShardedIngestCloseRace closes the engine from a non-producer
+// goroutine while the producer is mid-feed — under -race this covered
+// the old unsynchronized closed/pending lifecycle, which could panic
+// with a send on a closed channel. The producer must observe ErrClosed,
+// never a panic or a lost error.
+func TestShardedIngestCloseRace(t *testing.T) {
+	loc := spatial.AtPoint(0, 0)
+	for round := 0; round < 20; round++ {
+		s := shardedFixture(t, 4, 8, nil)
+		s.Batch = 2 // small batches force frequent channel sends
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			for i := 0; ; i++ {
+				src := fmt.Sprintf("S%d", i%8)
+				err := s.Ingest(src, obsAt(src, uint64(i+1), timemodel.Tick(i), 1), 1, timemodel.Tick(i), loc)
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}()
+		s.Close(0, loc)
+		<-closed
+	}
+}
+
+// TestShardedDoubleCloseRace races two Close calls; exactly the normal
+// teardown must happen and the loser must return nil.
+func TestShardedDoubleCloseRace(t *testing.T) {
+	loc := spatial.AtPoint(0, 0)
+	for round := 0; round < 20; round++ {
+		s := shardedFixture(t, 4, 8, nil)
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			src := fmt.Sprintf("S%d", i%8)
+			if err := s.Ingest(src, obsAt(src, uint64(i+1), timemodel.Tick(i), 1), 1, timemodel.Tick(i), loc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Close(100, loc)
+			}()
+		}
+		wg.Wait()
+		if err := s.Ingest("S0", obsAt("S0", 999, 200, 1), 1, 200, loc); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close ingest err = %v", err)
+		}
+	}
+}
+
+// TestShardOfZeroAlloc pins the routing-path hash at zero allocations:
+// the old hash/fnv.New32a allocated a hasher per Ingest.
+func TestShardOfZeroAlloc(t *testing.T) {
+	s := shardedFixture(t, 7, 4, nil)
+	ids := []string{"E0", "E1", "a-much-longer-event-identifier", ""}
+	if n := testing.AllocsPerRun(1000, func() {
+		for _, id := range ids {
+			_ = s.shardOf(id)
+		}
+	}); n != 0 {
+		t.Fatalf("shardOf allocates %.1f objects/run, want 0", n)
+	}
+	// Distribution sanity: shardOf must still land inside the bank range.
+	for i := 0; i < 100; i++ {
+		if sh := s.shardOf(fmt.Sprintf("E%d", i)); sh < 0 || sh >= s.Shards() {
+			t.Fatalf("shardOf out of range: %d", sh)
+		}
+	}
+}
+
+// BenchmarkShardOf guards the zero-allocation routing hash.
+func BenchmarkShardOf(b *testing.B) {
+	s := shardedFixture(b, 8, 4, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.shardOf("E.some-event-id")
+	}
+}
+
 // TestShardedCloseFlushesIntervals checks open interval detections are
 // emitted on Close.
 func TestShardedCloseFlushesIntervals(t *testing.T) {

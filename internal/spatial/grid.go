@@ -14,9 +14,18 @@ type Grid struct {
 	cell  float64
 	cells map[cellKey][]string
 	locs  map[string]Location
+	// ext is the cell extent ever populated, grow-only (removals do not
+	// shrink it). Queries clamp their rect to it, so an arbitrarily large
+	// query region costs at most the populated extent — never
+	// O(area/cell²) of the request.
+	ext    cellExtent
+	hasExt bool
 }
 
 type cellKey struct{ cx, cy int }
+
+// cellExtent is an inclusive cell-coordinate bounding box.
+type cellExtent struct{ x0, y0, x1, y1 int }
 
 // NewGrid returns a grid index with the given cell size. Cell size must be
 // positive.
@@ -41,6 +50,24 @@ func (g *Grid) Insert(id string, loc Location) {
 		g.Remove(id)
 	}
 	g.locs[id] = loc
+	x0, y0, x1, y1 := g.cellRange(bboxOf(loc))
+	if !g.hasExt {
+		g.ext = cellExtent{x0: x0, y0: y0, x1: x1, y1: y1}
+		g.hasExt = true
+	} else {
+		if x0 < g.ext.x0 {
+			g.ext.x0 = x0
+		}
+		if y0 < g.ext.y0 {
+			g.ext.y0 = y0
+		}
+		if x1 > g.ext.x1 {
+			g.ext.x1 = x1
+		}
+		if y1 > g.ext.y1 {
+			g.ext.y1 = y1
+		}
+	}
 	for _, k := range g.keysFor(loc) {
 		g.cells[k] = append(g.cells[k], id)
 	}
@@ -76,7 +103,7 @@ func (g *Grid) Remove(id string) {
 func (g *Grid) QueryRegion(region Location) []string {
 	seen := make(map[string]struct{})
 	var out []string
-	for _, k := range g.keysFor(region) {
+	for _, k := range g.queryKeys(bboxOf(region)) {
 		for _, id := range g.cells[k] {
 			if _, dup := seen[id]; dup {
 				continue
@@ -102,7 +129,7 @@ func (g *Grid) QueryRadius(center Point, dist float64) []string {
 	}
 	seen := make(map[string]struct{})
 	var out []string
-	for _, k := range g.keysForRect(b) {
+	for _, k := range g.queryKeys(b) {
 		for _, id := range g.cells[k] {
 			if _, dup := seen[id]; dup {
 				continue
@@ -116,24 +143,104 @@ func (g *Grid) QueryRadius(center Point, dist float64) []string {
 	return out
 }
 
-// keysFor returns the grid cells overlapped by the location's bounding box.
-func (g *Grid) keysFor(loc Location) []cellKey {
-	var b rect
-	if f, ok := loc.Field(); ok {
-		b = f.bbox
-	} else {
-		p := loc.Point()
-		b = rect{minX: p.X, minY: p.Y, maxX: p.X, maxY: p.Y}
+// EstimateRegion returns an upper bound on the number of entries a
+// QueryRegion over the region would verify (entries spanning several
+// cells are counted once per overlapped cell). It is the grid's
+// cardinality estimate for query planning and costs at most the number
+// of populated cells.
+func (g *Grid) EstimateRegion(region Location) int {
+	n := 0
+	for _, k := range g.queryKeys(bboxOf(region)) {
+		n += len(g.cells[k])
 	}
-	return g.keysForRect(b)
+	return n
 }
 
-func (g *Grid) keysForRect(b rect) []cellKey {
-	x0 := int(math.Floor(b.minX / g.cell))
-	x1 := int(math.Floor(b.maxX / g.cell))
-	y0 := int(math.Floor(b.minY / g.cell))
-	y1 := int(math.Floor(b.maxY / g.cell))
+// bboxOf returns the bounding box of a location.
+func bboxOf(loc Location) rect {
+	if f, ok := loc.Field(); ok {
+		return f.bbox
+	}
+	p := loc.Point()
+	return rect{minX: p.X, minY: p.Y, maxX: p.X, maxY: p.Y}
+}
+
+// keysFor returns every grid cell overlapped by the location's bounding
+// box, exactly — the insert/remove path, where the cell set must match
+// the entry's own extent.
+func (g *Grid) keysFor(loc Location) []cellKey {
+	x0, y0, x1, y1 := g.cellRange(bboxOf(loc))
 	keys := make([]cellKey, 0, (x1-x0+1)*(y1-y0+1))
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			keys = append(keys, cellKey{cx: cx, cy: cy})
+		}
+	}
+	return keys
+}
+
+// cellRange converts a rect to inclusive cell coordinates.
+func (g *Grid) cellRange(b rect) (x0, y0, x1, y1 int) {
+	return int(math.Floor(b.minX / g.cell)), int(math.Floor(b.minY / g.cell)),
+		int(math.Floor(b.maxX / g.cell)), int(math.Floor(b.maxY / g.cell))
+}
+
+// queryKeys returns the populated cells overlapped by a query rect. The
+// rect is clamped to the extent ever populated — in float space, so an
+// arbitrarily large rect (e.g. QueryRadius at dist=1e9) cannot overflow
+// cell coordinates — and when the clamped rect still covers more cells
+// than exist, the populated cells are filtered directly instead of
+// enumerated.
+func (g *Grid) queryKeys(b rect) []cellKey {
+	if len(g.cells) == 0 {
+		return nil
+	}
+	x0, y0, x1, y1 := g.ext.x0, g.ext.y0, g.ext.x1, g.ext.y1
+	// Tighten each bound only when the rect's edge falls inside the
+	// extent. The comparisons stay in float space: a coordinate past
+	// the opposite extent edge means an empty intersection, and is
+	// rejected before any int conversion — int(f) for f beyond int64
+	// range would wrap instead of saturating.
+	if f := math.Floor(b.minX / g.cell); f > float64(x0) {
+		if f > float64(x1) {
+			return nil
+		}
+		x0 = int(f)
+	}
+	if f := math.Floor(b.minY / g.cell); f > float64(y0) {
+		if f > float64(y1) {
+			return nil
+		}
+		y0 = int(f)
+	}
+	if f := math.Floor(b.maxX / g.cell); f < float64(x1) {
+		if f < float64(x0) {
+			return nil
+		}
+		x1 = int(f)
+	}
+	if f := math.Floor(b.maxY / g.cell); f < float64(y1) {
+		if f < float64(y0) {
+			return nil
+		}
+		y1 = int(f)
+	}
+	if x1 < x0 || y1 < y0 {
+		return nil
+	}
+	w, h := x1-x0+1, y1-y0+1
+	// Compare width and height before multiplying: both are bounded by
+	// the populated extent, but their product can still overflow.
+	if w > len(g.cells) || h > len(g.cells) || w*h > len(g.cells) {
+		keys := make([]cellKey, 0, len(g.cells))
+		for k := range g.cells {
+			if k.cx >= x0 && k.cx <= x1 && k.cy >= y0 && k.cy <= y1 {
+				keys = append(keys, k)
+			}
+		}
+		return keys
+	}
+	keys := make([]cellKey, 0, w*h)
 	for cx := x0; cx <= x1; cx++ {
 		for cy := y0; cy <= y1; cy++ {
 			keys = append(keys, cellKey{cx: cx, cy: cy})

@@ -78,6 +78,79 @@ func TestGridQueryRadius(t *testing.T) {
 	}
 }
 
+// TestGridHugeQueryRect guards against enumerating every cell of an
+// arbitrarily large query rect: a QueryRadius at dist=1e9 (≈1.5e16
+// cells at cell size 5) must clamp to the populated extent and return
+// promptly instead of allocating O(area/cell²) keys.
+func TestGridHugeQueryRect(t *testing.T) {
+	g, _ := NewGrid(5)
+	g.Insert("a", AtPoint(1, 0))
+	g.Insert("b", AtPoint(-300, 42))
+	g.Insert("c", AtPoint(7500, -9000))
+	got := g.QueryRadius(Pt(0, 0), 1e9)
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("QueryRadius(1e9) = %v, want [a b c]", got)
+	}
+	// A huge region query takes the same clamped path.
+	region, err := Rect(-1e9, -1e9, 1e9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = g.QueryRegion(InField(region))
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("huge QueryRegion = %v, want [a b c]", got)
+	}
+	// Empty grid: nothing to clamp to, nothing returned.
+	empty, _ := NewGrid(5)
+	if got := empty.QueryRadius(Pt(0, 0), 1e9); got != nil {
+		t.Fatalf("empty grid QueryRadius = %v", got)
+	}
+	// A rect far outside the populated extent yields nothing.
+	far, _ := Rect(1e6, 1e6, 2e6, 2e6)
+	if got := g.QueryRegion(InField(far)); len(got) != 0 {
+		t.Fatalf("far QueryRegion = %v", got)
+	}
+	// Coordinates beyond int64 range: int(f) would wrap to MinInt64 and
+	// panic in makeslice; the float-space rejection must catch it.
+	if got := g.QueryRegion(AtPoint(1e30, 1)); len(got) != 0 {
+		t.Fatalf("1e30 point query = %v", got)
+	}
+	if got := g.QueryRegion(AtPoint(-1e30, -1e30)); len(got) != 0 {
+		t.Fatalf("-1e30 point query = %v", got)
+	}
+	huge, err := Rect(1e300, 1e300, 2e300, 2e300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.QueryRegion(InField(huge)); len(got) != 0 {
+		t.Fatalf("1e300 rect query = %v", got)
+	}
+	if got := g.QueryRadius(Pt(1e30, 0), 5); len(got) != 0 {
+		t.Fatalf("far-center QueryRadius = %v", got)
+	}
+}
+
+func TestGridEstimateRegion(t *testing.T) {
+	g, _ := NewGrid(10)
+	g.Insert("a", AtPoint(5, 5))
+	g.Insert("b", AtPoint(6, 6))
+	g.Insert("c", AtPoint(95, 95))
+	near, _ := Rect(0, 0, 9, 9)
+	if n := g.EstimateRegion(InField(near)); n != 2 {
+		t.Errorf("EstimateRegion(near) = %d, want 2", n)
+	}
+	all, _ := Rect(-1e9, -1e9, 1e9, 1e9)
+	if n := g.EstimateRegion(InField(all)); n != 3 {
+		t.Errorf("EstimateRegion(all) = %d, want 3", n)
+	}
+	nowhere, _ := Rect(400, 400, 500, 500)
+	if n := g.EstimateRegion(InField(nowhere)); n != 0 {
+		t.Errorf("EstimateRegion(nowhere) = %d, want 0", n)
+	}
+}
+
 // TestGridMatchesLinearScan cross-checks the grid against a brute-force
 // scan over random points and regions — the index must be exact.
 func TestGridMatchesLinearScan(t *testing.T) {

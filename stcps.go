@@ -60,6 +60,9 @@ type Config struct {
 	LogTTL Tick
 	// DBCell is the database spatial-index cell size (default 16).
 	DBCell float64
+	// DBRetention bounds the database server's memory (the zero value
+	// retains everything).
+	DBRetention Retention
 }
 
 func (c *Config) normalize() {
@@ -125,6 +128,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.SetRetention(cfg.DBRetention)
 	return &System{
 		cfg:        cfg,
 		sched:      sched,
