@@ -11,6 +11,7 @@
 //	edlbench -exp E3    # recall and EDL vs. packet loss
 //	edlbench -exp E8    # baseline expressiveness/correctness matrix
 //	edlbench -exp E9    # combined region×time retrieval: QueryST vs. scan
+//	edlbench -exp E10   # planned indexed window join vs. naive enumeration
 //	edlbench -exp E11   # condition evaluation placement
 //	edlbench -runs 32   # more runs per configuration
 //	edlbench -json BENCH_1.json   # also write the machine-readable artifact
@@ -25,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"github.com/stcps/stcps/internal/baseline"
@@ -86,6 +88,21 @@ type queryRow struct {
 	Speedup    float64 `json:"speedup,omitempty"`
 }
 
+// joinRow is one E10 measurement: the multi-role wide-window detection
+// workload through the planned indexed join or the naive enumeration.
+type joinRow struct {
+	Mode        string  `json:"mode"`
+	Roles       int     `json:"roles"`
+	Window      int     `json:"window"`
+	Entities    int     `json:"entities"`
+	NsPerEntity float64 `json:"nsPerEntity"`
+	Emitted     uint64  `json:"emitted"`
+	Probed      uint64  `json:"bindingsProbed"`
+	Pruned      uint64  `json:"bindingsPruned"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	EvalAllocs  float64 `json:"evalAllocsPerOp"`
+}
+
 // retentionRow reports the steady state of a retention-bounded store
 // after logging well past its cap.
 type retentionRow struct {
@@ -99,26 +116,29 @@ type retentionRow struct {
 // artifact is the machine-readable benchmark output: the perf
 // trajectory record accumulated across PRs.
 type artifact struct {
-	Schema    string      `json:"schema"`
-	Generated string      `json:"generated"`
-	GoVersion string      `json:"goVersion"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	CPUs      int         `json:"cpus"`
-	Runs      int         `json:"runs"`
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"goVersion"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Runs      int           `json:"runs"`
 	E1        []edlRow      `json:"e1,omitempty"`
 	E2        []edlRow      `json:"e2,omitempty"`
 	E3        []lossRow     `json:"e3,omitempty"`
 	E9        []queryRow    `json:"e9,omitempty"`
+	E10       []joinRow     `json:"e10,omitempty"`
 	Retention *retentionRow `json:"retention,omitempty"`
 	Engine    []engineRow   `json:"engineIngest,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E11 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
 	queryInstances := fs.Int("queryInstances", 100_000, "logged instances for the E9 query experiment")
+	joinEntities := fs.Int("joinEntities", 900, "entities fed to the E10 join experiment")
+	joinWindow := fs.Int("joinWindow", 128, "per-role window for the E10 join experiment")
 	jsonPath := fs.String("json", "", "write a machine-readable benchmark artifact to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,6 +192,14 @@ func run(args []string, out io.Writer) error {
 		}
 		art.E9 = rows
 		art.Retention = ret
+	}
+	if which == "ALL" || which == "E10" {
+		any = true
+		rows, err := e10(out, *joinEntities, *joinWindow)
+		if err != nil {
+			return err
+		}
+		art.E10 = rows
 	}
 	if which == "ALL" || which == "E11" {
 		any = true
@@ -507,6 +535,125 @@ func e9(out io.Writer, nInstances int) ([]queryRow, *retentionRow, error) {
 		ret.Logged, ret.MaxInstances, ret.Live, ret.Evicted, ret.HeapMB)
 	runtime.KeepAlive(bounded)
 	return rows, ret, nil
+}
+
+// e10Cond is the E10 workload condition: a three-role chain of temporal
+// and spatial links plus a single-role filter — the shape the condition
+// compiler decomposes completely.
+const e10Cond = "x.time before y.time and y.time before z.time and " +
+	"dist(x.loc, y.loc) < 4 and dist(y.loc, z.loc) < 4 and x.v > 0.2"
+
+// e10Spec builds the E10 detector spec. MaxBindings is effectively
+// unbounded so both paths see every candidate and the emission counts
+// stay comparable.
+func e10Spec(window int, planner detect.PlannerMode) detect.Spec {
+	return detect.Spec{
+		EventID: "E.join",
+		Layer:   event.LayerSensor,
+		Roles: []detect.RoleSpec{
+			{Name: "x", Source: "JX", Window: window},
+			{Name: "y", Source: "JY", Window: window},
+			{Name: "z", Source: "JZ", Window: window},
+		},
+		Cond:        condition.MustParse(e10Cond),
+		MaxBindings: 1 << 30,
+		Planner:     planner,
+	}
+}
+
+// e10Run feeds the deterministic E10 stream through one detector.
+func e10Run(spec detect.Spec, entities int) (time.Duration, uint64, detect.Stats, error) {
+	d, err := detect.New("bench", spec)
+	if err != nil {
+		return 0, 0, detect.Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(10))
+	sources := [...]string{"JX", "JY", "JZ"}
+	genLoc := spatial.AtPoint(0, 0)
+	var emitted uint64
+	start := time.Now()
+	for i := 0; i < entities; i++ {
+		now := timemodel.Tick(i)
+		o := event.Observation{
+			Mote: "M", Sensor: sources[i%3], Seq: uint64(i),
+			Time:  timemodel.At(now),
+			Loc:   spatial.AtPoint(rng.Float64()*256, rng.Float64()*256),
+			Attrs: event.Attrs{"v": rng.Float64()},
+		}
+		emitted += uint64(len(d.Offer(sources[i%3], o, 1, now, genLoc)))
+	}
+	return time.Since(start), emitted, d.Stats(), nil
+}
+
+// e10 measures the detection planner: the same wide-window three-role
+// workload through the planned indexed join and through the naive
+// cross-product enumeration. Both must emit the same number of
+// instances — the benchmark doubles as a differential check at scale —
+// and the compiled-binding eval loop must not allocate.
+func e10(out io.Writer, entities, window int) ([]joinRow, error) {
+	fmt.Fprintf(out, "=== E10: planned vs naive window join (3 roles, window=%d, %d entities) ===\n",
+		window, entities)
+	fmt.Fprintln(out, "mode\tns/entity\temitted\tprobed\tpruned\tspeedup")
+
+	plannedDur, plannedEmit, plannedStats, err := e10Run(e10Spec(window, detect.PlannerAuto), entities)
+	if err != nil {
+		return nil, err
+	}
+	naiveDur, naiveEmit, naiveStats, err := e10Run(e10Spec(window, detect.PlannerOff), entities)
+	if err != nil {
+		return nil, err
+	}
+	if plannedEmit != naiveEmit {
+		return nil, fmt.Errorf("E10: planned join emitted %d instances, naive oracle %d", plannedEmit, naiveEmit)
+	}
+	if plannedStats.Truncations != 0 || naiveStats.Truncations != 0 {
+		return nil, fmt.Errorf("E10: truncated (planned=%d naive=%d) — raise MaxBindings",
+			plannedStats.Truncations, naiveStats.Truncations)
+	}
+
+	// The compiled-binding eval loop must be allocation-free.
+	slots := condition.NewSlotMap([]string{"x", "y", "z"})
+	compiled, err := condition.Compile(condition.MustParse(e10Cond), slots)
+	if err != nil {
+		return nil, err
+	}
+	mkEnt := func(t timemodel.Tick, x float64) event.Observation {
+		return event.Observation{
+			Mote: "M", Sensor: "S", Seq: uint64(t),
+			Time: timemodel.At(t), Loc: spatial.AtPoint(x, 0),
+			Attrs: event.Attrs{"v": 0.5},
+		}
+	}
+	ents := []event.Entity{mkEnt(1, 0), mkEnt(2, 1), mkEnt(3, 2)}
+	if _, err := compiled.Eval(ents); err != nil {
+		return nil, err
+	}
+	evalAllocs := testing.AllocsPerRun(1000, func() {
+		_, _ = compiled.Eval(ents)
+	})
+
+	plannedNs := float64(plannedDur.Nanoseconds()) / float64(entities)
+	naiveNs := float64(naiveDur.Nanoseconds()) / float64(entities)
+	speedup := naiveNs / plannedNs
+	rows := []joinRow{
+		{
+			Mode: "planned", Roles: 3, Window: window, Entities: entities,
+			NsPerEntity: plannedNs, Emitted: plannedEmit,
+			Probed: plannedStats.Probed, Pruned: plannedStats.Pruned,
+			Speedup: speedup, EvalAllocs: evalAllocs,
+		},
+		{
+			Mode: "naive", Roles: 3, Window: window, Entities: entities,
+			NsPerEntity: naiveNs, Emitted: naiveEmit,
+			Probed: naiveStats.Probed, Pruned: naiveStats.Pruned,
+		},
+	}
+	fmt.Fprintf(out, "planned\t%.0f\t%d\t%d\t%d\t%.1fx\n",
+		plannedNs, plannedEmit, plannedStats.Probed, plannedStats.Pruned, speedup)
+	fmt.Fprintf(out, "naive\t%.0f\t%d\t%d\t%d\t\n",
+		naiveNs, naiveEmit, naiveStats.Probed, naiveStats.Pruned)
+	fmt.Fprintf(out, "compiled-binding eval: %.0f allocs/op\n\n", evalAllocs)
+	return rows, nil
 }
 
 // e8 prints the baseline comparison matrix: which engine from the

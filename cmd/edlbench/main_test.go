@@ -162,3 +162,45 @@ func TestE1MonotoneInDepth(t *testing.T) {
 		t.Fatal("no data rows parsed")
 	}
 }
+
+// TestE10JoinSpeedup runs the planned-vs-naive join experiment at
+// reduced scale: the planner must emit identically, win clearly, and
+// keep the compiled-binding eval loop allocation-free.
+func TestE10JoinSpeedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-exp", "E10", "-joinEntities", "450", "-joinWindow", "64", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E10: planned vs naive window join") {
+		t.Fatalf("output missing E10 table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		E10 []struct {
+			Mode        string  `json:"mode"`
+			NsPerEntity float64 `json:"nsPerEntity"`
+			Emitted     uint64  `json:"emitted"`
+			Speedup     float64 `json:"speedup"`
+			EvalAllocs  float64 `json:"evalAllocsPerOp"`
+		} `json:"e10"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.E10) != 2 || art.E10[0].Mode != "planned" || art.E10[1].Mode != "naive" {
+		t.Fatalf("e10 rows = %+v", art.E10)
+	}
+	if art.E10[0].Emitted != art.E10[1].Emitted {
+		t.Errorf("emission mismatch: %+v", art.E10)
+	}
+	if art.E10[0].Speedup < 10 {
+		t.Errorf("planned join speedup %.1fx, want >= 10x", art.E10[0].Speedup)
+	}
+	if art.E10[0].EvalAllocs != 0 {
+		t.Errorf("compiled eval allocates %.1f times per op, want 0", art.E10[0].EvalAllocs)
+	}
+}

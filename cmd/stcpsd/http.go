@@ -42,8 +42,22 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// statsResponse is the /stats document: daemon counters plus the
-// store's content counters.
+// detectStats is the /stats view of the detection planner's evaluation
+// counters.
+type detectStats struct {
+	// BindingsProbed counts candidate bindings the detectors examined.
+	BindingsProbed uint64 `json:"bindingsProbed"`
+	// BindingsPruned counts window entries skipped without evaluation
+	// (insertion-time filters and index probes).
+	BindingsPruned uint64 `json:"bindingsPruned"`
+	// Truncations counts evaluation rounds cut short by maxBindings.
+	Truncations uint64 `json:"truncations"`
+	// EvalErrors counts failed binding evaluations.
+	EvalErrors uint64 `json:"evalErrors"`
+}
+
+// statsResponse is the /stats document: daemon counters, the detection
+// planner's counters and plans, and the store's content counters.
 type statsResponse struct {
 	Observer string           `json:"observer"`
 	Events   int              `json:"events"`
@@ -51,10 +65,13 @@ type statsResponse struct {
 	Ingested uint64           `json:"ingested"`
 	Skipped  uint64           `json:"skipped"`
 	Emitted  uint64           `json:"emitted"`
+	Detect   detectStats      `json:"detect"`
+	Plans    []string         `json:"plans"`
 	Store    stcps.StoreStats `json:"store"`
 }
 
 func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
+	es := a.eng.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Observer: a.observer,
 		Events:   a.events,
@@ -62,7 +79,14 @@ func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 		Ingested: a.ingested.Load(),
 		Skipped:  a.skipped.Load(),
 		Emitted:  a.emitted.Load(),
-		Store:    a.eng.StoreStats(),
+		Detect: detectStats{
+			BindingsProbed: es.BindingsProbed,
+			BindingsPruned: es.BindingsPruned,
+			Truncations:    es.Truncations,
+			EvalErrors:     es.EvalErrors,
+		},
+		Plans: a.eng.PlanDescriptions(),
+		Store: a.eng.StoreStats(),
 	})
 }
 

@@ -195,6 +195,9 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			return err
 		}
 	}
+	for _, p := range eng.PlanDescriptions() {
+		fmt.Fprintf(errw, "stcpsd: plan %s\n", p)
+	}
 	if err := eng.Start(); err != nil {
 		return err
 	}

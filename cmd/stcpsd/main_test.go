@@ -257,6 +257,12 @@ func TestDaemonHTTPQueryAPI(t *testing.T) {
 	if st.Ingested != 7 || st.Skipped != 2 {
 		t.Errorf("stats = %+v, want ingested=7 skipped=2", st)
 	}
+	if len(st.Plans) == 0 {
+		t.Errorf("stats carry no plan descriptions: %+v", st)
+	}
+	if st.Detect.BindingsProbed == 0 {
+		t.Errorf("stats carry no probed-bindings counter: %+v", st.Detect)
+	}
 
 	if code := httpGetJSON(t, base+"/healthz", nil); code != http.StatusOK {
 		t.Errorf("/healthz = %d", code)

@@ -242,11 +242,23 @@ func (e *Engine) StoreStats() StoreStats {
 	return e.store.Stats()
 }
 
-// Stats returns the engine's traffic counters. In sharded mode call
-// after Drain or Close for exact numbers.
+// Stats returns the engine's traffic and evaluation counters (bindings
+// probed and pruned, truncations, eval errors). Safe to call while the
+// engine ingests; in sharded mode call after Drain or Close for exact
+// numbers.
 func (e *Engine) Stats() EngineStats {
 	if e.sharded != nil {
 		return e.sharded.Stats()
 	}
 	return e.bank.Stats()
+}
+
+// PlanDescriptions lists each declared event's compiled evaluation plan
+// — the indexed window join the condition compiler produced, or the
+// fallback it chose — for startup logs and the stats API.
+func (e *Engine) PlanDescriptions() []string {
+	if e.sharded != nil {
+		return e.sharded.PlanDescriptions()
+	}
+	return e.bank.PlanDescriptions()
 }

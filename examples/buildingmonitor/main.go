@@ -137,6 +137,15 @@ func run() error {
 		return err
 	}
 
+	// The condition compiler decides per event how its condition will be
+	// evaluated; printing the plans makes the example double as a
+	// planner smoke test.
+	fmt.Println("=== compiled detection plans ===")
+	for _, p := range sys.PlanDescriptions() {
+		fmt.Println("  " + p)
+	}
+	fmt.Println()
+
 	report, err := sys.Run(1000)
 	if err != nil {
 		return err

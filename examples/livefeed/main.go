@@ -59,6 +59,12 @@ func run() error {
 	}); err != nil {
 		return err
 	}
+	// Print how the condition compiler will evaluate the declared event
+	// — the example doubles as a planner smoke test.
+	fmt.Println("=== compiled detection plans ===")
+	for _, p := range eng.PlanDescriptions() {
+		fmt.Println("  " + p)
+	}
 	if err := eng.Start(); err != nil {
 		return err
 	}

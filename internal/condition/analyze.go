@@ -1,0 +1,353 @@
+package condition
+
+import (
+	"math"
+
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// ClauseKind classifies one conjunct of a decomposed condition for the
+// detection planner.
+type ClauseKind int
+
+// Clause kinds.
+const (
+	// KindFilter references at most one role: it can be evaluated once
+	// per entity at window-insertion time instead of once per binding.
+	KindFilter ClauseKind = iota + 1
+	// KindTemporal is a two-role temporal constraint whose operator
+	// yields occurrence-start bounds on one role given the other — a
+	// time-index probe.
+	KindTemporal
+	// KindSpatial is a two-role radius constraint
+	// (dist(x.loc, y.loc) < r) — a spatial-grid probe.
+	KindSpatial
+	// KindResidual is any other conjunct: evaluated per candidate
+	// binding once all of its roles are bound.
+	KindResidual
+)
+
+// String returns the kind name used in plan descriptions.
+func (k ClauseKind) String() string {
+	switch k {
+	case KindFilter:
+		return "filter"
+	case KindTemporal:
+		return "temporal"
+	case KindSpatial:
+		return "spatial"
+	case KindResidual:
+		return "residual"
+	default:
+		return "clause"
+	}
+}
+
+// Clause is one conjunct of a decomposed condition.
+type Clause struct {
+	// Expr is the conjunct itself; evaluating the conjunction of all
+	// clauses is equivalent to evaluating the original condition.
+	Expr Expr
+	// Kind classifies how the planner can exploit the clause.
+	Kind ClauseKind
+	// Roles lists the roles the clause references, sorted.
+	Roles []string
+	// Temporal carries the probe form of a KindTemporal clause.
+	Temporal *TemporalLink
+	// Spatial carries the probe form of a KindSpatial clause.
+	Spatial *SpatialLink
+}
+
+// Analysis is the conjunctive decomposition of a condition (Eq. 4.5):
+// the condition is equivalent to the conjunction of Clauses.
+type Analysis struct {
+	// Clauses are the conjuncts in syntactic order.
+	Clauses []Clause
+}
+
+// Indexable reports whether the decomposition gives the planner any
+// leverage: more than one conjunct, or at least one clause that is not a
+// general residual. A single residual clause (an OR or NOT at the top
+// level, or one opaque multi-role comparison) decomposes to nothing —
+// the detector falls back to plain enumeration.
+func (a Analysis) Indexable() bool {
+	if len(a.Clauses) > 1 {
+		return true
+	}
+	for _, c := range a.Clauses {
+		if c.Kind != KindResidual {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze decomposes a condition into conjunctive clauses and classifies
+// each for the detection planner. The decomposition is exact: the
+// condition holds iff every clause holds (errors, as everywhere in this
+// package, count as unsatisfied).
+func Analyze(e Expr) Analysis {
+	var out Analysis
+	flattenAnd(e, &out.Clauses)
+	return out
+}
+
+// flattenAnd splits the top-level AND tree into conjuncts.
+func flattenAnd(e Expr, clauses *[]Clause) {
+	if a, ok := e.(And); ok {
+		flattenAnd(a.L, clauses)
+		flattenAnd(a.R, clauses)
+		return
+	}
+	*clauses = append(*clauses, classify(e))
+}
+
+// classify assigns one conjunct its planner kind.
+func classify(e Expr) Clause {
+	c := Clause{Expr: e, Roles: e.Roles()}
+	switch {
+	case len(c.Roles) <= 1:
+		c.Kind = KindFilter
+	default:
+		if tl := temporalLink(e); tl != nil {
+			c.Kind = KindTemporal
+			c.Temporal = tl
+		} else if sl := spatialLink(e); sl != nil {
+			c.Kind = KindSpatial
+			c.Spatial = sl
+		} else {
+			c.Kind = KindResidual
+		}
+	}
+	return c
+}
+
+// TemporalLink is the probe form of a two-role temporal clause
+// f(L) op g(R), where each side selects a part of one role's occurrence
+// time, optionally shifted by a constant number of ticks.
+type TemporalLink struct {
+	// LRole and RRole are the two roles; they are distinct.
+	LRole, RRole string
+	// LPart and RPart select the whole occurrence, its start, or its end.
+	LPart, RPart TimePart
+	// LShift and RShift are the constant displacements in ticks.
+	LShift, RShift timemodel.Tick
+	// Op is the temporal operator relating the two sides.
+	Op timemodel.Operator
+}
+
+// temporalLink recognizes CmpTime clauses of the probe form; nil when
+// the clause does not match.
+func temporalLink(e Expr) *TemporalLink {
+	ct, ok := e.(CmpTime)
+	if !ok {
+		return nil
+	}
+	lr, lp, ls, ok := timeSide(ct.L)
+	if !ok {
+		return nil
+	}
+	rr, rp, rs, ok := timeSide(ct.R)
+	if !ok || lr == rr {
+		return nil
+	}
+	return &TemporalLink{
+		LRole: lr, RRole: rr,
+		LPart: lp, RPart: rp,
+		LShift: ls, RShift: rs,
+		Op: ct.Op,
+	}
+}
+
+// timeSide matches a time term of the form role.time/start/end, possibly
+// shifted by a numeric literal.
+func timeSide(t Term) (role string, part TimePart, shift timemodel.Tick, ok bool) {
+	switch v := t.(type) {
+	case TimeRef:
+		return v.Role, v.Part, 0, true
+	case TimeShift:
+		ref, isRef := v.T.(TimeRef)
+		lit, isLit := v.D.(NumLit)
+		if !isRef || !isLit {
+			return "", 0, 0, false
+		}
+		d := lit.V
+		if v.Neg {
+			d = -d
+		}
+		// The interpreter truncates the displacement the same way.
+		return ref.Role, ref.Part, timemodel.Tick(d), true
+	default:
+		return "", 0, 0, false
+	}
+}
+
+// sideValue applies a link side's part selection and shift to a concrete
+// occurrence time.
+func sideValue(t timemodel.Time, part TimePart, shift timemodel.Tick) timemodel.Time {
+	switch part {
+	case StartTime:
+		t = timemodel.At(t.Start())
+	case EndTime:
+		t = timemodel.At(t.End())
+	}
+	return t.Shift(shift)
+}
+
+// Bounds is a possibly one-sided inclusive range of ticks.
+type Bounds struct {
+	Lo, Hi       timemodel.Tick
+	HasLo, HasHi bool
+}
+
+// Intersect narrows b by o.
+func (b Bounds) Intersect(o Bounds) Bounds {
+	if o.HasLo && (!b.HasLo || o.Lo > b.Lo) {
+		b.Lo, b.HasLo = o.Lo, true
+	}
+	if o.HasHi && (!b.HasHi || o.Hi < b.Hi) {
+		b.Hi, b.HasHi = o.Hi, true
+	}
+	return b
+}
+
+// Empty reports whether no tick satisfies the bounds.
+func (b Bounds) Empty() bool { return b.HasLo && b.HasHi && b.Lo > b.Hi }
+
+// StartBounds derives conservative bounds on the occurrence *start* of
+// candidates for probeRole, given the concrete occurrence time of the
+// link's other role. Every entity satisfying the clause has its start
+// within the returned bounds (the converse does not hold — candidates
+// must still be verified against the clause). probeRole must be LRole or
+// RRole; other roles yield unbounded.
+func (l *TemporalLink) StartBounds(probeRole string, other timemodel.Time) Bounds {
+	var (
+		u           timemodel.Time
+		probeOnLeft bool
+		probePart   TimePart
+		probeShift  timemodel.Tick
+	)
+	switch probeRole {
+	case l.LRole:
+		probeOnLeft = true
+		probePart, probeShift = l.LPart, l.LShift
+		u = sideValue(other, l.RPart, l.RShift)
+	case l.RRole:
+		probeOnLeft = false
+		probePart, probeShift = l.RPart, l.RShift
+		u = sideValue(other, l.LPart, l.LShift)
+	default:
+		return Bounds{}
+	}
+	b := startBoundsFor(l.Op, probeOnLeft, u)
+	// b bounds the probe side's value start v.start. Translate back to
+	// the candidate occurrence T: v.start = T.start + shift for whole-
+	// and start-part sides, v.start = T.end + shift for end-part sides.
+	if b.HasLo {
+		b.Lo -= probeShift
+	}
+	if b.HasHi {
+		b.Hi -= probeShift
+	}
+	if probePart == EndTime {
+		// Bounds land on T.end. T.start <= T.end keeps upper bounds
+		// valid for T.start; lower bounds say nothing about it.
+		b.HasLo = false
+	}
+	return b
+}
+
+// startBoundsFor bounds the probe side's value start, given the operator
+// and the concrete other side u. probeOnLeft distinguishes "v op u" from
+// "u op v".
+func startBoundsFor(op timemodel.Operator, probeOnLeft bool, u timemodel.Time) Bounds {
+	lo := func(t timemodel.Tick) Bounds { return Bounds{Lo: t, HasLo: true} }
+	hi := func(t timemodel.Tick) Bounds { return Bounds{Hi: t, HasHi: true} }
+	eq := func(t timemodel.Tick) Bounds { return Bounds{Lo: t, Hi: t, HasLo: true, HasHi: true} }
+	if probeOnLeft {
+		switch op {
+		case timemodel.OpBefore: // v.end < u.start, v.start <= v.end
+			return hi(u.Start() - 1)
+		case timemodel.OpAfter: // v.start > u.end
+			return lo(u.End() + 1)
+		case timemodel.OpDuring: // u.start <= v.start && v.end <= u.end
+			return Bounds{Lo: u.Start(), Hi: u.End(), HasLo: true, HasHi: true}
+		case timemodel.OpBegin, timemodel.OpEqualT: // v.start == u.start
+			return eq(u.Start())
+		case timemodel.OpEnd: // v.end == u.end, v.start <= v.end
+			return hi(u.End())
+		case timemodel.OpMeet: // v.end == u.start
+			return hi(u.Start())
+		case timemodel.OpOverlap: // v.start <= u.end
+			return hi(u.End())
+		}
+		return Bounds{}
+	}
+	switch op {
+	case timemodel.OpBefore: // u.end < v.start
+		return lo(u.End() + 1)
+	case timemodel.OpAfter: // u.start > v.end, v.start <= v.end
+		return hi(u.Start() - 1)
+	case timemodel.OpDuring: // v.start <= u.start
+		return hi(u.Start())
+	case timemodel.OpBegin, timemodel.OpEqualT: // v.start == u.start
+		return eq(u.Start())
+	case timemodel.OpEnd: // v.end == u.end, v.start <= v.end
+		return hi(u.End())
+	case timemodel.OpMeet: // u.end == v.start
+		return eq(u.End())
+	case timemodel.OpOverlap: // v.start <= u.end
+		return hi(u.End())
+	}
+	return Bounds{}
+}
+
+// SpatialLink is the probe form of a two-role radius clause
+// dist(L.loc, R.loc) < r (or <=): candidates for either role must lie
+// within Radius of the other role's location.
+type SpatialLink struct {
+	// LRole and RRole are the two roles; they are distinct.
+	LRole, RRole string
+	// Radius is the distance bound.
+	Radius float64
+}
+
+// spatialLink recognizes radius clauses dist(x.loc, y.loc) OP r with a
+// literal bound: OP in {<, <=} with the call on the left, or {>, >=}
+// with the call on the right. Nil when the clause does not match or the
+// bound is not a finite upper limit.
+func spatialLink(e Expr) *SpatialLink {
+	cn, ok := e.(CmpNum)
+	if !ok {
+		return nil
+	}
+	var (
+		call Term
+		lit  Term
+	)
+	switch cn.Op {
+	case OpLt, OpLe:
+		call, lit = cn.L, cn.R
+	case OpGt, OpGe:
+		call, lit = cn.R, cn.L
+	default:
+		return nil
+	}
+	c, ok := call.(Call)
+	if !ok || c.Fn != "dist" || len(c.Args) != 2 {
+		return nil
+	}
+	n, ok := lit.(NumLit)
+	if !ok || math.IsNaN(n.V) || math.IsInf(n.V, 0) {
+		return nil
+	}
+	a, ok := c.Args[0].(LocRef)
+	if !ok {
+		return nil
+	}
+	b, ok := c.Args[1].(LocRef)
+	if !ok || a.Role == b.Role {
+		return nil
+	}
+	return &SpatialLink{LRole: a.Role, RRole: b.Role, Radius: n.V}
+}

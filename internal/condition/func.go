@@ -111,6 +111,58 @@ func evalNumArgs(args []Term, b Binding) ([]float64, error) {
 	return out, nil
 }
 
+// applyNumAgg is the shared avg/sum/min/max kernel: both the
+// interpreter and the slot compiler evaluate through it, so the two
+// paths cannot drift. vals must be non-empty.
+func applyNumAgg(fn string, vals []float64) float64 {
+	switch fn {
+	case "avg":
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case "sum":
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case "min":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			m = math.Min(m, v)
+		}
+		return m
+	default: // max
+		m := vals[0]
+		for _, v := range vals[1:] {
+			m = math.Max(m, v)
+		}
+		return m
+	}
+}
+
+// buildLoc is the shared point/rect/circle constructor kernel.
+func buildLoc(fn string, vals []float64) (spatial.Location, error) {
+	switch fn {
+	case "point":
+		return spatial.AtPoint(vals[0], vals[1]), nil
+	case "rect":
+		f, err := spatial.Rect(vals[0], vals[1], vals[2], vals[3])
+		if err != nil {
+			return spatial.Location{}, fmt.Errorf("condition: rect: %w", err)
+		}
+		return spatial.InField(f), nil
+	default: // circle
+		f, err := spatial.Circle(spatial.Pt(vals[0], vals[1]), vals[2], circleSegments)
+		if err != nil {
+			return spatial.Location{}, fmt.Errorf("condition: circle: %w", err)
+		}
+		return spatial.InField(f), nil
+	}
+}
+
 func evalNumCall(c Call, b Binding) (float64, error) {
 	switch c.Fn {
 	case "avg", "sum", "min", "max":
@@ -121,32 +173,7 @@ func evalNumCall(c Call, b Binding) (float64, error) {
 		if len(vals) == 0 {
 			return 0, fmt.Errorf("%s: %w", c.Fn, ErrArity)
 		}
-		switch c.Fn {
-		case "avg":
-			var s float64
-			for _, v := range vals {
-				s += v
-			}
-			return s / float64(len(vals)), nil
-		case "sum":
-			var s float64
-			for _, v := range vals {
-				s += v
-			}
-			return s, nil
-		case "min":
-			m := vals[0]
-			for _, v := range vals[1:] {
-				m = math.Min(m, v)
-			}
-			return m, nil
-		default: // max
-			m := vals[0]
-			for _, v := range vals[1:] {
-				m = math.Max(m, v)
-			}
-			return m, nil
-		}
+		return applyNumAgg(c.Fn, vals), nil
 	case "abs":
 		v, err := EvalNum(c.Args[0], b)
 		if err != nil {
@@ -210,22 +237,7 @@ func evalLocCall(c Call, b Binding) (spatial.Location, error) {
 		if err != nil {
 			return spatial.Location{}, err
 		}
-		switch c.Fn {
-		case "point":
-			return spatial.AtPoint(vals[0], vals[1]), nil
-		case "rect":
-			f, err := spatial.Rect(vals[0], vals[1], vals[2], vals[3])
-			if err != nil {
-				return spatial.Location{}, fmt.Errorf("condition: rect: %w", err)
-			}
-			return spatial.InField(f), nil
-		default: // circle
-			f, err := spatial.Circle(spatial.Pt(vals[0], vals[1]), vals[2], circleSegments)
-			if err != nil {
-				return spatial.Location{}, fmt.Errorf("condition: circle: %w", err)
-			}
-			return spatial.InField(f), nil
-		}
+		return buildLoc(c.Fn, vals)
 	}
 	agg, ok := spatial.Aggregation(c.Fn)
 	if !ok {

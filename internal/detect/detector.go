@@ -3,7 +3,9 @@ package detect
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/stcps/stcps/internal/condition"
 	"github.com/stcps/stcps/internal/event"
@@ -11,10 +13,21 @@ import (
 	"github.com/stcps/stcps/internal/timemodel"
 )
 
-// entry is a buffered input entity with its carried confidence.
+// entry is a buffered input entity with its carried confidence, its
+// arrival sequence within the role buffer, and whether it passed the
+// role's insertion-time filters (always true without a plan).
 type entry struct {
 	ent  event.Entity
 	conf float64
+	seq  uint64
+	pass bool
+}
+
+// timeKey is one time-index slot: a buffered entry keyed by its
+// occurrence start.
+type timeKey struct {
+	start timemodel.Tick
+	seq   uint64
 }
 
 // roleBuf is one role's retention window. minEnd is a lower bound on the
@@ -22,9 +35,22 @@ type entry struct {
 // whenever now-minEnd is within MaxAge, because then no entry can have
 // expired. Window evictions leave minEnd stale (still a valid lower
 // bound); each real prune scan recomputes it exactly.
+//
+// Under a plan the buffer additionally maintains the planner's window
+// indexes over the entries that passed the role's insertion-time
+// filters: a time-sorted index (when the role is the target of a
+// temporal probe) and a spatial grid (when it is the target of a
+// spatial probe).
 type roleBuf struct {
 	entries []entry
 	minEnd  timemodel.Tick
+	nextSeq uint64
+
+	slot    int
+	passing int       // entries with pass == true
+	indexed bool      // maintain timeIdx
+	timeIdx []timeKey // passing entries sorted by (start, seq)
+	grid    *spatial.Grid
 }
 
 // prune evicts age-expired entries and recomputes the exact minEnd.
@@ -40,15 +66,123 @@ func (rb *roleBuf) prune(now, maxAge timemodel.Tick) {
 				first = false
 			}
 			keep = append(keep, e)
+		} else {
+			rb.unindex(e)
 		}
 	}
 	rb.entries = keep
 	rb.minEnd = min
 }
 
+// index registers a passing entry in the planner indexes.
+func (rb *roleBuf) index(e entry) {
+	if !e.pass {
+		return
+	}
+	rb.passing++
+	if rb.indexed {
+		rb.timeIdxInsert(e.ent.OccTime().Start(), e.seq)
+	}
+	if rb.grid != nil {
+		rb.grid.Insert(gridID(e.seq), e.ent.OccLoc())
+	}
+}
+
+// unindex removes an evicted entry from the planner indexes.
+func (rb *roleBuf) unindex(e entry) {
+	if !e.pass {
+		return
+	}
+	rb.passing--
+	if rb.indexed {
+		rb.timeIdxRemove(e.ent.OccTime().Start(), e.seq)
+	}
+	if rb.grid != nil {
+		rb.grid.Remove(gridID(e.seq))
+	}
+}
+
+// timeIdxSearch returns the first index whose key is >= (start, seq).
+func (rb *roleBuf) timeIdxSearch(start timemodel.Tick, seq uint64) int {
+	return sort.Search(len(rb.timeIdx), func(i int) bool {
+		k := rb.timeIdx[i]
+		return k.start > start || (k.start == start && k.seq >= seq)
+	})
+}
+
+func (rb *roleBuf) timeIdxInsert(start timemodel.Tick, seq uint64) {
+	i := rb.timeIdxSearch(start, seq)
+	rb.timeIdx = append(rb.timeIdx, timeKey{})
+	copy(rb.timeIdx[i+1:], rb.timeIdx[i:])
+	rb.timeIdx[i] = timeKey{start: start, seq: seq}
+}
+
+func (rb *roleBuf) timeIdxRemove(start timemodel.Tick, seq uint64) {
+	i := rb.timeIdxSearch(start, seq)
+	if i < len(rb.timeIdx) && rb.timeIdx[i].seq == seq {
+		rb.timeIdx = append(rb.timeIdx[:i], rb.timeIdx[i+1:]...)
+	}
+}
+
+// timeRange returns the timeIdx index range [lo, hi) whose starts fall
+// within the bounds.
+func (rb *roleBuf) timeRange(b condition.Bounds) (int, int) {
+	lo := 0
+	if b.HasLo {
+		lo = rb.timeIdxSearch(b.Lo, 0)
+	}
+	hi := len(rb.timeIdx)
+	if b.HasHi {
+		hi = sort.Search(len(rb.timeIdx), func(i int) bool {
+			return rb.timeIdx[i].start > b.Hi
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// entryIndex finds the position of an entry by its arrival seq (entries
+// are sorted by seq: evictions preserve arrival order). Returns -1 when
+// the entry is gone.
+func (rb *roleBuf) entryIndex(seq uint64) int {
+	i := sort.Search(len(rb.entries), func(i int) bool { return rb.entries[i].seq >= seq })
+	if i < len(rb.entries) && rb.entries[i].seq == seq {
+		return i
+	}
+	return -1
+}
+
+// gridID renders an entry seq as a grid key.
+func gridID(seq uint64) string { return strconv.FormatUint(seq, 36) }
+
+// parseGridID decodes a grid key back to an entry seq.
+func parseGridID(id string) (uint64, bool) {
+	v, err := strconv.ParseUint(id, 36, 64)
+	return v, err == nil
+}
+
+// Stats counts a detector's evaluation work. All counters are safe to
+// read while the detector runs (e.g. from a stats endpoint).
+type Stats struct {
+	// Probed counts candidate bindings (full bindings on the enumerate
+	// path, partial binding extensions on the planned path) examined.
+	Probed uint64
+	// Pruned counts window entries skipped without evaluation, via
+	// insertion-time filters or index probes. Zero on the enumerate path.
+	Pruned uint64
+	// Truncations counts evaluation rounds cut short by MaxBindings.
+	Truncations uint64
+	// EvalErrors counts failed evaluations (unbound roles, missing
+	// attributes); failed bindings count as unsatisfied.
+	EvalErrors uint64
+}
+
 // Detector evaluates one event's conditions at one observer. It is not
 // safe for concurrent use; each observer owns its detectors and offers
-// entities from the simulation goroutine.
+// entities from the simulation goroutine. The Stats counters may be read
+// concurrently.
 type Detector struct {
 	spec     Spec
 	observer string
@@ -57,13 +191,31 @@ type Detector struct {
 	seq      uint64
 	emitted  map[string]struct{}
 
+	// Compiled-binding machinery: roles are resolved to integer slots at
+	// construction, the condition is compiled against them, and the
+	// planner (when the condition decomposes) replaces cross-product
+	// enumeration with indexed window joins.
+	slots       *condition.SlotMap
+	roleSlot    []int      // spec.Roles index -> slot
+	bufs        []*roleBuf // slot -> buffer
+	sortedSlots []int      // slots ordered by role name
+	compiled    *condition.Compiled
+	plan        *plan
+	planNote    string         // why the planner is off
+	evalEnts    []event.Entity // scratch slot binding
+	confScratch []float64
+
+	probed      atomic.Uint64
+	pruned      atomic.Uint64
+	truncations atomic.Uint64
+	evalErrors  atomic.Uint64
+
 	// Interval-mode state machine.
-	open       bool
-	openStart  timemodel.Tick
-	lastTrue   timemodel.Tick
-	openBind   condition.Binding
-	openConfs  []float64
-	evalErrors uint64
+	open      bool
+	openStart timemodel.Tick
+	lastTrue  timemodel.Tick
+	openEnts  []event.Entity
+	openConfs []float64
 }
 
 // New builds a detector for observer observerID from a spec. The spec is
@@ -82,12 +234,37 @@ func New(observerID string, spec Spec) (*Detector, error) {
 		bySource: make(map[string][]int),
 		emitted:  make(map[string]struct{}),
 	}
+	roleNames := make([]string, len(spec.Roles))
+	for i, r := range spec.Roles {
+		roleNames[i] = r.Name
+	}
+	d.slots = condition.NewSlotMap(roleNames)
+	d.roleSlot = make([]int, len(spec.Roles))
+	d.bufs = make([]*roleBuf, d.slots.Len())
 	for i, r := range spec.Roles {
 		d.bySource[r.Source] = append(d.bySource[r.Source], i)
+		slot, _ := d.slots.Slot(r.Name)
+		d.roleSlot[i] = slot
 		if d.buffers[r.Name] == nil {
-			d.buffers[r.Name] = &roleBuf{}
+			rb := &roleBuf{slot: slot}
+			d.buffers[r.Name] = rb
+			d.bufs[slot] = rb
 		}
 	}
+	sorted := append([]string(nil), d.slots.Names()...)
+	sort.Strings(sorted)
+	d.sortedSlots = make([]int, len(sorted))
+	for i, name := range sorted {
+		d.sortedSlots[i], _ = d.slots.Slot(name)
+	}
+	d.evalEnts = make([]event.Entity, d.slots.Len())
+	d.confScratch = make([]float64, 0, len(spec.Roles))
+	if c, err := condition.Compile(spec.Cond, d.slots); err == nil {
+		d.compiled = c
+	} else {
+		d.planNote = "condition does not compile"
+	}
+	d.buildPlan()
 	return d, nil
 }
 
@@ -107,7 +284,41 @@ func (d *Detector) Sources() []string {
 
 // EvalErrors returns how many binding evaluations failed (unbound roles,
 // missing attributes); failed bindings count as unsatisfied.
-func (d *Detector) EvalErrors() uint64 { return d.evalErrors }
+func (d *Detector) EvalErrors() uint64 { return d.evalErrors.Load() }
+
+// Truncations returns how many evaluation rounds were cut short by the
+// MaxBindings cap (each losing an unknown number of candidate bindings).
+func (d *Detector) Truncations() uint64 { return d.truncations.Load() }
+
+// Stats returns the detector's evaluation counters.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Probed:      d.probed.Load(),
+		Pruned:      d.pruned.Load(),
+		Truncations: d.truncations.Load(),
+		EvalErrors:  d.evalErrors.Load(),
+	}
+}
+
+// Planned reports whether the detector runs the indexed-join planner
+// (false: naive enumeration or interval state machine).
+func (d *Detector) Planned() bool { return d.plan != nil }
+
+// evalCond evaluates the full condition over a slot binding, through the
+// compiled form when available.
+func (d *Detector) evalCond(ents []event.Entity) (bool, error) {
+	if d.compiled != nil {
+		return d.compiled.Eval(ents)
+	}
+	b := make(condition.Binding, len(ents))
+	names := d.slots.Names()
+	for i, e := range ents {
+		if e != nil {
+			b[names[i]] = e
+		}
+	}
+	return d.spec.Cond.Eval(b)
+}
 
 // Offer feeds one entity from an input stream into the detector and
 // returns any instances generated at virtual time now. genLoc is the
@@ -128,7 +339,7 @@ func (d *Detector) Offer(source string, ent event.Entity, conf float64, now time
 	if d.spec.Mode == ModeInterval {
 		return d.stepInterval(now, genLoc)
 	}
-	return d.stepPunctual(fedRoles, ent, now, genLoc)
+	return d.stepPunctual(fedRoles, ent, conf, now, genLoc)
 }
 
 // pruneAll evicts age-expired entities from every role buffer, so MaxAge
@@ -159,41 +370,61 @@ func (d *Detector) Flush(now timemodel.Tick, genLoc spatial.Location) []event.In
 }
 
 // insert adds the entity to the role buffer, evicting by window size and
-// age.
+// age. Under a plan, the role's single-role filters run here — once per
+// entity instead of once per binding — and failing entries are excluded
+// from the window indexes (they still occupy window slots, preserving
+// the naive path's eviction behavior).
 func (d *Detector) insert(r RoleSpec, ent event.Entity, conf float64, now timemodel.Tick) {
 	rb := d.buffers[r.Name]
+	e := entry{ent: ent, conf: conf, seq: rb.nextSeq, pass: true}
+	rb.nextSeq++
+	if d.plan != nil {
+		e.pass = d.plan.passesFilters(d, rb.slot, ent)
+	}
 	end := ent.OccTime().End()
 	if len(rb.entries) == 0 || end < rb.minEnd {
 		rb.minEnd = end
 	}
-	rb.entries = append(rb.entries, entry{ent: ent, conf: conf})
+	rb.entries = append(rb.entries, e)
+	rb.index(e)
 	if r.MaxAge > 0 && now-rb.minEnd > r.MaxAge {
 		rb.prune(now, r.MaxAge)
 	}
 	if len(rb.entries) > r.Window {
+		for _, old := range rb.entries[:len(rb.entries)-r.Window] {
+			rb.unindex(old)
+		}
 		rb.entries = rb.entries[len(rb.entries)-r.Window:]
 	}
 }
 
-// stepPunctual enumerates bindings that include the new entity and emits
-// an instance for each satisfied, not-yet-emitted binding.
-func (d *Detector) stepPunctual(fedRoles []string, ent event.Entity, now timemodel.Tick, genLoc spatial.Location) []event.Instance {
+// stepPunctual finds bindings that include the new entity — through the
+// planned indexed join when available, the naive enumeration otherwise —
+// and emits an instance for each satisfied, not-yet-emitted binding.
+func (d *Detector) stepPunctual(fedRoles []string, ent event.Entity, conf float64, now timemodel.Tick, genLoc spatial.Location) []event.Instance {
 	var out []event.Instance
-	roles := d.spec.Roles
 	for _, fixedRole := range fedRoles {
-		bindings := d.enumerate(roles, fixedRole, ent)
+		var bindings []boundSet
+		if d.plan != nil {
+			bindings = d.plan.join(d, fixedRole, ent, conf)
+		} else {
+			bindings = d.enumerate(fixedRole, ent, conf)
+			d.probed.Add(uint64(len(bindings)))
+		}
 		for _, b := range bindings {
-			key := bindingKey(b.bind)
+			key := d.bindingKey(b.ents)
 			if _, dup := d.emitted[key]; dup {
 				continue
 			}
-			ok, err := d.spec.Cond.Eval(b.bind)
-			if err != nil {
-				d.evalErrors++
-				continue
-			}
-			if !ok {
-				continue
+			if !b.verified {
+				ok, err := d.evalCond(b.ents)
+				if err != nil {
+					d.evalErrors.Add(1)
+					continue
+				}
+				if !ok {
+					continue
+				}
 			}
 			d.emitted[key] = struct{}{}
 			if len(d.emitted) > 4*d.spec.MaxBindings {
@@ -208,76 +439,82 @@ func (d *Detector) stepPunctual(fedRoles []string, ent event.Entity, now timemod
 	return out
 }
 
-// boundSet is a candidate binding plus its carried confidences.
+// boundSet is a candidate binding (slot-indexed entities) plus its
+// carried confidences in spec-role order. verified marks bindings whose
+// clauses the planner already checked; seqs carries per-slot arrival
+// sequences for output ordering.
 type boundSet struct {
-	bind  condition.Binding
-	confs []float64
+	ents     []event.Entity
+	confs    []float64
+	seqs     []uint64
+	verified bool
 }
 
 // enumerate produces bindings over the role windows with the new entity
-// fixed at fixedRole, capped at MaxBindings.
-func (d *Detector) enumerate(roles []RoleSpec, fixedRole string, fixed event.Entity) []boundSet {
-	out := []boundSet{{bind: condition.Binding{}, confs: nil}}
-	for _, r := range roles {
+// fixed at fixedRole, capped at MaxBindings. Hitting the cap counts a
+// truncation and stops the enumeration round.
+func (d *Detector) enumerate(fixedRole string, fixed event.Entity, fixedConf float64) []boundSet {
+	nslots := d.slots.Len()
+	out := []boundSet{{}}
+	truncated := false
+	for i, r := range d.spec.Roles {
+		slot := d.roleSlot[i]
 		var choices []entry
+		var fixedChoice [1]entry
 		if r.Name == fixedRole {
-			choices = []entry{{ent: fixed, conf: d.confOf(r.Name, fixed)}}
+			fixedChoice[0] = entry{ent: fixed, conf: fixedConf}
+			choices = fixedChoice[:]
 		} else {
 			choices = d.buffers[r.Name].entries
 		}
 		if len(choices) == 0 {
 			return nil // a role with no entities: no complete binding
 		}
-		next := make([]boundSet, 0, len(out)*len(choices))
+		next := make([]boundSet, 0, min(len(out)*len(choices), d.spec.MaxBindings))
+	fill:
 		for _, base := range out {
 			for _, c := range choices {
 				if len(next) >= d.spec.MaxBindings {
-					break
+					truncated = true
+					break fill
 				}
-				nb := make(condition.Binding, len(base.bind)+1)
-				for k, v := range base.bind {
-					nb[k] = v
-				}
-				nb[r.Name] = c.ent
-				confs := append(append([]float64(nil), base.confs...), c.conf)
-				next = append(next, boundSet{bind: nb, confs: confs})
+				nb := make([]event.Entity, nslots)
+				copy(nb, base.ents)
+				nb[slot] = c.ent
+				confs := append(append(make([]float64, 0, len(base.confs)+1), base.confs...), c.conf)
+				next = append(next, boundSet{ents: nb, confs: confs})
 			}
 		}
 		out = next
 	}
-	return out
-}
-
-// confOf finds the stored confidence for an entity in a role buffer
-// (1 if not found — the entity was just offered with its confidence and
-// inserted, so it is always present in practice).
-func (d *Detector) confOf(role string, ent event.Entity) float64 {
-	buf := d.buffers[role].entries
-	for i := len(buf) - 1; i >= 0; i-- {
-		if buf[i].ent.EntityID() == ent.EntityID() {
-			return buf[i].conf
-		}
+	if truncated {
+		d.truncations.Add(1)
 	}
-	return 1
+	return out
 }
 
 // stepInterval re-evaluates the latest-per-role binding and advances the
 // open/close state machine.
 func (d *Detector) stepInterval(now timemodel.Tick, genLoc spatial.Location) []event.Instance {
-	bind := condition.Binding{}
-	var confs []float64
-	for _, r := range d.spec.Roles {
+	ents := d.evalEnts
+	for i := range ents {
+		ents[i] = nil
+	}
+	confs := d.confScratch[:0]
+	for i, r := range d.spec.Roles {
 		buf := d.buffers[r.Name].entries
 		if len(buf) == 0 {
 			return d.fallIfOpen(now, genLoc)
 		}
 		latest := buf[len(buf)-1]
-		bind[r.Name] = latest.ent
+		ents[d.roleSlot[i]] = latest.ent
 		confs = append(confs, latest.conf)
 	}
-	ok, err := d.spec.Cond.Eval(bind)
+	d.confScratch = confs
+	d.probed.Add(1)
+	ok, err := d.evalCond(ents)
 	if err != nil {
-		d.evalErrors++
+		d.evalErrors.Add(1)
 		ok = false
 	}
 	switch {
@@ -285,13 +522,13 @@ func (d *Detector) stepInterval(now timemodel.Tick, genLoc spatial.Location) []e
 		d.open = true
 		d.openStart = now
 		d.lastTrue = now
-		d.openBind = bind
-		d.openConfs = confs
+		d.openEnts = append(d.openEnts[:0], ents...)
+		d.openConfs = append(d.openConfs[:0], confs...)
 		return nil
 	case ok && d.open:
 		d.lastTrue = now
-		d.openBind = bind
-		d.openConfs = confs
+		d.openEnts = append(d.openEnts[:0], ents...)
+		d.openConfs = append(d.openConfs[:0], confs...)
 		return nil
 	case !ok && d.open:
 		inst := d.closeInterval(now, genLoc)
@@ -316,7 +553,7 @@ func (d *Detector) closeInterval(now timemodel.Tick, genLoc spatial.Location) ev
 	if err != nil {
 		occ = timemodel.At(d.lastTrue)
 	}
-	b := boundSet{bind: d.openBind, confs: d.openConfs}
+	b := boundSet{ents: d.openEnts, confs: d.openConfs}
 	inst := d.emit(b, now, genLoc, ModeInterval)
 	inst.Occ = occ
 	return inst
@@ -325,16 +562,20 @@ func (d *Detector) closeInterval(now timemodel.Tick, genLoc spatial.Location) ev
 // emit assembles an instance from a satisfied binding.
 func (d *Detector) emit(b boundSet, now timemodel.Tick, genLoc spatial.Location, mode Mode) event.Instance {
 	d.seq++
-	ids := make([]string, 0, len(b.bind))
-	times := make([]timemodel.Time, 0, len(b.bind))
-	locs := make([]spatial.Location, 0, len(b.bind))
-	roleNames := make([]string, 0, len(b.bind))
-	for role := range b.bind {
-		roleNames = append(roleNames, role)
+	n := 0
+	for _, s := range d.sortedSlots {
+		if b.ents[s] != nil {
+			n++
+		}
 	}
-	sort.Strings(roleNames)
-	for _, role := range roleNames {
-		ent := b.bind[role]
+	ids := make([]string, 0, n)
+	times := make([]timemodel.Time, 0, n)
+	locs := make([]spatial.Location, 0, n)
+	for _, s := range d.sortedSlots {
+		ent := b.ents[s]
+		if ent == nil {
+			continue
+		}
 		ids = append(ids, ent.EntityID())
 		times = append(times, ent.OccTime())
 		locs = append(locs, ent.OccLoc())
@@ -342,7 +583,7 @@ func (d *Detector) emit(b boundSet, now timemodel.Tick, genLoc spatial.Location,
 
 	occ := d.estimateTime(times)
 	loc := d.estimateLoc(locs)
-	attrs := mergeAttrs(b.bind, roleNames)
+	attrs := mergeAttrs(b.ents, d.sortedSlots)
 	conf := d.spec.Confidence.Combine(b.confs) * d.spec.BaseConfidence
 	if conf > 1 {
 		conf = 1
@@ -406,12 +647,16 @@ func (d *Detector) estimateLoc(locs []spatial.Location) spatial.Location {
 }
 
 // mergeAttrs averages each attribute across the bound entities exposing
-// it — the observer's estimate of the event attributes V.
-func mergeAttrs(b condition.Binding, roleNames []string) event.Attrs {
+// it — the observer's estimate of the event attributes V. Entities are
+// visited in sorted-role order.
+func mergeAttrs(ents []event.Entity, sortedSlots []int) event.Attrs {
 	sums := make(map[string]float64)
 	counts := make(map[string]int)
-	for _, role := range roleNames {
-		ent := b[role]
+	for _, s := range sortedSlots {
+		ent := ents[s]
+		if ent == nil {
+			continue
+		}
 		// Entities expose attributes only by name lookup; pull the known
 		// names via the typed structs.
 		switch v := ent.(type) {
@@ -443,11 +688,21 @@ func mergeAttrs(b condition.Binding, roleNames []string) event.Attrs {
 }
 
 // bindingKey builds a stable dedup key for a binding.
-func bindingKey(b condition.Binding) string {
-	parts := make([]string, 0, len(b))
-	for role, ent := range b {
-		parts = append(parts, role+"="+ent.EntityID())
+func (d *Detector) bindingKey(ents []event.Entity) string {
+	var sb strings.Builder
+	names := d.slots.Names()
+	first := true
+	for _, s := range d.sortedSlots {
+		if ents[s] == nil {
+			continue
+		}
+		if !first {
+			sb.WriteByte('|')
+		}
+		first = false
+		sb.WriteString(names[s])
+		sb.WriteByte('=')
+		sb.WriteString(ents[s].EntityID())
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, "|")
+	return sb.String()
 }

@@ -48,6 +48,32 @@ func (m Mode) String() string {
 	}
 }
 
+// PlannerMode selects the punctual evaluation strategy.
+type PlannerMode int
+
+// Planner modes.
+const (
+	// PlannerAuto (the default) compiles the condition and runs the
+	// indexed window join whenever the condition decomposes into
+	// conjunctive clauses; otherwise it falls back to enumeration.
+	PlannerAuto PlannerMode = iota + 1
+	// PlannerOff always uses naive cross-product enumeration — the
+	// reference oracle for differential tests and benchmarks.
+	PlannerOff
+)
+
+// String returns "auto" or "off".
+func (p PlannerMode) String() string {
+	switch p {
+	case PlannerAuto:
+		return "auto"
+	case PlannerOff:
+		return "off"
+	default:
+		return fmt.Sprintf("PlannerMode(%d)", int(p))
+	}
+}
+
 // TimeEstimate selects how t^eo is estimated from the satisfied binding.
 type TimeEstimate int
 
@@ -126,6 +152,9 @@ type Spec struct {
 	// MaxBindings caps binding enumeration per offer; 0 means
 	// DefaultMaxBindings.
 	MaxBindings int
+	// Planner selects the punctual evaluation strategy; 0 means
+	// PlannerAuto.
+	Planner PlannerMode
 }
 
 // normalize fills defaults and validates the spec.
@@ -164,6 +193,12 @@ func (s *Spec) normalize() error {
 	}
 	if s.MaxBindings <= 0 {
 		s.MaxBindings = DefaultMaxBindings
+	}
+	if s.Planner == 0 {
+		s.Planner = PlannerAuto
+	}
+	if s.Planner != PlannerAuto && s.Planner != PlannerOff {
+		return fmt.Errorf("planner %v: %w", s.Planner, ErrBadSpec)
 	}
 	fed := make(map[string]bool, len(s.Roles))
 	for i := range s.Roles {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/stcps/stcps/internal/condition"
@@ -199,5 +200,49 @@ func TestBankHookOrder(t *testing.T) {
 	want := fmt.Sprint([]string{"log", "emit", "tap"})
 	if fmt.Sprint(order) != want {
 		t.Fatalf("hook order = %v, want %v", order, want)
+	}
+}
+
+func TestBankStatsAndPlanDescriptions(t *testing.T) {
+	b, err := NewBank(Config{Observer: "OB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDetector(detect.Spec{
+		EventID: "E.join",
+		Layer:   event.LayerSensor,
+		Roles: []detect.RoleSpec{
+			{Name: "x", Source: "sa", Window: 4},
+			{Name: "y", Source: "sb", Window: 4},
+		},
+		Cond: condition.MustParse("x.time before y.time and dist(x.loc, y.loc) < 5 and x.v > 0"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDetector(punctualSpec("E.simple", "sa")); err != nil {
+		t.Fatal(err)
+	}
+	plans := b.PlanDescriptions()
+	if len(plans) != 2 {
+		t.Fatalf("plans = %v", plans)
+	}
+	if !strings.Contains(plans[0], "E.join: planned join") {
+		t.Errorf("join plan = %q", plans[0])
+	}
+	loc := spatial.AtPoint(0, 0)
+	b.Ingest("sa", obsAt("sa", 1, 1, 5), 1, 1, loc)
+	out := b.Ingest("sb", obsAt("sb", 2, 3, 5), 1, 3, loc)
+	if len(out) != 1 {
+		t.Fatalf("emitted %d instances", len(out))
+	}
+	st := b.Stats()
+	if st.Ingested != 2 || st.Emitted != 2 {
+		t.Errorf("traffic stats = %+v", st)
+	}
+	if st.BindingsProbed == 0 {
+		t.Errorf("no bindings probed: %+v", st)
+	}
+	if st.Truncations != 0 || st.EvalErrors != 0 {
+		t.Errorf("unexpected failures: %+v", st)
 	}
 }

@@ -302,12 +302,30 @@ func (s *Sharded) Close(now timemodel.Tick, loc spatial.Location) []event.Instan
 
 // Stats aggregates the shard banks' counters. Ingested counts producer
 // offers (not per-shard fan-out copies); Emitted counts generated
-// instances. Call after Drain or Close for exact numbers.
+// instances, and the evaluation counters sum over every detector. All
+// counters are atomically maintained, so Stats is safe to call while the
+// workers run; call after Drain or Close for exact numbers.
 func (s *Sharded) Stats() Stats {
 	out := Stats{Ingested: s.ingested.Load()}
 	for _, b := range s.banks {
-		out.Emitted += b.Stats().Emitted
+		bs := b.Stats()
+		out.Emitted += bs.Emitted
+		out.BindingsProbed += bs.BindingsProbed
+		out.BindingsPruned += bs.BindingsPruned
+		out.Truncations += bs.Truncations
+		out.EvalErrors += bs.EvalErrors
 	}
+	return out
+}
+
+// PlanDescriptions lists every detector's compiled evaluation plan
+// across the shards, sorted.
+func (s *Sharded) PlanDescriptions() []string {
+	var out []string
+	for _, b := range s.banks {
+		out = append(out, b.PlanDescriptions()...)
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -94,6 +94,13 @@ func (l Location) Field() (Field, bool) {
 // itself, or the field centroid.
 func (l Location) Centroid() Point { return l.Point() }
 
+// Bounds returns the axis-aligned bounding box of the location. For a
+// point location all four values collapse onto its coordinates.
+func (l Location) Bounds() (minX, minY, maxX, maxY float64) {
+	b := bboxOf(l)
+	return b.minX, b.minY, b.maxX, b.maxY
+}
+
 // String renders the location: "point(x y)" or the field form.
 func (l Location) String() string {
 	if l.IsField() {

@@ -23,6 +23,7 @@ package stcps
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/network"
@@ -275,6 +276,30 @@ func (s *System) AddRule(ccuID string, r Rule) error {
 		return fmt.Errorf("ccu %q: %w", ccuID, ErrUnknownNode)
 	}
 	return c.AddRule(r)
+}
+
+// PlanDescriptions lists every declared event's compiled evaluation
+// plan across the system's observers, as "node/eventID: plan", sorted —
+// log it at startup to see how each condition will be evaluated.
+func (s *System) PlanDescriptions() []string {
+	var out []string
+	for id, m := range s.motes {
+		for _, p := range m.Bank().PlanDescriptions() {
+			out = append(out, id+"/"+p)
+		}
+	}
+	for id, sk := range s.sinks {
+		for _, p := range sk.Bank().PlanDescriptions() {
+			out = append(out, id+"/"+p)
+		}
+	}
+	for id, c := range s.ccus {
+		for _, p := range c.Bank().PlanDescriptions() {
+			out = append(out, id+"/"+p)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // drainSlack is how long Run lets the system settle after the nominal
