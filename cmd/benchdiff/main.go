@@ -1,0 +1,157 @@
+// Command benchdiff is the CI benchmark regression gate: it compares
+// the speedup fields of a freshly generated edlbench artifact
+// (BENCH_2.json / BENCH_3.json) against the committed baseline and
+// fails when any speedup regressed by more than the allowed fraction.
+//
+// Speedups (indexed-query-vs-scan, planned-join-vs-naive) are ratios of
+// two measurements taken on the same machine in the same run, so they
+// transfer across hardware far better than absolute ns/op numbers — a
+// 170x speedup that drops to 40x flags a lost index no matter how fast
+// the runner is, while both absolute timings may halve together on a
+// faster machine without meaning anything.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_2.json -current fresh/BENCH_2.json
+//	benchdiff -baseline BENCH_3.json -current fresh/BENCH_3.json -max-regress 0.5
+//
+// Exit status 1 on regression (or a baseline metric missing from the
+// current artifact), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// artifact is the subset of the edlbench JSON schema the gate compares.
+type artifact struct {
+	Schema string `json:"schema"`
+	E9     []struct {
+		Instances int     `json:"instances"`
+		Queries   int     `json:"queries"`
+		Mode      string  `json:"mode"`
+		Speedup   float64 `json:"speedup"`
+	} `json:"e9"`
+	E10 []struct {
+		Mode    string  `json:"mode"`
+		Roles   int     `json:"roles"`
+		Window  int     `json:"window"`
+		Speedup float64 `json:"speedup"`
+	} `json:"e10"`
+}
+
+// metric is one comparable speedup measurement.
+type metric struct {
+	key     string
+	speedup float64
+}
+
+// metrics extracts the speedup-carrying entries of an artifact, keyed by
+// their configuration.
+func metrics(a artifact) []metric {
+	var out []metric
+	for _, r := range a.E9 {
+		if r.Speedup > 0 {
+			out = append(out, metric{
+				key:     fmt.Sprintf("e9[instances=%d queries=%d mode=%s]", r.Instances, r.Queries, r.Mode),
+				speedup: r.Speedup,
+			})
+		}
+	}
+	for _, r := range a.E10 {
+		if r.Speedup > 0 {
+			out = append(out, metric{
+				key:     fmt.Sprintf("e10[mode=%s roles=%d window=%d]", r.Mode, r.Roles, r.Window),
+				speedup: r.Speedup,
+			})
+		}
+	}
+	return out
+}
+
+func load(path string) (artifact, error) {
+	var a artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema == "" {
+		return a, fmt.Errorf("%s: not an edlbench artifact (no schema field)", path)
+	}
+	return a, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	baselinePath := fs.String("baseline", "", "committed baseline artifact (required)")
+	currentPath := fs.String("current", "", "freshly generated artifact (required)")
+	maxRegress := fs.Float64("max-regress", 0.30, "maximum tolerated fractional speedup regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(errw, "benchdiff: -baseline and -current are required")
+		return 2
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		fmt.Fprintln(errw, "benchdiff: -max-regress must be in [0, 1)")
+		return 2
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
+	}
+
+	curBy := make(map[string]float64)
+	for _, m := range metrics(cur) {
+		curBy[m.key] = m.speedup
+	}
+	baseMetrics := metrics(base)
+	if len(baseMetrics) == 0 {
+		fmt.Fprintln(errw, "benchdiff: baseline carries no speedup metrics")
+		return 2
+	}
+
+	failed := false
+	fmt.Fprintf(out, "%-48s %12s %12s %9s\n", "metric", "baseline", "current", "delta")
+	for _, m := range baseMetrics {
+		curVal, ok := curBy[m.key]
+		if !ok {
+			fmt.Fprintf(out, "%-48s %12.1fx %12s %9s  MISSING\n", m.key, m.speedup, "-", "-")
+			failed = true
+			continue
+		}
+		delta := (curVal - m.speedup) / m.speedup
+		mark := ""
+		if curVal < m.speedup*(1-*maxRegress) {
+			mark = fmt.Sprintf("  REGRESSED (> %.0f%%)", *maxRegress*100)
+			failed = true
+		}
+		fmt.Fprintf(out, "%-48s %12.1fx %12.1fx %8.1f%%%s\n", m.key, m.speedup, curVal, delta*100, mark)
+	}
+	if failed {
+		fmt.Fprintf(errw, "benchdiff: FAIL: speedup regression beyond %.0f%% (or missing metric)\n", *maxRegress*100)
+		return 1
+	}
+	fmt.Fprintf(out, "benchdiff: ok (%d metrics within %.0f%%)\n", len(baseMetrics), *maxRegress*100)
+	return 0
+}

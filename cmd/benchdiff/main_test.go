@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "schema": "stcps-bench/1",
+  "e9": [
+    {"instances": 100000, "queries": 64, "mode": "queryST", "nsPerQuery": 36000, "hits": 10, "speedup": 170.0},
+    {"instances": 100000, "queries": 64, "mode": "scan", "nsPerQuery": 6000000, "hits": 10}
+  ],
+  "e10": [
+    {"mode": "planned", "roles": 3, "window": 128, "speedup": 5000.0},
+    {"mode": "naive", "roles": 3, "window": 128}
+  ]
+}`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestWithinTolerancePasses(t *testing.T) {
+	base := write(t, "base.json", baselineJSON)
+	// 20% down on e9, 10% up on e10: inside the 30% gate.
+	cur := write(t, "cur.json", strings.NewReplacer(
+		"170.0", "136.0", "5000.0", "5500.0").Replace(baselineJSON))
+	code, out, errw := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, out, errw)
+	}
+	if !strings.Contains(out, "benchdiff: ok (2 metrics") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	base := write(t, "base.json", baselineJSON)
+	// e9 speedup collapses 170x -> 40x: way past 30%.
+	cur := write(t, "cur.json", strings.Replace(baselineJSON, "170.0", "40.0", 1))
+	code, out, errw := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout %q)", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(errw, "FAIL") {
+		t.Errorf("stdout %q stderr %q", out, errw)
+	}
+	// The same artifact passes with a loose enough gate.
+	if code, _, _ := runDiff(t, "-baseline", base, "-current", cur, "-max-regress", "0.9"); code != 0 {
+		t.Errorf("loose gate exit %d, want 0", code)
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	base := write(t, "base.json", baselineJSON)
+	cur := write(t, "cur.json", `{"schema": "stcps-bench/1", "e9": [], "e10": []}`)
+	code, out, _ := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout %q)", code, out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	base := write(t, "base.json", baselineJSON)
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Error("missing flags should exit 2")
+	}
+	if code, _, _ := runDiff(t, "-baseline", base, "-current", "/nonexistent.json"); code != 2 {
+		t.Error("unreadable current should exit 2")
+	}
+	notArtifact := write(t, "bad.json", `{"foo": 1}`)
+	if code, _, _ := runDiff(t, "-baseline", notArtifact, "-current", base); code != 2 {
+		t.Error("schema-less baseline should exit 2")
+	}
+	malformed := write(t, "bad2.json", `{`)
+	if code, _, _ := runDiff(t, "-baseline", base, "-current", malformed); code != 2 {
+		t.Error("malformed current should exit 2")
+	}
+	empty := write(t, "empty.json", `{"schema": "stcps-bench/1"}`)
+	if code, _, _ := runDiff(t, "-baseline", empty, "-current", base); code != 2 {
+		t.Error("metric-less baseline should exit 2")
+	}
+	if code, _, _ := runDiff(t, "-baseline", base, "-current", base, "-max-regress", "1.5"); code != 2 {
+		t.Error("out-of-range max-regress should exit 2")
+	}
+}
+
+// TestAgainstCommittedBaselines sanity-checks the gate against the
+// repo's real BENCH_2/BENCH_3 artifacts: identical files always pass.
+func TestAgainstCommittedBaselines(t *testing.T) {
+	for _, name := range []string{"BENCH_2.json", "BENCH_3.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("%s not present: %v", name, err)
+		}
+		if code, out, errw := runDiff(t, "-baseline", path, "-current", path); code != 0 {
+			t.Errorf("%s vs itself: exit %d (stdout %q, stderr %q)", name, code, out, errw)
+		}
+	}
+}

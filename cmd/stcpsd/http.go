@@ -59,15 +59,16 @@ type detectStats struct {
 // statsResponse is the /stats document: daemon counters, the detection
 // planner's counters and plans, and the store's content counters.
 type statsResponse struct {
-	Observer string           `json:"observer"`
-	Events   int              `json:"events"`
-	Workers  int              `json:"workers"`
-	Ingested uint64           `json:"ingested"`
-	Skipped  uint64           `json:"skipped"`
-	Emitted  uint64           `json:"emitted"`
-	Detect   detectStats      `json:"detect"`
-	Plans    []string         `json:"plans"`
-	Store    stcps.StoreStats `json:"store"`
+	Observer   string                `json:"observer"`
+	Events     int                   `json:"events"`
+	Workers    int                   `json:"workers"`
+	Ingested   uint64                `json:"ingested"`
+	Skipped    uint64                `json:"skipped"`
+	Emitted    uint64                `json:"emitted"`
+	Detect     detectStats           `json:"detect"`
+	Plans      []string              `json:"plans"`
+	Store      stcps.StoreStats      `json:"store"`
+	Durability stcps.DurabilityStats `json:"durability"`
 }
 
 func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
@@ -85,8 +86,9 @@ func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 			Truncations:    es.Truncations,
 			EvalErrors:     es.EvalErrors,
 		},
-		Plans: a.eng.PlanDescriptions(),
-		Store: a.eng.StoreStats(),
+		Plans:      a.eng.PlanDescriptions(),
+		Store:      a.eng.StoreStats(),
+		Durability: a.eng.DurabilityStats(),
 	})
 }
 

@@ -23,11 +23,22 @@
 // GET /lineage/{entity}, GET /stats and GET /healthz. The
 // -db-max-instances / -db-max-age flags bound the store's memory.
 //
+// With -wal-dir the daemon is durable: every ingested entity and
+// emitted instance is written to a write-ahead log (fsync policy via
+// -fsync: always, interval or off) and periodically compacted into
+// snapshots (-snapshot-every N records). On startup the daemon loads
+// the latest snapshot, replays the WAL tail and re-offers the logged
+// entities to the detectors, so both the instance store and half-bound
+// detection windows survive a crash. SIGTERM triggers a graceful
+// shutdown: open intervals flush, a final snapshot lands, the WAL
+// closes.
+//
 // Usage:
 //
 //	stcpsd -events events.json < entities.jsonl > instances.jsonl
 //	stcpsd -events events.json -workers 8    # sharded engine, 8 shards
 //	stcpsd -events events.json -http :8080 -db-max-instances 1000000
+//	stcpsd -events events.json -wal-dir /var/lib/stcpsd -fsync always
 package main
 
 import (
@@ -39,8 +50,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"github.com/stcps/stcps"
 	"github.com/stcps/stcps/internal/event"
@@ -57,6 +70,11 @@ func main() {
 // the listener is up — the hook integration tests use to reach a
 // daemon serving on ":0".
 var httpReady func(addr string)
+
+// osExit ends the process after a SIGTERM teardown (the main goroutine
+// stays blocked on the uninterruptible stdin read); a variable so tests
+// could intercept it.
+var osExit = os.Exit
 
 // roleJSON mirrors stcps.Role in the events file.
 type roleJSON struct {
@@ -121,6 +139,9 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	httpAddr := fs.String("http", "", "serve the spatio-temporal query API on this address (e.g. :8080); enables the in-process store")
 	dbMaxInstances := fs.Int("db-max-instances", 0, "retention: max live instances in the store (0 = unlimited)")
 	dbMaxAge := fs.Int64("db-max-age", 0, "retention: evict instances older than this many ticks behind the newest (0 = unlimited)")
+	walDir := fs.String("wal-dir", "", "durability: write-ahead log directory (enables crash recovery and the in-process store)")
+	fsync := fs.String("fsync", "interval", "durability: WAL fsync policy: always, interval or off")
+	snapshotEvery := fs.Int("snapshot-every", 0, "durability: snapshot + compact the WAL every N records (0 = only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +168,11 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		DBRetention: stcps.Retention{
 			MaxInstances: *dbMaxInstances,
 			MaxAge:       stcps.Tick(*dbMaxAge),
+		},
+		Durability: stcps.DurabilityConfig{
+			Dir:           *walDir,
+			Fsync:         *fsync,
+			SnapshotEvery: *snapshotEvery,
 		},
 		OnInstance: func(inst stcps.Instance) {
 			data, err := event.EncodeInstance(inst)
@@ -198,9 +224,90 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	for _, p := range eng.PlanDescriptions() {
 		fmt.Fprintf(errw, "stcpsd: plan %s\n", p)
 	}
+	// Start runs the workers and — with -wal-dir — the crash recovery
+	// replay, so the daemon resumes exactly where the last process
+	// stopped.
 	if err := eng.Start(); err != nil {
 		return err
 	}
+
+	// maxTick tracks the newest ingested virtual time — open intervals
+	// flush at it on shutdown (atomic: the SIGTERM goroutine reads it).
+	// Recovery advances it past everything replayed, so a restarted
+	// daemon never flushes into the past.
+	var maxTick atomic.Int64
+	if *walDir != "" {
+		ds := eng.DurabilityStats()
+		if ds.HasTick {
+			maxTick.Store(int64(ds.LastTick))
+		}
+		fmt.Fprintf(errw, "stcpsd: wal %s: replayed=%d reoffered=%d recovered=%d replayEmissions=%d snapshotSeq=%d segments=%d\n",
+			*walDir, ds.ReplayedRecords, ds.ReofferedEntities, ds.RecoveredInstances,
+			ds.ReplayEmissions, ds.SnapshotSeq, ds.Segments)
+	}
+
+	// The engine's synchronous feed path is single-threaded, and stdin
+	// reads cannot be interrupted (fd 0 is in blocking mode), so a
+	// SIGTERM teardown must run on the signal goroutine WITHOUT racing a
+	// feed in flight: stopMu guards every engine offer, and teardown
+	// flips `stopping` under it — after which no further offer can
+	// start and the shutdown owns the engine.
+	var (
+		stopMu       sync.Mutex
+		stopping     bool
+		teardownOnce sync.Once
+		teardownErr  error
+	)
+	// offer runs one engine feed call unless shutdown has begun; the
+	// first return reports whether the feed is still open.
+	offer := func(fn func() error) (bool, error) {
+		stopMu.Lock()
+		defer stopMu.Unlock()
+		if stopping {
+			return false, nil
+		}
+		return true, fn()
+	}
+	// teardown is the single shutdown path, shared by EOF, feed errors
+	// and SIGTERM: stop the feed, flush open intervals at the newest
+	// tick, land the final snapshot, close the WAL, flush stdout and
+	// print the summary.
+	teardown := func() error {
+		stopMu.Lock()
+		stopping = true
+		stopMu.Unlock()
+		teardownOnce.Do(func() {
+			_, terr := eng.Shutdown(stcps.Tick(maxTick.Load()))
+			mu.Lock()
+			defer mu.Unlock()
+			if ferr := w.Flush(); terr == nil {
+				terr = ferr
+			}
+			teardownErr = terr
+			fmt.Fprintf(errw, "stcpsd: ingested=%d skipped=%d emitted=%d events=%d workers=%d\n",
+				ingested.Load(), skipped.Load(), emitted.Load(), len(evs), *workers)
+		})
+		return teardownErr
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigc)
+	sigQuit := make(chan struct{})
+	defer close(sigQuit) // release the goroutine when run returns normally
+	go func() {
+		select {
+		case <-sigQuit:
+			return
+		case <-sigc:
+		}
+		fmt.Fprintln(errw, "stcpsd: SIGTERM: flushing and shutting down")
+		if err := teardown(); err != nil {
+			fmt.Fprintln(errw, "stcpsd:", err)
+			osExit(1)
+		}
+		osExit(0)
+	}()
 
 	// Serve the query API from the live engine while the feed runs.
 	if *httpAddr != "" {
@@ -226,10 +333,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		}
 	}
 
-	var (
-		maxTick stcps.Tick
-		feedErr error
-	)
+	var feedErr error
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 scan:
@@ -255,10 +359,19 @@ scan:
 				fmt.Fprintf(errw, "stcpsd: skipping bad instance: %v\n", err)
 				continue
 			}
-			if inst.Gen > maxTick {
-				maxTick = inst.Gen
+			// maxTick advances inside the guarded offer: an entity the
+			// SIGTERM teardown rejected must not move the flush tick.
+			open, err := offer(func() error {
+				if int64(inst.Gen) > maxTick.Load() {
+					maxTick.Store(int64(inst.Gen))
+				}
+				_, e := eng.Feed(inst)
+				return e
+			})
+			if !open {
+				break scan // SIGTERM teardown owns the engine now
 			}
-			if _, err := eng.Feed(inst); err != nil {
+			if err != nil {
 				feedErr = err
 				break scan
 			}
@@ -269,10 +382,17 @@ scan:
 				fmt.Fprintf(errw, "stcpsd: skipping bad observation: %v\n", err)
 				continue
 			}
-			if obs.Time.End() > maxTick {
-				maxTick = obs.Time.End()
+			open, err := offer(func() error {
+				if int64(obs.Time.End()) > maxTick.Load() {
+					maxTick.Store(int64(obs.Time.End()))
+				}
+				_, e := eng.Observe(obs)
+				return e
+			})
+			if !open {
+				break scan
 			}
-			if _, err := eng.Observe(obs); err != nil {
+			if err != nil {
 				feedErr = err
 				break scan
 			}
@@ -287,21 +407,17 @@ scan:
 		feedErr = sc.Err()
 	}
 
-	// Always tear down: stop the worker shards, flush open intervals,
-	// and land whatever output is buffered — even on a mid-stream
-	// error, partial results reach stdout.
-	eng.Close(maxTick)
+	// Always tear down — even on a mid-stream error, partial results
+	// reach stdout.
+	shutdownErr := teardown()
 	mu.Lock()
 	defer mu.Unlock()
-	flushErr := w.Flush()
-	fmt.Fprintf(errw, "stcpsd: ingested=%d skipped=%d emitted=%d events=%d workers=%d\n",
-		ingested.Load(), skipped.Load(), emitted.Load(), len(evs), *workers)
 	switch {
 	case feedErr != nil:
 		return feedErr
 	case writeErr != nil:
 		return writeErr
 	default:
-		return flushErr
+		return shutdownErr
 	}
 }

@@ -1,0 +1,532 @@
+package stcps
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stcps/stcps/internal/engine"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/wal"
+)
+
+// Durability errors.
+var (
+	// ErrNotRecovered is returned when a durable engine ingests before
+	// Start has replayed the write-ahead log.
+	ErrNotRecovered = errors.New("stcps: durable engine must Start() before ingesting (recovery pending)")
+	// ErrNotDurable is returned when a durable engine ingests an entity
+	// kind the WAL cannot serialize.
+	ErrNotDurable = errors.New("stcps: entity kind is not WAL-serializable (want Observation or Instance)")
+)
+
+// DurabilityConfig makes an engine's database server survive crashes: a
+// write-ahead log of every ingested entity and emitted instance, plus
+// periodic snapshots in the db.Snapshot NDJSON format. On Start the
+// engine loads the latest snapshot, replays the WAL tail through the
+// store, and re-offers the logged (still window-relevant) entities to
+// the detectors — so both the instance history and half-bound detection
+// windows survive a restart.
+type DurabilityConfig struct {
+	// Dir is the WAL directory; empty disables durability.
+	Dir string
+	// Fsync is the sync policy: "always", "interval" (default) or "off".
+	Fsync string
+	// FsyncEvery is the "interval" policy period (default 100ms).
+	FsyncEvery time.Duration
+	// SnapshotEvery writes a snapshot (and compacts covered WAL
+	// segments) every this many WAL records; 0 snapshots only at
+	// Shutdown.
+	SnapshotEvery int
+	// SegmentBytes is the WAL segment rotation size (default 16 MiB).
+	SegmentBytes int64
+}
+
+// DurabilityStats reports the WAL and recovery counters of a durable
+// engine (zero value when durability is disabled).
+type DurabilityStats struct {
+	// Enabled reports whether the engine runs with a WAL.
+	Enabled bool `json:"enabled"`
+	// Segments is the number of live WAL segment files.
+	Segments int `json:"segments"`
+	// Bytes is the total size of the live segment files.
+	Bytes int64 `json:"bytes"`
+	// LastSeq is the newest WAL record sequence number.
+	LastSeq uint64 `json:"lastSeq"`
+	// Appended counts WAL records appended by this process.
+	Appended uint64 `json:"appended"`
+	// Syncs counts explicit fsyncs.
+	Syncs uint64 `json:"syncs"`
+	// SyncFailures counts failed fsyncs, including the background
+	// interval syncer's; non-zero means acknowledged records may not be
+	// durable.
+	SyncFailures uint64 `json:"syncFailures"`
+	// LastSyncUnixMs is the wall-clock time of the last fsync.
+	LastSyncUnixMs int64 `json:"lastSyncUnixMs"`
+	// TornRecords counts torn tail records truncated at open.
+	TornRecords uint64 `json:"tornRecords"`
+	// SnapshotSeq is the WAL sequence covered by the latest snapshot.
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Snapshots counts snapshots written by this process.
+	Snapshots uint64 `json:"snapshots"`
+	// CompactedSegments counts WAL segments deleted by compaction.
+	CompactedSegments uint64 `json:"compactedSegments"`
+	// ReplayedRecords counts WAL records read during recovery.
+	ReplayedRecords uint64 `json:"replayedRecords"`
+	// ReofferedEntities counts ingested entities re-offered to the
+	// detectors during recovery.
+	ReofferedEntities uint64 `json:"reofferedEntities"`
+	// RecoveredInstances counts instances restored into the store from
+	// the snapshot and the WAL tail.
+	RecoveredInstances uint64 `json:"recoveredInstances"`
+	// ReplayEmissions counts instances the detectors re-derived during
+	// recovery that were NOT yet on durable storage (emissions the crash
+	// outran); they are logged and appended to the WAL.
+	ReplayEmissions uint64 `json:"replayEmissions"`
+	// ReplaySuppressed counts re-derivations discarded during recovery
+	// because compaction had shortened the replayed history, making them
+	// unverifiable (possibly spurious products of approximate windows).
+	ReplaySuppressed uint64 `json:"replaySuppressed"`
+	// WALErrors counts failed WAL appends from emission hooks.
+	WALErrors uint64 `json:"walErrors"`
+	// LastTick is the newest virtual time the engine has seen (ingested
+	// live or replayed from the WAL); meaningless until HasTick.
+	LastTick Tick `json:"lastTick"`
+	// HasTick reports whether any entity was ever ingested.
+	HasTick bool `json:"hasTick"`
+}
+
+// durability is the engine-side state of the WAL subsystem.
+type durability struct {
+	log       *wal.Log
+	cfg       DurabilityConfig
+	recovered bool
+
+	// maxTick is the newest ingested virtual time — the compaction
+	// clock. Written by the producer goroutine, read by stats handlers.
+	maxTick atomic.Int64
+	// sawTick reports whether any tick was ever noted.
+	sawTick atomic.Bool
+	// agedOnly / maxRoleAge summarize the declared specs: when every
+	// role bounds its window by MaxAge, ingest records older than
+	// maxTick-maxRoleAge can never rebuild a window and their segments
+	// may be compacted.
+	agedOnly   bool
+	maxRoleAge Tick
+
+	// recordsSinceSnap counts WAL appends since the last snapshot;
+	// emission hooks bump it from worker goroutines.
+	recordsSinceSnap atomic.Uint64
+
+	// Replay-time emission dedup: known holds a content key for every
+	// emission already on durable storage; replayNew buffers the
+	// re-derived emissions that were not (the crash outran their WAL
+	// append) for appending after the replay finishes. replayComplete
+	// reports whether the WAL held its full ingest history at recovery:
+	// only then is an unknown re-derivation guaranteed genuine — over
+	// compaction-shortened history the rebuilt windows can derive
+	// spurious emissions (different interval opens, pairings the full
+	// windows never allowed), which are suppressed and counted instead.
+	replayMu       sync.Mutex
+	known          map[string]struct{}
+	replayNew      []event.Instance
+	replayComplete bool
+
+	// Sticky first WAL-append error from the emission hooks (which have
+	// no error return path), surfaced by Shutdown.
+	errMu   sync.Mutex
+	hookErr error
+
+	replayedRecords    uint64
+	reoffered          uint64
+	recoveredInstances uint64
+	replayEmissions    atomic.Uint64
+	replaySuppressed   atomic.Uint64
+	walErrors          atomic.Uint64
+}
+
+// newDurability opens the WAL for cfg.
+func newDurability(cfg DurabilityConfig) (*durability, error) {
+	policy, err := wal.ParsePolicy(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(wal.Options{
+		Dir:          cfg.Dir,
+		Fsync:        policy,
+		FsyncEvery:   cfg.FsyncEvery,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &durability{log: l, cfg: cfg, agedOnly: true}
+	d.maxTick.Store(math.MinInt64)
+	return d, nil
+}
+
+// noteSpec folds one declared detector spec into the compaction horizon.
+func (d *durability) noteSpec(roles []Role) {
+	for _, r := range roles {
+		if r.MaxAge <= 0 {
+			d.agedOnly = false
+		} else if r.MaxAge > d.maxRoleAge {
+			d.maxRoleAge = r.MaxAge
+		}
+	}
+}
+
+// horizon is the tick below which no ingest record can still matter to a
+// detection window. math.MinInt64 (keep everything) when any role has an
+// unbounded window age.
+func (d *durability) horizon() Tick {
+	max := Tick(d.maxTick.Load())
+	if !d.agedOnly || d.maxRoleAge <= 0 || !d.sawTick.Load() {
+		return math.MinInt64
+	}
+	h := max - d.maxRoleAge
+	if h > max { // underflow
+		return math.MinInt64
+	}
+	return h
+}
+
+// noteTick advances the compaction clock.
+func (d *durability) noteTick(now Tick) {
+	if Tick(d.maxTick.Load()) < now {
+		d.maxTick.Store(int64(now))
+	}
+	d.sawTick.Store(true)
+}
+
+// noteHookErr records the first WAL-append failure seen by an emission
+// hook.
+func (d *durability) noteHookErr(err error) {
+	d.walErrors.Add(1)
+	d.errMu.Lock()
+	if d.hookErr == nil {
+		d.hookErr = err
+	}
+	d.errMu.Unlock()
+}
+
+// takeHookErr returns (and clears) the sticky hook error.
+func (d *durability) takeHookErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	err := d.hookErr
+	d.hookErr = nil
+	return err
+}
+
+// emissionKey identifies an emission by content rather than entity id:
+// the detected event, its generation tick, its occurrence and the input
+// entity ids it bound. Replay re-derives emissions deterministically, so
+// a re-derived duplicate matches the key of the original even when the
+// restarted detector assigned a different sequence number.
+func emissionKey(in *event.Instance) string {
+	var sb strings.Builder
+	sb.Grow(64)
+	fmt.Fprintf(&sb, "%s|%d|%d|%d|", in.Event, in.Gen, in.Occ.Start(), in.Occ.End())
+	for i, inp := range in.Inputs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(inp)
+	}
+	return sb.String()
+}
+
+// appendIngest writes one ingested entity to the WAL before it reaches
+// the detectors.
+func (e *Engine) appendIngest(source string, ent Entity, conf float64, now Tick) error {
+	rec := wal.Record{Source: source, Conf: conf, Now: now}
+	switch v := ent.(type) {
+	case event.Observation:
+		rec.Kind = wal.KindObservation
+		rec.Observation = &v
+	case event.Instance:
+		rec.Kind = wal.KindIngest
+		rec.Instance = &v
+	default:
+		return fmt.Errorf("%T: %w", ent, ErrNotDurable)
+	}
+	if _, err := e.dur.log.Append(rec); err != nil {
+		return err
+	}
+	e.dur.recordsSinceSnap.Add(1)
+	return nil
+}
+
+// appendEmit writes one emitted instance to the WAL (ahead of the store,
+// which is rebuilt from the WAL on recovery anyway).
+func (e *Engine) appendEmit(in event.Instance) {
+	if _, err := e.dur.log.Append(wal.Record{Kind: wal.KindEmit, Instance: &in}); err != nil {
+		e.dur.noteHookErr(err)
+		return
+	}
+	e.dur.recordsSinceSnap.Add(1)
+}
+
+// replayEmission handles an instance the detectors re-derived while the
+// WAL replays. Duplicates of emissions already on durable storage are
+// dropped. Over a complete WAL, an unknown re-derivation is an emission
+// the crash outran (ingested and logged, crashed before the emit
+// record): it is logged into the store now and appended to the WAL
+// after the replay, with its sequence number exactly reproducing the
+// uninterrupted run's. Over compaction-shortened history the rebuilt
+// windows are approximate and an unknown re-derivation may be spurious
+// — it is suppressed (and counted), never guessed into the store.
+func (e *Engine) replayEmission(in event.Instance) {
+	key := emissionKey(&in)
+	d := e.dur
+	d.replayMu.Lock()
+	if _, dup := d.known[key]; dup {
+		d.replayMu.Unlock()
+		return
+	}
+	d.known[key] = struct{}{}
+	if !d.replayComplete {
+		d.replayMu.Unlock()
+		d.replaySuppressed.Add(1)
+		return
+	}
+	d.replayNew = append(d.replayNew, in)
+	d.replayMu.Unlock()
+	d.replayEmissions.Add(1)
+	_ = e.store.Log(in)
+}
+
+// recover replays the durable state into the engine: the latest
+// snapshot into the store, the WAL's emitted instances into the store,
+// and the WAL's ingested entities back into the detectors (with
+// re-derived emissions deduplicated by content), then seeds the
+// detectors' sequence counters past every recovered instance.
+func (e *Engine) recover() error {
+	d := e.dur
+
+	// A failed recovery (e.g. an I/O error mid-replay) must be cleanly
+	// retryable: reset every counter and buffer the passes below build
+	// up. Store writes are idempotent, so re-replaying is safe.
+	d.replayedRecords, d.reoffered, d.recoveredInstances = 0, 0, 0
+	d.replayEmissions.Store(0)
+	d.replaySuppressed.Store(0)
+	d.replayMu.Lock()
+	d.replayNew = nil
+	d.replayMu.Unlock()
+
+	// 1. Latest snapshot -> store.
+	if r, _, err := d.log.LatestSnapshot(); err != nil {
+		return err
+	} else if r != nil {
+		err := e.store.Load(r)
+		r.Close()
+		if err != nil {
+			return err
+		}
+	}
+	snapSeq := d.log.Stats().SnapshotSeq
+
+	// 2. Scan the WAL: restore the emitted-instance tail and remember
+	// every known emission. The scan streams, so recovery memory scales
+	// with the emission count (one known-key per emission), not with the
+	// full ingest history.
+	d.known = make(map[string]struct{})
+	maxSeq := make(map[string]uint64)
+	for _, in := range e.store.All() {
+		if in.Observer != e.cfg.Observer {
+			continue
+		}
+		d.known[emissionKey(&in)] = struct{}{}
+		if in.Seq > maxSeq[in.Event] {
+			maxSeq[in.Event] = in.Seq
+		}
+	}
+	err := d.log.Replay(func(rec wal.Record) error {
+		d.replayedRecords++
+		if rec.Kind != wal.KindEmit {
+			return nil
+		}
+		in := rec.Instance
+		d.known[emissionKey(in)] = struct{}{}
+		if in.Seq > maxSeq[in.Event] {
+			maxSeq[in.Event] = in.Seq
+		}
+		if rec.Seq > snapSeq {
+			return e.store.Log(*in)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	d.recoveredInstances = uint64(e.store.Len())
+	d.replayComplete = d.log.Complete()
+
+	// 3. Second streaming pass: re-offer the logged entities in their
+	// original order so the detector windows (and any open interval
+	// state) rebuild exactly; re-derived emissions route through
+	// replayEmission, which buffers only the (rare) crash-outran ones.
+	if e.sharded != nil {
+		// Tolerate ErrStarted: a retried recovery finds the workers
+		// already running from the failed attempt.
+		if err := e.sharded.Start(); err != nil && !errors.Is(err, engine.ErrStarted) {
+			return err
+		}
+	}
+	e.replaying.Store(true)
+	err = d.log.Replay(func(rec wal.Record) error {
+		var ent Entity
+		switch rec.Kind {
+		case wal.KindObservation:
+			ent = *rec.Observation
+		case wal.KindIngest:
+			ent = *rec.Instance
+		default:
+			return nil
+		}
+		d.noteTick(rec.Now)
+		if _, err := e.offer(rec.Source, ent, rec.Conf, rec.Now); err != nil {
+			return err
+		}
+		d.reoffered++
+		return nil
+	})
+	if e.sharded != nil {
+		e.sharded.Drain()
+	}
+	e.replaying.Store(false)
+	if err != nil {
+		return err
+	}
+
+	// 4. Emissions the crash outran are now in the store; land them in
+	// the WAL too so a second crash cannot lose them, and deliver them
+	// to OnInstance — the WAL's Log-before-Emit hook ordering proves an
+	// emission absent from the WAL was never delivered, so this is the
+	// first (and only) delivery, not a duplicate.
+	d.replayMu.Lock()
+	fresh := d.replayNew
+	d.replayNew = nil
+	d.known = nil
+	d.replayMu.Unlock()
+	for i := range fresh {
+		if in := fresh[i]; in.Seq > maxSeq[in.Event] {
+			maxSeq[in.Event] = in.Seq
+		}
+		if _, err := d.log.Append(wal.Record{Kind: wal.KindEmit, Instance: &fresh[i]}); err != nil {
+			return err
+		}
+		if e.cfg.OnInstance != nil {
+			e.cfg.OnInstance(fresh[i])
+		}
+	}
+
+	// 5. Seed the sequence counters: when compaction has dropped ingest
+	// history, the replay alone may leave a counter short of instances
+	// already on durable storage; never reissue their entity ids.
+	for ev, seq := range maxSeq {
+		if e.sharded != nil {
+			e.sharded.SeedEventSeq(ev, seq)
+		} else {
+			e.bank.SeedEventSeq(ev, seq)
+		}
+	}
+	if err := d.takeHookErr(); err != nil {
+		return err
+	}
+	d.recovered = true
+	return nil
+}
+
+// maybeSnapshot writes a snapshot when enough WAL records accumulated
+// since the last one. Runs on the producer goroutine.
+func (e *Engine) maybeSnapshot() error {
+	d := e.dur
+	if d.cfg.SnapshotEvery <= 0 || d.recordsSinceSnap.Load() < uint64(d.cfg.SnapshotEvery) {
+		return nil
+	}
+	return e.snapshotNow()
+}
+
+// snapshotNow drains in-flight detection work, snapshots the store into
+// the WAL directory and compacts covered segments.
+func (e *Engine) snapshotNow() error {
+	d := e.dur
+	if e.sharded != nil {
+		e.sharded.Drain()
+	}
+	d.recordsSinceSnap.Store(0)
+	return d.log.Snapshot(func(w io.Writer) error { return e.store.Snapshot(w) }, d.horizon())
+}
+
+// Shutdown flushes open interval detections at virtual time now (like
+// Close), then — for durable engines — writes a final snapshot, syncs
+// and closes the WAL. It returns the flushed instances and the first
+// durability error encountered. After Shutdown the engine cannot
+// ingest; repeated Shutdown (or Shutdown after Close) is a clean no-op.
+func (e *Engine) Shutdown(now Tick) ([]Instance, error) {
+	insts := e.Flush(now)
+	if e.dur == nil {
+		return insts, nil
+	}
+	var err error
+	if e.dur.recovered {
+		if err = e.snapshotNow(); errors.Is(err, wal.ErrClosed) {
+			err = nil
+		}
+	}
+	if herr := e.dur.takeHookErr(); err == nil {
+		err = herr
+	}
+	if cerr := e.dur.log.Close(); err == nil {
+		err = cerr
+	}
+	if serr := e.dur.log.Err(); err == nil {
+		// A background fsync failed at some point: the WAL may be
+		// missing acknowledged records even though everything since
+		// succeeded.
+		err = serr
+	}
+	return insts, err
+}
+
+// DurabilityStats returns the WAL and recovery counters (zero value
+// when the engine runs without durability).
+func (e *Engine) DurabilityStats() DurabilityStats {
+	if e.dur == nil {
+		return DurabilityStats{}
+	}
+	d := e.dur
+	ws := d.log.Stats()
+	out := DurabilityStats{
+		Enabled:            true,
+		Segments:           ws.Segments,
+		Bytes:              ws.Bytes,
+		LastSeq:            ws.LastSeq,
+		Appended:           ws.Appended,
+		Syncs:              ws.Syncs,
+		SyncFailures:       ws.SyncFailures,
+		LastSyncUnixMs:     ws.LastSyncUnixMs,
+		TornRecords:        ws.TornRecords,
+		SnapshotSeq:        ws.SnapshotSeq,
+		Snapshots:          ws.Snapshots,
+		CompactedSegments:  ws.CompactedSegments,
+		ReplayedRecords:    d.replayedRecords,
+		ReofferedEntities:  d.reoffered,
+		RecoveredInstances: d.recoveredInstances,
+		ReplayEmissions:    d.replayEmissions.Load(),
+		ReplaySuppressed:   d.replaySuppressed.Load(),
+		WALErrors:          d.walErrors.Load(),
+		HasTick:            d.sawTick.Load(),
+	}
+	if out.HasTick {
+		out.LastTick = Tick(d.maxTick.Load())
+	}
+	return out
+}

@@ -3,10 +3,12 @@ package stcps
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/wal"
 )
 
 // Engine errors.
@@ -64,6 +66,12 @@ type EngineConfig struct {
 	// DBRetention bounds the store's memory when WithStore is set. The
 	// zero value retains everything.
 	DBRetention Retention
+	// Durability, when Dir is set, puts a write-ahead log under the
+	// engine: every ingested entity and emitted instance is logged (and
+	// periodically snapshotted) so the store and the detection windows
+	// survive a crash. Durability implies WithStore. Call Start before
+	// ingesting — it performs the recovery replay.
+	Durability DurabilityConfig
 }
 
 // Engine is the standalone streaming detection runtime: the observer
@@ -82,12 +90,20 @@ type Engine struct {
 	bank    *engine.Bank
 	sharded *engine.Sharded
 	store   *db.Store
+	dur     *durability
+	// replaying marks the recovery re-offer phase, during which the
+	// emission hooks dedup against durable storage instead of appending
+	// to the WAL or invoking OnInstance.
+	replaying atomic.Bool
 }
 
 // NewEngine creates a detection engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Observer == "" {
 		return nil, fmt.Errorf("missing observer id: %w", ErrEngineConfig)
+	}
+	if cfg.Durability.Dir != "" {
+		cfg.WithStore = true
 	}
 	if cfg.Workers > 1 && cfg.OnInstance == nil && !cfg.WithStore {
 		return nil, fmt.Errorf("sharded engine needs OnInstance or WithStore (emissions would be lost): %w", ErrEngineConfig)
@@ -103,9 +119,30 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		e.store = store
 		logHook = func(in event.Instance) { _ = store.Log(in) }
 	}
+	if cfg.Durability.Dir != "" {
+		d, err := newDurability(cfg.Durability)
+		if err != nil {
+			return nil, err
+		}
+		e.dur = d
+		store := e.store
+		logHook = func(in event.Instance) {
+			if e.replaying.Load() {
+				e.replayEmission(in)
+				return
+			}
+			e.appendEmit(in) // write-ahead of the store
+			_ = store.Log(in)
+		}
+	}
 	var emit engine.EmitFunc
 	if cfg.OnInstance != nil {
-		emit = func(in event.Instance) { e.cfg.OnInstance(in) }
+		emit = func(in event.Instance) {
+			if e.replaying.Load() {
+				return
+			}
+			e.cfg.OnInstance(in)
+		}
 	}
 	ecfg := engine.Config{
 		Observer: cfg.Observer,
@@ -138,6 +175,9 @@ func (e *Engine) Detect(layer Layer, spec EventSpec) error {
 	if err != nil {
 		return err
 	}
+	if e.dur != nil {
+		e.dur.noteSpec(spec.Roles)
+	}
 	if e.sharded != nil {
 		return e.sharded.AddDetector(ds)
 	}
@@ -145,9 +185,17 @@ func (e *Engine) Detect(layer Layer, spec EventSpec) error {
 	return err
 }
 
-// Start launches the worker shards. It is a no-op for a synchronous
-// engine.
+// Start launches the worker shards and — for a durable engine —
+// performs crash recovery: the latest snapshot and the WAL replay into
+// the store and the detector windows. Declare all events first. It is a
+// no-op for a synchronous engine without durability.
 func (e *Engine) Start() error {
+	if e.dur != nil {
+		if e.dur.recovered {
+			return nil
+		}
+		return e.recover()
+	}
 	if e.sharded != nil {
 		return e.sharded.Start()
 	}
@@ -157,8 +205,34 @@ func (e *Engine) Start() error {
 // Ingest pushes one entity from an input stream at virtual time now —
 // the fully general, clock-agnostic path. Synchronous engines return
 // the emitted instances; sharded engines detect asynchronously and
-// return nil (instances flow through OnInstance / the store).
+// return nil (instances flow through OnInstance / the store). A durable
+// engine logs the entity to the WAL before offering it (and requires
+// Start to have run recovery first).
 func (e *Engine) Ingest(source string, ent Entity, conf float64, now Tick) ([]Instance, error) {
+	if e.dur != nil {
+		if !e.dur.recovered {
+			return nil, ErrNotRecovered
+		}
+		if err := e.appendIngest(source, ent, conf, now); err != nil {
+			return nil, err
+		}
+		e.dur.noteTick(now)
+	}
+	out, err := e.offer(source, ent, conf, now)
+	if err != nil {
+		return out, err
+	}
+	if e.dur != nil {
+		if err := e.maybeSnapshot(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// offer feeds one entity into the runtime without WAL bookkeeping — the
+// shared path of Ingest and the recovery replay.
+func (e *Engine) offer(source string, ent Entity, conf float64, now Tick) ([]Instance, error) {
 	if e.sharded != nil {
 		return nil, e.sharded.Ingest(source, ent, conf, now, e.cfg.Loc)
 	}
@@ -188,17 +262,33 @@ func (e *Engine) Drain() {
 
 // Flush closes open interval detections at virtual time now and returns
 // the flushed instances. In sharded mode this drains, stops the
-// workers and flushes: the engine cannot ingest afterwards.
+// workers and flushes: the engine cannot ingest afterwards. A durable
+// engine syncs the WAL, so the flushed instances are on stable storage
+// when Flush returns; a failed sync counts toward
+// DurabilityStats.WALErrors and surfaces from Shutdown.
 func (e *Engine) Flush(now Tick) []Instance {
+	var out []Instance
 	if e.sharded != nil {
-		return e.sharded.Close(now, e.cfg.Loc)
+		out = e.sharded.Close(now, e.cfg.Loc)
+	} else {
+		out = e.bank.Flush(now, e.cfg.Loc)
 	}
-	return e.bank.Flush(now, e.cfg.Loc)
+	if e.dur != nil {
+		if err := e.dur.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			e.dur.noteHookErr(err)
+		}
+	}
+	return out
 }
 
 // Close is Flush under its lifecycle name: use it when tearing a
-// sharded engine down.
-func (e *Engine) Close(now Tick) []Instance { return e.Flush(now) }
+// sharded engine down. Durable engines should prefer Shutdown, which
+// additionally snapshots and closes the WAL and reports errors; Close
+// performs the same teardown discarding the error.
+func (e *Engine) Close(now Tick) []Instance {
+	insts, _ := e.Shutdown(now)
+	return insts
+}
 
 // Sources returns the distinct input stream keys the engine consumes,
 // sorted — e.g. the topics to subscribe on a pub/sub feed.

@@ -9,12 +9,18 @@
 // paper's composite condition ("both rooms hot at nearly the same time")
 // and prints alerts as they happen. No System, no scheduler: the engine
 // is the reusable detection runtime, fed straight from the live feed.
+//
+// The engine runs durable: every ingested reading and raised alert goes
+// through a write-ahead log, so a crashed consumer restarts with its
+// instance history and half-bound detection windows intact (the
+// production shape — a live deployment cannot replay its feed).
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -33,10 +39,19 @@ func run() error {
 		alertMu sync.Mutex
 		alerts  []stcps.Instance
 	)
+	walDir, err := os.MkdirTemp("", "livefeed-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
 	eng, err := stcps.NewEngine(stcps.EngineConfig{
 		Observer: "CCU-live",
 		Loc:      stcps.AtPoint(0, 0),
 		Workers:  2, // sharded: detection runs concurrently with the feed
+		Durability: stcps.DurabilityConfig{
+			Dir:   walDir,
+			Fsync: "interval", // bound loss to the last ~100ms of feed
+		},
 		OnInstance: func(in stcps.Instance) {
 			alertMu.Lock()
 			alerts = append(alerts, in)
@@ -138,7 +153,11 @@ func run() error {
 	case <-time.After(5 * time.Second):
 		return fmt.Errorf("timed out waiting for stream")
 	}
-	eng.Close(stcps.Tick(total * 10)) // drain the shards, flush intervals
+	// Shutdown drains the shards, flushes intervals, lands the final
+	// snapshot and closes the WAL.
+	if _, err := eng.Shutdown(stcps.Tick(total * 10)); err != nil {
+		return fmt.Errorf("engine shutdown: %w", err)
+	}
 	mu.Lock()
 	ferr := feedErr
 	mu.Unlock()
@@ -153,6 +172,9 @@ func run() error {
 		st.Ingested, len(alerts))
 	bst := bus.Stats()
 	fmt.Printf("bus: published=%d delivered=%d\n", bst.Published, bst.Delivered)
+	dst := eng.DurabilityStats()
+	fmt.Printf("wal: records=%d bytes=%d snapshotSeq=%d (everything above survives a crash)\n",
+		dst.Appended, dst.Bytes, dst.SnapshotSeq)
 	if len(alerts) == 0 {
 		return fmt.Errorf("no alerts fired")
 	}

@@ -17,16 +17,28 @@ type snapshotRecord struct {
 	Observation *event.Observation `json:"observation,omitempty"`
 }
 
-// Snapshot writes the store's full contents (instances in arrival order,
-// then observations) as newline-delimited JSON. The format is stable and
+// Snapshot writes the store's full contents (instances, then
+// observations) as newline-delimited JSON. The format is stable and
 // reloadable with Load — the durable half of the paper's "database server
 // for later retrieval".
+//
+// Snapshots are reproducible byte-for-byte across runs: instances are
+// written in (generation time, occurrence, event, observer, sequence)
+// order rather than arrival order, because arrival order through the
+// sharded engine's worker goroutines is nondeterministic run to run.
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for i := range s.log {
+	order := make([]int, len(s.log))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return instanceLess(&s.log[order[i]], &s.log[order[j]])
+	})
+	for _, i := range order {
 		if err := enc.Encode(snapshotRecord{Instance: &s.log[i]}); err != nil {
 			return fmt.Errorf("db: snapshot: %w", err)
 		}
@@ -48,6 +60,28 @@ func (s *Store) Snapshot(w io.Writer) error {
 		return fmt.Errorf("db: snapshot: %w", err)
 	}
 	return nil
+}
+
+// instanceLess is the canonical snapshot order: generation time, then
+// occurrence, then the (event, observer, sequence) identity — a total
+// order over any live instance set, since entity ids are unique.
+func instanceLess(a, b *event.Instance) bool {
+	if a.Gen != b.Gen {
+		return a.Gen < b.Gen
+	}
+	if as, bs := a.Occ.Start(), b.Occ.Start(); as != bs {
+		return as < bs
+	}
+	if ae, be := a.Occ.End(), b.Occ.End(); ae != be {
+		return ae < be
+	}
+	if a.Event != b.Event {
+		return a.Event < b.Event
+	}
+	if a.Observer != b.Observer {
+		return a.Observer < b.Observer
+	}
+	return a.Seq < b.Seq
 }
 
 // Load replays a snapshot into the store. Existing contents are kept;

@@ -1,0 +1,127 @@
+package db
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// buildStore populates a store pseudo-randomly from seed: n instances
+// across a handful of observers/events (punctual and interval
+// occurrences, some with observations and provenance), with the given
+// retention applied while logging — so stores with evicted prefixes are
+// part of the property.
+func buildStore(t testing.TB, seed int64, n int, ret Retention) *Store {
+	t.Helper()
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRetention(ret)
+	rng := rand.New(rand.NewSource(seed))
+	observers := []string{"MT1", "MT2", "sink", "ccu"}
+	events := []string{"E.a", "E.b", "E.c"}
+	for i := 0; i < n; i++ {
+		start := timemodel.Tick(rng.Intn(1000))
+		occ := timemodel.At(start)
+		if rng.Intn(3) == 0 {
+			occ = timemodel.MustBetween(start, start+timemodel.Tick(rng.Intn(50)))
+		}
+		in := event.Instance{
+			Layer:      event.LayerSensor,
+			Observer:   observers[rng.Intn(len(observers))],
+			Event:      events[rng.Intn(len(events))],
+			Seq:        uint64(i + 1),
+			Gen:        occ.End() + timemodel.Tick(rng.Intn(5)),
+			GenLoc:     spatial.AtPoint(0, 0),
+			Occ:        occ,
+			Loc:        spatial.AtPoint(rng.Float64()*100, rng.Float64()*100),
+			Confidence: rng.Float64(),
+		}
+		if rng.Intn(2) == 0 {
+			in.Attrs = event.Attrs{"v": rng.Float64() * 50, "w": float64(rng.Intn(10))}
+		}
+		if rng.Intn(4) == 0 {
+			o := event.Observation{
+				Mote: in.Observer, Sensor: "SR1", Seq: uint64(i + 1),
+				Time: occ, Loc: in.Loc,
+				Attrs: event.Attrs{"raw": rng.Float64()},
+			}
+			s.LogObservation(o)
+			in.Inputs = []string{o.EntityID()}
+		}
+		if err := s.Log(in); err != nil {
+			t.Fatalf("seed %d instance %d: %v", seed, i, err)
+		}
+	}
+	return s
+}
+
+// checkRoundTrip asserts the property: Load(Snapshot(s)) into a fresh
+// store reproduces the snapshot byte-for-byte.
+func checkRoundTrip(t testing.TB, src *Store, label string) {
+	t.Helper()
+	var first bytes.Buffer
+	if err := src.Snapshot(&first); err != nil {
+		t.Fatalf("%s: snapshot: %v", label, err)
+	}
+	dst, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Load(bytes.NewReader(first.Bytes())); err != nil {
+		t.Fatalf("%s: load: %v", label, err)
+	}
+	var second bytes.Buffer
+	if err := dst.Snapshot(&second); err != nil {
+		t.Fatalf("%s: re-snapshot: %v", label, err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("%s: round trip is not byte-identical\n--- first ---\n%s\n--- second ---\n%s",
+			label, first.String(), second.String())
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("%s: loaded %d instances, source has %d", label, dst.Len(), src.Len())
+	}
+}
+
+// TestSnapshotRoundTripProperty runs the round-trip property over many
+// pseudo-random stores, including retention-bounded ones whose log
+// prefix has been evicted.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	retentions := []Retention{
+		{},                              // keep everything
+		{MaxInstances: 7},               // front eviction by count
+		{MaxAge: 120},                   // front eviction by age
+		{MaxInstances: 11, MaxAge: 300}, // both
+	}
+	var evicted uint64
+	for seed := int64(1); seed <= 25; seed++ {
+		for _, ret := range retentions {
+			src := buildStore(t, seed, 40, ret)
+			evicted += src.Stats().Evicted
+			checkRoundTrip(t, src, "seeded")
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no store exercised an evicted prefix — the property lost half its point")
+	}
+}
+
+// FuzzSnapshotRoundTrip fuzzes the same property over arbitrary
+// (seed, size, retention) triples.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(0), uint16(0))
+	f.Add(int64(42), uint8(60), uint8(9), uint16(0))
+	f.Add(int64(7), uint8(80), uint8(0), uint16(90))
+	f.Add(int64(-3), uint8(33), uint8(5), uint16(250))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, maxInstances uint8, maxAge uint16) {
+		ret := Retention{MaxInstances: int(maxInstances), MaxAge: timemodel.Tick(maxAge)}
+		src := buildStore(t, seed, int(n), ret)
+		checkRoundTrip(t, src, "fuzzed")
+	})
+}

@@ -73,6 +73,39 @@ func TestSnapshotDeterministic(t *testing.T) {
 	}
 }
 
+// TestSnapshotOrderIndependent pins the determinism contract: two stores
+// holding the same instances logged in different arrival orders (the
+// sharded engine's workers race to Log) must snapshot byte-identically.
+func TestSnapshotOrderIndependent(t *testing.T) {
+	mk := func(perm []int) string {
+		t.Helper()
+		s, _ := New(0)
+		all := []event.Instance{
+			inst("A", "E.x", 1, timemodel.At(5), spatial.AtPoint(1, 1)),
+			inst("B", "E.x", 1, timemodel.At(5), spatial.AtPoint(2, 2)),
+			inst("A", "E.y", 2, timemodel.MustBetween(3, 8), spatial.AtPoint(3, 3)),
+			inst("A", "E.x", 3, timemodel.At(9), spatial.AtPoint(4, 4)),
+			inst("B", "E.y", 2, timemodel.At(2), spatial.AtPoint(5, 5)),
+		}
+		for _, i := range perm {
+			if err := s.Log(all[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := mk([]int{0, 1, 2, 3, 4})
+	for _, perm := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}} {
+		if got := mk(perm); got != want {
+			t.Fatalf("snapshot differs for arrival order %v:\n%s\nvs\n%s", perm, got, want)
+		}
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	s, _ := New(0)
 	if err := s.Load(strings.NewReader(`{"instance": {"layer": 99}}`)); err == nil {

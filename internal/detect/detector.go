@@ -271,6 +271,17 @@ func New(observerID string, spec Spec) (*Detector, error) {
 // EventID returns the detected event identifier.
 func (d *Detector) EventID() string { return d.spec.EventID }
 
+// SeedSeq raises the instance sequence counter to at least min, so the
+// next emission gets Seq min+1. Crash recovery uses it to continue the
+// numbering of instances already on durable storage instead of reissuing
+// their entity ids to new detections. Call it only while no Offer is in
+// flight (e.g. before live traffic starts).
+func (d *Detector) SeedSeq(min uint64) {
+	if min > d.seq {
+		d.seq = min
+	}
+}
+
 // Sources returns the distinct input stream keys the detector consumes,
 // sorted.
 func (d *Detector) Sources() []string {

@@ -153,6 +153,13 @@ func containsInt(xs []int, x int) bool {
 	return false
 }
 
+// SeedEventSeq raises the emission sequence counter of the event's
+// detector to at least min (see Bank.SeedEventSeq). It is safe between
+// a Drain and the next Ingest, or before Start.
+func (s *Sharded) SeedEventSeq(eventID string, min uint64) {
+	s.banks[s.shardOf(eventID)].SeedEventSeq(eventID, min)
+}
+
 // Start spawns the worker shards. No detectors may be added afterwards.
 func (s *Sharded) Start() error {
 	s.pmu.Lock()

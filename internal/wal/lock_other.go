@@ -1,0 +1,10 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockFile is a no-op on platforms without POSIX record locks: the
+// directory is unguarded against concurrent processes there, but the
+// module still compiles.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive POSIX fcntl record lock on f, failing
+// immediately when another process holds it. fcntl locks — unlike flock
+// — never conflict within one process (crash-recovery tests reopen an
+// abandoned engine's directory in-process) and are released by the
+// kernel when the owning process dies, so a crashed daemon's successor
+// is never blocked.
+func lockFile(f *os.File) error {
+	flk := syscall.Flock_t{Type: syscall.F_WRLCK}
+	return syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, &flk)
+}

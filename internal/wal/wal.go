@@ -1,0 +1,892 @@
+// Package wal implements the durability subsystem of the database
+// server: an append-only, segmented write-ahead log of everything the
+// detection engine ingests (raw observations and lower-layer instances)
+// and everything it emits (detected event instances).
+//
+// The paper's architecture stores detected instances in a database
+// server "for later retrieval"; the in-memory store (internal/db) loses
+// them on a crash. The WAL closes that gap: every record is framed with
+// a length prefix and a CRC-32 checksum, appended to the active segment
+// file and — depending on the fsync policy — synced to stable storage
+// before the engine acts on it. On restart the log is replayed: emitted
+// instances are re-logged into the store, and ingested entities are
+// re-offered to the detectors so half-bound windows survive the crash.
+//
+// Record framing (little-endian):
+//
+//	+----------+----------+------------------+
+//	| len u32  | crc32 u32| payload (len B)  |
+//	+----------+----------+------------------+
+//
+// The payload is the JSON envelope of one Record. A torn tail (partial
+// write from a crash) fails the length or CRC check and is truncated at
+// open; torn records in any segment other than the last indicate real
+// corruption and fail the open.
+//
+// Segments are named after the sequence number of their first record
+// (%016d.wal) and rotate at Options.SegmentBytes. A snapshot file
+// (snapshot-%016d.ndjson, the db.Snapshot NDJSON format) covers every
+// record up to the sequence number in its name; sealed segments fully
+// covered by the snapshot — and whose ingested entities have all aged
+// past the caller-provided horizon, so no window can still need them —
+// are deleted by compaction.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// WAL errors.
+var (
+	// ErrClosed is returned when appending to a closed log.
+	ErrClosed = errors.New("wal: closed")
+	// ErrCorrupt is returned when a segment other than the last carries a
+	// torn or checksum-failing record.
+	ErrCorrupt = errors.New("wal: corrupt segment")
+	// ErrBadRecord is returned for records that cannot be encoded.
+	ErrBadRecord = errors.New("wal: bad record")
+)
+
+// FsyncPolicy selects when appended records reach stable storage.
+type FsyncPolicy string
+
+// Fsync policies.
+const (
+	// FsyncAlways syncs after every append: no acknowledged record is
+	// ever lost, at the cost of one fsync per record.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a timer (Options.FsyncEvery): a crash loses
+	// at most the last interval's records.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs explicitly: the OS page cache decides. A
+	// crash of the process alone loses only buffered bytes; a machine
+	// crash can lose everything since the last OS writeback.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParsePolicy maps a policy name to its FsyncPolicy; empty selects
+// FsyncInterval.
+func ParsePolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "":
+		return FsyncInterval, nil
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+	}
+}
+
+// Defaults for Options.
+const (
+	DefaultFsyncEvery   = 100 * time.Millisecond
+	DefaultSegmentBytes = 16 << 20
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the log directory, created if missing. Required.
+	Dir string
+	// Fsync selects the sync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 16 MiB).
+	SegmentBytes int64
+}
+
+// Kind classifies a WAL record.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindObservation is an ingested raw observation.
+	KindObservation Kind = 1
+	// KindIngest is an ingested lower-layer event instance.
+	KindIngest Kind = 2
+	// KindEmit is an instance the engine emitted.
+	KindEmit Kind = 3
+)
+
+// Record is one WAL entry. Seq is assigned by position: the i-th record
+// ever appended has Seq i (1-based), so sequence numbers survive
+// restarts without being stored.
+type Record struct {
+	Seq  uint64
+	Kind Kind
+	// Source, Conf and Now reproduce the ingest call for KindObservation
+	// and KindIngest records.
+	Source string
+	Conf   float64
+	Now    timemodel.Tick
+	// Instance is set for KindIngest and KindEmit.
+	Instance *event.Instance
+	// Observation is set for KindObservation.
+	Observation *event.Observation
+}
+
+// envelope is the JSON payload of a record.
+type envelope struct {
+	Kind        Kind               `json:"k"`
+	Source      string             `json:"src,omitempty"`
+	Conf        float64            `json:"conf,omitempty"`
+	Now         timemodel.Tick     `json:"now,omitempty"`
+	Instance    *event.Instance    `json:"inst,omitempty"`
+	Observation *event.Observation `json:"obs,omitempty"`
+}
+
+// segMeta describes one segment file.
+type segMeta struct {
+	path  string
+	first uint64 // seq of the first record (from the file name)
+	last  uint64 // seq of the last record; first-1 when empty
+	bytes int64
+	// hasIngest / maxTick track the ingest-kind records, for the
+	// compaction horizon: a segment whose ingests all ended before the
+	// horizon can no longer contribute to any detection window.
+	hasIngest bool
+	maxTick   timemodel.Tick
+}
+
+// Stats is a snapshot of the log's counters for monitoring endpoints.
+type Stats struct {
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// Bytes is the total size of the live segment files.
+	Bytes int64 `json:"bytes"`
+	// LastSeq is the sequence number of the newest record.
+	LastSeq uint64 `json:"lastSeq"`
+	// Appended counts records appended by this process.
+	Appended uint64 `json:"appended"`
+	// Syncs counts explicit fsyncs.
+	Syncs uint64 `json:"syncs"`
+	// LastSyncUnixMs is the wall-clock time of the last fsync (0 when
+	// never synced).
+	LastSyncUnixMs int64 `json:"lastSyncUnixMs"`
+	// SyncFailures counts failed fsyncs (including the background
+	// interval syncer's, which has no caller to report to).
+	SyncFailures uint64 `json:"syncFailures"`
+	// TornRecords counts torn tail records truncated at open.
+	TornRecords uint64 `json:"tornRecords"`
+	// SnapshotSeq is the sequence number covered by the latest snapshot.
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Snapshots counts snapshots written by this process.
+	Snapshots uint64 `json:"snapshots"`
+	// CompactedSegments counts segments deleted by compaction.
+	CompactedSegments uint64 `json:"compactedSegments"`
+}
+
+// Log is an append-only write-ahead log over a directory of segment
+// files. It is safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	segs   []segMeta // ordered; the last one is active
+	seq    uint64    // last assigned sequence number
+	dirty  bool      // unsynced appends outstanding
+	closed bool
+
+	appended  uint64
+	syncs     uint64
+	lastSync  time.Time
+	torn      uint64
+	snapSeq   uint64
+	snapshots uint64
+	compacted uint64
+	// syncFailures / firstErr record fsync failures — the interval
+	// policy's background syncer has no caller to return them to, and a
+	// later fsync succeeding does NOT mean the lost pages were written.
+	syncFailures uint64
+	firstErr     error
+
+	// lock holds the directory lock file (see lockFile) preventing two
+	// processes from appending to the same directory.
+	lock *os.File
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+}
+
+const (
+	segSuffix    = ".wal"
+	snapPrefix   = "snapshot-"
+	snapSuffix   = ".ndjson"
+	frameHdrSize = 8
+	// maxPayloadBytes bounds one record. Append and readFrame must
+	// agree: a payload Append accepted but readFrame rejects would brick
+	// the log (sealed segment) or silently truncate an acknowledged
+	// record (torn-tail handling) at the next open.
+	maxPayloadBytes = 64 << 20
+)
+
+func segName(first uint64) string { return fmt.Sprintf("%016d%s", first, segSuffix) }
+func snapName(seq uint64) string  { return fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix) }
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	var v uint64
+	if _, err := fmt.Sscanf(mid, "%d", &v); err != nil || len(mid) != 16 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Open opens (or creates) the log in opts.Dir, scanning every segment to
+// rebuild positions and truncating a torn tail left by a crash.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncInterval
+	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = DefaultFsyncEvery
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opts: opts}
+
+	// One process per directory: two appenders interleaving frames into
+	// the active segment would corrupt it beyond the torn-tail repair.
+	// The lock (see lockFile) is per-process and dies with the process,
+	// so a crashed daemon's successor is never blocked; it does NOT
+	// guard two engines sharing a Dir inside one process.
+	lock, err := os.OpenFile(filepath.Join(opts.Dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("wal: %s is locked by another process: %w", opts.Dir, err)
+	}
+	l.lock = lock
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segFirsts []uint64
+	for _, e := range entries {
+		if first, ok := parseSeqName(e.Name(), "", segSuffix); ok {
+			segFirsts = append(segFirsts, first)
+		}
+		if seq, ok := parseSeqName(e.Name(), snapPrefix, snapSuffix); ok && seq > l.snapSeq {
+			l.snapSeq = seq
+		}
+		// A crash between CreateTemp and the rename leaves a tmp file
+		// with a full store dump; sweep it.
+		if strings.HasPrefix(e.Name(), snapPrefix) && strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(opts.Dir, e.Name()))
+		}
+	}
+	sort.Slice(segFirsts, func(i, j int) bool { return segFirsts[i] < segFirsts[j] })
+
+	var metas []segMeta
+	for i, first := range segFirsts {
+		meta, err := l.scanSegment(filepath.Join(opts.Dir, segName(first)), first, i == len(segFirsts)-1)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, meta)
+	}
+	// The live log is the maximal contiguous suffix chain. Disconnected
+	// earlier segments can only be compaction debris — unlinks whose
+	// directory update outlived a crash while an earlier one did not —
+	// and must be fully covered by the snapshot; finish deleting them.
+	// Anything else disconnected is real corruption.
+	start := 0
+	for i := len(metas) - 1; i > 0; i-- {
+		if metas[i-1].last+1 != metas[i].first {
+			start = i
+			break
+		}
+	}
+	for _, m := range metas[:start] {
+		if m.last > l.snapSeq {
+			return nil, fmt.Errorf("%w: segment %s is disconnected and not covered by snapshot %d",
+				ErrCorrupt, filepath.Base(m.path), l.snapSeq)
+		}
+		_ = os.Remove(m.path)
+		l.compacted++
+	}
+	l.segs = metas[start:]
+	if len(l.segs) > 0 {
+		if first := l.segs[0].first; first > l.snapSeq+1 {
+			return nil, fmt.Errorf("%w: records %d..%d missing between snapshot and segment %s",
+				ErrCorrupt, l.snapSeq+1, first-1, filepath.Base(l.segs[0].path))
+		}
+		l.seq = l.segs[len(l.segs)-1].last
+	}
+	if l.snapSeq > l.seq {
+		// Every surviving record is covered by the snapshot (the newer
+		// segments did not survive): retire the stale chain and restart
+		// numbering after the snapshot.
+		for _, m := range l.segs {
+			_ = os.Remove(m.path)
+			l.compacted++
+		}
+		l.segs = nil
+		l.seq = l.snapSeq
+	}
+
+	if len(l.segs) == 0 {
+		if err := l.openSegmentLocked(l.seq + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		active := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+	}
+
+	if opts.Fsync == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	ok = true
+	return l, nil
+}
+
+// scanSegment reads one segment end to end, validating frames. A torn
+// tail is truncated when the segment is the last one; otherwise it
+// fails the open.
+func (l *Log) scanSegment(path string, first uint64, isLast bool) (segMeta, error) {
+	meta := segMeta{path: path, first: first, last: first - 1, maxTick: math.MinInt64}
+	f, err := os.Open(path)
+	if err != nil {
+		return meta, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var off int64
+	for {
+		payload, n, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !isLast {
+				return meta, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, filepath.Base(path), off, err)
+			}
+			// Torn tail from a crash: drop it.
+			if terr := os.Truncate(path, off); terr != nil {
+				return meta, fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), terr)
+			}
+			l.torn++
+			break
+		}
+		var env envelope
+		if jerr := json.Unmarshal(payload, &env); jerr != nil {
+			if !isLast {
+				return meta, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, filepath.Base(path), off, jerr)
+			}
+			if terr := os.Truncate(path, off); terr != nil {
+				return meta, fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), terr)
+			}
+			l.torn++
+			break
+		}
+		off += int64(n)
+		meta.last++
+		meta.noteIngest(env)
+	}
+	meta.bytes = off
+	return meta, nil
+}
+
+// noteIngest folds one record into the segment's compaction metadata.
+func (m *segMeta) noteIngest(env envelope) {
+	if env.Kind != KindObservation && env.Kind != KindIngest {
+		return
+	}
+	m.hasIngest = true
+	if env.Now > m.maxTick {
+		m.maxTick = env.Now
+	}
+}
+
+// readFrame reads one length+CRC framed payload. Returns the payload and
+// the total frame size. io.EOF signals a clean end; any other error
+// marks a torn or corrupt frame.
+func readFrame(br *bufio.Reader) ([]byte, int, error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("torn header: %w", err)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if ln == 0 || ln > maxPayloadBytes {
+		return nil, 0, fmt.Errorf("implausible record length %d", ln)
+	}
+	payload := make([]byte, ln)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, fmt.Errorf("torn payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, errors.New("checksum mismatch")
+	}
+	return payload, frameHdrSize + int(ln), nil
+}
+
+// openSegmentLocked creates and activates a fresh segment whose first
+// record will be seq first. The directory entry is fsynced before any
+// record lands in the file — an fsynced record in a file whose creation
+// is not durable is lost with it. Callers hold mu (or are in Open).
+func (l *Log) openSegmentLocked(first uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(first)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segs = append(l.segs, segMeta{
+		path:    f.Name(),
+		first:   first,
+		last:    first - 1,
+		maxTick: math.MinInt64,
+	})
+	return nil
+}
+
+// syncDir fsyncs the log directory, making file creations, renames and
+// removals themselves durable. A no-op under FsyncOff.
+func (l *Log) syncDir() error {
+	if l.opts.Fsync == FsyncOff {
+		return nil
+	}
+	d, err := os.Open(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: sync dir: %w", cerr)
+	}
+	return nil
+}
+
+// syncLoop is the FsyncInterval timer.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Append writes one record and returns its sequence number. Under
+// FsyncAlways the record is on stable storage when Append returns.
+func (l *Log) Append(rec Record) (uint64, error) {
+	env := envelope{
+		Kind:        rec.Kind,
+		Source:      rec.Source,
+		Conf:        rec.Conf,
+		Now:         rec.Now,
+		Instance:    rec.Instance,
+		Observation: rec.Observation,
+	}
+	switch rec.Kind {
+	case KindObservation:
+		if rec.Observation == nil {
+			return 0, fmt.Errorf("%w: observation record without observation", ErrBadRecord)
+		}
+	case KindIngest, KindEmit:
+		if rec.Instance == nil {
+			return 0, fmt.Errorf("%w: instance record without instance", ErrBadRecord)
+		}
+	default:
+		return 0, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, rec.Kind)
+	}
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if len(payload) > maxPayloadBytes {
+		return 0, fmt.Errorf("%w: payload is %d bytes (max %d)", ErrBadRecord, len(payload), maxPayloadBytes)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq++
+	l.appended++
+	l.dirty = true
+	active := &l.segs[len(l.segs)-1]
+	active.last = l.seq
+	active.bytes += int64(frameHdrSize + len(payload))
+	active.noteIngest(env)
+	seq := l.seq
+
+	if l.opts.Fsync == FsyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if active.bytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// rotateLocked seals the active segment (flushing and syncing it so a
+// sealed segment is always durable) and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	return l.openSegmentLocked(l.seq + 1)
+}
+
+// Sync flushes buffered appends and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.noteSyncErrLocked(fmt.Errorf("wal: sync: %w", err))
+	}
+	if l.opts.Fsync != FsyncOff {
+		if err := l.f.Sync(); err != nil {
+			return l.noteSyncErrLocked(fmt.Errorf("wal: sync: %w", err))
+		}
+		// Count only real fsyncs: under FsyncOff the counters would
+		// otherwise report durability that never happened.
+		l.syncs++
+		l.lastSync = time.Now()
+	}
+	l.dirty = false
+	return nil
+}
+
+// noteSyncErrLocked records a sync failure so it surfaces through Stats
+// and Err even when the caller is the background syncer. Callers hold
+// mu.
+func (l *Log) noteSyncErrLocked(err error) error {
+	l.syncFailures++
+	if l.firstErr == nil {
+		l.firstErr = err
+	}
+	return err
+}
+
+// Err returns the first fsync failure ever recorded (nil when the log
+// has always synced cleanly). A later successful fsync does not clear
+// it: the kernel may have dropped the dirty pages the failed sync
+// covered.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstErr
+}
+
+// Seq returns the sequence number of the newest record.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Complete reports whether the log still holds every record ever
+// appended — i.e. compaction has never removed a segment. Replay over a
+// complete log reproduces the full ingest history; over an incomplete
+// one only the tail.
+func (l *Log) Complete() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs) > 0 && l.segs[0].first == 1
+}
+
+// Replay streams every live record, in sequence order, to fn. It reads
+// the segment files from disk, so it must run before appends start
+// (recovery time); fn must not call back into the log.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	if err := l.syncFlushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := append([]segMeta(nil), l.segs...)
+	l.mu.Unlock()
+
+	for _, seg := range segs {
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		br := bufio.NewReader(f)
+		seq := seg.first - 1
+		for seq < seg.last {
+			payload, _, err := readFrame(br)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal: replay %s: %v", filepath.Base(seg.path), err)
+			}
+			var env envelope
+			if err := json.Unmarshal(payload, &env); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: replay %s: %w", filepath.Base(seg.path), err)
+			}
+			seq++
+			rec := Record{
+				Seq:         seq,
+				Kind:        env.Kind,
+				Source:      env.Source,
+				Conf:        env.Conf,
+				Now:         env.Now,
+				Instance:    env.Instance,
+				Observation: env.Observation,
+			}
+			if err := fn(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// syncFlushLocked lands buffered bytes without requiring fsync (so
+// Replay sees them through the file system).
+func (l *Log) syncFlushLocked() error {
+	if l.w == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Snapshot writes a snapshot covering every record appended so far:
+// write is handed an io.Writer for the db.Snapshot NDJSON body, the file
+// lands atomically (tmp + rename), older snapshot files are removed, and
+// sealed segments fully covered by the snapshot are compacted away —
+// unless they still carry ingest records at or after horizon, which a
+// detection window may need for replay. Pass horizon math.MinInt64 to
+// keep all ingest history, math.MaxInt64 to discard any covered segment.
+func (l *Log) Snapshot(write func(io.Writer) error, horizon timemodel.Tick) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// The snapshot covers exactly the records appended so far; land them
+	// first so the snapshot never claims more than the log holds.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	seq := l.seq
+
+	tmp, err := os.CreateTemp(l.opts.Dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if l.opts.Fsync != FsyncOff {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("wal: snapshot: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	final := filepath.Join(l.opts.Dir, snapName(seq))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	// The rename must be durable BEFORE compaction unlinks the segments
+	// it covers — persisted unlinks with an unpersisted rename would
+	// lose both copies of the data.
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	prev := l.snapSeq
+	l.snapSeq = seq
+	l.snapshots++
+	if prev > 0 && prev != seq {
+		_ = os.Remove(filepath.Join(l.opts.Dir, snapName(prev)))
+	}
+	l.compactLocked(horizon)
+	return l.syncDir()
+}
+
+// compactLocked removes sealed segments fully covered by the latest
+// snapshot whose ingest records have all aged past horizon. Only a
+// contiguous prefix is removed: record sequence numbers are positional,
+// so a gap in the middle of the chain would make every later segment
+// unreadable on the next open. A young segment therefore pins everything
+// behind it — the price of not persisting sequence numbers per record.
+func (l *Log) compactLocked(horizon timemodel.Tick) {
+	cut := 0
+	for i, seg := range l.segs {
+		active := i == len(l.segs)-1
+		covered := seg.last <= l.snapSeq
+		disposable := !seg.hasIngest || seg.maxTick < horizon
+		if active || !covered || !disposable {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			break
+		}
+		l.compacted++
+		cut = i + 1
+	}
+	l.segs = append(l.segs[:0], l.segs[cut:]...)
+}
+
+// LatestSnapshot opens the newest snapshot file. It returns a nil reader
+// (and seq 0) when no snapshot exists.
+func (l *Log) LatestSnapshot() (io.ReadCloser, uint64, error) {
+	l.mu.Lock()
+	seq := l.snapSeq
+	dir := l.opts.Dir
+	l.mu.Unlock()
+	if seq == 0 {
+		return nil, 0, nil
+	}
+	f, err := os.Open(filepath.Join(dir, snapName(seq)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return f, seq, nil
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		Segments:          len(l.segs),
+		LastSeq:           l.seq,
+		Appended:          l.appended,
+		Syncs:             l.syncs,
+		SyncFailures:      l.syncFailures,
+		TornRecords:       l.torn,
+		SnapshotSeq:       l.snapSeq,
+		Snapshots:         l.snapshots,
+		CompactedSegments: l.compacted,
+	}
+	for _, seg := range l.segs {
+		s.Bytes += seg.bytes
+	}
+	if !l.lastSync.IsZero() {
+		s.LastSyncUnixMs = l.lastSync.UnixMilli()
+	}
+	return s
+}
+
+// Close syncs and closes the log. Further appends return ErrClosed.
+// Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	if l.lock != nil {
+		_ = l.lock.Close() // releases the directory lock
+	}
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.done
+	}
+	return err
+}

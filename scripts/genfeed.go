@@ -1,0 +1,38 @@
+//go:build ignore
+
+// genfeed prints a deterministic stcpsd JSONL feed: S.temp instance
+// lines whose temperature cycles 15/25/35 (so the soak's warm interval
+// opens and closes and the hot event fires every third line), ticks
+// i*10. Usage: go run scripts/genfeed.go [-n 400].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func main() {
+	n := flag.Int("n", 400, "lines to generate")
+	flag.Parse()
+	for i := 0; i < *n; i++ {
+		line, err := event.EncodeInstance(event.Instance{
+			Layer: event.LayerSensor, Observer: "MT1", Event: "S.temp",
+			Seq: uint64(i + 1), Gen: timemodel.Tick(i * 10),
+			GenLoc:     spatial.AtPoint(0, 0),
+			Occ:        timemodel.At(timemodel.Tick(i * 10)),
+			Loc:        spatial.AtPoint(float64(i%7), float64(i%5)),
+			Attrs:      event.Attrs{"temp": float64(15 + (i%3)*10)},
+			Confidence: 0.9,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genfeed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(line))
+	}
+}

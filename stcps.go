@@ -23,6 +23,7 @@ package stcps
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"github.com/stcps/stcps/internal/db"
@@ -152,6 +153,15 @@ func (s *System) World() *phys.World { return s.world }
 
 // Store exposes the database server.
 func (s *System) Store() *db.Store { return s.store }
+
+// Snapshot writes the database server's contents in the canonical
+// NDJSON snapshot format — byte-reproducible across runs and reloadable
+// with LoadSnapshot (or by a durable Engine's recovery path).
+func (s *System) Snapshot(w io.Writer) error { return s.store.Snapshot(w) }
+
+// LoadSnapshot replays a snapshot into the database server, keeping
+// existing contents (duplicates are ignored).
+func (s *System) LoadSnapshot(r io.Reader) error { return s.store.Load(r) }
 
 // Now returns the current virtual time.
 func (s *System) Now() Tick { return s.sched.Now() }
