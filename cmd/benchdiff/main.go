@@ -1,7 +1,8 @@
 // Command benchdiff is the CI benchmark regression gate: it compares
 // the speedup fields of a freshly generated edlbench artifact
-// (BENCH_2.json / BENCH_3.json) against the committed baseline and
-// fails when any speedup regressed by more than the allowed fraction.
+// (BENCH_2.json / BENCH_3.json / BENCH_4.json) against the committed
+// baseline and fails when any speedup regressed by more than the
+// allowed fraction.
 //
 // Speedups (indexed-query-vs-scan, planned-join-vs-naive) are ratios of
 // two measurements taken on the same machine in the same run, so they
@@ -42,6 +43,11 @@ type artifact struct {
 		Window  int     `json:"window"`
 		Speedup float64 `json:"speedup"`
 	} `json:"e10"`
+	E13 []struct {
+		Subs    int     `json:"subs"`
+		Mode    string  `json:"mode"`
+		Speedup float64 `json:"speedup"`
+	} `json:"e13"`
 }
 
 // metric is one comparable speedup measurement.
@@ -66,6 +72,14 @@ func metrics(a artifact) []metric {
 		if r.Speedup > 0 {
 			out = append(out, metric{
 				key:     fmt.Sprintf("e10[mode=%s roles=%d window=%d]", r.Mode, r.Roles, r.Window),
+				speedup: r.Speedup,
+			})
+		}
+	}
+	for _, r := range a.E13 {
+		if r.Speedup > 0 {
+			out = append(out, metric{
+				key:     fmt.Sprintf("e13[subs=%d mode=%s]", r.Subs, r.Mode),
 				speedup: r.Speedup,
 			})
 		}

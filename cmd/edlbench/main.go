@@ -13,6 +13,7 @@
 //	edlbench -exp E9    # combined region×time retrieval: QueryST vs. scan
 //	edlbench -exp E10   # planned indexed window join vs. naive enumeration
 //	edlbench -exp E11   # condition evaluation placement
+//	edlbench -exp E13   # subscription matching: indexed vs. linear scan
 //	edlbench -runs 32   # more runs per configuration
 //	edlbench -json BENCH_1.json   # also write the machine-readable artifact
 package main
@@ -38,6 +39,7 @@ import (
 	"github.com/stcps/stcps/internal/latency"
 	"github.com/stcps/stcps/internal/placement"
 	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/sub"
 	"github.com/stcps/stcps/internal/timemodel"
 )
 
@@ -103,6 +105,19 @@ type joinRow struct {
 	EvalAllocs  float64 `json:"evalAllocsPerOp"`
 }
 
+// subRow is one E13 measurement: emitted instances matched against a
+// population of registered standing subscriptions through the indexed
+// matcher or a linear scan over every subscription.
+type subRow struct {
+	Subs          int     `json:"subs"`
+	Mode          string  `json:"mode"`
+	Instances     int     `json:"instances"`
+	NsPerInstance float64 `json:"nsPerInstance"`
+	Matched       uint64  `json:"matched"`
+	Speedup       float64 `json:"speedup,omitempty"`
+	ProbeAllocs   float64 `json:"probeAllocsPerOp,omitempty"`
+}
+
 // retentionRow reports the steady state of a retention-bounded store
 // after logging well past its cap.
 type retentionRow struct {
@@ -128,13 +143,14 @@ type artifact struct {
 	E3        []lossRow     `json:"e3,omitempty"`
 	E9        []queryRow    `json:"e9,omitempty"`
 	E10       []joinRow     `json:"e10,omitempty"`
+	E13       []subRow      `json:"e13,omitempty"`
 	Retention *retentionRow `json:"retention,omitempty"`
 	Engine    []engineRow   `json:"engineIngest,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
 	queryInstances := fs.Int("queryInstances", 100_000, "logged instances for the E9 query experiment")
 	joinEntities := fs.Int("joinEntities", 900, "entities fed to the E10 join experiment")
@@ -206,6 +222,14 @@ func run(args []string, out io.Writer) error {
 		if err := e11(out); err != nil {
 			return err
 		}
+	}
+	if which == "ALL" || which == "E13" {
+		any = true
+		rows, err := e13(out)
+		if err != nil {
+			return err
+		}
+		art.E13 = rows
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -683,6 +707,163 @@ func e8(out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	return nil
+}
+
+// linearSub is the E13 scan baseline: one registered subscription
+// verified directly, with its condition pre-compiled exactly like the
+// indexed matcher's.
+type linearSub struct {
+	spec    sub.Spec
+	cond    *condition.Compiled
+	binding []event.Entity
+}
+
+func newLinearSubs(specs []sub.Spec) ([]linearSub, error) {
+	out := make([]linearSub, len(specs))
+	slots := condition.NewSlotMap([]string{sub.CondRole})
+	for i, s := range specs {
+		out[i] = linearSub{spec: s, binding: make([]event.Entity, 1)}
+		if s.Where != "" {
+			c, err := condition.Compile(condition.MustParse(s.Where), slots)
+			if err != nil {
+				return nil, err
+			}
+			out[i].cond = c
+		}
+	}
+	return out, nil
+}
+
+// matchLinear verifies one instance against every registered
+// subscription — the O(registered) baseline the index replaces.
+func matchLinear(subs []linearSub, in *event.Instance) uint64 {
+	var matched uint64
+	for i := range subs {
+		s := &subs[i]
+		if s.spec.Event != "" && s.spec.Event != in.Event {
+			continue
+		}
+		if s.spec.HasTime && (in.Occ.Start() > s.spec.To || in.Occ.End() < s.spec.From) {
+			continue
+		}
+		if s.spec.Region != nil && !spatial.OpJoint.Apply(in.Loc, *s.spec.Region) {
+			continue
+		}
+		if s.cond != nil {
+			s.binding[0] = in
+			ok, err := s.cond.Eval(s.binding)
+			s.binding[0] = nil
+			if err != nil || !ok {
+				continue
+			}
+		}
+		matched++
+	}
+	return matched
+}
+
+// e13 measures standing-subscription matching: the same emitted-instance
+// stream offered to the indexed matcher (event buckets × coarse grid
+// cells, predicates only on index hits) and to a linear scan over every
+// registered subscription. Both must agree on the match count — the
+// benchmark doubles as a differential check at scale — and the indexed
+// probe must not allocate.
+func e13(out io.Writer) ([]subRow, error) {
+	const (
+		space   = 4096.0
+		tile    = 128.0
+		nEvents = 64
+	)
+	fmt.Fprintln(out, "=== E13: subscription matching, indexed vs linear scan ===")
+	fmt.Fprintln(out, "subs\tmode\tinstances\tns/instance\tmatched\tspeedup")
+	var rows []subRow
+	for _, nSubs := range []int{1_000, 10_000, 100_000} {
+		nInst := 20_000
+		if nSubs >= 100_000 {
+			nInst = 2_000 // bound the O(subs × instances) scan baseline
+		} else if nSubs >= 10_000 {
+			nInst = 10_000
+		}
+		rng := rand.New(rand.NewSource(12))
+		specs := make([]sub.Spec, nSubs)
+		for i := range specs {
+			tx := float64(i%32) * tile
+			ty := float64((i/32)%32) * tile
+			f, err := spatial.Rect(tx, ty, tx+tile-1, ty+tile-1)
+			if err != nil {
+				return nil, err
+			}
+			region := spatial.InField(f)
+			specs[i] = sub.Spec{
+				Event:  fmt.Sprintf("E%d", i%nEvents),
+				Region: &region,
+				Buffer: 16,
+			}
+			if i%2 == 0 {
+				specs[i].HasTime = true
+				specs[i].From, specs[i].To = 0, 1<<40
+			}
+			if i%4 == 0 {
+				specs[i].Where = "e.v > 0.5"
+			}
+		}
+		insts := make([]event.Instance, nInst)
+		for i := range insts {
+			now := timemodel.Tick(i)
+			insts[i] = event.Instance{
+				Layer: event.LayerSensor, Observer: "OB",
+				Event: fmt.Sprintf("E%d", rng.Intn(nEvents)), Seq: uint64(i),
+				Gen: now, GenLoc: spatial.AtPoint(0, 0), Occ: timemodel.At(now),
+				Loc:        spatial.AtPoint(rng.Float64()*space, rng.Float64()*space),
+				Attrs:      event.Attrs{"v": rng.Float64()},
+				Confidence: 1,
+			}
+		}
+
+		m := sub.NewMatcher(sub.Config{Cell: tile})
+		for _, s := range specs {
+			if _, err := m.Subscribe(s); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for i := range insts {
+			m.Publish(&insts[i], uint64(i), true)
+		}
+		idxNs := float64(time.Since(start).Nanoseconds()) / float64(nInst)
+		idxMatched := m.Stats().Matched
+		probeAllocs := testing.AllocsPerRun(1000, func() { m.Publish(&insts[0], 0, true) })
+
+		lin, err := newLinearSubs(specs)
+		if err != nil {
+			return nil, err
+		}
+		var scanMatched uint64
+		start = time.Now()
+		for i := range insts {
+			scanMatched += matchLinear(lin, &insts[i])
+		}
+		scanNs := float64(time.Since(start).Nanoseconds()) / float64(nInst)
+
+		if idxMatched != scanMatched {
+			return nil, fmt.Errorf("E13: indexed matcher found %d matches, linear scan %d", idxMatched, scanMatched)
+		}
+		if probeAllocs != 0 {
+			return nil, fmt.Errorf("E13: index probe allocates %.1f/op, want 0", probeAllocs)
+		}
+		speedup := scanNs / idxNs
+		rows = append(rows,
+			subRow{Subs: nSubs, Mode: "indexed", Instances: nInst, NsPerInstance: idxNs,
+				Matched: idxMatched, Speedup: speedup, ProbeAllocs: probeAllocs},
+			subRow{Subs: nSubs, Mode: "scan", Instances: nInst, NsPerInstance: scanNs,
+				Matched: scanMatched},
+		)
+		fmt.Fprintf(out, "%d\tindexed\t%d\t%.0f\t%d\t%.1fx (probe %.0f allocs/op)\n",
+			nSubs, nInst, idxNs, idxMatched, speedup, probeAllocs)
+		fmt.Fprintf(out, "%d\tscan\t%d\t%.0f\t%d\t\n", nSubs, nInst, scanNs, scanMatched)
+	}
+	fmt.Fprintln(out)
+	return rows, nil
 }
 
 // e11 compares condition evaluation placements (mote / sink / CCU) — the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync/atomic"
 
@@ -34,6 +35,8 @@ func (a *api) handler() http.Handler {
 	mux.HandleFunc("GET /stats", a.stats)
 	mux.HandleFunc("GET /query", a.query)
 	mux.HandleFunc("GET /lineage/{entity}", a.lineage)
+	mux.HandleFunc("GET /subscribe", a.subscribe)
+	mux.HandleFunc("GET /subscriptions", a.subscriptions)
 	return mux
 }
 
@@ -59,16 +62,17 @@ type detectStats struct {
 // statsResponse is the /stats document: daemon counters, the detection
 // planner's counters and plans, and the store's content counters.
 type statsResponse struct {
-	Observer   string                `json:"observer"`
-	Events     int                   `json:"events"`
-	Workers    int                   `json:"workers"`
-	Ingested   uint64                `json:"ingested"`
-	Skipped    uint64                `json:"skipped"`
-	Emitted    uint64                `json:"emitted"`
-	Detect     detectStats           `json:"detect"`
-	Plans      []string              `json:"plans"`
-	Store      stcps.StoreStats      `json:"store"`
-	Durability stcps.DurabilityStats `json:"durability"`
+	Observer      string                  `json:"observer"`
+	Events        int                     `json:"events"`
+	Workers       int                     `json:"workers"`
+	Ingested      uint64                  `json:"ingested"`
+	Skipped       uint64                  `json:"skipped"`
+	Emitted       uint64                  `json:"emitted"`
+	Detect        detectStats             `json:"detect"`
+	Plans         []string                `json:"plans"`
+	Store         stcps.StoreStats        `json:"store"`
+	Durability    stcps.DurabilityStats   `json:"durability"`
+	Subscriptions stcps.SubscriptionStats `json:"subscriptions"`
 }
 
 func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
@@ -86,9 +90,10 @@ func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 			Truncations:    es.Truncations,
 			EvalErrors:     es.EvalErrors,
 		},
-		Plans:      a.eng.PlanDescriptions(),
-		Store:      a.eng.StoreStats(),
-		Durability: a.eng.DurabilityStats(),
+		Plans:         a.eng.PlanDescriptions(),
+		Store:         a.eng.StoreStats(),
+		Durability:    a.eng.DurabilityStats(),
+		Subscriptions: a.eng.SubscriptionStats(),
 	})
 }
 
@@ -101,14 +106,20 @@ type queryResponse struct {
 	Scanned    int              `json:"scanned"`
 }
 
-// query answers GET /query?event=&x1=&y1=&x2=&y2=&from=&to=&limit=&cursor=.
-// The region is an axis-aligned rectangle (all four corners or none);
-// from/to bound the occurrence window (either implies the other's
-// extreme).
-func (a *api) query(w http.ResponseWriter, r *http.Request) {
-	v := r.URL.Query()
-	q := stcps.Query{Event: v.Get("event"), Cursor: v.Get("cursor")}
+// stPredicates is the event/region/window parameter triple shared by
+// GET /query and GET /subscribe.
+type stPredicates struct {
+	event    string
+	region   *stcps.Location
+	hasTime  bool
+	from, to stcps.Tick
+}
 
+// parseSTPredicates reads event=&x1=&y1=&x2=&y2=&from=&to=. The region
+// is an axis-aligned rectangle (all four corners or none); from/to
+// bound the occurrence window (either implies the other's extreme).
+func parseSTPredicates(v url.Values) (stPredicates, error) {
+	p := stPredicates{event: v.Get("event")}
 	var corner [4]float64
 	given := 0
 	for i, name := range [...]string{"x1", "y1", "x2", "y2"} {
@@ -118,8 +129,7 @@ func (a *api) query(w http.ResponseWriter, r *http.Request) {
 		}
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad %s: %v", name, err)
-			return
+			return p, fmt.Errorf("bad %s: %v", name, err)
 		}
 		corner[i] = f
 		given++
@@ -129,36 +139,47 @@ func (a *api) query(w http.ResponseWriter, r *http.Request) {
 	case 4:
 		f, err := stcps.Rect(corner[0], corner[1], corner[2], corner[3])
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad region: %v", err)
-			return
+			return p, fmt.Errorf("bad region: %v", err)
 		}
 		loc := stcps.InField(f)
-		q.Region = &loc
+		p.region = &loc
 	default:
-		httpError(w, http.StatusBadRequest, "region needs all of x1, y1, x2, y2")
-		return
+		return p, fmt.Errorf("region needs all of x1, y1, x2, y2")
 	}
-
 	fromS, toS := v.Get("from"), v.Get("to")
 	if fromS != "" || toS != "" {
-		q.HasTime = true
-		q.From, q.To = stcps.Tick(math.MinInt64), stcps.Tick(math.MaxInt64)
+		p.hasTime = true
+		p.from, p.to = stcps.Tick(math.MinInt64), stcps.Tick(math.MaxInt64)
 		if fromS != "" {
 			t, err := strconv.ParseInt(fromS, 10, 64)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad from: %v", err)
-				return
+				return p, fmt.Errorf("bad from: %v", err)
 			}
-			q.From = stcps.Tick(t)
+			p.from = stcps.Tick(t)
 		}
 		if toS != "" {
 			t, err := strconv.ParseInt(toS, 10, 64)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad to: %v", err)
-				return
+				return p, fmt.Errorf("bad to: %v", err)
 			}
-			q.To = stcps.Tick(t)
+			p.to = stcps.Tick(t)
 		}
+	}
+	return p, nil
+}
+
+// query answers GET /query?event=&x1=&y1=&x2=&y2=&from=&to=&limit=&cursor=.
+func (a *api) query(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query()
+	p, err := parseSTPredicates(v)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := stcps.Query{
+		Event: p.event, Region: p.region,
+		HasTime: p.hasTime, From: p.from, To: p.to,
+		Cursor: v.Get("cursor"),
 	}
 	if s := v.Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)

@@ -54,6 +54,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"github.com/stcps/stcps"
 	"github.com/stcps/stcps/internal/event"
@@ -75,6 +76,18 @@ var httpReady func(addr string)
 // stays blocked on the uninterruptible stdin read); a variable so tests
 // could intercept it.
 var osExit = os.Exit
+
+// HTTP server timeouts. A header that does not arrive within
+// readHeaderTimeout disconnects the client (slow-loris protection), and
+// idle keep-alive connections are reaped after idleTimeout. There is
+// deliberately NO WriteTimeout: /subscribe streams server-sent events
+// for the lifetime of the subscriber, and a write deadline would kill
+// every long-lived stream. Variables so the regression tests can
+// shorten them.
+var (
+	readHeaderTimeout = 10 * time.Second
+	idleTimeout       = 2 * time.Minute
+)
 
 // roleJSON mirrors stcps.Role in the events file.
 type roleJSON struct {
@@ -139,6 +152,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	httpAddr := fs.String("http", "", "serve the spatio-temporal query API on this address (e.g. :8080); enables the in-process store")
 	dbMaxInstances := fs.Int("db-max-instances", 0, "retention: max live instances in the store (0 = unlimited)")
 	dbMaxAge := fs.Int64("db-max-age", 0, "retention: evict instances older than this many ticks behind the newest (0 = unlimited)")
+	subBuffer := fs.Int("sub-buffer", 0, "subscriptions: default per-subscriber ring capacity (0 = 256)")
 	walDir := fs.String("wal-dir", "", "durability: write-ahead log directory (enables crash recovery and the in-process store)")
 	fsync := fs.String("fsync", "interval", "durability: WAL fsync policy: always, interval or off")
 	snapshotEvery := fs.Int("snapshot-every", 0, "durability: snapshot + compact the WAL every N records (0 = only at shutdown)")
@@ -174,6 +188,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			Fsync:         *fsync,
 			SnapshotEvery: *snapshotEvery,
 		},
+		Subscriptions: stcps.SubscriptionsConfig{Buffer: *subBuffer},
 		OnInstance: func(inst stcps.Instance) {
 			data, err := event.EncodeInstance(inst)
 			mu.Lock()
@@ -324,7 +339,13 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			skipped:  &skipped,
 			emitted:  &emitted,
 		}
-		srv := &http.Server{Handler: a.handler()}
+		srv := &http.Server{
+			Handler:           a.handler(),
+			ReadHeaderTimeout: readHeaderTimeout,
+			IdleTimeout:       idleTimeout,
+			// WriteTimeout stays zero: /subscribe streams SSE
+			// indefinitely and a deadline would sever it.
+		}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
 		fmt.Fprintf(errw, "stcpsd: query API on http://%s\n", ln.Addr())

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -224,23 +223,13 @@ func (d *durability) takeHookErr() error {
 	return err
 }
 
-// emissionKey identifies an emission by content rather than entity id:
-// the detected event, its generation tick, its occurrence and the input
-// entity ids it bound. Replay re-derives emissions deterministically, so
-// a re-derived duplicate matches the key of the original even when the
-// restarted detector assigned a different sequence number.
-func emissionKey(in *event.Instance) string {
-	var sb strings.Builder
-	sb.Grow(64)
-	fmt.Fprintf(&sb, "%s|%d|%d|%d|", in.Event, in.Gen, in.Occ.Start(), in.Occ.End())
-	for i, inp := range in.Inputs {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(inp)
-	}
-	return sb.String()
-}
+// emissionKey identifies an emission by content rather than entity id.
+// Replay re-derives emissions deterministically, so a re-derived
+// duplicate matches the key of the original even when the restarted
+// detector assigned a different sequence number. The key is
+// event.Instance.ContentKey — shared with the subscription subsystem's
+// catch-up seam dedup.
+func emissionKey(in *event.Instance) string { return in.ContentKey() }
 
 // appendIngest writes one ingested entity to the WAL before it reaches
 // the detectors.
@@ -424,6 +413,11 @@ func (e *Engine) recover() error {
 		}
 		if e.cfg.OnInstance != nil {
 			e.cfg.OnInstance(fresh[i])
+		}
+		// Subscribers registered before Start see the crash-outran
+		// emissions too — like OnInstance, this is their first delivery.
+		if seq, ok := e.store.SeqOf(fresh[i].EntityID()); ok {
+			e.subs.Publish(&fresh[i], seq, true)
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/sub"
 	"github.com/stcps/stcps/internal/wal"
 )
 
@@ -72,6 +73,11 @@ type EngineConfig struct {
 	// survive a crash. Durability implies WithStore. Call Start before
 	// ingesting — it performs the recovery replay.
 	Durability DurabilityConfig
+	// Subscriptions tunes the standing-subscription subsystem (buffer
+	// sizes, index cell size, replay page size). Subscriptions are
+	// always available via Subscribe; catch-up replay additionally
+	// needs WithStore.
+	Subscriptions SubscriptionsConfig
 }
 
 // Engine is the standalone streaming detection runtime: the observer
@@ -90,6 +96,7 @@ type Engine struct {
 	bank    *engine.Bank
 	sharded *engine.Sharded
 	store   *db.Store
+	subs    *sub.Matcher
 	dur     *durability
 	// replaying marks the recovery re-offer phase, during which the
 	// emission hooks dedup against durable storage instead of appending
@@ -109,7 +116,12 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("sharded engine needs OnInstance or WithStore (emissions would be lost): %w", ErrEngineConfig)
 	}
 	e := &Engine{cfg: cfg}
-	var logHook engine.EmitFunc
+	e.subs = sub.NewMatcher(sub.Config{
+		Cell:       cfg.Subscriptions.GridCell,
+		Buffer:     cfg.Subscriptions.Buffer,
+		ReplayPage: cfg.Subscriptions.ReplayPage,
+	})
+	var logHook, tapHook engine.EmitFunc
 	if cfg.WithStore {
 		store, err := db.New(cfg.DBCell)
 		if err != nil {
@@ -117,7 +129,18 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		store.SetRetention(cfg.DBRetention)
 		e.store = store
-		logHook = func(in event.Instance) { _ = store.Log(in) }
+		// Subscriptions are published from the log hook, right after the
+		// store assigns the sequence number each delivery carries as its
+		// resume cursor.
+		logHook = func(in event.Instance) {
+			if seq, fresh, err := store.LogSeq(in); err == nil && fresh {
+				e.subs.Publish(&in, seq, true)
+			}
+		}
+	} else {
+		// Store-less engines still push live matches; deliveries carry
+		// no cursor and catch-up is unavailable.
+		tapHook = func(in event.Instance) { e.subs.Publish(&in, 0, false) }
 	}
 	if cfg.Durability.Dir != "" {
 		d, err := newDurability(cfg.Durability)
@@ -132,7 +155,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 				return
 			}
 			e.appendEmit(in) // write-ahead of the store
-			_ = store.Log(in)
+			if seq, fresh, err := store.LogSeq(in); err == nil && fresh {
+				e.subs.Publish(&in, seq, true)
+			}
 		}
 	}
 	var emit engine.EmitFunc
@@ -149,6 +174,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Loc:      cfg.Loc,
 		Log:      logHook,
 		Emit:     emit,
+		Tap:      tapHook,
 	}
 	if cfg.Workers > 1 {
 		sh, err := engine.NewSharded(ecfg, cfg.Workers)
@@ -254,6 +280,12 @@ func (e *Engine) Observe(o Observation) ([]Instance, error) {
 
 // Drain blocks until every queued entity has been processed (sharded
 // mode); it is a no-op for a synchronous engine.
+//
+// Concurrency contract: Drain belongs to the feeder side — call it from
+// the (single) producer goroutine, or after the producer has stopped.
+// Readers are unaffected: QueryST, Lineage, Stats, Subscribe and
+// subscription receives are safe concurrently with Drain (and with the
+// ingest it waits on).
 func (e *Engine) Drain() {
 	if e.sharded != nil {
 		e.sharded.Drain()
@@ -266,6 +298,14 @@ func (e *Engine) Drain() {
 // engine syncs the WAL, so the flushed instances are on stable storage
 // when Flush returns; a failed sync counts toward
 // DurabilityStats.WALErrors and surfaces from Shutdown.
+//
+// Concurrency contract: Flush (like Close/Shutdown) must not race the
+// producer — call it from the feeder goroutine, or after the feed has
+// been stopped (cmd/stcpsd's SIGTERM path takes a feed-guard mutex for
+// exactly this). Concurrent readers are safe throughout: HTTP handlers
+// and SSE fan-out may keep calling QueryST/Stats/Subscribe while Flush
+// runs, and the instances Flush emits reach subscribers through the
+// same hook path as live emissions.
 func (e *Engine) Flush(now Tick) []Instance {
 	var out []Instance
 	if e.sharded != nil {

@@ -14,6 +14,15 @@ import (
 // ErrBadCursor is returned when a Query carries an unparseable cursor.
 var ErrBadCursor = errors.New("db: bad query cursor")
 
+// ErrStaleCursor is returned by a Strict query whose cursor precedes the
+// retained history: instances between the cursor and the oldest live
+// sequence number were evicted by the retention policy, so resuming
+// would silently skip them. Non-strict queries keep the historical
+// behavior (evicted instances simply stop appearing). Callers that need
+// gapless resumption — the subscription catch-up path — treat this as
+// "resync from scratch".
+var ErrStaleCursor = errors.New("db: cursor precedes retained history (evicted instances would be skipped)")
+
 // Query describes one combined spatio-temporal retrieval: any subset of
 // {event id, occurrence region, occurrence window}, paginated. The zero
 // Query matches every live instance.
@@ -34,12 +43,22 @@ type Query struct {
 	// stable across retention eviction: evicted instances simply stop
 	// appearing.
 	Cursor string
+	// Strict makes eviction gaps visible: when the Cursor points below
+	// the retained history (instances after it were evicted unseen), the
+	// query fails with ErrStaleCursor instead of silently resuming past
+	// the gap. A cursor exactly at the eviction frontier is a clean
+	// resume. Strict without a Cursor is a no-op.
+	Strict bool
 }
 
 // Result is one page of QueryST output, in arrival order.
 type Result struct {
 	// Instances is the page of matching instances.
 	Instances []event.Instance
+	// Seqs holds the global sequence number of each instance, parallel
+	// to Instances — the per-instance cursors the subscription catch-up
+	// replay stamps on deliveries.
+	Seqs []uint64
 	// NextCursor is non-empty when more results remain; pass it back in
 	// Query.Cursor for the next page.
 	NextCursor string
@@ -84,6 +103,9 @@ func (s *Store) QueryST(q Query) (Result, error) {
 			return empty, nil
 		}
 		minSeq = after + 1
+		if q.Strict && minSeq < s.base {
+			return Result{}, fmt.Errorf("cursor %d, oldest live seq %d: %w", after, s.base, ErrStaleCursor)
+		}
 	}
 
 	res := Result{}
@@ -105,6 +127,7 @@ func (s *Store) QueryST(q Query) (Result, error) {
 	for i, seq := range seqs {
 		res.Instances[i] = *s.at(seq)
 	}
+	res.Seqs = seqs
 	return res, nil
 }
 

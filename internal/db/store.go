@@ -137,16 +137,27 @@ func (s *Store) Stats() Stats {
 // Log appends an instance. Invalid instances are rejected; duplicate
 // entity ids (same observer, event, seq) are idempotently ignored.
 func (s *Store) Log(in event.Instance) error {
+	_, _, err := s.LogSeq(in)
+	return err
+}
+
+// LogSeq appends an instance like Log and additionally returns the
+// global sequence number assigned to it — the query cursor addressing
+// it, which the subscription subsystem stamps on live deliveries so a
+// reconnecting subscriber can resume. fresh reports whether the
+// instance was newly logged; a duplicate entity id returns its existing
+// sequence number with fresh=false.
+func (s *Store) LogSeq(in event.Instance) (seq uint64, fresh bool, err error) {
 	if err := in.Validate(); err != nil {
-		return fmt.Errorf("db: log: %w", err)
+		return 0, false, fmt.Errorf("db: log: %w", err)
 	}
 	id := in.EntityID()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.byEntity[id]; dup {
-		return nil
+	if prev, dup := s.byEntity[id]; dup {
+		return prev, false, nil
 	}
-	seq := s.base + uint64(len(s.log))
+	seq = s.base + uint64(len(s.log))
 	s.log = append(s.log, in)
 	s.byEntity[id] = seq
 
@@ -169,7 +180,16 @@ func (s *Store) Log(in event.Instance) error {
 		s.maxGen = in.Gen
 	}
 	s.enforceRetentionLocked()
-	return nil
+	return seq, true, nil
+}
+
+// SeqOf resolves an entity id to its global sequence number, reporting
+// false when the entity is not live (never logged, or evicted).
+func (s *Store) SeqOf(entityID string) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seq, ok := s.byEntity[entityID]
+	return seq, ok
 }
 
 // enforceRetentionLocked evicts from the front of the log until the

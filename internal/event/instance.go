@@ -3,6 +3,7 @@ package event
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/stcps/stcps/internal/spatial"
 	"github.com/stcps/stcps/internal/timemodel"
@@ -85,6 +86,27 @@ func (in Instance) Validate() error {
 // EntityID implements Entity using the paper's E(OB,E,i) notation.
 func (in Instance) EntityID() string {
 	return fmt.Sprintf("E(%s,%s,%d)", in.Observer, in.Event, in.Seq)
+}
+
+// ContentKey identifies an instance by detection content rather than
+// entity id: the detected event, its generation tick, its occurrence
+// bounds and the input entity ids it bound. Two independent derivations
+// of the same detection share a content key even when their observers
+// assigned different sequence numbers — the WAL recovery path uses it to
+// deduplicate re-derived emissions against durable storage, and the
+// subscription subsystem uses the same key to deduplicate the seam
+// between a catch-up replay and the live feed.
+func (in *Instance) ContentKey() string {
+	var sb strings.Builder
+	sb.Grow(64)
+	fmt.Fprintf(&sb, "%s|%d|%d|%d|", in.Event, in.Gen, in.Occ.Start(), in.Occ.End())
+	for i, inp := range in.Inputs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(inp)
+	}
+	return sb.String()
 }
 
 // OccTime implements Entity: conditions constrain the *estimated*
