@@ -1,8 +1,10 @@
 // Command benchdiff is the CI benchmark regression gate: it compares
 // the speedup fields of a freshly generated edlbench artifact
-// (BENCH_2.json / BENCH_3.json / BENCH_4.json) against the committed
-// baseline and fails when any speedup regressed by more than the
-// allowed fraction.
+// (BENCH_2.json / BENCH_3.json / BENCH_4.json / BENCH_5.json) against
+// the committed baseline and fails when any speedup regressed by more
+// than the allowed fraction. As a smoke check it also fails outright
+// when a throughput-carrying row of the current artifact reports zero
+// obs/s, which a speedup ratio alone can mask.
 //
 // Speedups (indexed-query-vs-scan, planned-join-vs-naive) are ratios of
 // two measurements taken on the same machine in the same run, so they
@@ -48,6 +50,12 @@ type artifact struct {
 		Mode    string  `json:"mode"`
 		Speedup float64 `json:"speedup"`
 	} `json:"e13"`
+	E14 []struct {
+		Mode      string  `json:"mode"`
+		Records   int     `json:"records"`
+		RecPerSec float64 `json:"recPerSec"`
+		Speedup   float64 `json:"speedup"`
+	} `json:"e14"`
 }
 
 // metric is one comparable speedup measurement.
@@ -84,7 +92,29 @@ func metrics(a artifact) []metric {
 			})
 		}
 	}
+	for _, r := range a.E14 {
+		if r.Speedup > 0 {
+			out = append(out, metric{
+				key:     fmt.Sprintf("e14[mode=%s]", r.Mode),
+				speedup: r.Speedup,
+			})
+		}
+	}
 	return out
+}
+
+// deadThroughput returns the modes of throughput-carrying rows that
+// report zero (or negative) records per second — a sign the experiment
+// silently measured nothing, which a pure speedup ratio can mask when
+// both sides collapse together.
+func deadThroughput(a artifact) []string {
+	var dead []string
+	for _, r := range a.E14 {
+		if r.RecPerSec <= 0 {
+			dead = append(dead, fmt.Sprintf("e14[mode=%s]", r.Mode))
+		}
+	}
+	return dead
 }
 
 func load(path string) (artifact, error) {
@@ -133,6 +163,14 @@ func run(args []string, out, errw io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(errw, "benchdiff:", err)
 		return 2
+	}
+
+	if dead := deadThroughput(cur); len(dead) > 0 {
+		for _, key := range dead {
+			fmt.Fprintf(out, "%-48s %12s %12s %9s  DEAD (0 obs/s)\n", key, "-", "-", "-")
+		}
+		fmt.Fprintln(errw, "benchdiff: FAIL: current artifact reports 0 obs/s")
+		return 1
 	}
 
 	curBy := make(map[string]float64)

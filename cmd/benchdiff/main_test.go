@@ -16,6 +16,11 @@ const baselineJSON = `{
   "e10": [
     {"mode": "planned", "roles": 3, "window": 128, "speedup": 5000.0},
     {"mode": "naive", "roles": 3, "window": 128}
+  ],
+  "e14": [
+    {"mode": "jsonl", "records": 200000, "recPerSec": 110000, "speedup": 1.4},
+    {"mode": "binary-decode", "records": 200000, "recPerSec": 2900000, "speedup": 27.0},
+    {"mode": "binary-tcp", "records": 200000, "recPerSec": 810000, "speedup": 7.4}
   ]
 }`
 
@@ -44,7 +49,7 @@ func TestWithinTolerancePasses(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, out, errw)
 	}
-	if !strings.Contains(out, "benchdiff: ok (2 metrics") {
+	if !strings.Contains(out, "benchdiff: ok (5 metrics") {
 		t.Errorf("stdout = %q", out)
 	}
 }
@@ -63,6 +68,29 @@ func TestRegressionFails(t *testing.T) {
 	// The same artifact passes with a loose enough gate.
 	if code, _, _ := runDiff(t, "-baseline", base, "-current", cur, "-max-regress", "0.9"); code != 0 {
 		t.Errorf("loose gate exit %d, want 0", code)
+	}
+}
+
+func TestZeroThroughputFails(t *testing.T) {
+	base := write(t, "base.json", baselineJSON)
+	// binary-tcp measures nothing: 0 obs/s must fail even though every
+	// speedup ratio is untouched.
+	cur := write(t, "cur.json", strings.Replace(baselineJSON,
+		`"recPerSec": 810000`, `"recPerSec": 0`, 1))
+	code, out, errw := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout %q)", code, out)
+	}
+	if !strings.Contains(out, "e14[mode=binary-tcp]") || !strings.Contains(out, "DEAD (0 obs/s)") {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(errw, "0 obs/s") {
+		t.Errorf("stderr = %q", errw)
+	}
+	// A dead baseline row alone does not fail the gate — only the
+	// current artifact is smoke-checked.
+	if code, _, _ := runDiff(t, "-baseline", cur, "-current", base); code != 0 {
+		t.Errorf("dead baseline exit %d, want 0", code)
 	}
 }
 
@@ -106,7 +134,7 @@ func TestUsageErrors(t *testing.T) {
 // TestAgainstCommittedBaselines sanity-checks the gate against the
 // repo's real BENCH_2/BENCH_3 artifacts: identical files always pass.
 func TestAgainstCommittedBaselines(t *testing.T) {
-	for _, name := range []string{"BENCH_2.json", "BENCH_3.json"} {
+	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

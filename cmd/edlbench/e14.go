@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/frame"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/wireclient"
+)
+
+// wireRow is one E14 measurement: the same observation workload pushed
+// through one of the ingest front-ends, down to decoded entities
+// offered to a sink.
+type wireRow struct {
+	// Mode is jsonl-two-pass (the pre-optimization probe-then-decode
+	// stdin path), jsonl (the single-pass stdin path), binary-decode
+	// (framed wire batches decoded at the same in-memory boundary as
+	// the JSONL rows: bytes in, offered entities out, CRC included) or
+	// binary-tcp (the full pipeline over loopback TCP via wireclient —
+	// client-side encode, kernel, server decode, acks, credit window).
+	Mode      string  `json:"mode"`
+	Records   int     `json:"records"`
+	Bytes     int     `json:"bytes"`
+	NsPerRec  float64 `json:"nsPerRec"`
+	RecPerSec float64 `json:"recPerSec"`
+	MBPerSec  float64 `json:"mbPerSec"`
+	// Speedup is rec/s relative to the baseline: for jsonl the two-pass
+	// decoder, for the binary modes the single-pass JSONL decoder.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// e14Obs is the E14 workload record: a 10-attribute IMU-style
+// observation, the realistic dense-sensor shape the wire batch format
+// is built for.
+func e14Obs(i int) event.Observation {
+	return event.Observation{
+		Mote: "MT1", Sensor: "SRimu", Seq: uint64(i + 1),
+		Time: timemodel.At(timemodel.Tick(i)),
+		Loc:  spatial.AtPoint(float64(i%7), float64(i%5)),
+		Attrs: event.Attrs{
+			"ax": 0.1 * float64(i%100), "ay": -0.2, "az": 9.8,
+			"gx": 0.01, "gy": 0.02, "gz": 0.03,
+			"mx": 41, "my": -12, "mz": 7, "temp": 21.5,
+		},
+	}
+}
+
+// e14 compares observation ingest throughput across the daemon's
+// front-ends: the old probe-then-decode JSONL path, the single-pass
+// JSONL path, and the binary wire protocol over a real loopback TCP
+// connection (framing, CRC, batching, credit window and acks included).
+// Every decoded observation is touched (one attribute read) so no path
+// can skip materializing its payload.
+func e14(out io.Writer, records int) ([]wireRow, error) {
+	fmt.Fprintln(out, "=== E14: wire ingest, JSONL vs binary TCP ===")
+	fmt.Fprintln(out, "mode\trecords\tns/rec\trec/s\tMB/s\tspeedup")
+
+	var jsonl bytes.Buffer
+	for i := 0; i < records; i++ {
+		line, err := event.EncodeObservation(e14Obs(i))
+		if err != nil {
+			return nil, err
+		}
+		jsonl.Write(line)
+		jsonl.WriteByte('\n')
+	}
+	feed := jsonl.Bytes()
+
+	var sink float64
+	consume := func(az float64, ok bool) error {
+		if !ok {
+			return fmt.Errorf("E14: decoded observation lost its az attribute")
+		}
+		sink += az
+		return nil
+	}
+
+	// Two-pass: probe the discriminating field, then decode again — the
+	// stdin path before the single-pass optimization.
+	decoded := 0
+	start := time.Now()
+	sc := bufio.NewScanner(bytes.NewReader(feed))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Event  string `json:"event"`
+			Sensor string `json:"sensor"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, err
+		}
+		if probe.Sensor == "" {
+			return nil, fmt.Errorf("E14: probe missed the sensor field")
+		}
+		obs, err := event.DecodeObservation(line)
+		if err != nil {
+			return nil, err
+		}
+		az, ok := obs.Attrs["az"]
+		if err := consume(az, ok); err != nil {
+			return nil, err
+		}
+		decoded++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	twoPass := time.Since(start)
+	if decoded != records {
+		return nil, fmt.Errorf("E14: two-pass decoded %d of %d", decoded, records)
+	}
+
+	// Single-pass: one DecodeEntityJSON per line, dispatching on the
+	// discriminating field without a second parse.
+	decoded = 0
+	start = time.Now()
+	sc = bufio.NewScanner(bytes.NewReader(feed))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		_, obs, kind, err := event.DecodeEntityJSON(sc.Bytes())
+		if err != nil || kind != event.KindObservation {
+			return nil, fmt.Errorf("E14: single-pass decode: kind=%d err=%v", kind, err)
+		}
+		az, ok := obs.Attrs["az"]
+		if err := consume(az, ok); err != nil {
+			return nil, err
+		}
+		decoded++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	singlePass := time.Since(start)
+	if decoded != records {
+		return nil, fmt.Errorf("E14: single-pass decoded %d of %d", decoded, records)
+	}
+
+	// Binary decode: the wire batches pre-framed in memory, then read
+	// through the frame reader (CRC verification included) and decoded
+	// zero-copy to offered entities — the same bytes-to-entities
+	// boundary the JSONL rows measure, and the per-record cost the
+	// daemon's ingest path pays.
+	var stream []byte
+	wireBytes := 0
+	{
+		var bw frame.BatchWriter
+		var payload []byte
+		for i := 0; i < records; i += frame.DefaultBatchRecords {
+			end := i + frame.DefaultBatchRecords
+			if end > records {
+				end = records
+			}
+			for j := i; j < end; j++ {
+				o := e14Obs(j)
+				bw.AddObservation(&o)
+			}
+			var n int
+			payload, n = bw.Take(payload[:0])
+			if n != end-i {
+				return nil, fmt.Errorf("E14: framed %d of %d", n, end-i)
+			}
+			wireBytes += len(payload)
+			stream = frame.AppendFrame(stream, payload)
+		}
+	}
+	decoded = 0
+	it := event.NewInterner()
+	var batch frame.Batch
+	start = time.Now()
+	fr := frame.NewReader(bytes.NewReader(stream), 0)
+	for {
+		payload, _, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("E14: frame read: %w", err)
+		}
+		// Zero-copy: the batch owns the frame buffer, as in the server.
+		fr.Detach()
+		if err := frame.DecodeBatch(payload, false, it, &batch); err != nil {
+			return nil, fmt.Errorf("E14: batch decode: %w", err)
+		}
+		for i := 0; i < batch.Len(); i++ {
+			az, ok := batch.Entity(i).Attr("az")
+			if err := consume(az, ok); err != nil {
+				return nil, err
+			}
+			decoded++
+		}
+	}
+	binaryDecode := time.Since(start)
+	if decoded != records {
+		return nil, fmt.Errorf("E14: binary-decode decoded %d of %d", decoded, records)
+	}
+
+	// Binary TCP: the full wire pipeline over loopback — client-side
+	// encode, framing, the kernel's TCP stack, server-side zero-copy
+	// batch decode, the offer, acks and the credit window.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	offered := 0
+	statsCh := make(chan frame.ServeStats, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			statsCh <- frame.ServeStats{}
+			return
+		}
+		defer conn.Close()
+		st, err := frame.ServeConn(conn, frame.ServerConfig{
+			Offer: func(b *frame.Batch) error {
+				for i := 0; i < b.Len(); i++ {
+					az, ok := b.Entity(i).Attr("az")
+					if err := consume(az, ok); err != nil {
+						return err
+					}
+					offered++
+				}
+				return nil
+			},
+		})
+		errCh <- err
+		statsCh <- st
+	}()
+	c, err := wireclient.Dial(ln.Addr().String(), wireclient.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Pre-build the workload: the JSONL baselines decode a pre-encoded
+	// feed, so the wire path's timed region must not pay for
+	// constructing the observations either — only for encoding,
+	// framing, transport, decode and offer.
+	obs := make([]event.Observation, records)
+	for i := range obs {
+		obs[i] = e14Obs(i)
+	}
+	start = time.Now()
+	for i := range obs {
+		if err := c.SendObservation(&obs[i]); err != nil {
+			return nil, fmt.Errorf("E14: wire send %d: %w", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		return nil, fmt.Errorf("E14: wire close: %w", err)
+	}
+	binary := time.Since(start)
+	if err := <-errCh; err != nil {
+		return nil, fmt.Errorf("E14: wire serve: %w", err)
+	}
+	st := <-statsCh
+	if offered != records || st.Records != uint64(records) {
+		return nil, fmt.Errorf("E14: wire offered %d of %d (stats %+v)", offered, records, st)
+	}
+	_ = sink
+
+	row := func(mode string, nbytes int, elapsed time.Duration, baseline time.Duration) wireRow {
+		secs := elapsed.Seconds()
+		r := wireRow{
+			Mode:      mode,
+			Records:   records,
+			Bytes:     nbytes,
+			NsPerRec:  float64(elapsed.Nanoseconds()) / float64(records),
+			RecPerSec: float64(records) / secs,
+			MBPerSec:  float64(nbytes) / (1 << 20) / secs,
+		}
+		if baseline > 0 {
+			r.Speedup = baseline.Seconds() / secs
+		}
+		return r
+	}
+	rows := []wireRow{
+		row("jsonl-two-pass", len(feed), twoPass, 0),
+		row("jsonl", len(feed), singlePass, twoPass),
+		row("binary-decode", wireBytes, binaryDecode, singlePass),
+		row("binary-tcp", int(st.Bytes), binary, singlePass),
+	}
+	for _, r := range rows {
+		if r.RecPerSec <= 0 {
+			return nil, fmt.Errorf("E14: mode %s reports %.0f obs/s", r.Mode, r.RecPerSec)
+		}
+		fmt.Fprintf(out, "%s\t%d\t%.0f\t%.0f\t%.1f\t", r.Mode, r.Records, r.NsPerRec, r.RecPerSec, r.MBPerSec)
+		if r.Speedup > 0 {
+			fmt.Fprintf(out, "%.1fx", r.Speedup)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out)
+	return rows, nil
+}

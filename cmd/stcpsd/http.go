@@ -26,6 +26,7 @@ type api struct {
 	ingested *atomic.Uint64
 	skipped  *atomic.Uint64
 	emitted  *atomic.Uint64
+	wire     *wireStats // nil without -tcp
 }
 
 // handler builds the query API routes.
@@ -73,10 +74,16 @@ type statsResponse struct {
 	Store         stcps.StoreStats        `json:"store"`
 	Durability    stcps.DurabilityStats   `json:"durability"`
 	Subscriptions stcps.SubscriptionStats `json:"subscriptions"`
+	Wire          *wireStatsView          `json:"wire,omitempty"`
 }
 
 func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 	es := a.eng.Stats()
+	var wv *wireStatsView
+	if a.wire != nil {
+		v := a.wire.view()
+		wv = &v
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Observer: a.observer,
 		Events:   a.events,
@@ -94,6 +101,7 @@ func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 		Store:         a.eng.StoreStats(),
 		Durability:    a.eng.DurabilityStats(),
 		Subscriptions: a.eng.SubscriptionStats(),
+		Wire:          wv,
 	})
 }
 

@@ -23,6 +23,13 @@
 // GET /lineage/{entity}, GET /stats and GET /healthz. The
 // -db-max-instances / -db-max-age flags bound the store's memory.
 //
+// With -tcp the daemon additionally listens for the binary wire
+// protocol (docs/wire.md): length-prefixed CRC-checked frames carrying
+// batched observations and instances, with credit-window backpressure
+// and congestion signalling. Wire batches ingest through the same
+// engine guard as stdin lines, so the two feeds interleave safely; the
+// wireclient package is the matching Go client.
+//
 // With -wal-dir the daemon is durable: every ingested entity and
 // emitted instance is written to a write-ahead log (fsync policy via
 // -fsync: always, interval or off) and periodically compacted into
@@ -39,11 +46,13 @@
 //	stcpsd -events events.json -workers 8    # sharded engine, 8 shards
 //	stcpsd -events events.json -http :8080 -db-max-instances 1000000
 //	stcpsd -events events.json -wal-dir /var/lib/stcpsd -fsync always
+//	stcpsd -events events.json -tcp :9090    # binary wire ingest
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +67,7 @@ import (
 
 	"github.com/stcps/stcps"
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/frame"
 )
 
 func main() {
@@ -141,6 +151,68 @@ func loadEvents(path string) ([]eventJSON, error) {
 	return evs, nil
 }
 
+// lineReader yields newline-delimited lines like bufio.Scanner but
+// survives overlong input: a line exceeding max bytes is consumed and
+// reported as bufio.ErrTooLong instead of permanently killing the feed
+// (bufio.Scanner stops scanning forever after ErrTooLong, discarding
+// everything that follows the oversized line).
+type lineReader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+func newLineReader(r io.Reader, max int) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 64<<10), max: max}
+}
+
+// next returns the next line without its newline. An overlong line
+// yields (nil, bufio.ErrTooLong) with the stream positioned at the next
+// line; io.EOF ends the stream; other errors are terminal.
+func (lr *lineReader) next() ([]byte, error) {
+	lr.buf = lr.buf[:0]
+	for {
+		frag, err := lr.br.ReadSlice('\n')
+		lr.buf = append(lr.buf, frag...)
+		switch err {
+		case nil:
+			line := lr.buf[:len(lr.buf)-1]
+			if len(line) > lr.max {
+				return nil, bufio.ErrTooLong
+			}
+			return line, nil
+		case bufio.ErrBufferFull:
+			if len(lr.buf) > lr.max {
+				return nil, lr.discard()
+			}
+		case io.EOF:
+			if len(lr.buf) == 0 {
+				return nil, io.EOF
+			}
+			if len(lr.buf) > lr.max {
+				return nil, bufio.ErrTooLong
+			}
+			return lr.buf, nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+// discard consumes the remainder of an overlong line.
+func (lr *lineReader) discard() error {
+	for {
+		_, err := lr.br.ReadSlice('\n')
+		switch err {
+		case bufio.ErrBufferFull:
+		case nil, io.EOF:
+			return bufio.ErrTooLong
+		default:
+			return err
+		}
+	}
+}
+
 func run(args []string, in io.Reader, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("stcpsd", flag.ContinueOnError)
 	fs.SetOutput(errw)
@@ -150,6 +222,8 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	x := fs.Float64("x", 0, "observer location x")
 	y := fs.Float64("y", 0, "observer location y")
 	httpAddr := fs.String("http", "", "serve the spatio-temporal query API on this address (e.g. :8080); enables the in-process store")
+	tcpAddr := fs.String("tcp", "", "listen for binary wire protocol ingest on this address (e.g. :9090)")
+	maxLine := fs.Int("max-line", 1<<20, "max stdin line length in bytes; longer lines are skipped")
 	dbMaxInstances := fs.Int("db-max-instances", 0, "retention: max live instances in the store (0 = unlimited)")
 	dbMaxAge := fs.Int64("db-max-age", 0, "retention: evict instances older than this many ticks behind the newest (0 = unlimited)")
 	subBuffer := fs.Int("sub-buffer", 0, "subscriptions: default per-subscriber ring capacity (0 = 256)")
@@ -324,6 +398,13 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		osExit(0)
 	}()
 
+	// The wire stats aggregate exists whenever -tcp is given so /stats
+	// can report it (nil keeps the field out of the JSON otherwise).
+	var ws *wireStats
+	if *tcpAddr != "" {
+		ws = &wireStats{}
+	}
+
 	// Serve the query API from the live engine while the feed runs.
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -338,6 +419,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			ingested: &ingested,
 			skipped:  &skipped,
 			emitted:  &emitted,
+			wire:     ws,
 		}
 		srv := &http.Server{
 			Handler:           a.handler(),
@@ -354,32 +436,83 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		}
 	}
 
+	// Serve binary wire ingest concurrently with stdin. Each batch
+	// ingests under the offer guard — one lock acquisition per batch is
+	// the amortization that lets the wire path run at full engine speed —
+	// and the guard also ends every connection once teardown begins.
+	// With -wal-dir the server materializes observations eagerly: the
+	// durability layer logs concrete entity values, not views.
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		wireOffer := func(b *frame.Batch) error {
+			open, err := offer(func() error {
+				for i := 0; i < b.Len(); i++ {
+					now := b.Now(i)
+					if int64(now) > maxTick.Load() {
+						maxTick.Store(int64(now))
+					}
+					if _, err := eng.Ingest(b.Source(i), b.Entity(i), b.Conf(i), now); err != nil {
+						return err
+					}
+					ingested.Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if !open {
+				return errShutdown
+			}
+			return nil
+		}
+		ts := newTCPServer(ln, frame.ServerConfig{
+			Offer:       wireOffer,
+			Materialize: *walDir != "",
+		}, ws, errw)
+		go ts.serve()
+		defer ts.close()
+		fmt.Fprintf(errw, "stcpsd: wire ingest on %s\n", ln.Addr())
+		if tcpReady != nil {
+			tcpReady(ln.Addr().String())
+		}
+	}
+
 	var feedErr error
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lr := newLineReader(in, *maxLine)
 scan:
-	for sc.Scan() {
-		line := sc.Bytes()
+	for {
+		line, lerr := lr.next()
+		switch {
+		case lerr == io.EOF:
+			break scan
+		case errors.Is(lerr, bufio.ErrTooLong):
+			skipped.Add(1)
+			fmt.Fprintf(errw, "stcpsd: skipping line longer than %d bytes\n", *maxLine)
+			continue
+		case lerr != nil:
+			feedErr = lerr
+			break scan
+		}
 		if len(line) == 0 {
 			continue
 		}
-		var probe struct {
-			Event  string `json:"event"`
-			Sensor string `json:"sensor"`
-		}
-		if err := json.Unmarshal(line, &probe); err != nil {
-			skipped.Add(1)
-			fmt.Fprintf(errw, "stcpsd: skipping malformed line: %v\n", err)
-			continue
-		}
+		// One parse per line: DecodeEntityJSON dispatches on the
+		// discriminating field instead of probing and re-decoding.
+		inst, obs, kind, derr := event.DecodeEntityJSON(line)
 		switch {
-		case probe.Event != "":
-			inst, err := event.DecodeInstance(line)
-			if err != nil {
-				skipped.Add(1)
-				fmt.Fprintf(errw, "stcpsd: skipping bad instance: %v\n", err)
-				continue
-			}
+		case derr != nil && kind == event.KindInstance:
+			skipped.Add(1)
+			fmt.Fprintf(errw, "stcpsd: skipping bad instance: %v\n", derr)
+			continue
+		case derr != nil:
+			skipped.Add(1)
+			fmt.Fprintf(errw, "stcpsd: skipping malformed line: %v\n", derr)
+			continue
+		case kind == event.KindInstance:
 			// maxTick advances inside the guarded offer: an entity the
 			// SIGTERM teardown rejected must not move the flush tick.
 			open, err := offer(func() error {
@@ -396,13 +529,7 @@ scan:
 				feedErr = err
 				break scan
 			}
-		case probe.Sensor != "":
-			obs, err := event.DecodeObservation(line)
-			if err != nil {
-				skipped.Add(1)
-				fmt.Fprintf(errw, "stcpsd: skipping bad observation: %v\n", err)
-				continue
-			}
+		case kind == event.KindObservation:
 			open, err := offer(func() error {
 				if int64(obs.Time.End()) > maxTick.Load() {
 					maxTick.Store(int64(obs.Time.End()))
@@ -423,9 +550,6 @@ scan:
 			continue
 		}
 		ingested.Add(1)
-	}
-	if feedErr == nil {
-		feedErr = sc.Err()
 	}
 
 	// Always tear down — even on a mid-stream error, partial results

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stcps/stcps/internal/frame"
+)
+
+// tcpReady, when non-nil, receives the wire listener's bound address
+// once it is up — the hook integration tests use to reach a daemon
+// listening on ":0".
+var tcpReady func(addr string)
+
+// errShutdown aborts wire connections whose batches arrive after the
+// daemon's teardown has claimed the engine.
+var errShutdown = errors.New("stcpsd: shutting down")
+
+// wireStats aggregates per-connection ServeStats across the wire
+// listener's lifetime for /stats. Live connections contribute at close;
+// the shared ingested counter tracks their records in real time.
+type wireStats struct {
+	conns     atomic.Int64
+	accepted  atomic.Uint64
+	records   atomic.Uint64
+	batches   atomic.Uint64
+	bytes     atomic.Uint64
+	slowDowns atomic.Uint64
+	resumes   atomic.Uint64
+	torn      atomic.Uint64
+}
+
+// add folds one closed connection's stats into the aggregate.
+func (ws *wireStats) add(s frame.ServeStats) {
+	ws.records.Add(s.Records)
+	ws.batches.Add(s.Batches)
+	ws.bytes.Add(s.Bytes)
+	ws.slowDowns.Add(s.SlowDowns)
+	ws.resumes.Add(s.Resumes)
+	if s.Torn {
+		ws.torn.Add(1)
+	}
+}
+
+// wireStatsView is the /stats JSON shape of wireStats.
+type wireStatsView struct {
+	Conns     int64  `json:"conns"`
+	Accepted  uint64 `json:"accepted"`
+	Records   uint64 `json:"records"`
+	Batches   uint64 `json:"batches"`
+	Bytes     uint64 `json:"bytes"`
+	SlowDowns uint64 `json:"slowDowns"`
+	Resumes   uint64 `json:"resumes"`
+	Torn      uint64 `json:"torn"`
+}
+
+func (ws *wireStats) view() wireStatsView {
+	return wireStatsView{
+		Conns:     ws.conns.Load(),
+		Accepted:  ws.accepted.Load(),
+		Records:   ws.records.Load(),
+		Batches:   ws.batches.Load(),
+		Bytes:     ws.bytes.Load(),
+		SlowDowns: ws.slowDowns.Load(),
+		Resumes:   ws.resumes.Load(),
+		Torn:      ws.torn.Load(),
+	}
+}
+
+// tcpServer accepts wire protocol connections and runs one
+// frame.ServeConn loop per connection. Connections are tracked so close
+// can sever idle readers; ingest itself serializes through the daemon's
+// offer guard, which also ends every connection once teardown begins.
+type tcpServer struct {
+	ln   net.Listener
+	cfg  frame.ServerConfig
+	ws   *wireStats
+	errw io.Writer
+
+	logMu  sync.Mutex
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func newTCPServer(ln net.Listener, cfg frame.ServerConfig, ws *wireStats, errw io.Writer) *tcpServer {
+	return &tcpServer{ln: ln, cfg: cfg, ws: ws, errw: errw, conns: make(map[net.Conn]struct{})}
+}
+
+func (ts *tcpServer) logf(format string, args ...any) {
+	ts.logMu.Lock()
+	defer ts.logMu.Unlock()
+	fmt.Fprintf(ts.errw, format, args...)
+}
+
+// serve is the accept loop; it returns when the listener closes.
+func (ts *tcpServer) serve() {
+	for {
+		conn, err := ts.ln.Accept()
+		if err != nil {
+			ts.mu.Lock()
+			closed := ts.closed
+			ts.mu.Unlock()
+			if !closed {
+				ts.logf("stcpsd: wire accept: %v\n", err)
+			}
+			return
+		}
+		ts.mu.Lock()
+		if ts.closed {
+			ts.mu.Unlock()
+			conn.Close()
+			return
+		}
+		ts.conns[conn] = struct{}{}
+		ts.mu.Unlock()
+		ts.ws.accepted.Add(1)
+		ts.ws.conns.Add(1)
+		ts.wg.Add(1)
+		go ts.handle(conn)
+	}
+}
+
+func (ts *tcpServer) handle(conn net.Conn) {
+	defer ts.wg.Done()
+	stats, err := frame.ServeConn(conn, ts.cfg)
+	ts.ws.add(stats)
+	ts.ws.conns.Add(-1)
+	ts.mu.Lock()
+	delete(ts.conns, conn)
+	ts.mu.Unlock()
+	conn.Close()
+	if err != nil && !errors.Is(err, errShutdown) {
+		ts.logf("stcpsd: wire conn %s: %v (records=%d torn=%v)\n",
+			conn.RemoteAddr(), err, stats.Records, stats.Torn)
+	}
+}
+
+// close stops accepting, severs live connections and waits for their
+// handlers. Safe to call more than once.
+func (ts *tcpServer) close() {
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		ts.wg.Wait()
+		return
+	}
+	ts.closed = true
+	conns := make([]net.Conn, 0, len(ts.conns))
+	for c := range ts.conns {
+		conns = append(conns, c)
+	}
+	ts.mu.Unlock()
+	ts.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	ts.wg.Wait()
+}

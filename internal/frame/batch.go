@@ -1,0 +1,253 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// Batch is one decoded MsgBatch frame: an ordered sequence of
+// observations and instances ready to offer to the engine.
+//
+// In the zero-copy mode, observation records are decoded into
+// event.ObservationView values whose attribute sections alias the
+// frame payload (the arena): the payload buffer is detached from the
+// frame reader and owned by the batch, and both the arena and the view
+// slice are freshly allocated per batch because detector windows may
+// retain the boxed *ObservationView entities indefinitely. That costs
+// ~2 allocations per batch regardless of record count.
+//
+// In materialized mode (engines with a WAL, whose durability layer
+// only accepts concrete event.Observation values) observations are
+// decoded eagerly; entities are boxed by value at Entity(), so the
+// backing slices are reused across batches.
+//
+// Instances are always decoded eagerly — they are the rare,
+// lower-volume record kind and must pass Validate anyway.
+type Batch struct {
+	kinds []byte   // record order: RecObservation / RecInstance
+	idx   []uint32 // per record: index into views/mat or insts
+	mat   bool     // observations in mat (materialized) vs views
+
+	views []event.ObservationView
+	matv  []event.Observation
+	insts []event.Instance
+
+	arena []byte // detached frame payload backing views (nil when mat)
+	bytes int    // decoded payload bytes
+}
+
+// Len returns the number of records in the batch.
+func (b *Batch) Len() int { return len(b.kinds) }
+
+// Bytes returns the decoded payload size in bytes.
+func (b *Batch) Bytes() int { return b.bytes }
+
+// Kind returns the record kind of record i.
+func (b *Batch) Kind(i int) byte { return b.kinds[i] }
+
+// Source returns the ingest routing key of record i: the sensor id for
+// observations, the event id for instances.
+func (b *Batch) Source(i int) string {
+	if b.kinds[i] == RecInstance {
+		return b.insts[b.idx[i]].Event
+	}
+	if b.mat {
+		return b.matv[b.idx[i]].Sensor
+	}
+	return b.views[b.idx[i]].Sensor()
+}
+
+// Entity returns record i boxed as an engine entity. Zero-copy
+// observations box a pointer (no allocation); materialized records box
+// a copy, which is what makes slice reuse safe.
+func (b *Batch) Entity(i int) event.Entity {
+	if b.kinds[i] == RecInstance {
+		return b.insts[b.idx[i]]
+	}
+	if b.mat {
+		return b.matv[b.idx[i]]
+	}
+	return &b.views[b.idx[i]]
+}
+
+// Conf returns the ingest confidence of record i: 1 for raw
+// observations (mirroring Engine.Observe), the carried confidence for
+// instances (mirroring Engine.Feed).
+func (b *Batch) Conf(i int) float64 {
+	if b.kinds[i] == RecInstance {
+		return b.insts[b.idx[i]].Confidence
+	}
+	return 1
+}
+
+// Now returns the ingest tick of record i: the observation sampling
+// end, or the instance generation tick.
+func (b *Batch) Now(i int) timemodel.Tick {
+	if b.kinds[i] == RecInstance {
+		return b.insts[b.idx[i]].Gen
+	}
+	if b.mat {
+		return b.matv[b.idx[i]].Time.End()
+	}
+	return b.views[b.idx[i]].OccTime().End()
+}
+
+// Observation returns record i materialized as a self-contained
+// observation, whichever mode the batch was decoded in. It panics if
+// record i is not an observation.
+func (b *Batch) Observation(i int) event.Observation {
+	if b.kinds[i] == RecInstance {
+		panic("frame: Observation on instance record")
+	}
+	if b.mat {
+		return b.matv[b.idx[i]]
+	}
+	return b.views[b.idx[i]].Materialize()
+}
+
+// Instance returns record i as an instance. It panics if record i is
+// not an instance.
+func (b *Batch) Instance(i int) event.Instance {
+	if b.kinds[i] != RecInstance {
+		panic("frame: Instance on observation record")
+	}
+	return b.insts[b.idx[i]]
+}
+
+// maxBatchRecords bounds the record count claimed by one batch frame,
+// rejecting hostile counts before any allocation. The payload size
+// bound does the real work; this only blocks count/size mismatches.
+const maxBatchRecords = 1 << 20
+
+// DecodeBatch parses a MsgBatch payload into b, replacing its previous
+// contents.
+//
+// When materialize is false the caller hands ownership of payload to
+// the batch (detach it from the frame reader first — it must not be
+// reused while any decoded entity is alive). When materialize is true
+// the payload is fully copied out and may be reused immediately.
+func DecodeBatch(payload []byte, materialize bool, it *event.Interner, b *Batch) error {
+	b.kinds = b.kinds[:0]
+	b.idx = b.idx[:0]
+	b.matv = b.matv[:0]
+	b.insts = b.insts[:0]
+	b.views = nil
+	b.arena = nil
+	b.mat = materialize
+	b.bytes = len(payload)
+
+	if len(payload) < 2 || payload[0] != MsgBatch {
+		return fmt.Errorf("%w: malformed batch frame", ErrProtocol)
+	}
+	rest := payload[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count == 0 || count > maxBatchRecords {
+		return fmt.Errorf("%w: malformed batch count", ErrProtocol)
+	}
+	rest = rest[n:]
+	if !materialize {
+		b.arena = payload
+		b.views = make([]event.ObservationView, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: truncated batch record", ErrProtocol)
+		}
+		kind := rest[0]
+		rest = rest[1:]
+		ln, n := binary.Uvarint(rest)
+		if n <= 0 || ln > uint64(len(rest)-n) {
+			return fmt.Errorf("%w: truncated batch record", ErrProtocol)
+		}
+		body := rest[n : n+int(ln)]
+		rest = rest[n+int(ln):]
+		switch kind {
+		case RecObservation:
+			if materialize {
+				var o event.Observation
+				if err := event.DecodeObservationWire(body, &o, it); err != nil {
+					return fmt.Errorf("frame: batch record %d: %w", i, err)
+				}
+				b.idx = append(b.idx, uint32(len(b.matv)))
+				b.matv = append(b.matv, o)
+			} else {
+				var v event.ObservationView
+				if err := event.DecodeObservationView(body, &v, it); err != nil {
+					return fmt.Errorf("frame: batch record %d: %w", i, err)
+				}
+				b.idx = append(b.idx, uint32(len(b.views)))
+				b.views = append(b.views, v)
+			}
+		case RecInstance:
+			var in event.Instance
+			if err := event.DecodeInstanceWire(body, &in, it); err != nil {
+				return fmt.Errorf("frame: batch record %d: %w", i, err)
+			}
+			b.idx = append(b.idx, uint32(len(b.insts)))
+			b.insts = append(b.insts, in)
+		default:
+			return fmt.Errorf("%w: unknown record kind %d", ErrProtocol, kind)
+		}
+		b.kinds = append(b.kinds, kind)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: trailing bytes after batch records", ErrProtocol)
+	}
+	return nil
+}
+
+// BatchWriter accumulates records and frames them as MsgBatch
+// payloads. It is the encode-side counterpart of DecodeBatch, shared
+// by the wire client and the benchmarks.
+type BatchWriter struct {
+	recs    []byte // encoded records, without the type/count prefix
+	count   int
+	scratch []byte
+	enc     event.WireEncoder // schema-caching encoder for the hot path
+}
+
+// Count returns the number of records accumulated since the last Take.
+func (bw *BatchWriter) Count() int { return bw.count }
+
+// AddObservation appends one observation record.
+func (bw *BatchWriter) AddObservation(o *event.Observation) {
+	bw.scratch = bw.enc.AppendObservation(bw.scratch[:0], o)
+	bw.add(RecObservation, bw.scratch)
+}
+
+// AddInstance appends one instance record, validating it.
+func (bw *BatchWriter) AddInstance(in *event.Instance) error {
+	var err error
+	bw.scratch, err = bw.enc.AppendInstance(bw.scratch[:0], in)
+	if err != nil {
+		return err
+	}
+	bw.add(RecInstance, bw.scratch)
+	return nil
+}
+
+func (bw *BatchWriter) add(kind byte, body []byte) {
+	bw.recs = append(bw.recs, kind)
+	bw.recs = binary.AppendUvarint(bw.recs, uint64(len(body)))
+	bw.recs = append(bw.recs, body...)
+	bw.count++
+}
+
+// Take appends the accumulated records as one MsgBatch payload to dst,
+// resets the writer, and returns the extended slice and the record
+// count. It returns (dst, 0) when no records are pending.
+func (bw *BatchWriter) Take(dst []byte) ([]byte, int) {
+	if bw.count == 0 {
+		return dst, 0
+	}
+	n := bw.count
+	dst = append(dst, MsgBatch)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = append(dst, bw.recs...)
+	bw.recs = bw.recs[:0]
+	bw.count = 0
+	return dst, n
+}

@@ -1,0 +1,89 @@
+package frame
+
+import "time"
+
+// congestion is the server-side AIMD controller behind the protocol's
+// slow-down/resume signals. It watches how long each batch takes to
+// offer into the engine, per record: a slow batch halves the credit
+// window (multiplicative decrease, the slow-down signal), and a streak
+// of fast batches grows it back additively until the initial window is
+// restored (the resume signal). The client never sees engine
+// internals — only Window frames shrinking and growing.
+type congestion struct {
+	window  int // current credit window, records
+	initial int // window ceiling (the negotiated start value)
+	min     int // floor: never starve the connection entirely
+	step    int // additive increase per good streak
+
+	slowPerRec time.Duration // offer latency per record that triggers decrease
+	fastPerRec time.Duration // latency per record that counts toward recovery
+	streak     int           // consecutive fast batches
+}
+
+// Default congestion thresholds: a batch offering slower than
+// slowPerRecDefault per record means detection is the bottleneck and
+// the producer should back off; faster than fastPerRecDefault means
+// there is headroom to restore.
+const (
+	slowPerRecDefault = 50 * time.Microsecond
+	fastPerRecDefault = 5 * time.Microsecond
+	resumeStreak      = 3
+)
+
+func newCongestion(window, min int, slow, fast time.Duration) *congestion {
+	if min <= 0 || min > window {
+		min = window
+	}
+	if slow <= 0 {
+		slow = slowPerRecDefault
+	}
+	if fast <= 0 {
+		fast = fastPerRecDefault
+	}
+	step := window / 8
+	if step < 1 {
+		step = 1
+	}
+	return &congestion{
+		window: window, initial: window, min: min, step: step,
+		slowPerRec: slow, fastPerRec: fast,
+	}
+}
+
+// observe folds one batch's offer latency into the controller and
+// returns the new window and whether it changed (meaning a Window
+// frame should be sent).
+func (c *congestion) observe(records int, d time.Duration) (int, bool) {
+	if records <= 0 {
+		return c.window, false
+	}
+	perRec := d / time.Duration(records)
+	switch {
+	case perRec > c.slowPerRec:
+		c.streak = 0
+		next := c.window / 2
+		if next < c.min {
+			next = c.min
+		}
+		if next != c.window {
+			c.window = next
+			return c.window, true
+		}
+	case perRec < c.fastPerRec && c.window < c.initial:
+		c.streak++
+		if c.streak >= resumeStreak {
+			c.streak = 0
+			next := c.window + c.step
+			if next > c.initial {
+				next = c.initial
+			}
+			if next != c.window {
+				c.window = next
+				return c.window, true
+			}
+		}
+	default:
+		c.streak = 0
+	}
+	return c.window, false
+}

@@ -1,0 +1,135 @@
+// Package frame implements the length-prefixed, CRC-checked record
+// framing shared by the durability WAL and the binary wire protocol,
+// plus the wire protocol itself: message types, batched zero-copy
+// record decoding, an AIMD congestion window, and the per-connection
+// server loop.
+//
+// Frame layout (little-endian), extracted from internal/wal where it
+// was first proven:
+//
+//	+----------+-----------+------------------+
+//	| len u32  | crc32 u32 | payload (len B)  |
+//	+----------+-----------+------------------+
+//
+// The CRC-32 (IEEE) covers the payload only. A frame whose header or
+// payload ends early is "torn" (a crash or a killed connection); a
+// frame whose checksum fails is corrupt. Readers distinguish a clean
+// end (io.EOF before any header byte) from both.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeaderSize is the fixed frame header size: len u32 + crc32 u32.
+const HeaderSize = 8
+
+// DefaultMaxPayload bounds one wire frame payload. The WAL passes its
+// own, larger bound.
+const DefaultMaxPayload = 16 << 20
+
+// Framing errors.
+var (
+	// ErrChecksum marks a frame whose payload fails its CRC.
+	ErrChecksum = errors.New("frame: checksum mismatch")
+	// ErrLength marks a frame header carrying a zero or implausibly
+	// large payload length.
+	ErrLength = errors.New("frame: implausible frame length")
+	// ErrTorn marks a frame cut off mid-header or mid-payload.
+	ErrTorn = errors.New("frame: torn frame")
+)
+
+// PutHeader writes the 8-byte header for payload into hdr, which must
+// be at least HeaderSize bytes.
+func PutHeader(hdr []byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// AppendFrame appends one complete frame (header + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one complete frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("frame: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("frame: write payload: %w", err)
+	}
+	return nil
+}
+
+// Reader reads a stream of frames, reusing one payload buffer across
+// frames. The slice returned by Next aliases that buffer and is only
+// valid until the following Next — unless the caller takes ownership
+// with Detach, after which the reader allocates a fresh buffer. That
+// handoff is the arena mechanic of the zero-copy ingest path: a batch
+// that the engine may retain detaches its frame buffer instead of
+// copying out of it.
+type Reader struct {
+	r   io.Reader
+	max uint32
+	buf []byte
+}
+
+// NewReader returns a frame reader over r rejecting payloads larger
+// than max (0 selects DefaultMaxPayload). Wrap r in a bufio.Reader
+// when it is an unbuffered source like a net.Conn.
+func NewReader(r io.Reader, max uint32) *Reader {
+	if max == 0 {
+		max = DefaultMaxPayload
+	}
+	return &Reader{r: r, max: max}
+}
+
+// Next reads one frame and returns its payload and the total frame
+// size (header included). io.EOF signals a clean end of stream; a
+// stream ending mid-frame returns an error wrapping ErrTorn, and a
+// checksum failure returns one wrapping ErrChecksum. The payload
+// aliases the reader's internal buffer: it is valid only until the
+// next call to Next, or indefinitely after Detach.
+func (fr *Reader) Next() ([]byte, int, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("%w: torn header: %v", ErrTorn, err)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if ln == 0 || ln > fr.max {
+		return nil, 0, fmt.Errorf("%w: %d", ErrLength, ln)
+	}
+	if uint32(cap(fr.buf)) < ln {
+		fr.buf = make([]byte, ln)
+	}
+	payload := fr.buf[:ln]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, 0, fmt.Errorf("%w: torn payload: %v", ErrTorn, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, ErrChecksum
+	}
+	return payload, HeaderSize + int(ln), nil
+}
+
+// Detach releases the current payload buffer to the caller: the data
+// returned by the last Next stays valid indefinitely, and the next
+// Next allocates a fresh buffer.
+func (fr *Reader) Detach() {
+	fr.buf = nil
+}

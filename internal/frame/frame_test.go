@@ -1,0 +1,253 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("x"),
+		[]byte("hello frame"),
+		bytes.Repeat([]byte{0xAB}, 100_000),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	fr := NewReader(bytes.NewReader(stream), 0)
+	for i, want := range payloads {
+		got, n, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if n != HeaderSize+len(want) {
+			t.Fatalf("frame %d: size %d, want %d", i, n, HeaderSize+len(want))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: err=%v, want io.EOF", err)
+	}
+}
+
+func TestWriteFrameMatchesAppendFrame(t *testing.T) {
+	payload := []byte("same bytes either way")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), AppendFrame(nil, payload)) {
+		t.Fatal("WriteFrame and AppendFrame disagree")
+	}
+}
+
+func TestFrameTornHeader(t *testing.T) {
+	stream := AppendFrame(nil, []byte("abc"))
+	fr := NewReader(bytes.NewReader(stream[:HeaderSize-3]), 0)
+	_, _, err := fr.Next()
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn header: err=%v, want ErrTorn", err)
+	}
+}
+
+func TestFrameTornPayload(t *testing.T) {
+	stream := AppendFrame(nil, []byte("abcdef"))
+	fr := NewReader(bytes.NewReader(stream[:len(stream)-2]), 0)
+	_, _, err := fr.Next()
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn payload: err=%v, want ErrTorn", err)
+	}
+}
+
+func TestFrameCorruptPayload(t *testing.T) {
+	stream := AppendFrame(nil, []byte("abcdef"))
+	stream[HeaderSize+2] ^= 0x01
+	fr := NewReader(bytes.NewReader(stream), 0)
+	_, _, err := fr.Next()
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload: err=%v, want ErrChecksum", err)
+	}
+}
+
+func TestFrameImplausibleLength(t *testing.T) {
+	// Zero-length frame.
+	zero := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	fr := NewReader(bytes.NewReader(zero), 0)
+	if _, _, err := fr.Next(); !errors.Is(err, ErrLength) {
+		t.Fatalf("zero length: err=%v, want ErrLength", err)
+	}
+	// Over the reader's max.
+	big := AppendFrame(nil, bytes.Repeat([]byte{1}, 100))
+	fr = NewReader(bytes.NewReader(big), 64)
+	if _, _, err := fr.Next(); !errors.Is(err, ErrLength) {
+		t.Fatalf("oversized: err=%v, want ErrLength", err)
+	}
+}
+
+func TestReaderDetach(t *testing.T) {
+	stream := AppendFrame(nil, []byte("first"))
+	stream = AppendFrame(stream, []byte("second"))
+	fr := NewReader(bytes.NewReader(stream), 0)
+	first, _, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Detach()
+	second, _, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The detached buffer must survive the next read.
+	if string(first) != "first" || string(second) != "second" {
+		t.Fatalf("detach violated: %q / %q", first, second)
+	}
+}
+
+func TestReaderReusesBufferWithoutDetach(t *testing.T) {
+	stream := AppendFrame(nil, []byte("aaaa"))
+	stream = AppendFrame(stream, []byte("bbbb"))
+	fr := NewReader(bytes.NewReader(stream), 0)
+	first, _, _ := fr.Next()
+	firstCopy := string(first)
+	second, _, _ := fr.Next()
+	if &first[0] != &second[0] {
+		t.Fatalf("expected buffer reuse without Detach")
+	}
+	_ = firstCopy
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"), uint8(0))
+	f.Add([]byte{}, uint8(1))
+	f.Add(bytes.Repeat([]byte{7}, 300), uint8(2))
+	f.Fuzz(func(t *testing.T, payload []byte, mutate uint8) {
+		if len(payload) == 0 {
+			return
+		}
+		enc := AppendFrame(nil, payload)
+		switch mutate % 3 {
+		case 0:
+			// Intact frame: must decode byte-identical.
+			fr := NewReader(bytes.NewReader(enc), 0)
+			got, n, err := fr.Next()
+			if err != nil {
+				t.Fatalf("intact frame rejected: %v", err)
+			}
+			if n != len(enc) || !bytes.Equal(got, payload) {
+				t.Fatalf("decode mismatch")
+			}
+			if _, _, err := fr.Next(); err != io.EOF {
+				t.Fatalf("expected EOF, got %v", err)
+			}
+		case 1:
+			// Torn frame: truncate anywhere short of the end.
+			cut := int(mutate) % len(enc)
+			fr := NewReader(bytes.NewReader(enc[:cut]), 0)
+			_, _, err := fr.Next()
+			if cut == 0 {
+				if err != io.EOF {
+					t.Fatalf("empty stream: err=%v, want io.EOF", err)
+				}
+			} else if err == nil {
+				t.Fatalf("torn frame (cut at %d) accepted", cut)
+			}
+		case 2:
+			// Corrupt frame: flip one payload bit.
+			i := HeaderSize + int(mutate)%len(payload)
+			enc[i] ^= 0x40
+			fr := NewReader(bytes.NewReader(enc), 0)
+			if _, _, err := fr.Next(); err == nil {
+				t.Fatalf("corrupt frame accepted")
+			}
+		}
+	})
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	if err := ParseHello(AppendHello(nil)); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if err := ParseHello([]byte("GET / HTTP/1.1")); err == nil {
+		t.Fatal("HTTP request accepted as hello")
+	}
+	bad := AppendHello(nil)
+	bad[5] = 99
+	if err := ParseHello(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: err=%v, want ErrVersion", err)
+	}
+
+	w, b, err := ParseWelcome(AppendWelcome(nil, 16384, 256))
+	if err != nil || w != 16384 || b != 256 {
+		t.Fatalf("welcome: %d,%d,%v", w, b, err)
+	}
+	if _, _, err := ParseWelcome(AppendWelcome(nil, 0, 256)); err == nil {
+		t.Fatal("zero window accepted")
+	}
+
+	n, err := ParseAck(AppendAck(nil, 123456789))
+	if err != nil || n != 123456789 {
+		t.Fatalf("ack: %d,%v", n, err)
+	}
+	if _, err := ParseAck([]byte{MsgAck}); err == nil {
+		t.Fatal("truncated ack accepted")
+	}
+
+	ww, err := ParseWindow(AppendWindow(nil, 4096))
+	if err != nil || ww != 4096 {
+		t.Fatalf("window: %d,%v", ww, err)
+	}
+	if _, err := ParseWindow(AppendWindow(nil, 0)); err == nil {
+		t.Fatal("zero window resize accepted")
+	}
+
+	msg, err := ParseError(AppendError(nil, "boom"))
+	if err != nil || msg != "boom" {
+		t.Fatalf("error: %q,%v", msg, err)
+	}
+}
+
+func TestCongestionAIMD(t *testing.T) {
+	c := newCongestion(1024, 64, 10*time.Microsecond, 1*time.Microsecond)
+
+	// A slow batch halves the window.
+	w, changed := c.observe(100, 100*100*time.Microsecond)
+	if !changed || w != 512 {
+		t.Fatalf("after slow batch: w=%d changed=%v, want 512,true", w, changed)
+	}
+	// Repeated slowness floors at min.
+	for i := 0; i < 10; i++ {
+		w, _ = c.observe(100, 100*100*time.Microsecond)
+	}
+	if w != 64 {
+		t.Fatalf("floor: w=%d, want 64", w)
+	}
+	// At the floor, more slowness changes nothing.
+	if _, changed := c.observe(100, 100*100*time.Microsecond); changed {
+		t.Fatal("window change signaled at floor")
+	}
+	// A streak of fast batches grows additively (step = 1024/8 = 128).
+	var grew bool
+	for i := 0; i < resumeStreak; i++ {
+		w, grew = c.observe(100, 10*time.Nanosecond)
+	}
+	if !grew || w != 64+128 {
+		t.Fatalf("after fast streak: w=%d grew=%v, want 192,true", w, grew)
+	}
+	// Recovery is capped at the initial window.
+	for i := 0; i < 100; i++ {
+		w, _ = c.observe(100, 10*time.Nanosecond)
+	}
+	if w != 1024 {
+		t.Fatalf("recovery cap: w=%d, want 1024", w)
+	}
+	// Middling latency neither shrinks nor grows, and resets the streak.
+	if _, changed := c.observe(100, 100*5*time.Microsecond); changed {
+		t.Fatal("middling latency changed the window")
+	}
+}

@@ -1,0 +1,158 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the wire protocol version negotiated in Hello/Welcome.
+// Peers speaking a different major version are rejected at handshake.
+const Version = 1
+
+// magic opens every Hello payload, guarding against a JSONL or HTTP
+// client dialing the wire port by mistake.
+var magic = [4]byte{'s', 't', 'c', 'w'}
+
+// Message types. Client→server types have the high bit clear,
+// server→client types have it set.
+const (
+	// MsgHello is the client's first frame: magic + version.
+	MsgHello byte = 0x01
+	// MsgBatch carries a batch of records: uvarint count, then count
+	// records of (kind u8 | uvarint len | body).
+	MsgBatch byte = 0x02
+
+	// MsgWelcome answers Hello: version, initial credit window
+	// (records), preferred batch size (records).
+	MsgWelcome byte = 0x81
+	// MsgAck carries the cumulative count of records the server has
+	// offered to the engine. The client's inflight = sent − acked.
+	MsgAck byte = 0x82
+	// MsgWindow resizes the credit window mid-stream: shrinking it is
+	// the slow-down signal, growing it back is the resume signal.
+	MsgWindow byte = 0x83
+	// MsgError reports a fatal error; the server closes after sending.
+	MsgError byte = 0x84
+)
+
+// Record kinds inside a MsgBatch.
+const (
+	// RecObservation is a binary-coded event.Observation.
+	RecObservation byte = 1
+	// RecInstance is a binary-coded event.Instance.
+	RecInstance byte = 2
+)
+
+// Protocol errors.
+var (
+	// ErrProtocol marks a malformed or out-of-order protocol message.
+	ErrProtocol = errors.New("frame: protocol error")
+	// ErrVersion marks a Hello/Welcome with an unsupported version.
+	ErrVersion = errors.New("frame: unsupported protocol version")
+)
+
+// AppendHello appends a Hello payload to dst.
+func AppendHello(dst []byte) []byte {
+	dst = append(dst, MsgHello)
+	dst = append(dst, magic[:]...)
+	return append(dst, Version)
+}
+
+// ParseHello validates a Hello payload.
+func ParseHello(p []byte) error {
+	if len(p) != 6 || p[0] != MsgHello {
+		return fmt.Errorf("%w: malformed hello", ErrProtocol)
+	}
+	if [4]byte(p[1:5]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	if p[5] != Version {
+		return fmt.Errorf("%w: %d", ErrVersion, p[5])
+	}
+	return nil
+}
+
+// AppendWelcome appends a Welcome payload advertising the initial
+// credit window and preferred batch size, both in records.
+func AppendWelcome(dst []byte, window, batch int) []byte {
+	dst = append(dst, MsgWelcome, Version)
+	dst = binary.AppendUvarint(dst, uint64(window))
+	return binary.AppendUvarint(dst, uint64(batch))
+}
+
+// ParseWelcome parses a Welcome payload.
+func ParseWelcome(p []byte) (window, batch int, err error) {
+	if len(p) < 2 || p[0] != MsgWelcome {
+		return 0, 0, fmt.Errorf("%w: malformed welcome", ErrProtocol)
+	}
+	if p[1] != Version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrVersion, p[1])
+	}
+	rest := p[2:]
+	w, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: malformed welcome window", ErrProtocol)
+	}
+	rest = rest[n:]
+	b, n := binary.Uvarint(rest)
+	if n <= 0 || len(rest) != n {
+		return 0, 0, fmt.Errorf("%w: malformed welcome batch", ErrProtocol)
+	}
+	if w == 0 || b == 0 || w > 1<<30 || b > 1<<30 {
+		return 0, 0, fmt.Errorf("%w: welcome window/batch out of range", ErrProtocol)
+	}
+	return int(w), int(b), nil
+}
+
+// AppendAck appends an Ack payload carrying the cumulative processed
+// record count.
+func AppendAck(dst []byte, processed uint64) []byte {
+	dst = append(dst, MsgAck)
+	return binary.AppendUvarint(dst, processed)
+}
+
+// ParseAck parses an Ack payload.
+func ParseAck(p []byte) (uint64, error) {
+	if len(p) < 1 || p[0] != MsgAck {
+		return 0, fmt.Errorf("%w: malformed ack", ErrProtocol)
+	}
+	v, n := binary.Uvarint(p[1:])
+	if n <= 0 || len(p) != 1+n {
+		return 0, fmt.Errorf("%w: malformed ack count", ErrProtocol)
+	}
+	return v, nil
+}
+
+// AppendWindow appends a Window payload carrying the new credit window
+// in records.
+func AppendWindow(dst []byte, window int) []byte {
+	dst = append(dst, MsgWindow)
+	return binary.AppendUvarint(dst, uint64(window))
+}
+
+// ParseWindow parses a Window payload.
+func ParseWindow(p []byte) (int, error) {
+	if len(p) < 1 || p[0] != MsgWindow {
+		return 0, fmt.Errorf("%w: malformed window", ErrProtocol)
+	}
+	v, n := binary.Uvarint(p[1:])
+	if n <= 0 || len(p) != 1+n || v == 0 || v > 1<<30 {
+		return 0, fmt.Errorf("%w: malformed window size", ErrProtocol)
+	}
+	return int(v), nil
+}
+
+// AppendError appends an Error payload with a human-readable message.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, MsgError)
+	return append(dst, msg...)
+}
+
+// ParseError parses an Error payload.
+func ParseError(p []byte) (string, error) {
+	if len(p) < 1 || p[0] != MsgError {
+		return "", fmt.Errorf("%w: malformed error frame", ErrProtocol)
+	}
+	return string(p[1:]), nil
+}

@@ -1,0 +1,209 @@
+package frame
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testClient drives the raw protocol over one pipe end.
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	fr   *Reader
+}
+
+func newTestClient(t *testing.T, conn net.Conn) *testClient {
+	return &testClient{t: t, conn: conn, fr: NewReader(bufio.NewReader(conn), 0)}
+}
+
+func (c *testClient) write(payload []byte) {
+	c.t.Helper()
+	if err := WriteFrame(c.conn, payload); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+}
+
+func (c *testClient) read() []byte {
+	c.t.Helper()
+	payload, _, err := c.fr.Next()
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	return payload
+}
+
+func startServer(t *testing.T, cfg ServerConfig) (*testClient, chan struct{}, *ServeStats, *error) {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	stats := new(ServeStats)
+	serveErr := new(error)
+	go func() {
+		defer close(done)
+		defer server.Close()
+		*stats, *serveErr = ServeConn(server, cfg)
+	}()
+	t.Cleanup(func() {
+		client.Close()
+		<-done
+	})
+	return newTestClient(t, client), done, stats, serveErr
+}
+
+func TestServeConnHandshakeAndBatches(t *testing.T) {
+	var offered []string
+	cfg := ServerConfig{
+		Offer: func(b *Batch) error {
+			for i := 0; i < b.Len(); i++ {
+				offered = append(offered, b.Entity(i).EntityID())
+			}
+			return nil
+		},
+	}
+	c, done, stats, serveErr := startServer(t, cfg)
+
+	c.write(AppendHello(nil))
+	w, batch, err := ParseWelcome(c.read())
+	if err != nil || w != DefaultWindow || batch != DefaultBatchRecords {
+		t.Fatalf("welcome: %d,%d,%v", w, batch, err)
+	}
+
+	payload := buildBatchPayload(t, 3, 1)
+	c.write(payload)
+	n, err := ParseAck(c.read())
+	if err != nil || n != 4 {
+		t.Fatalf("ack: %d,%v", n, err)
+	}
+	c.write(buildBatchPayload(t, 2, 0))
+	n, err = ParseAck(c.read())
+	if err != nil || n != 6 {
+		t.Fatalf("cumulative ack: %d,%v", n, err)
+	}
+
+	c.conn.Close()
+	<-done
+	if *serveErr != nil {
+		t.Fatalf("serve: %v", *serveErr)
+	}
+	if stats.Records != 6 || stats.Batches != 2 || stats.Torn {
+		t.Fatalf("stats: %+v", *stats)
+	}
+	if len(offered) != 6 || offered[0] != batchObs(0).EntityID() {
+		t.Fatalf("offered: %v", offered)
+	}
+}
+
+func TestServeConnRejectsNonHello(t *testing.T) {
+	c, done, _, serveErr := startServer(t, ServerConfig{Offer: func(*Batch) error { return nil }})
+	c.write(AppendAck(nil, 1))
+	msg, err := ParseError(c.read())
+	if err != nil || !strings.Contains(msg, "hello") {
+		t.Fatalf("error frame: %q, %v", msg, err)
+	}
+	<-done
+	if !errors.Is(*serveErr, ErrProtocol) {
+		t.Fatalf("serve err: %v", *serveErr)
+	}
+}
+
+// TestServeConnTornFinalFrame is the ISSUE kill-mid-stream gate: a
+// client killed mid-frame leaves a torn final frame, which the server
+// rejects without poisoning the batches it already acked.
+func TestServeConnTornFinalFrame(t *testing.T) {
+	var offered int
+	cfg := ServerConfig{Offer: func(b *Batch) error { offered += b.Len(); return nil }}
+	c, done, stats, serveErr := startServer(t, cfg)
+
+	c.write(AppendHello(nil))
+	if _, _, err := ParseWelcome(c.read()); err != nil {
+		t.Fatal(err)
+	}
+	c.write(buildBatchPayload(t, 5, 0))
+	if n, err := ParseAck(c.read()); err != nil || n != 5 {
+		t.Fatalf("ack: %d,%v", n, err)
+	}
+
+	// Kill mid-stream: half a frame, then the connection drops.
+	full := AppendFrame(nil, buildBatchPayload(t, 5, 0))
+	if _, err := c.conn.Write(full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.Close()
+	<-done
+
+	if !errors.Is(*serveErr, ErrTorn) {
+		t.Fatalf("serve err = %v, want ErrTorn", *serveErr)
+	}
+	if !stats.Torn {
+		t.Fatalf("stats.Torn = false")
+	}
+	// The acked batch survived; the torn one never reached the engine.
+	if offered != 5 || stats.Records != 5 {
+		t.Fatalf("offered=%d records=%d, want 5/5", offered, stats.Records)
+	}
+}
+
+func TestServeConnCorruptFrameRejected(t *testing.T) {
+	var offered int
+	cfg := ServerConfig{Offer: func(b *Batch) error { offered += b.Len(); return nil }}
+	c, done, _, serveErr := startServer(t, cfg)
+
+	c.write(AppendHello(nil))
+	if _, _, err := ParseWelcome(c.read()); err != nil {
+		t.Fatal(err)
+	}
+	c.write(buildBatchPayload(t, 2, 0))
+	if n, err := ParseAck(c.read()); err != nil || n != 2 {
+		t.Fatalf("ack: %d,%v", n, err)
+	}
+	bad := AppendFrame(nil, buildBatchPayload(t, 2, 0))
+	bad[HeaderSize+3] ^= 0x10
+	go func() { _, _ = c.conn.Write(bad) }() // server replies with Error before draining
+	if msg, err := ParseError(c.read()); err != nil || !strings.Contains(msg, "checksum") {
+		t.Fatalf("error frame: %q, %v", msg, err)
+	}
+	<-done
+	if !errors.Is(*serveErr, ErrChecksum) {
+		t.Fatalf("serve err: %v", *serveErr)
+	}
+	if offered != 2 {
+		t.Fatalf("offered=%d, want 2", offered)
+	}
+}
+
+func TestServeConnCongestionSignals(t *testing.T) {
+	slowBatches := 0
+	cfg := ServerConfig{
+		Window:     1024,
+		MinWindow:  64,
+		SlowPerRec: time.Nanosecond, // every offer counts as slow
+		Offer: func(b *Batch) error {
+			slowBatches++
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	}
+	c, done, stats, _ := startServer(t, cfg)
+	c.write(AppendHello(nil))
+	if _, _, err := ParseWelcome(c.read()); err != nil {
+		t.Fatal(err)
+	}
+	c.write(buildBatchPayload(t, 4, 0))
+	if _, err := ParseAck(c.read()); err != nil {
+		t.Fatal(err)
+	}
+	w, err := ParseWindow(c.read())
+	if err != nil || w != 512 {
+		t.Fatalf("slow-down window: %d,%v", w, err)
+	}
+	c.conn.Close()
+	<-done
+	if stats.SlowDowns != 1 {
+		t.Fatalf("SlowDowns=%d, want 1", stats.SlowDowns)
+	}
+	_ = slowBatches
+}

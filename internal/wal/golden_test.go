@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// TestGoldenSegmentsReadable cross-checks the internal/frame extraction
+// against segment files committed before it: testdata/golden-v1 was
+// written by the pre-extraction WAL code (SegmentBytes 512, FsyncOff;
+// 16 records alternating observation and emit), so this test failing
+// means the on-disk format drifted and existing logs would be
+// unreadable after an upgrade.
+func TestGoldenSegmentsReadable(t *testing.T) {
+	// Open appends a lock file and may truncate, so work on a copy.
+	dir := t.TempDir()
+	src := filepath.Join("testdata", "golden-v1")
+	names, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, de := range names {
+		data, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, de.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		segs++
+	}
+	if segs != 6 {
+		t.Fatalf("golden fixture has %d segments, want 6", segs)
+	}
+
+	l := mustOpen(t, Options{Dir: dir, Fsync: FsyncOff, SegmentBytes: 512})
+	defer l.Close()
+	if got := l.Stats(); got.LastSeq != 16 || got.TornRecords != 0 {
+		t.Fatalf("stats after open: %+v", got)
+	}
+
+	recs := collect(t, l)
+	if len(recs) != 16 {
+		t.Fatalf("replayed %d records, want 16", len(recs))
+	}
+	for i := 0; i < 8; i++ {
+		o := recs[2*i]
+		if o.Kind != KindObservation || o.Source != "SR1" || o.Conf != 1 ||
+			o.Now != timemodel.Tick(i*10) || o.Observation == nil {
+			t.Fatalf("record %d: %+v", 2*i, o)
+		}
+		wantObs := event.Observation{
+			Mote: "MT1", Sensor: "SR1", Seq: uint64(i + 1),
+			Time:  timemodel.At(timemodel.Tick(i * 10)),
+			Loc:   spatial.AtPoint(float64(i), 1),
+			Attrs: event.Attrs{"temp": 20 + float64(i)},
+		}
+		if o.Observation.EntityID() != wantObs.EntityID() ||
+			!o.Observation.Time.Equal(wantObs.Time) ||
+			o.Observation.Attrs["temp"] != wantObs.Attrs["temp"] {
+			t.Fatalf("record %d observation: %+v", 2*i, *o.Observation)
+		}
+
+		e := recs[2*i+1]
+		if e.Kind != KindEmit || e.Instance == nil {
+			t.Fatalf("record %d: %+v", 2*i+1, e)
+		}
+		wantID := fmt.Sprintf("E(MT1,S.temp,%d)", i+1)
+		if e.Instance.EntityID() != wantID || e.Instance.Gen != timemodel.Tick(i*10) ||
+			e.Instance.Confidence != 0.9 ||
+			len(e.Instance.Inputs) != 1 ||
+			e.Instance.Inputs[0] != fmt.Sprintf("O(MT1,SR1,%d)", i+1) {
+			t.Fatalf("record %d instance: %+v", 2*i+1, *e.Instance)
+		}
+	}
+
+	// The reopened log keeps appending where the fixture left off.
+	seq, err := l.Append(Record{Kind: KindObservation, Source: "SR1", Conf: 1, Now: 80,
+		Observation: &event.Observation{Mote: "MT1", Sensor: "SR1", Seq: 9,
+			Time: timemodel.At(80), Loc: spatial.AtPoint(0, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 17 {
+		t.Fatalf("next seq = %d, want 17", seq)
+	}
+}

@@ -12,7 +12,8 @@
 // instances are re-logged into the store, and ingested entities are
 // re-offered to the detectors so half-bound windows survive the crash.
 //
-// Record framing (little-endian):
+// Record framing (little-endian), shared with the binary wire protocol
+// via internal/frame (the format was proven here first and extracted):
 //
 //	+----------+----------+------------------+
 //	| len u32  | crc32 u32| payload (len B)  |
@@ -34,11 +35,9 @@ package wal
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -49,6 +48,7 @@ import (
 	"time"
 
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/frame"
 	"github.com/stcps/stcps/internal/timemodel"
 )
 
@@ -228,14 +228,13 @@ type Log struct {
 }
 
 const (
-	segSuffix    = ".wal"
-	snapPrefix   = "snapshot-"
-	snapSuffix   = ".ndjson"
-	frameHdrSize = 8
-	// maxPayloadBytes bounds one record. Append and readFrame must
-	// agree: a payload Append accepted but readFrame rejects would brick
-	// the log (sealed segment) or silently truncate an acknowledged
-	// record (torn-tail handling) at the next open.
+	segSuffix  = ".wal"
+	snapPrefix = "snapshot-"
+	snapSuffix = ".ndjson"
+	// maxPayloadBytes bounds one record. Append and the segment readers
+	// must agree: a payload Append accepted but the frame reader rejects
+	// would brick the log (sealed segment) or silently truncate an
+	// acknowledged record (torn-tail handling) at the next open.
 	maxPayloadBytes = 64 << 20
 )
 
@@ -395,10 +394,10 @@ func (l *Log) scanSegment(path string, first uint64, isLast bool) (segMeta, erro
 		return meta, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	fr := segmentReader(f)
 	var off int64
 	for {
-		payload, n, err := readFrame(br)
+		payload, n, err := fr.Next()
 		if err == io.EOF {
 			break
 		}
@@ -443,30 +442,12 @@ func (m *segMeta) noteIngest(env envelope) {
 	}
 }
 
-// readFrame reads one length+CRC framed payload. Returns the payload and
-// the total frame size. io.EOF signals a clean end; any other error
-// marks a torn or corrupt frame.
-func readFrame(br *bufio.Reader) ([]byte, int, error) {
-	var hdr [frameHdrSize]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		if err == io.EOF {
-			return nil, 0, io.EOF
-		}
-		return nil, 0, fmt.Errorf("torn header: %w", err)
-	}
-	ln := binary.LittleEndian.Uint32(hdr[0:4])
-	sum := binary.LittleEndian.Uint32(hdr[4:8])
-	if ln == 0 || ln > maxPayloadBytes {
-		return nil, 0, fmt.Errorf("implausible record length %d", ln)
-	}
-	payload := make([]byte, ln)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, 0, fmt.Errorf("torn payload: %w", err)
-	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, 0, errors.New("checksum mismatch")
-	}
-	return payload, frameHdrSize + int(ln), nil
+// segmentReader reads one segment's length+CRC framed payloads. The
+// framing itself lives in internal/frame (the WAL is where it was
+// first proven and is now one of its consumers); io.EOF signals a
+// clean end, any other error marks a torn or corrupt frame.
+func segmentReader(f io.Reader) *frame.Reader {
+	return frame.NewReader(bufio.NewReader(f), maxPayloadBytes)
 }
 
 // openSegmentLocked creates and activates a fresh segment whose first
@@ -565,9 +546,8 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	var hdr [frameHdrSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	var hdr [frame.HeaderSize]byte
+	frame.PutHeader(hdr[:], payload)
 	if _, err := l.w.Write(hdr[:]); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -579,7 +559,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	l.dirty = true
 	active := &l.segs[len(l.segs)-1]
 	active.last = l.seq
-	active.bytes += int64(frameHdrSize + len(payload))
+	active.bytes += int64(frame.HeaderSize + len(payload))
 	active.noteIngest(env)
 	seq := l.seq
 
@@ -693,10 +673,10 @@ func (l *Log) Replay(fn func(Record) error) error {
 		if err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
 		}
-		br := bufio.NewReader(f)
+		fr := segmentReader(f)
 		seq := seg.first - 1
 		for seq < seg.last {
-			payload, _, err := readFrame(br)
+			payload, _, err := fr.Next()
 			if err != nil {
 				f.Close()
 				return fmt.Errorf("wal: replay %s: %v", filepath.Base(seg.path), err)

@@ -4,35 +4,81 @@
 // lines whose temperature cycles 15/25/35 (so the soak's warm interval
 // opens and closes and the hot event fires every third line), ticks
 // i*10. Usage: go run scripts/genfeed.go [-n 400].
+//
+// With -tcp it is a wire load generator instead: the same instances
+// stream to a stcpsd wire listener over the binary protocol via
+// wireclient, and a throughput summary goes to stderr.
+// Usage: go run scripts/genfeed.go -tcp 127.0.0.1:9090 -n 1000000.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/spatial"
 	"github.com/stcps/stcps/internal/timemodel"
+	"github.com/stcps/stcps/wireclient"
 )
+
+func tempInstance(i int) event.Instance {
+	return event.Instance{
+		Layer: event.LayerSensor, Observer: "MT1", Event: "S.temp",
+		Seq: uint64(i + 1), Gen: timemodel.Tick(i * 10),
+		GenLoc:     spatial.AtPoint(0, 0),
+		Occ:        timemodel.At(timemodel.Tick(i * 10)),
+		Loc:        spatial.AtPoint(float64(i%7), float64(i%5)),
+		Attrs:      event.Attrs{"temp": float64(15 + (i%3)*10)},
+		Confidence: 0.9,
+	}
+}
 
 func main() {
 	n := flag.Int("n", 400, "lines to generate")
+	tcp := flag.String("tcp", "", "stream to this stcpsd wire listener instead of printing JSONL")
 	flag.Parse()
+	if *tcp != "" {
+		if err := sendWire(*tcp, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "genfeed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
 	for i := 0; i < *n; i++ {
-		line, err := event.EncodeInstance(event.Instance{
-			Layer: event.LayerSensor, Observer: "MT1", Event: "S.temp",
-			Seq: uint64(i + 1), Gen: timemodel.Tick(i * 10),
-			GenLoc:     spatial.AtPoint(0, 0),
-			Occ:        timemodel.At(timemodel.Tick(i * 10)),
-			Loc:        spatial.AtPoint(float64(i%7), float64(i%5)),
-			Attrs:      event.Attrs{"temp": float64(15 + (i%3)*10)},
-			Confidence: 0.9,
-		})
+		line, err := event.EncodeInstance(tempInstance(i))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "genfeed:", err)
 			os.Exit(1)
 		}
-		fmt.Println(string(line))
+		w.Write(line)
+		w.WriteByte('\n')
 	}
+}
+
+func sendWire(addr string, n int) error {
+	c, err := wireclient.Dial(addr, wireclient.Options{})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		in := tempInstance(i)
+		if err := c.SendInstance(&in); err != nil {
+			return fmt.Errorf("send %d: %w", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr, "genfeed: wire %s: sent=%d acked=%d batches=%d bytes=%d in %s (%.0f rec/s)\n",
+		addr, st.Sent, st.Acked, st.Batches, st.Bytes, elapsed.Round(time.Millisecond),
+		float64(st.Acked)/elapsed.Seconds())
+	return nil
 }

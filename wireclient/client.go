@@ -1,0 +1,400 @@
+// Package wireclient is the Go client for the stcps binary wire
+// protocol (docs/wire.md): batched, credit-windowed observation and
+// instance ingest into a stcpsd wire listener.
+//
+// A Client frames records into batches, respects the server's credit
+// window (blocking sends when inflight records reach it — the
+// protocol's backpressure), and tracks cumulative acks on a reader
+// goroutine. It is safe for concurrent use by multiple producer
+// goroutines, though a single producer per connection keeps batches
+// dense.
+//
+//	c, err := wireclient.Dial("127.0.0.1:9090", wireclient.Options{})
+//	...
+//	c.SendObservation(&obs)
+//	...
+//	err = c.Close() // flush, wait for acks, close
+package wireclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/frame"
+)
+
+// Entity aliases re-exported so callers need not import internal
+// packages (they are identical to the stcps package's aliases).
+type (
+	// Observation is an event.Observation.
+	Observation = event.Observation
+	// Instance is an event.Instance.
+	Instance = event.Instance
+)
+
+// ErrClosed is returned by sends on a closed client.
+var ErrClosed = errors.New("wireclient: closed")
+
+// Options parameterizes Dial. The zero value accepts the server's
+// advertised batch size and window.
+type Options struct {
+	// BatchRecords overrides the server's preferred batch size.
+	BatchRecords int
+	// Window caps the inflight window below the server's initial
+	// grant.
+	Window int
+	// DialTimeout bounds the TCP dial and the handshake (default 10s).
+	DialTimeout time.Duration
+	// MaxPayload bounds one received frame (default
+	// frame.DefaultMaxPayload).
+	MaxPayload uint32
+}
+
+// Stats summarizes a client's traffic so far.
+type Stats struct {
+	// Sent and Acked count records.
+	Sent  uint64 `json:"sent"`
+	Acked uint64 `json:"acked"`
+	// Batches counts batch frames written.
+	Batches uint64 `json:"batches"`
+	// Bytes counts payload bytes written (frame headers included).
+	Bytes uint64 `json:"bytes"`
+	// Window is the current credit window.
+	Window int `json:"window"`
+	// SlowDowns and Resumes count Window frames that shrank or grew
+	// the window — the server's congestion signals.
+	SlowDowns uint64 `json:"slowDowns"`
+	Resumes   uint64 `json:"resumes"`
+}
+
+// Client is one wire protocol connection.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	err    error // first fatal error (server Error frame, conn failure)
+
+	sent   uint64
+	acked  uint64
+	window int
+	batch  int
+
+	bwr      frame.BatchWriter
+	sendBuf  []byte
+	batches  uint64
+	bytesOut uint64
+	slow     uint64
+	resume   uint64
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a stcpsd wire listener and completes the
+// Hello/Welcome handshake.
+func Dial(addr string, opts Options) (*Client, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wireclient: %w", err)
+	}
+	c, err := New(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// New completes the handshake over an existing connection and returns
+// a client owning it. It is the test- and benchmark-friendly sibling
+// of Dial (it accepts net.Pipe ends).
+func New(conn net.Conn, opts Options) (*Client, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+	c.cond = sync.NewCond(&c.mu)
+
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := frame.WriteFrame(c.bw, frame.AppendHello(nil)); err != nil {
+		return nil, fmt.Errorf("wireclient: hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("wireclient: hello: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	fr := frame.NewReader(br, opts.MaxPayload)
+	payload, _, err := fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("wireclient: reading welcome: %w", err)
+	}
+	if len(payload) > 0 && payload[0] == frame.MsgError {
+		msg, _ := frame.ParseError(payload)
+		return nil, fmt.Errorf("wireclient: server rejected connection: %s", msg)
+	}
+	window, batch, err := frame.ParseWelcome(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wireclient: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	if opts.Window > 0 && opts.Window < window {
+		window = opts.Window
+	}
+	if opts.BatchRecords > 0 {
+		batch = opts.BatchRecords
+	}
+	if batch > window {
+		batch = window
+	}
+	c.window = window
+	c.batch = batch
+	c.readerDone = make(chan struct{})
+	go c.readLoop(fr)
+	return c, nil
+}
+
+// readLoop consumes server control frames: acks advance the window,
+// Window frames resize it, Error frames kill the connection.
+func (c *Client) readLoop(fr *frame.Reader) {
+	defer close(c.readerDone)
+	for {
+		payload, _, err := fr.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("wireclient: connection lost: %w", err))
+			return
+		}
+		if len(payload) == 0 {
+			c.fail(fmt.Errorf("wireclient: empty control frame"))
+			return
+		}
+		switch payload[0] {
+		case frame.MsgAck:
+			n, err := frame.ParseAck(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			c.acked = n
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case frame.MsgWindow:
+			w, err := frame.ParseWindow(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			if w < c.window {
+				c.slow++
+			} else {
+				c.resume++
+			}
+			c.window = w
+			if c.batch > w {
+				c.batch = w
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case frame.MsgError:
+			msg, _ := frame.ParseError(payload)
+			c.fail(fmt.Errorf("wireclient: server error: %s", msg))
+			return
+		default:
+			c.fail(fmt.Errorf("wireclient: unexpected message type %#02x", payload[0]))
+			return
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// SendObservation enqueues one observation, flushing a full batch and
+// blocking while the credit window is exhausted (backpressure).
+func (c *Client) SendObservation(o *Observation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reserveLocked(); err != nil {
+		return err
+	}
+	c.bwr.AddObservation(o)
+	return c.maybeFlushLocked()
+}
+
+// SendInstance enqueues one instance (validated), flushing a full
+// batch and blocking while the credit window is exhausted.
+func (c *Client) SendInstance(in *Instance) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reserveLocked(); err != nil {
+		return err
+	}
+	if err := c.bwr.AddInstance(in); err != nil {
+		return err
+	}
+	return c.maybeFlushLocked()
+}
+
+// reserveLocked waits for window credit for one more record. Pending
+// (unframed) records count against the window so the batch buffer
+// cannot grow past it.
+func (c *Client) reserveLocked() error {
+	for {
+		if c.err != nil {
+			return c.err
+		}
+		if c.closed {
+			return ErrClosed
+		}
+		inflight := c.sent - c.acked + uint64(c.bwr.Count())
+		if inflight < uint64(c.window) {
+			return nil
+		}
+		// Window full: everything buffered must be on the wire before
+		// blocking, or the server can never ack it — the pending batch
+		// and the connection's write buffer both.
+		if c.bwr.Count() > 0 {
+			if err := c.flushBatchLocked(); err != nil {
+				return err
+			}
+		}
+		if err := c.bw.Flush(); err != nil {
+			if c.err == nil {
+				c.err = fmt.Errorf("wireclient: flush: %w", err)
+			}
+			return c.err
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Client) maybeFlushLocked() error {
+	if c.bwr.Count() >= c.batch {
+		return c.flushBatchLocked()
+	}
+	return nil
+}
+
+// flushBatchLocked frames and writes the pending batch.
+func (c *Client) flushBatchLocked() error {
+	payload, n := c.bwr.Take(c.sendBuf[:0])
+	c.sendBuf = payload
+	if n == 0 {
+		return nil
+	}
+	if err := frame.WriteFrame(c.bw, payload); err != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("wireclient: write: %w", err)
+		}
+		return c.err
+	}
+	c.sent += uint64(n)
+	c.batches++
+	c.bytesOut += uint64(frame.HeaderSize + len(payload))
+	return nil
+}
+
+// Flush frames any pending records and pushes the connection's write
+// buffer to the wire.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.flushBatchLocked(); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("wireclient: flush: %w", err)
+		}
+		return c.err
+	}
+	return nil
+}
+
+// Wait blocks until every sent record is acked or the connection
+// fails. Pending batches are flushed first, so Wait alone cannot
+// deadlock on its own unsent records.
+func (c *Client) Wait() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushBatchLocked(); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("wireclient: flush: %w", err)
+		}
+		return c.err
+	}
+	for c.err == nil && c.acked < c.sent {
+		c.cond.Wait()
+	}
+	return c.err
+}
+
+// Err returns the connection's first fatal error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Sent: c.sent, Acked: c.acked, Batches: c.batches,
+		Bytes: c.bytesOut, Window: c.window,
+		SlowDowns: c.slow, Resumes: c.resume,
+	}
+}
+
+// Close flushes pending records, waits for their acks, and closes the
+// connection. It returns the first fatal connection error, if any;
+// a clean close returns nil.
+func (c *Client) Close() error {
+	flushErr := c.Flush()
+	if flushErr == nil {
+		flushErr = c.Wait()
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.readerDone
+		return flushErr
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	closeErr := c.conn.Close()
+	<-c.readerDone
+	if flushErr != nil && !errors.Is(flushErr, io.EOF) {
+		return flushErr
+	}
+	return closeErr
+}

@@ -1,0 +1,224 @@
+package wireclient
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/frame"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func testObs(i int) Observation {
+	return Observation{
+		Mote: "MT1", Sensor: "SRimu", Seq: uint64(i + 1),
+		Time:  timemodel.At(timemodel.Tick(i * 10)),
+		Loc:   spatial.AtPoint(float64(i%7), float64(i%5)),
+		Attrs: event.Attrs{"ax": float64(i), "az": 9.8},
+	}
+}
+
+func testInst(i int) Instance {
+	return Instance{
+		Layer: event.LayerSensor, Observer: "MT1", Event: "S.temp",
+		Seq: uint64(i + 1), Gen: timemodel.Tick(i * 10),
+		GenLoc: spatial.AtPoint(0, 0), Occ: timemodel.At(timemodel.Tick(i * 10)),
+		Loc: spatial.AtPoint(1, 1), Attrs: event.Attrs{"temp": 30},
+		Confidence: 0.9,
+	}
+}
+
+// startServer serves one connection over a pipe and returns the client
+// end plus channels carrying the serve result.
+func startServer(t *testing.T, cfg frame.ServerConfig) (net.Conn, <-chan frame.ServeStats, <-chan error) {
+	t.Helper()
+	clientEnd, serverEnd := net.Pipe()
+	statsCh := make(chan frame.ServeStats, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer serverEnd.Close()
+		stats, err := frame.ServeConn(serverEnd, cfg)
+		statsCh <- stats
+		errCh <- err
+	}()
+	t.Cleanup(func() { clientEnd.Close() })
+	return clientEnd, statsCh, errCh
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	var records, instances atomic.Int64
+	conn, statsCh, errCh := startServer(t, frame.ServerConfig{
+		Offer: func(b *frame.Batch) error {
+			for i := 0; i < b.Len(); i++ {
+				records.Add(1)
+				if b.Kind(i) == frame.RecInstance {
+					instances.Add(1)
+				}
+			}
+			return nil
+		},
+	})
+	c, err := New(conn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		o := testObs(i)
+		if err := c.SendObservation(&o); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	in := testInst(0)
+	if err := c.SendInstance(&in); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st := c.Stats()
+	if st.Sent != n+1 || st.Acked != n+1 {
+		t.Fatalf("client stats: %+v", st)
+	}
+	serveErr := <-errCh
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+	sst := <-statsCh
+	if records.Load() != n+1 || instances.Load() != 1 || sst.Records != n+1 {
+		t.Fatalf("server saw %d records (%d instances), stats %+v",
+			records.Load(), instances.Load(), sst)
+	}
+}
+
+// TestClientBackpressure verifies the credit window actually bounds the
+// client: with a tiny window and a server that acks slowly, the
+// client's inflight (sent − acked) never exceeds the window.
+func TestClientBackpressure(t *testing.T) {
+	const window = 8
+	var maxSeen atomic.Int64
+	var processed int64
+	conn, _, _ := startServer(t, frame.ServerConfig{
+		Window:       window,
+		BatchRecords: 4,
+		Offer: func(b *frame.Batch) error {
+			processed += int64(b.Len())
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		},
+	})
+	c, err := New(conn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		o := testObs(i)
+		if err := c.SendObservation(&o); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		st := c.Stats()
+		if inflight := int64(st.Sent - st.Acked); inflight > maxSeen.Load() {
+			maxSeen.Store(inflight)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen.Load() > window {
+		t.Fatalf("inflight reached %d, window is %d", maxSeen.Load(), window)
+	}
+	if st := c.Stats(); st.Acked != 100 {
+		t.Fatalf("acked %d, want 100", st.Acked)
+	}
+}
+
+// TestClientSeesCongestionSignals drives a slow server and checks the
+// client's window shrinks from the server's Window frames.
+func TestClientSeesCongestionSignals(t *testing.T) {
+	conn, _, _ := startServer(t, frame.ServerConfig{
+		Window:       256,
+		MinWindow:    16,
+		BatchRecords: 16,
+		SlowPerRec:   time.Nanosecond, // every batch counts as slow
+		Offer: func(b *frame.Batch) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+	c, err := New(conn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		o := testObs(i)
+		if err := c.SendObservation(&o); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SlowDowns == 0 {
+		t.Fatalf("no slow-down signals seen: %+v", st)
+	}
+	if st.Window >= 256 {
+		t.Fatalf("window did not shrink: %+v", st)
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	conn, _, _ := startServer(t, frame.ServerConfig{
+		Offer: func(b *frame.Batch) error { return errors.New("engine on fire") },
+	})
+	c, err := New(conn, Options{BatchRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testObs(0)
+	_ = c.SendObservation(&o)
+	_ = c.Flush()
+	// The error frame arrives asynchronously; subsequent sends fail.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		o := testObs(1)
+		err = c.SendObservation(&o)
+		if err == nil {
+			err = c.Flush()
+		}
+		if err != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The server's Error frame and its connection close race: the
+	// client surfaces whichever it saw first, but it must surface
+	// something fatal.
+	if err == nil {
+		t.Fatal("sends kept succeeding after server error")
+	}
+	if fatal := c.Err(); fatal != nil && strings.Contains(fatal.Error(), "engine on fire") {
+		t.Logf("client saw the server's error frame: %v", fatal)
+	}
+	_ = c.Close()
+}
+
+func TestClientRejectsBadWelcome(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	defer serverEnd.Close()
+	go func() {
+		// Read the hello, answer garbage.
+		fr := frame.NewReader(serverEnd, 0)
+		_, _, _ = fr.Next()
+		_ = frame.WriteFrame(serverEnd, []byte("not a welcome"))
+	}()
+	if _, err := New(clientEnd, Options{DialTimeout: 2 * time.Second}); err == nil {
+		t.Fatal("bad welcome accepted")
+	}
+	clientEnd.Close()
+}
