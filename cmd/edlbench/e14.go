@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -127,8 +128,11 @@ func e14(out io.Writer, records int) ([]wireRow, error) {
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
 		_, obs, kind, err := event.DecodeEntityJSON(sc.Bytes())
-		if err != nil || kind != event.KindObservation {
-			return nil, fmt.Errorf("E14: single-pass decode: kind=%d err=%v", kind, err)
+		if err != nil {
+			return nil, fmt.Errorf("E14: single-pass decode: %w", err)
+		}
+		if kind != event.KindObservation {
+			return nil, fmt.Errorf("E14: single-pass decode: kind=%d", kind)
 		}
 		az, ok := obs.Attrs["az"]
 		if err := consume(az, ok); err != nil {
@@ -179,7 +183,7 @@ func e14(out io.Writer, records int) ([]wireRow, error) {
 	fr := frame.NewReader(bytes.NewReader(stream), 0)
 	for {
 		payload, _, err := fr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -137,7 +137,7 @@ func parseSTPredicates(v url.Values) (stPredicates, error) {
 		}
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
-			return p, fmt.Errorf("bad %s: %v", name, err)
+			return p, fmt.Errorf("bad %s: %w", name, err)
 		}
 		corner[i] = f
 		given++
@@ -147,7 +147,7 @@ func parseSTPredicates(v url.Values) (stPredicates, error) {
 	case 4:
 		f, err := stcps.Rect(corner[0], corner[1], corner[2], corner[3])
 		if err != nil {
-			return p, fmt.Errorf("bad region: %v", err)
+			return p, fmt.Errorf("bad region: %w", err)
 		}
 		loc := stcps.InField(f)
 		p.region = &loc
@@ -161,14 +161,14 @@ func parseSTPredicates(v url.Values) (stPredicates, error) {
 		if fromS != "" {
 			t, err := strconv.ParseInt(fromS, 10, 64)
 			if err != nil {
-				return p, fmt.Errorf("bad from: %v", err)
+				return p, fmt.Errorf("bad from: %w", err)
 			}
 			p.from = stcps.Tick(t)
 		}
 		if toS != "" {
 			t, err := strconv.ParseInt(toS, 10, 64)
 			if err != nil {
-				return p, fmt.Errorf("bad to: %v", err)
+				return p, fmt.Errorf("bad to: %w", err)
 			}
 			p.to = stcps.Tick(t)
 		}

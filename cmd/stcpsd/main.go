@@ -174,18 +174,18 @@ func (lr *lineReader) next() ([]byte, error) {
 	for {
 		frag, err := lr.br.ReadSlice('\n')
 		lr.buf = append(lr.buf, frag...)
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			line := lr.buf[:len(lr.buf)-1]
 			if len(line) > lr.max {
 				return nil, bufio.ErrTooLong
 			}
 			return line, nil
-		case bufio.ErrBufferFull:
+		case errors.Is(err, bufio.ErrBufferFull):
 			if len(lr.buf) > lr.max {
 				return nil, lr.discard()
 			}
-		case io.EOF:
+		case errors.Is(err, io.EOF):
 			if len(lr.buf) == 0 {
 				return nil, io.EOF
 			}
@@ -203,9 +203,9 @@ func (lr *lineReader) next() ([]byte, error) {
 func (lr *lineReader) discard() error {
 	for {
 		_, err := lr.br.ReadSlice('\n')
-		switch err {
-		case bufio.ErrBufferFull:
-		case nil, io.EOF:
+		switch {
+		case errors.Is(err, bufio.ErrBufferFull):
+		case err == nil || errors.Is(err, io.EOF):
 			return bufio.ErrTooLong
 		default:
 			return err
@@ -343,7 +343,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	// start and the shutdown owns the engine.
 	var (
 		stopMu       sync.Mutex
-		stopping     bool
+		stopping     bool //stcps:guardedby stopMu
 		teardownOnce sync.Once
 		teardownErr  error
 	)
@@ -487,7 +487,7 @@ scan:
 	for {
 		line, lerr := lr.next()
 		switch {
-		case lerr == io.EOF:
+		case errors.Is(lerr, io.EOF):
 			break scan
 		case errors.Is(lerr, bufio.ErrTooLong):
 			skipped.Add(1)

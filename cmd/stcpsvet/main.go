@@ -1,0 +1,99 @@
+// Command stcpsvet is the project's analyzer suite: five checkers that
+// machine-check the engine's hot-path allocation, concurrency, and
+// error-handling contracts (see docs/analysis.md).
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(which stcpsvet) ./...   # unitchecker protocol
+//	stcpsvet ./...                            # standalone, via go list
+//
+// The vettool form is what CI uses: cmd/go hands the tool one .cfg file
+// per package (JSON describing sources, import maps and export data)
+// and caches results keyed on the tool's -V=full fingerprint. The
+// standalone form needs only a module checkout and the go command.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/stcps/stcps/internal/analysis"
+	"github.com/stcps/stcps/internal/analysis/atomics"
+	"github.com/stcps/stcps/internal/analysis/guardedby"
+	"github.com/stcps/stcps/internal/analysis/hotpath"
+	"github.com/stcps/stcps/internal/analysis/noclock"
+	"github.com/stcps/stcps/internal/analysis/senterr"
+)
+
+// analyzers is the full suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	hotpath.Analyzer,
+	atomics.Analyzer,
+	guardedby.Analyzer,
+	senterr.Analyzer,
+	noclock.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		// cmd/go uses this line as the content part of its analysis
+		// cache key: it must change whenever the tool's behavior does,
+		// so fingerprint the executable itself.
+		fmt.Printf("stcpsvet version %s\n", selfFingerprint())
+	case len(args) == 1 && args[0] == "-flags":
+		// cmd/go probes for supported analyzer flags; we expose none.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(vetUnit(args[0]))
+	default:
+		if len(args) == 0 {
+			args = []string{"./..."}
+		}
+		os.Exit(standalone(args))
+	}
+}
+
+// selfFingerprint hashes the running executable. Any rebuild that
+// changes the binary invalidates go vet's cached results.
+func selfFingerprint() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runSuite applies every analyzer to pkg and prints findings in the
+// file:line:col style cmd/go expects on stderr.
+func runSuite(pkg *analysis.Package) (count int, err error) {
+	for _, a := range analyzers {
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			count++
+		}
+	}
+	return count, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stcpsvet: "+format+"\n", args...)
+	os.Exit(1)
+}

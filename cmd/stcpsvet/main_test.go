@@ -1,0 +1,47 @@
+package main
+
+import (
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteCleanOverRepo runs the full analyzer suite over every
+// package in the module — the same check CI's lint job performs via
+// go vet -vettool — and fails on any diagnostic. It keeps the tree's
+// annotated contracts (hotpath, guardedby, atomics, senterr, noclock)
+// honest: a violation anywhere in the repo fails this test, not just
+// the lint job.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(root)
+
+	pkgs, err := goList([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("go list ./... found only %d packages — pattern resolution is off", len(pkgs))
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			t.Fatalf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		count, err := checkListed(fset, imp, lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count > 0 {
+			t.Errorf("%s: %d finding(s) — see test log", lp.ImportPath, count)
+		}
+	}
+}

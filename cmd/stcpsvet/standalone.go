@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// listedPackage is the slice of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// standalone loads the packages matching patterns with `go list`,
+// type-checks them from source, and runs the suite. Exit code 0 means
+// clean, 1 means findings or a load failure.
+func standalone(patterns []string) int {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// One shared FileSet and source importer so dependencies are
+	// type-checked once across the whole run.
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	total := 0
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			fatalf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		count, err := checkListed(fset, imp, lp)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		total += count
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkListed type-checks one listed package — its library files plus
+// in-package test files, the same unit go vet analyzes — and runs the
+// suite over it.
+func checkListed(fset *token.FileSet, imp types.Importer, lp listedPackage) (int, error) {
+	names := make([]string, 0, len(lp.GoFiles)+len(lp.TestGoFiles))
+	names = append(names, lp.GoFiles...)
+	names = append(names, lp.TestGoFiles...)
+	if len(names) == 0 {
+		return 0, nil
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	tc := types.Config{Importer: imp}
+	pkg, err := tc.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return 0, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	return runSuite(&analysis.Package{
+		ImportPath: lp.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	})
+}
+
+// goList resolves the package patterns via the go command.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles,TestGoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// vetConfig is the JSON unit description cmd/go writes for -vettool
+// tools — the same wire format golang.org/x/tools' unitchecker reads.
+// Fields the suite does not need (fact I/O beyond an empty placeholder,
+// ID, non-Go files) are decoded only where cmd/go requires a response.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path  -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit described by cfgFile and returns
+// the process exit code: 0 clean, 1 internal error, 2 findings —
+// cmd/go surfaces the stderr text either way.
+func vetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading %s: %v", cfgFile, err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The suite exports no facts, but cmd/go reads the vetx output of
+	// dependencies when analyzing dependents, so always leave a (empty)
+	// file behind.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing %s: %v", cfg.VetxOutput, err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the build already
+	// produced: ImportMap canonicalizes the path (vendoring, test
+	// variants), PackageFile locates the compiler's export file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, buildArch()),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	count, err := runSuite(&analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if count > 0 {
+		return 2
+	}
+	return 0
+}
+
+// buildArch is the architecture the unit was compiled for: GOARCH when
+// cmd/go set it, the host otherwise.
+func buildArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -132,18 +132,18 @@ type durability struct {
 	// spurious emissions (different interval opens, pairings the full
 	// windows never allowed), which are suppressed and counted instead.
 	replayMu       sync.Mutex
-	known          map[string]struct{}
-	replayNew      []event.Instance
-	replayComplete bool
+	known          map[string]struct{} //stcps:guardedby replayMu
+	replayNew      []event.Instance    //stcps:guardedby replayMu
+	replayComplete bool                //stcps:guardedby replayMu
 
 	// Sticky first WAL-append error from the emission hooks (which have
 	// no error return path), surfaced by Shutdown.
 	errMu   sync.Mutex
-	hookErr error
+	hookErr error //stcps:guardedby errMu
 
-	replayedRecords    uint64
-	reoffered          uint64
-	recoveredInstances uint64
+	replayedRecords    atomic.Uint64
+	reoffered          atomic.Uint64
+	recoveredInstances atomic.Uint64
 	replayEmissions    atomic.Uint64
 	replaySuppressed   atomic.Uint64
 	walErrors          atomic.Uint64
@@ -296,13 +296,17 @@ func (e *Engine) replayEmission(in event.Instance) {
 // and the WAL's ingested entities back into the detectors (with
 // re-derived emissions deduplicated by content), then seeds the
 // detectors' sequence counters past every recovered instance.
+//
+//stcps:replay
 func (e *Engine) recover() error {
 	d := e.dur
 
 	// A failed recovery (e.g. an I/O error mid-replay) must be cleanly
 	// retryable: reset every counter and buffer the passes below build
 	// up. Store writes are idempotent, so re-replaying is safe.
-	d.replayedRecords, d.reoffered, d.recoveredInstances = 0, 0, 0
+	d.replayedRecords.Store(0)
+	d.reoffered.Store(0)
+	d.recoveredInstances.Store(0)
 	d.replayEmissions.Store(0)
 	d.replaySuppressed.Store(0)
 	d.replayMu.Lock()
@@ -337,12 +341,12 @@ func (e *Engine) recover() error {
 		}
 	}
 	err := d.log.Replay(func(rec wal.Record) error {
-		d.replayedRecords++
+		d.replayedRecords.Add(1)
 		if rec.Kind != wal.KindEmit {
 			return nil
 		}
 		in := rec.Instance
-		d.known[emissionKey(in)] = struct{}{}
+		d.known[emissionKey(in)] = struct{}{} //stcps:ignore guardedby synchronous replay callback; workers have not started yet
 		if in.Seq > maxSeq[in.Event] {
 			maxSeq[in.Event] = in.Seq
 		}
@@ -354,7 +358,7 @@ func (e *Engine) recover() error {
 	if err != nil {
 		return err
 	}
-	d.recoveredInstances = uint64(e.store.Len())
+	d.recoveredInstances.Store(uint64(e.store.Len()))
 	d.replayComplete = d.log.Complete()
 
 	// 3. Second streaming pass: re-offer the logged entities in their
@@ -383,7 +387,7 @@ func (e *Engine) recover() error {
 		if _, err := e.offer(rec.Source, ent, rec.Conf, rec.Now); err != nil {
 			return err
 		}
-		d.reoffered++
+		d.reoffered.Add(1)
 		return nil
 	})
 	if e.sharded != nil {
@@ -511,9 +515,9 @@ func (e *Engine) DurabilityStats() DurabilityStats {
 		SnapshotSeq:        ws.SnapshotSeq,
 		Snapshots:          ws.Snapshots,
 		CompactedSegments:  ws.CompactedSegments,
-		ReplayedRecords:    d.replayedRecords,
-		ReofferedEntities:  d.reoffered,
-		RecoveredInstances: d.recoveredInstances,
+		ReplayedRecords:    d.replayedRecords.Load(),
+		ReofferedEntities:  d.reoffered.Load(),
+		RecoveredInstances: d.recoveredInstances.Load(),
 		ReplayEmissions:    d.replayEmissions.Load(),
 		ReplaySuppressed:   d.replaySuppressed.Load(),
 		WALErrors:          d.walErrors.Load(),

@@ -360,3 +360,64 @@ func TestDurableEngineGuards(t *testing.T) {
 	}
 	_ = os.RemoveAll(dir)
 }
+
+// TestDurabilityStatsConcurrent hammers DurabilityStats from a second
+// goroutine while the WAL is replayed and while ingest runs. The replay
+// counters (ReplayedRecords, ReofferedEntities, RecoveredInstances)
+// were once plain fields written by recovery while the HTTP stats
+// endpoint could read them; run under -race this test pins the atomic
+// rewrite in place.
+func TestDurabilityStatsConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	ops := makeDurFeed(150)
+
+	// Seed the directory with a crashed run so recovery has work to do.
+	crashed := durEngine(t, dir, 1, 40)
+	durFeedRange(t, crashed, ops[:100])
+	// (engine abandoned here — simulated SIGKILL)
+
+	rec, err := NewEngine(EngineConfig{
+		Observer: "obs1",
+		Loc:      AtPoint(1, 1),
+		Workers:  2,
+		Durability: DurabilityConfig{
+			Dir:           dir,
+			Fsync:         "always",
+			SnapshotEvery: 40,
+			SegmentBytes:  4096,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	declareDurEvents(t, rec)
+
+	// Poll stats across recovery (Start replays the WAL) and the rest of
+	// the feed — the window where the counters are written concurrently.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = rec.DurabilityStats()
+			}
+		}
+	}()
+	if err := rec.Start(); err != nil {
+		t.Fatal(err)
+	}
+	durFeedRange(t, rec, ops[100:])
+	if _, err := rec.Shutdown(ops[len(ops)-1].tick); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+
+	if ds := rec.DurabilityStats(); ds.ReplayedRecords == 0 {
+		t.Fatalf("recovery replayed nothing: %+v", ds)
+	}
+}

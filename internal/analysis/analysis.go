@@ -1,0 +1,102 @@
+// Package analysis is a self-contained, stdlib-only analogue of the
+// golang.org/x/tools/go/analysis framework, sized for this repository's
+// project-specific checkers (cmd/stcpsvet). The container the engine is
+// developed in bakes in only the Go toolchain — no module proxy — so
+// the x/tools dependency is replaced by a minimal Analyzer/Pass pair
+// plus the two drivers in cmd/stcpsvet: a `go vet -vettool` protocol
+// implementation (see cmd/stcpsvet/vetmode.go) and a `go list`-based
+// standalone loader (cmd/stcpsvet/standalone.go).
+//
+// The analyzers encode the engine's correctness contracts:
+//
+//	hotpath   — //stcps:hotpath functions must not allocate
+//	atomics   — fields used atomically anywhere are atomic everywhere
+//	guardedby — //stcps:guardedby fields need their mutex held
+//	senterr   — sentinel errors use errors.Is / %w, never == / %v
+//	noclock   — no wall-clock reads in hotpath/replay code
+//
+// See docs/analysis.md for the annotation conventions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a fully type-checked
+// package via the Pass and reports diagnostics through it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Package bundles the loaded inputs one analyzer pass runs over.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// NewInfo allocates a types.Info with every map analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// Run executes one analyzer over one package and returns its
+// diagnostics with //stcps:ignore suppressions already applied and
+// positions ordered.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	diags := filterIgnored(pass, pass.diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

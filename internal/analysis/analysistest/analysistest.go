@@ -1,0 +1,164 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its diagnostics against // want "regexp" comments embedded
+// in the fixture source — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// stdlib so the suite works in the network-less build container.
+//
+// A fixture is one directory of .go files forming a single package.
+// Every line that should trigger a diagnostic carries a trailing
+// comment:
+//
+//	n := make([]int, 8) // want `make allocates`
+//
+// Multiple expectations on one line are listed in order:
+//
+//	x, y = f(a), g(b) // want `boxed` `boxed`
+//
+// Expectations are regular expressions matched against the diagnostic
+// message; both `backquoted` and "quoted" forms are accepted. The run
+// fails on any unmatched diagnostic or unsatisfied expectation, so
+// clean-code fixtures (no want comments at all) double as
+// false-positive regression tests.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// wantRe matches one expectation inside a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// commentRe matches the want comment itself.
+var commentRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one // want entry, keyed by file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the fixture package in dir, applies a, and reports every
+// mismatch between produced diagnostics and // want expectations as
+// test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := load(t, dir)
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", a.Name, dir, err)
+	}
+	expects := collectWants(t, pkg)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !consume(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// load parses and type-checks the fixture directory as one package.
+func load(t *testing.T, dir string) *analysis.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return &analysis.Package{
+		ImportPath: tpkg.Path(),
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}
+}
+
+// collectWants extracts every // want expectation from the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := commentRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// consume marks the first unused expectation for (file, line) whose
+// pattern matches msg.
+func consume(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.used || e.file != file || e.line != line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+// Package atomics implements the stcpsvet analyzer enforcing the
+// engine's atomics-only stats-counter discipline. Two rules:
+//
+//  1. Function-style atomics: a variable or field whose address is ever
+//     passed to a sync/atomic function (atomic.AddUint64(&x.n, 1), ...)
+//     must be accessed through sync/atomic everywhere — a plain read or
+//     write of such a field is a data race the race detector only
+//     catches when both sides execute.
+//
+//  2. Mixed snapshots: a function that loads typed atomic counters
+//     (x.n.Load() with n an atomic.Uint64 et al.) while also reading a
+//     plain integer field of the same object — without holding any
+//     lock and without a //stcps:holds annotation — is reading a
+//     torn snapshot: the plain sibling is unsynchronized. This is the
+//     static form of the detect.Stats / engine / sub counter audit.
+//
+// Typed atomic fields themselves need no further checking: their
+// methods are the only access path and go vet's copylocks already
+// rejects copies.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// Analyzer is the mixed atomic/plain access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomics",
+	Doc:  "report fields accessed both through sync/atomic and as plain memory",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkFunctionStyle(pass)
+	checkMixedSnapshots(pass)
+	return nil
+}
+
+// --- rule 1: function-style sync/atomic usage ---
+
+func checkFunctionStyle(pass *analysis.Pass) {
+	// Objects whose address feeds a sync/atomic call anywhere.
+	atomicObjs := make(map[types.Object]bool)
+	// Idents appearing inside such call arguments (legal accesses).
+	sanctioned := make(map[*ast.Ident]bool)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				obj := baseObject(pass, un.X)
+				if obj == nil {
+					continue
+				}
+				atomicObjs[obj] = true
+				markIdents(pass, un.X, sanctioned)
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere; this plain access races — use the atomic API", id.Name)
+			return true
+		})
+	}
+}
+
+// markIdents records the idents naming the accessed object inside an
+// &x.f atomic argument so the second sweep skips them.
+func markIdents(pass *analysis.Pass, e ast.Expr, sanctioned map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sanctioned[id] = true
+		}
+		return true
+	})
+}
+
+// baseObject resolves the field or variable an &expr names.
+func baseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return baseObject(pass, e.X)
+	}
+	return nil
+}
+
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	pkg := fn.Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// --- rule 2: mixed atomic/plain snapshot reads ---
+
+func checkMixedSnapshots(pass *analysis.Pass) {
+	// Plain integer fields bumped counter-style (++, +=, -=) anywhere
+	// in the package. One-shot configuration assignments (=) stay out:
+	// they are set during single-owner setup, not accumulated.
+	written := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if obj := fieldObject(pass, lhs); obj != nil {
+						written[obj] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if obj := fieldObject(pass, n.X); obj != nil {
+					written[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if len(analysis.FuncHolds(fn)) > 0 {
+				continue
+			}
+			checkSnapshotFunc(pass, fn, written)
+		}
+	}
+}
+
+func checkSnapshotFunc(pass *analysis.Pass, fn *ast.FuncDecl, written map[types.Object]bool) {
+	// Bases (expression strings) on which typed atomic methods are
+	// called, e.g. "d" for d.walErrors.Load().
+	atomicBases := make(map[string]bool)
+	locksAnything := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			locksAnything = true
+		}
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && isTypedAtomic(pass, inner) {
+			atomicBases[types.ExprString(inner.X)] = true
+		}
+		return true
+	})
+	if locksAnything || len(atomicBases) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !atomicBases[types.ExprString(sel.X)] {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() || !written[obj] || !isPlainInteger(v.Type()) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "plain read of %s next to atomic loads of its siblings is unsynchronized — make it atomic or take the lock", sel.Sel.Name)
+		return true
+	})
+}
+
+// fieldObject resolves expr to a struct-field object, or nil.
+func fieldObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isTypedAtomic reports whether sel denotes a field of one of the
+// sync/atomic value types (atomic.Uint64, atomic.Int32, ...).
+func isTypedAtomic(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return false
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isPlainInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUnsigned) != 0
+}

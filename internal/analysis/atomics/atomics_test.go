@@ -1,0 +1,11 @@
+package atomics
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/analysis/analysistest"
+)
+
+func TestAtomics(t *testing.T) {
+	analysistest.Run(t, "testdata/atom", Analyzer)
+}

@@ -1,0 +1,71 @@
+// Package atom exercises the atomics analyzer: mixed atomic/plain
+// access to the same memory, in both function-style and typed form.
+package atom
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- rule 1: function-style atomics ---
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	limit  uint64 // never touched atomically: plain access is fine
+}
+
+func (s *stats) record() {
+	atomic.AddUint64(&s.hits, 1)
+	s.misses++ // want `misses is accessed with sync/atomic elsewhere`
+}
+
+func (s *stats) snapshot() (uint64, uint64) {
+	h := atomic.LoadUint64(&s.hits)
+	m := atomic.LoadUint64(&s.misses)
+	_ = s.limit
+	return h, m
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+	atomic.StoreUint64(&s.misses, 0)
+}
+
+// --- rule 2: mixed snapshot reads of typed atomics ---
+
+type bank struct {
+	mu       sync.Mutex
+	ingested atomic.Uint64
+	emitted  atomic.Uint64
+	dropped  uint64 // bumped under mu
+	shards   int    // configuration, assigned once
+}
+
+func (b *bank) bump() {
+	b.mu.Lock()
+	b.dropped++
+	b.mu.Unlock()
+}
+
+func (b *bank) torn() (uint64, uint64) {
+	return b.ingested.Load(), b.dropped // want `plain read of dropped next to atomic loads`
+}
+
+func (b *bank) lockedSnapshot() (uint64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ingested.Load(), b.dropped
+}
+
+// declaredHeld documents its contract instead of locking inline.
+//
+//stcps:holds mu
+func (b *bank) declaredHeld() (uint64, uint64) {
+	return b.emitted.Load(), b.dropped
+}
+
+func (b *bank) config() (uint64, int) {
+	// shards is assigned, never accumulated: not a counter, no report.
+	return b.ingested.Load(), b.shards
+}

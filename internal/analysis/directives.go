@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The //stcps: comment directives the analyzers understand. A directive
+// comment has no space after "//" (the Go directive convention, which
+// gofmt preserves verbatim):
+//
+//	//stcps:hotpath            func must not allocate (hotpath, noclock)
+//	//stcps:replay             func must not read the wall clock (noclock)
+//	//stcps:coldpath           stop hotpath/replay propagation here
+//	//stcps:guardedby mu       field needs mu held for every access
+//	//stcps:holds mu[,mu2]     func runs with mu held (or owns the value
+//	                           exclusively, e.g. a constructor)
+//
+// guardedby and holds accept a free-text trailer after " -- ":
+// //stcps:guardedby mu -- why, which the analyzers ignore.
+//
+//	//stcps:ignore name reason suppress analyzer `name` on this line (or
+//	                           on the next line when the comment stands
+//	                           alone); the reason is mandatory
+const (
+	DirHotpath   = "hotpath"
+	DirReplay    = "replay"
+	DirColdpath  = "coldpath"
+	DirGuardedBy = "guardedby"
+	DirHolds     = "holds"
+	DirIgnore    = "ignore"
+)
+
+const directivePrefix = "//stcps:"
+
+// Directive is one parsed //stcps: comment.
+type Directive struct {
+	Pos  token.Pos
+	Name string // e.g. "guardedby"
+	Args string // remainder of the line, space-trimmed
+}
+
+// parseDirective decodes a single comment, reporting ok=false for
+// non-directive comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	name, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Name: strings.TrimSpace(name), Args: strings.TrimSpace(args)}, true
+}
+
+// groupDirectives parses every directive in a comment group.
+func groupDirectives(g *ast.CommentGroup) []Directive {
+	if g == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range g.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FuncDirectives returns the directives attached to a function
+// declaration's doc comment.
+func FuncDirectives(fn *ast.FuncDecl) []Directive {
+	return groupDirectives(fn.Doc)
+}
+
+// FuncHasDirective reports whether fn's doc carries the named
+// directive.
+func FuncHasDirective(fn *ast.FuncDecl, name string) bool {
+	for _, d := range FuncDirectives(fn) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// stripNote drops an optional free-text trailer from directive
+// arguments: //stcps:guardedby mu -- why it is guarded.
+func stripNote(args string) string {
+	args, _, _ = strings.Cut(args, "--")
+	return strings.TrimSpace(args)
+}
+
+// FuncHolds returns the mutex names fn declares via //stcps:holds.
+func FuncHolds(fn *ast.FuncDecl) []string {
+	var out []string
+	for _, d := range FuncDirectives(fn) {
+		if d.Name != DirHolds {
+			continue
+		}
+		for _, mu := range strings.Split(stripNote(d.Args), ",") {
+			if mu = strings.TrimSpace(mu); mu != "" {
+				out = append(out, mu)
+			}
+		}
+	}
+	return out
+}
+
+// GuardedFields maps each struct field or variable annotated
+// //stcps:guardedby to the mutex name guarding it, keyed by its
+// types.Var.
+func GuardedFields(pass *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	record := func(mu string, names []*ast.Ident) {
+		for _, name := range names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out[v] = mu
+			}
+		}
+	}
+	directiveMu := func(groups ...*ast.CommentGroup) string {
+		mu := ""
+		for _, g := range groups {
+			for _, d := range groupDirectives(g) {
+				if d.Name == DirGuardedBy && stripNote(d.Args) != "" {
+					mu = stripNote(d.Args)
+				}
+			}
+		}
+		return mu
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if mu := directiveMu(field.Doc, field.Comment); mu != "" {
+						record(mu, field.Names)
+					}
+				}
+			case *ast.GenDecl:
+				// For an unparenthesized `var x T` the doc comment hangs
+				// off the GenDecl, not the ValueSpec.
+				if n.Tok == token.VAR && !n.Lparen.IsValid() && len(n.Specs) == 1 {
+					if spec, ok := n.Specs[0].(*ast.ValueSpec); ok {
+						if mu := directiveMu(n.Doc); mu != "" {
+							record(mu, spec.Names)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if mu := directiveMu(n.Doc, n.Comment); mu != "" {
+					record(mu, n.Names)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ignoreKey identifies one suppressed (file line, analyzer) slot.
+type ignoreKey struct {
+	file string
+	line int
+	name string
+}
+
+// filterIgnored drops diagnostics covered by an //stcps:ignore
+// directive on the same line (trailing comment) or the line directly
+// above (standalone comment).
+func filterIgnored(pass *Pass, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	ignored := make(map[ignoreKey]bool)
+	for _, file := range pass.Files {
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Name != DirIgnore {
+					continue
+				}
+				name, _, _ := strings.Cut(d.Args, " ")
+				if name == "" {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				ignored[ignoreKey{pos.Filename, pos.Line, name}] = true
+				ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pass.Fset.Position(d.Pos)
+		if ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,138 @@
+// Package guardedby implements the stcpsvet analyzer for the engine's
+// mutex contracts. A struct field annotated
+//
+//	ring []Delivery //stcps:guardedby mu
+//
+// may only be accessed inside a function (or closure) that either
+// contains a Lock/RLock call on that mutex — resolved as <base>.mu for
+// an access through <base>, or a bare mu for local/package mutexes —
+// or is annotated //stcps:holds mu, meaning its contract is "called
+// with mu held" (or the function owns the value exclusively, as
+// constructors do).
+//
+// The check is flow-insensitive by design: a function that locks the
+// right mutex anywhere is accepted. It machine-checks which mutex a
+// field belongs to and that no access path forgets the handshake
+// entirely — lock ordering and early-unlock bugs remain the race
+// detector's job.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// Analyzer is the guarded-field access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "report accesses to //stcps:guardedby fields outside their mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := analysis.GuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkScope(pass, guarded, fn.Body, scopeFacts(pass, fn.Body, analysis.FuncHolds(fn)))
+		}
+	}
+	return nil
+}
+
+// facts is what a function scope is known to hold: mutexes named by
+// //stcps:holds and lock receivers observed in the body.
+type facts struct {
+	holds map[string]bool // mutex name -> held by contract
+	locks map[string]bool // printed receiver exprs of Lock/RLock calls
+}
+
+// scopeFacts collects the lock evidence for one function body. Nested
+// closures are excluded: they execute on their own schedule, so each
+// gets its own facts when visited.
+func scopeFacts(pass *analysis.Pass, body *ast.BlockStmt, holds []string) facts {
+	f := facts{holds: make(map[string]bool), locks: make(map[string]bool)}
+	for _, mu := range holds {
+		f.holds[mu] = true
+	}
+	inspectScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			f.locks[types.ExprString(sel.X)] = true
+		}
+	})
+	return f
+}
+
+// inspectScope walks body, not descending into nested function
+// literals.
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// checkScope reports guarded-field accesses in one scope and recurses
+// into closures with fresh facts (closures inherit the //stcps:holds
+// of nothing: they must lock for themselves or the access is reported).
+func checkScope(pass *analysis.Pass, guarded map[*types.Var]string, body *ast.BlockStmt, f facts) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkScope(pass, guarded, n.Body, scopeFacts(pass, n.Body, nil))
+			return false
+		case *ast.SelectorExpr:
+			v, ok := pass.TypesInfo.Uses[n.Sel].(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, ok := guarded[v]
+			if !ok {
+				return true
+			}
+			base := types.ExprString(n.X)
+			if f.holds[mu] || f.locks[base+"."+mu] || f.locks[mu] {
+				return true
+			}
+			pass.Reportf(n.Sel.Pos(), "%s.%s is guarded by %s, which is neither locked in this function nor declared held (//stcps:holds %s)", base, n.Sel.Name, mu, mu)
+		case *ast.Ident:
+			// Bare access to a guarded local/package var (rare: fields
+			// are the normal case and always selector-accessed).
+			v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			mu, ok := guarded[v]
+			if !ok {
+				return true
+			}
+			if f.holds[mu] || f.locks[mu] {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s is guarded by %s, which is neither locked in this function nor declared held (//stcps:holds %s)", n.Name, mu, mu)
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package guardedby
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/analysis/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata/guard", Analyzer)
+}

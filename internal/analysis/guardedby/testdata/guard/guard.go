@@ -1,0 +1,85 @@
+// Package guard exercises the guardedby analyzer: annotated fields must
+// be reached only under their mutex or inside //stcps:holds functions.
+package guard
+
+import "sync"
+
+type ring struct {
+	mu     sync.Mutex
+	buf    []int //stcps:guardedby mu
+	head   int   //stcps:guardedby mu
+	closed bool  //stcps:guardedby mu
+	name   string
+}
+
+// newRing owns the value exclusively until it is returned.
+//
+//stcps:holds mu
+func newRing(n int) *ring {
+	return &ring{buf: make([]int, n)}
+}
+
+func (r *ring) push(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.head] = v
+	r.head++
+}
+
+func (r *ring) racyPeek() int {
+	return r.buf[r.head] // want `r\.buf is guarded by mu` `r\.head is guarded by mu`
+}
+
+// pushLocked documents the caller-holds-mu contract.
+//
+//stcps:holds mu
+func (r *ring) pushLocked(v int) {
+	r.buf[r.head] = v
+	r.head++
+}
+
+func (r *ring) len() int {
+	r.mu.Lock()
+	n := r.head
+	r.mu.Unlock()
+	return n
+}
+
+func (r *ring) spawn() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		// The closure runs on its own schedule; the enclosing lock
+		// does not cover it.
+		r.closed = true // want `r\.closed is guarded by mu`
+	}()
+	r.name = "ok" // unannotated field: no report
+}
+
+func (r *ring) closeLocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	done := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.closed = true // closure locks for itself: fine
+	}
+	done()
+}
+
+var stopMu sync.Mutex
+
+// pending counts in-flight stops.
+//
+//stcps:guardedby stopMu
+var pending int
+
+func addPending() {
+	stopMu.Lock()
+	pending++
+	stopMu.Unlock()
+}
+
+func racyPending() int {
+	return pending // want `pending is guarded by stopMu`
+}

@@ -1,0 +1,304 @@
+// Package hotpath implements the stcpsvet analyzer enforcing the
+// engine's zero-allocation contracts: a function annotated
+// //stcps:hotpath (and every same-package callee reachable from it, see
+// analysis.MarkedFuncs) must not contain constructs that allocate on
+// every execution — the static twin of the testing.AllocsPerRun
+// assertions pinning the probe/eval paths at 0 allocs/op.
+//
+// Flagged constructs:
+//
+//   - calls into package fmt (formatting always allocates)
+//   - closure literals (the closure header escapes)
+//   - make of any kind, new, &T{...}, and map/slice composite literals
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - append whose result does not feed back into its first operand
+//     (the amortized x = append(x, ...) growth idiom stays legal, as
+//     does return append(p, ...) of a parameter — the builder idiom
+//     where the caller owns the buffer and reassigns the result)
+//   - concrete non-pointer-shaped values passed to interface
+//     parameters (boxing)
+//   - go statements
+//
+// Amortized or error-path allocations that are accepted by design are
+// suppressed per line: //stcps:ignore hotpath <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// Analyzer is the hotpath allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "report allocating constructs inside //stcps:hotpath functions and their intra-package callees",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := analysis.MarkedFuncs(pass, analysis.DirHotpath)
+	for fn := range marked {
+		checkFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// First pass: append calls in x = append(x, ...) form — or the
+	// in-place variants x = append(x[:n], ...) used for reuse and
+	// deletion — are the amortized-growth idiom and stay legal.
+	sanctioned := make(map[*ast.CallExpr]bool)
+	params := paramObjects(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				lhs := types.ExprString(n.Lhs[i])
+				if types.ExprString(appendBase(call)) == lhs {
+					sanctioned[call] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			// Builder idiom: return append(p, ...) of a parameter hands
+			// the (possibly grown) buffer back to the caller, which
+			// reassigns it — the cross-function form of x = append(x, ...).
+			for _, res := range n.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if id, ok := appendBase(call).(*ast.Ident); ok && params[pass.TypesInfo.Uses[id]] {
+					sanctioned[call] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates in hot path (%s)", fn.Name.Name)
+			return false // the literal runs elsewhere; don't double-report its body
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement spawns a goroutine in hot path (%s)", fn.Name.Name)
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, sanctioned)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, fn, n, false)
+			return false // element literals are part of this one
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					checkCompositeLit(pass, fn, cl, true)
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(pass, n.X) && !isConstant(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path (%s)", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, sanctioned map[*ast.CallExpr]bool) {
+	// Builtins.
+	switch {
+	case isBuiltin(pass, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in hot path (%s)", fn.Name.Name)
+		return
+	case isBuiltin(pass, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in hot path (%s)", fn.Name.Name)
+		return
+	case isBuiltin(pass, call, "append"):
+		if !sanctioned[call] {
+			pass.Reportf(call.Pos(), "append outside the x = append(x, ...) idiom allocates in hot path (%s)", fn.Name.Name)
+		}
+		return
+	}
+
+	// Conversions: string <-> []byte/[]rune and to-string always copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, fn, call, tv.Type)
+		return
+	}
+
+	// fmt calls.
+	if obj := calleeObject(pass, call); obj != nil {
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hot path (%s)", obj.Name(), fn.Name.Name)
+			return
+		}
+	}
+
+	// Interface boxing of call arguments.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s value boxed into interface argument allocates in hot path (%s)", at, fn.Name.Name)
+	}
+}
+
+func checkConversion(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toB, toIsBasic := to.Underlying().(*types.Basic)
+	_, fromIsSlice := from.Underlying().(*types.Slice)
+	fromB, fromIsBasic := from.Underlying().(*types.Basic)
+	switch {
+	case toIsBasic && toB.Info()&types.IsString != 0 && (fromIsSlice || (fromIsBasic && fromB.Info()&types.IsString == 0)):
+		// []byte/[]rune -> string, or rune/int -> string: copies.
+		pass.Reportf(call.Pos(), "conversion to string allocates in hot path (%s)", fn.Name.Name)
+	case fromIsBasic && fromB.Info()&types.IsString != 0 && !toIsBasic:
+		if _, toSlice := to.Underlying().(*types.Slice); toSlice {
+			// string -> []byte/[]rune: copies.
+			pass.Reportf(call.Pos(), "conversion from string to slice allocates in hot path (%s)", fn.Name.Name)
+		}
+	case types.IsInterface(to) && !types.IsInterface(from) && !isPointerShaped(from):
+		pass.Reportf(call.Pos(), "conversion of %s to interface allocates in hot path (%s)", from, fn.Name.Name)
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, fn *ast.FuncDecl, cl *ast.CompositeLit, addressed bool) {
+	t := pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(cl.Pos(), "map literal allocates in hot path (%s)", fn.Name.Name)
+	case *types.Slice:
+		pass.Reportf(cl.Pos(), "slice literal allocates in hot path (%s)", fn.Name.Name)
+	default:
+		if addressed {
+			pass.Reportf(cl.Pos(), "&composite literal allocates in hot path (%s)", fn.Name.Name)
+		}
+	}
+}
+
+// appendBase returns the expression an append call grows: its first
+// argument, unwrapped through parens and slicing (the in-place
+// append(x[:n], ...) reuse/deletion forms grow x itself).
+func appendBase(call *ast.CallExpr) ast.Expr {
+	arg := ast.Unparen(call.Args[0])
+	if se, ok := arg.(*ast.SliceExpr); ok {
+		arg = ast.Unparen(se.X)
+	}
+	return arg
+}
+
+// paramObjects collects the type objects of fn's parameters (receiver
+// excluded: appending to a receiver field and returning the result
+// would still lose the grown buffer unless the caller stores it back).
+func paramObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if fn.Type.Params == nil {
+		return params
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// isPointerShaped reports whether values of t occupy a single pointer
+// word, so interface conversion stores them without allocating.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/analysis/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata/hot", Analyzer)
+}

@@ -1,0 +1,73 @@
+// Package noclock implements the stcpsvet analyzer forbidding wall-clock
+// reads in deterministic code. Two contracts feed it:
+//
+//   - //stcps:hotpath functions order events by the timestamps carried in
+//     the events themselves (the paper's punctuation model); reading the
+//     host clock there silently couples detection to arrival time.
+//   - //stcps:replay functions must produce the same state from the same
+//     WAL bytes on every run; time.Now during recovery makes replay
+//     non-reproducible.
+//
+// Flagged calls: time.Now, time.Since, time.Until, and the convenience
+// wrappers that read the clock internally (time.Tick, time.After,
+// time.Sleep, time.NewTimer, time.NewTicker, time.AfterFunc). The check
+// propagates to intra-package callees the same way hotpath does;
+// //stcps:coldpath stops it.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// Analyzer is the wall-clock usage checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "report wall-clock reads inside //stcps:hotpath and //stcps:replay functions",
+	Run:  run,
+}
+
+// clockFuncs are the package time functions that read the host clock.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := analysis.MarkedFuncs(pass, analysis.DirHotpath, analysis.DirReplay)
+	for fn, root := range marked {
+		checkFunc(pass, fn, root)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, root string) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		if !clockFuncs[obj.Name()] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "time.%s reads the wall clock in %s code (%s); use event timestamps or inject a clock", obj.Name(), root, fn.Name.Name)
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package noclock
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/analysis/analysistest"
+)
+
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, "testdata/clock", Analyzer)
+}

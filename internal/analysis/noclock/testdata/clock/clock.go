@@ -1,0 +1,44 @@
+// Package clock exercises the noclock analyzer: wall-clock reads in
+// hotpath- and replay-annotated code.
+package clock
+
+import "time"
+
+type detector struct {
+	lastTick int64
+	deadline time.Time
+}
+
+//stcps:hotpath
+func (d *detector) step(ts int64) {
+	d.lastTick = ts            // event time: fine
+	now := time.Now()          // want `time.Now reads the wall clock in hotpath code`
+	_ = time.Since(d.deadline) // want `time.Since reads the wall clock in hotpath code`
+	d.helper()
+	_ = now
+}
+
+func (d *detector) helper() {
+	_ = time.Until(d.deadline) // want `time.Until reads the wall clock in hotpath code`
+}
+
+//stcps:replay
+func (d *detector) recover(ts int64) {
+	d.lastTick = ts
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock in replay code`
+}
+
+//stcps:coldpath
+func (d *detector) emit() {
+	d.deadline = time.Now() // coldpath: fine
+}
+
+//stcps:hotpath
+func (d *detector) drain() {
+	d.emit() // propagation stops at the coldpath annotation
+}
+
+// unannotated code may read the clock freely.
+func (d *detector) measure() time.Duration {
+	return time.Since(d.deadline)
+}

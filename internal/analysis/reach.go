@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MarkedFuncs computes the set of function declarations covered by any
+// of the given root directives: the annotated functions themselves plus
+// every same-package callee reachable from them. Propagation follows
+// static calls and, for interface method calls, every same-package
+// method that implements the called interface (the conservative closure
+// the condition-eval tree needs). A //stcps:coldpath annotation stops
+// propagation: the function is excluded and its callees are not
+// visited through it.
+//
+// The result maps each covered declaration to the directive that pulled
+// it in (for diagnostics: "reached from //stcps:hotpath").
+func MarkedFuncs(pass *Pass, rootDirectives ...string) map[*ast.FuncDecl]string {
+	// Declarations by their *types.Func object.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+
+	marked := make(map[*ast.FuncDecl]string)
+	var visit func(fn *ast.FuncDecl, why string)
+	visit = func(fn *ast.FuncDecl, why string) {
+		if fn == nil || fn.Body == nil {
+			return
+		}
+		if _, done := marked[fn]; done {
+			return
+		}
+		if FuncHasDirective(fn, DirColdpath) {
+			return
+		}
+		marked[fn] = why
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range calleeDecls(pass, call, decls) {
+				visit(callee, why)
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, root := range rootDirectives {
+				if FuncHasDirective(fn, root) {
+					visit(fn, root)
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// calleeDecls resolves a call expression to same-package function
+// declarations: the static callee when known, or every same-package
+// implementation of the method when the call goes through an interface.
+func calleeDecls(pass *Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if d := decls[obj]; d != nil {
+				return []*ast.FuncDecl{d}
+			}
+		}
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[fun]
+		if sel == nil {
+			// Package-qualified call (pkg.F): cross-package, no body here.
+			if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+				if d := decls[obj]; d != nil {
+					return []*ast.FuncDecl{d}
+				}
+			}
+			return nil
+		}
+		obj, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return nil
+		}
+		if d := decls[obj]; d != nil {
+			return []*ast.FuncDecl{d}
+		}
+		// Interface dispatch: collect same-package implementations.
+		if types.IsInterface(sel.Recv()) {
+			return implementations(pass, sel.Recv(), obj.Name(), decls)
+		}
+	}
+	return nil
+}
+
+// implementations finds declared methods named name on same-package
+// types implementing iface.
+func implementations(pass *Pass, iface types.Type, name string, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*ast.FuncDecl
+	scope := pass.Pkg.Scope()
+	for _, tname := range scope.Names() {
+		tn, ok := scope.Lookup(tname).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		T := tn.Type()
+		ptr := types.NewPointer(T)
+		if !types.Implements(T, it) && !types.Implements(ptr, it) {
+			continue
+		}
+		for _, typ := range []types.Type{T, ptr} {
+			m, _, _ := types.LookupFieldOrMethod(typ, true, pass.Pkg, name)
+			if fn, ok := m.(*types.Func); ok {
+				if d := decls[fn]; d != nil {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package senterr implements the stcpsvet analyzer for the engine's
+// sentinel-error contracts. The recovery and reconnect logic dispatches
+// on sentinels (db.ErrStaleCursor, frame.ErrTorn, frame.ErrChecksum,
+// wal.ErrCorrupt, io.EOF, ...) — which only works across wrapping
+// boundaries when callers compare with errors.Is and producers wrap
+// with %w. Flagged:
+//
+//   - err == ErrX / err != ErrX where either side is a package-level
+//     error variable (compare with errors.Is instead)
+//   - switch err { case ErrX: ... } on an error tag
+//   - fmt.Errorf("...%v...", err) where the %v / %s verb consumes an
+//     error value (wrap with %w instead, so errors.Is keeps working)
+package senterr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/stcps/stcps/internal/analysis"
+)
+
+// Analyzer is the sentinel-error usage checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc:  "report sentinel errors compared with == or wrapped with %v instead of errors.Is / %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sent, other := pair[0], pair[1]
+		name, ok := sentinelError(pass, sent)
+		if !ok || isNil(pass, other) {
+			continue
+		}
+		pass.Reportf(be.OpPos, "%s compared with %s; use errors.Is so wrapped errors still match", name, be.Op)
+		return
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelError(pass, e); ok {
+				pass.Reportf(e.Pos(), "switch case compares %s with ==; use errors.Is so wrapped errors still match", name)
+			}
+		}
+	}
+}
+
+// sentinelError reports whether e names a package-level variable of an
+// error type — the sentinel pattern.
+func sentinelError(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return "", false
+	}
+	// Package level: the var's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for i, verb := range verbs(format) {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != "v" && verb != "s" && verb != "q" {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if !isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error wrapped with %%%s loses its identity; use %%w so errors.Is keeps working", verb)
+	}
+}
+
+// verbs extracts the verb letters of a format string in argument
+// order. Flags, width and precision are skipped; %% consumes no
+// argument. Explicit argument indexes (%[n]v) are rare in this
+// codebase and bail out of the check.
+func verbs(format string) []string {
+	var out []string
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' {
+			return nil // explicit indexes: skip the whole format
+		}
+		out = append(out, string(format[i]))
+	}
+	return out
+}

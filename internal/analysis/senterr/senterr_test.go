@@ -1,0 +1,11 @@
+package senterr
+
+import (
+	"testing"
+
+	"github.com/stcps/stcps/internal/analysis/analysistest"
+)
+
+func TestSentErr(t *testing.T) {
+	analysistest.Run(t, "testdata/sent", Analyzer)
+}

@@ -1,0 +1,66 @@
+// Package sent exercises the senterr analyzer: sentinel comparisons and
+// error wrapping.
+package sent
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrTorn mirrors the engine's sentinel style.
+var ErrTorn = errors.New("torn record")
+
+func read() error { return io.EOF }
+
+func compare() {
+	err := read()
+	if err == io.EOF { // want `EOF compared with ==`
+		return
+	}
+	if err != ErrTorn { // want `ErrTorn compared with !=`
+		return
+	}
+	if ErrTorn == err { // want `ErrTorn compared with ==`
+		return
+	}
+	if errors.Is(err, io.EOF) { // the blessed form
+		return
+	}
+	if err == nil { // nil checks stay legal
+		return
+	}
+	if err != nil {
+		return
+	}
+}
+
+func dispatch(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case io.EOF: // want `switch case compares EOF with ==`
+		return 1
+	case ErrTorn: // want `switch case compares ErrTorn with ==`
+		return 2
+	}
+	switch n := 3; n { // non-error tag: ignored
+	case 3:
+		return 3
+	}
+	return 4
+}
+
+func wrap(err error, path string) error {
+	if err != nil {
+		return fmt.Errorf("open %s: %v", path, err) // want `error wrapped with %v`
+	}
+	if err != nil {
+		return fmt.Errorf("open %s: %s", path, err) // want `error wrapped with %s`
+	}
+	if err != nil {
+		return fmt.Errorf("open %q: %w", path, err) // the blessed form
+	}
+	// %v of a non-error is fine.
+	return fmt.Errorf("count %v exceeded %d%%", path, 7)
+}

@@ -70,6 +70,8 @@ func Compile(e Expr, m *SlotMap) (*Compiled, error) {
 // an unbound role. Same error semantics as Expr.Eval: errors indicate
 // unbound roles or missing attributes, and callers treat erroring
 // bindings as unsatisfied.
+//
+//stcps:hotpath
 func (c *Compiled) Eval(ents []event.Entity) (bool, error) {
 	return c.root.eval(ents)
 }
@@ -94,7 +96,7 @@ type cloc interface {
 // slotEntity resolves a slot in the binding.
 func slotEntity(ents []event.Entity, slot int, role string) (event.Entity, error) {
 	if slot >= len(ents) || ents[slot] == nil {
-		return nil, fmt.Errorf("%q: %w", role, ErrUnboundRole)
+		return nil, fmt.Errorf("%q: %w", role, ErrUnboundRole) //stcps:ignore hotpath error path; erroring bindings count as unsatisfied
 	}
 	return ents[slot], nil
 }
@@ -205,7 +207,7 @@ func (n *cAttrRef) num(ents []event.Entity) (float64, error) {
 	}
 	v, ok := e.Attr(n.name)
 	if !ok {
-		return 0, fmt.Errorf("%s.%s: %w", n.role, n.name, ErrUnknownAttr)
+		return 0, fmt.Errorf("%s.%s: %w", n.role, n.name, ErrUnknownAttr) //stcps:ignore hotpath error path; erroring bindings count as unsatisfied
 	}
 	return v, nil
 }
@@ -365,7 +367,7 @@ func (n *cTimeAgg) time(ents []event.Entity) (timemodel.Time, error) {
 	}
 	out, err := n.agg(times)
 	if err != nil {
-		return timemodel.Time{}, fmt.Errorf("condition: %s: %w", n.fn, err)
+		return timemodel.Time{}, fmt.Errorf("condition: %s: %w", n.fn, err) //stcps:ignore hotpath error path; erroring bindings count as unsatisfied
 	}
 	return out, nil
 }
@@ -408,7 +410,7 @@ func (n *cLocAgg) loc(ents []event.Entity) (spatial.Location, error) {
 	}
 	out, err := n.agg(locs)
 	if err != nil {
-		return spatial.Location{}, fmt.Errorf("condition: %s: %w", n.fn, err)
+		return spatial.Location{}, fmt.Errorf("condition: %s: %w", n.fn, err) //stcps:ignore hotpath error path; erroring bindings count as unsatisfied
 	}
 	return out, nil
 }

@@ -151,13 +151,13 @@ func buildLoc(fn string, vals []float64) (spatial.Location, error) {
 	case "rect":
 		f, err := spatial.Rect(vals[0], vals[1], vals[2], vals[3])
 		if err != nil {
-			return spatial.Location{}, fmt.Errorf("condition: rect: %w", err)
+			return spatial.Location{}, fmt.Errorf("condition: rect: %w", err) //stcps:ignore hotpath error path; erroring bindings count as unsatisfied
 		}
 		return spatial.InField(f), nil
 	default: // circle
 		f, err := spatial.Circle(spatial.Pt(vals[0], vals[1]), vals[2], circleSegments)
 		if err != nil {
-			return spatial.Location{}, fmt.Errorf("condition: circle: %w", err)
+			return spatial.Location{}, fmt.Errorf("condition: circle: %w", err) //stcps:ignore hotpath error path; erroring bindings count as unsatisfied
 		}
 		return spatial.InField(f), nil
 	}

@@ -141,6 +141,8 @@ func (s *Store) timeIndexName(q Query) string {
 
 // timeEstimateLocked is the candidate count of the time-index path: how
 // many instances the per-event index would touch for q.
+//
+//stcps:holds mu
 func (s *Store) timeEstimateLocked(q Query) int {
 	if q.Event == "" {
 		return len(s.log)
@@ -153,6 +155,8 @@ func (s *Store) timeEstimateLocked(q Query) int {
 }
 
 // regionEstimateLocked is the candidate count of the grid path.
+//
+//stcps:holds mu
 func (s *Store) regionEstimateLocked(q Query) int {
 	return s.grid.EstimateRegion(*q.Region)
 }
@@ -162,6 +166,8 @@ func (s *Store) regionEstimateLocked(q Query) int {
 // Sequence numbers below minSeq (already returned on earlier pages) are
 // excluded; the log path additionally seeks to minSeq and stops at
 // Limit+1 matches, since it alone yields in sequence order.
+//
+//stcps:holds mu
 func (s *Store) collectTimeLocked(q Query, minSeq uint64, scanned *int) []uint64 {
 	var seqs []uint64
 	if q.Event != "" {
@@ -204,6 +210,8 @@ func (s *Store) collectTimeLocked(q Query, minSeq uint64, scanned *int) []uint64
 
 // collectRegionLocked drives the spatial grid and verifies the remaining
 // predicates. The grid already verified the Joint relation.
+//
+//stcps:holds mu
 func (s *Store) collectRegionLocked(q Query, minSeq uint64, scanned *int) []uint64 {
 	ids := s.grid.QueryRegion(*q.Region)
 	var seqs []uint64
@@ -226,6 +234,8 @@ func (s *Store) collectRegionLocked(q Query, minSeq uint64, scanned *int) []uint
 }
 
 // matchLocked verifies every predicate of q against one live instance.
+//
+//stcps:holds mu
 func (s *Store) matchLocked(seq uint64, q Query) bool {
 	in := s.at(seq)
 	if q.Event != "" && in.Event != q.Event {

@@ -3,6 +3,7 @@ package db
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -36,7 +37,7 @@ func (s *Store) Snapshot(w io.Writer) error {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(i, j int) bool {
-		return instanceLess(&s.log[order[i]], &s.log[order[j]])
+		return instanceLess(&s.log[order[i]], &s.log[order[j]]) //stcps:ignore guardedby synchronous sort closure; Snapshot holds mu
 	})
 	for _, i := range order {
 		if err := enc.Encode(snapshotRecord{Instance: &s.log[i]}); err != nil {
@@ -91,7 +92,7 @@ func (s *Store) Load(r io.Reader) error {
 	for {
 		var rec snapshotRecord
 		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("db: load: %w", err)

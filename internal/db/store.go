@@ -63,20 +63,20 @@ type Stats struct {
 // valid across evictions — an evicted instance simply stops resolving.
 type Store struct {
 	mu       sync.RWMutex
-	base     uint64              // global sequence number of log[0]
-	log      []event.Instance    // live instances in arrival order
-	byEvent  map[string][]uint64 // event id -> seqs, Occ.Start-ordered
-	byEntity map[string]uint64   // entity id -> seq
-	grid     *spatial.Grid
-	obs      map[string]event.Observation // logged observations by id
+	base     uint64                       //stcps:guardedby mu -- global sequence number of log[0]
+	log      []event.Instance             //stcps:guardedby mu -- live instances in arrival order
+	byEvent  map[string][]uint64          //stcps:guardedby mu -- event id -> seqs, Occ.Start-ordered
+	byEntity map[string]uint64            //stcps:guardedby mu -- entity id -> seq
+	grid     *spatial.Grid                //stcps:guardedby mu
+	obs      map[string]event.Observation //stcps:guardedby mu -- logged observations by id
 	ret      Retention
-	evicted  uint64
-	maxGen   timemodel.Tick
+	evicted  uint64         //stcps:guardedby mu
+	maxGen   timemodel.Tick //stcps:guardedby mu
 	// maxDur is the longest occurrence duration ever logged per event —
 	// the window lower bound for the time index: every instance
 	// intersecting [from, to] has Occ.Start >= from-maxDur. Grow-only
 	// (eviction leaves it as a safe over-approximation).
-	maxDur map[string]timemodel.Tick
+	maxDur map[string]timemodel.Tick //stcps:guardedby mu
 }
 
 // DefaultGridCell is the spatial index cell size.
@@ -100,7 +100,9 @@ func New(cellSize float64) (*Store, error) {
 	}, nil
 }
 
-// at resolves a live sequence number to its instance. Callers hold mu.
+// at resolves a live sequence number to its instance.
+//
+//stcps:holds mu
 func (s *Store) at(seq uint64) *event.Instance {
 	return &s.log[seq-s.base]
 }
@@ -194,6 +196,8 @@ func (s *Store) SeqOf(entityID string) (uint64, bool) {
 
 // enforceRetentionLocked evicts from the front of the log until the
 // retention bounds hold. Callers hold mu.
+//
+//stcps:holds mu
 func (s *Store) enforceRetentionLocked() {
 	if s.ret.MaxAge > 0 {
 		for len(s.log) > 0 && s.log[0].Gen < s.maxGen-s.ret.MaxAge {
@@ -209,6 +213,8 @@ func (s *Store) enforceRetentionLocked() {
 
 // evictFrontLocked drops the oldest live instance from the log and every
 // index. Callers hold mu and guarantee the log is non-empty.
+//
+//stcps:holds mu
 func (s *Store) evictFrontLocked() {
 	in := s.log[0]
 	id := in.EntityID()
@@ -305,6 +311,8 @@ func (s *Store) QueryTime(eventID string, from, to timemodel.Tick) []event.Insta
 // reaching into the window cannot have started earlier than that). A
 // nil lst means the event id is empty and callers must scan. Callers
 // hold mu.
+//
+//stcps:holds mu
 func (s *Store) timeWindowLocked(eventID string, from, to timemodel.Tick) (lst []uint64, lo, hi int) {
 	if eventID == "" {
 		return nil, 0, 0
@@ -341,6 +349,7 @@ func (s *Store) ScanTime(eventID string, from, to timemodel.Tick) []event.Instan
 	return s.scanTimeLocked(eventID, from, to)
 }
 
+//stcps:holds mu
 func (s *Store) scanTimeLocked(eventID string, from, to timemodel.Tick) []event.Instance {
 	var out []event.Instance
 	for _, in := range s.log {
@@ -414,7 +423,7 @@ func (s *Store) Lineage(entityID string) ([]string, error) {
 		}
 		seen[id] = true
 		out = append(out, id)
-		if seq, ok := s.byEntity[id]; ok {
+		if seq, ok := s.byEntity[id]; ok { //stcps:ignore guardedby synchronous closure; the enclosing query holds mu
 			for _, inp := range s.at(seq).Inputs {
 				walk(inp)
 			}

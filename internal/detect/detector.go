@@ -104,6 +104,7 @@ func (rb *roleBuf) unindex(e entry) {
 
 // timeIdxSearch returns the first index whose key is >= (start, seq).
 func (rb *roleBuf) timeIdxSearch(start timemodel.Tick, seq uint64) int {
+	//stcps:ignore hotpath non-escaping sort.Search closure
 	return sort.Search(len(rb.timeIdx), func(i int) bool {
 		k := rb.timeIdx[i]
 		return k.start > start || (k.start == start && k.seq >= seq)
@@ -133,6 +134,7 @@ func (rb *roleBuf) timeRange(b condition.Bounds) (int, int) {
 	}
 	hi := len(rb.timeIdx)
 	if b.HasHi {
+		//stcps:ignore hotpath non-escaping sort.Search closure
 		hi = sort.Search(len(rb.timeIdx), func(i int) bool {
 			return rb.timeIdx[i].start > b.Hi
 		})
@@ -147,6 +149,7 @@ func (rb *roleBuf) timeRange(b condition.Bounds) (int, int) {
 // are sorted by seq: evictions preserve arrival order). Returns -1 when
 // the entry is gone.
 func (rb *roleBuf) entryIndex(seq uint64) int {
+	//stcps:ignore hotpath non-escaping sort.Search closure
 	i := sort.Search(len(rb.entries), func(i int) bool { return rb.entries[i].seq >= seq })
 	if i < len(rb.entries) && rb.entries[i].seq == seq {
 		return i
@@ -204,6 +207,7 @@ type Detector struct {
 	planNote    string         // why the planner is off
 	evalEnts    []event.Entity // scratch slot binding
 	confScratch []float64
+	roleScratch []string // scratch fed-role names for Offer
 
 	probed      atomic.Uint64
 	pruned      atomic.Uint64
@@ -259,6 +263,7 @@ func New(observerID string, spec Spec) (*Detector, error) {
 	}
 	d.evalEnts = make([]event.Entity, d.slots.Len())
 	d.confScratch = make([]float64, 0, len(spec.Roles))
+	d.roleScratch = make([]string, 0, len(spec.Roles))
 	if c, err := condition.Compile(spec.Cond, d.slots); err == nil {
 		d.compiled = c
 	} else {
@@ -321,7 +326,7 @@ func (d *Detector) evalCond(ents []event.Entity) (bool, error) {
 	if d.compiled != nil {
 		return d.compiled.Eval(ents)
 	}
-	b := make(condition.Binding, len(ents))
+	b := make(condition.Binding, len(ents)) //stcps:ignore hotpath uncompiled-condition fallback; the compiled path is alloc-free
 	names := d.slots.Names()
 	for i, e := range ents {
 		if e != nil {
@@ -335,18 +340,21 @@ func (d *Detector) evalCond(ents []event.Entity) (bool, error) {
 // returns any instances generated at virtual time now. genLoc is the
 // observer's own location l^g. conf is the entity's carried confidence
 // (1 for raw observations, the instance's ρ otherwise).
+//
+//stcps:hotpath
 func (d *Detector) Offer(source string, ent event.Entity, conf float64, now timemodel.Tick, genLoc spatial.Location) []event.Instance {
 	roleIdxs, ok := d.bySource[source]
 	if !ok {
 		return nil
 	}
 	d.pruneAll(now)
-	fedRoles := make([]string, 0, len(roleIdxs))
+	fedRoles := d.roleScratch[:0]
 	for _, i := range roleIdxs {
 		r := d.spec.Roles[i]
 		d.insert(r, ent, conf, now)
 		fedRoles = append(fedRoles, r.Name)
 	}
+	d.roleScratch = fedRoles
 	if d.spec.Mode == ModeInterval {
 		return d.stepInterval(now, genLoc)
 	}
@@ -441,6 +449,7 @@ func (d *Detector) stepPunctual(fedRoles []string, ent event.Entity, conf float6
 			if len(d.emitted) > 4*d.spec.MaxBindings {
 				// Bound memory: drop dedup history (old bindings have
 				// rolled out of the windows anyway).
+				//stcps:ignore hotpath rare dedup-history reset, runs on emission
 				d.emitted = make(map[string]struct{})
 				d.emitted[key] = struct{}{}
 			}
@@ -464,6 +473,11 @@ type boundSet struct {
 // enumerate produces bindings over the role windows with the new entity
 // fixed at fixedRole, capped at MaxBindings. Hitting the cap counts a
 // truncation and stops the enumeration round.
+//
+// The naive path allocates per candidate binding by design; the planner
+// exists to replace it on decomposable conditions.
+//
+//stcps:coldpath
 func (d *Detector) enumerate(fixedRole string, fixed event.Entity, fixedConf float64) []boundSet {
 	nslots := d.slots.Len()
 	out := []boundSet{{}}
@@ -543,7 +557,7 @@ func (d *Detector) stepInterval(now timemodel.Tick, genLoc spatial.Location) []e
 		return nil
 	case !ok && d.open:
 		inst := d.closeInterval(now, genLoc)
-		return []event.Instance{inst}
+		return []event.Instance{inst} //stcps:ignore hotpath interval close emits an instance
 	default:
 		return nil
 	}
@@ -554,10 +568,12 @@ func (d *Detector) fallIfOpen(now timemodel.Tick, genLoc spatial.Location) []eve
 		return nil
 	}
 	inst := d.closeInterval(now, genLoc)
-	return []event.Instance{inst}
+	return []event.Instance{inst} //stcps:ignore hotpath interval close emits an instance
 }
 
 // closeInterval emits the interval instance for the open state.
+//
+//stcps:coldpath
 func (d *Detector) closeInterval(now timemodel.Tick, genLoc spatial.Location) event.Instance {
 	d.open = false
 	occ, err := timemodel.Between(d.openStart, d.lastTrue)
@@ -570,7 +586,11 @@ func (d *Detector) closeInterval(now timemodel.Tick, genLoc spatial.Location) ev
 	return inst
 }
 
-// emit assembles an instance from a satisfied binding.
+// emit assembles an instance from a satisfied binding. Emission
+// allocates by design: the zero-alloc contract covers probing, not
+// instance construction.
+//
+//stcps:coldpath
 func (d *Detector) emit(b boundSet, now timemodel.Tick, genLoc spatial.Location, mode Mode) event.Instance {
 	d.seq++
 	n := 0

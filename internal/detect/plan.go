@@ -268,6 +268,7 @@ func (p *plan) join(d *Detector, fixedRole string, ent event.Entity, conf float6
 	st.results = nil
 	if len(res) > 1 {
 		roleSlots := d.roleSlot
+		//stcps:ignore hotpath sorts only multi-binding emission rounds
 		sort.Slice(res, func(i, j int) bool {
 			a, b := res[i], res[j]
 			for _, s := range roleSlots {
@@ -286,8 +287,8 @@ func (p *plan) state(d *Detector) *joinState {
 	st := &p.st
 	if st.ents == nil {
 		st.ents = d.evalEnts
-		st.confs = make([]float64, d.slots.Len())
-		st.seqs = make([]uint64, d.slots.Len())
+		st.confs = make([]float64, d.slots.Len()) //stcps:ignore hotpath one-time lazy init
+		st.seqs = make([]uint64, d.slots.Len())   //stcps:ignore hotpath one-time lazy init
 	}
 	for i := range st.ents {
 		st.ents[i] = nil
@@ -355,12 +356,12 @@ func (p *plan) step(d *Detector, st *joinState, depth int) {
 		return
 	}
 	if depth == len(st.order) {
-		ents := append([]event.Entity(nil), st.ents...)
-		confs := make([]float64, len(d.spec.Roles))
+		ents := append([]event.Entity(nil), st.ents...) //stcps:ignore hotpath per-emitted-binding copy
+		confs := make([]float64, len(d.spec.Roles))     //stcps:ignore hotpath per-emitted-binding copy
 		for i, s := range d.roleSlot {
 			confs[i] = st.confs[s]
 		}
-		seqs := append([]uint64(nil), st.seqs...)
+		seqs := append([]uint64(nil), st.seqs...) //stcps:ignore hotpath per-emitted-binding copy
 		st.results = append(st.results, boundSet{ents: ents, confs: confs, seqs: seqs, verified: true})
 		return
 	}

@@ -56,7 +56,7 @@ type Sharded struct {
 	in     []chan *[]offerMsg
 	// pending is the producer-side partial batch per shard, guarded by
 	// pmu.
-	pending []*[]offerMsg
+	pending []*[]offerMsg //stcps:guardedby pmu
 
 	// Batch overrides the offer batch size when set before Start.
 	Batch int
@@ -77,7 +77,7 @@ type Sharded struct {
 	// spinning.
 	mu       sync.Mutex
 	idle     *sync.Cond
-	inflight int64
+	inflight int64 //stcps:guardedby mu
 }
 
 // NewSharded creates a sharded engine with the given shard count
@@ -116,6 +116,8 @@ const (
 // shardOf hash-partitions a detected event ID onto a shard with an
 // inline zero-allocation FNV-1a — hash/fnv.New32a allocates a hasher
 // per call, which showed up on the routing path.
+//
+//stcps:hotpath
 func (s *Sharded) shardOf(eventID string) int {
 	h := fnvOffset32
 	for i := 0; i < len(eventID); i++ {
@@ -212,6 +214,8 @@ func (s *Sharded) worker(i int) {
 // instances flow through the Config hooks. Ingest is intended for a
 // single producer goroutine; after a (possibly concurrent) Close it
 // returns ErrClosed.
+//
+//stcps:hotpath
 func (s *Sharded) Ingest(source string, ent event.Entity, conf float64, now timemodel.Tick, loc spatial.Location) error {
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
@@ -239,6 +243,8 @@ func (s *Sharded) Ingest(source string, ent event.Entity, conf float64, now time
 
 // dispatch sends a shard's pending batch to its worker. Callers hold
 // pmu in a state where the channels are open.
+//
+//stcps:holds pmu
 func (s *Sharded) dispatch(shard int) {
 	bp := s.pending[shard]
 	if bp == nil || len(*bp) == 0 {

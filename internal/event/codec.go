@@ -206,12 +206,12 @@ func NewInterner() *Interner {
 // the same content when possible. A nil receiver simply copies.
 func (it *Interner) Intern(b []byte) string {
 	if it == nil {
-		return string(b)
+		return string(b) //stcps:ignore hotpath nil-interner fallback copies by contract
 	}
-	if s, ok := it.m[string(b)]; ok {
+	if s, ok := it.m[string(b)]; ok { //stcps:ignore hotpath map-lookup conversion does not allocate (compiler-recognized)
 		return s
 	}
-	s := string(b)
+	s := string(b) //stcps:ignore hotpath intern miss materializes each distinct string once, bounded by maxInternedStrings
 	if len(it.m) < maxInternedStrings {
 		it.m[s] = s
 	}
@@ -292,7 +292,7 @@ func (e *WireEncoder) appendAttrs(dst []byte, a Attrs) []byte {
 		dst = dst[:base] // schema changed mid-verify: roll back
 	}
 	if cap(e.names) < len(a) {
-		e.names = make([]string, 0, len(a))
+		e.names = make([]string, 0, len(a)) //stcps:ignore hotpath amortized schema-cache growth, reused across records
 	}
 	e.names = e.names[:0]
 	for k := range a {
@@ -322,7 +322,7 @@ func (e *WireEncoder) AppendObservation(dst []byte, o *Observation) []byte {
 // JSON encoder.
 func (e *WireEncoder) AppendInstance(dst []byte, in *Instance) ([]byte, error) {
 	if err := in.Validate(); err != nil {
-		return dst, fmt.Errorf("event: encode: %w", err)
+		return dst, fmt.Errorf("event: encode: %w", err) //stcps:ignore hotpath error path rejects the record
 	}
 	dst = append(dst, byte(in.Layer))
 	dst = appendString(dst, in.Observer)
@@ -343,6 +343,8 @@ func (e *WireEncoder) AppendInstance(dst []byte, in *Instance) ([]byte, error) {
 
 // AppendObservationWire appends the binary wire form of o to dst and
 // returns the extended slice.
+//
+//stcps:hotpath
 func AppendObservationWire(dst []byte, o *Observation) []byte {
 	var e WireEncoder
 	return e.AppendObservation(dst, o)
@@ -351,6 +353,8 @@ func AppendObservationWire(dst []byte, o *Observation) []byte {
 // AppendInstanceWire appends the binary wire form of in to dst and
 // returns the extended slice. The instance is validated first, mirroring
 // the JSON encoder.
+//
+//stcps:hotpath
 func AppendInstanceWire(dst []byte, in *Instance) ([]byte, error) {
 	var e WireEncoder
 	return e.AppendInstance(dst, in)
@@ -474,7 +478,7 @@ func (c *wireCursor) location() (spatial.Location, error) {
 		if n > maxWireVerts {
 			return spatial.Location{}, ErrWireBounds
 		}
-		ring := make([]spatial.Point, n)
+		ring := make([]spatial.Point, n) //stcps:ignore hotpath field (polygon) locations materialize a ring; point locations take the alloc-free branch
 		for i := range ring {
 			if ring[i].X, err = c.f64(); err != nil {
 				return spatial.Location{}, err
@@ -485,11 +489,11 @@ func (c *wireCursor) location() (spatial.Location, error) {
 		}
 		f, err := spatial.NewField(ring)
 		if err != nil {
-			return spatial.Location{}, fmt.Errorf("event: decode location: %w", err)
+			return spatial.Location{}, fmt.Errorf("event: decode location: %w", err) //stcps:ignore hotpath error path rejects the record
 		}
 		return spatial.InField(f), nil
 	default:
-		return spatial.Location{}, fmt.Errorf("location kind %d: %w", kind, ErrWireBounds)
+		return spatial.Location{}, fmt.Errorf("location kind %d: %w", kind, ErrWireBounds) //stcps:ignore hotpath error path rejects the record
 	}
 }
 
@@ -565,7 +569,9 @@ func (c *wireCursor) done() error {
 // DecodeObservationWire parses the binary wire form of an observation
 // into *o. Strings are deduped through it (which may be nil). The
 // decoded observation does not alias data except through interned
-// strings, so data may be reused afterwards.
+// strings, so data may be reused afterwards. Materializing the Attrs
+// map allocates by design; the zero-allocation ingest path is
+// DecodeObservationView.
 func DecodeObservationWire(data []byte, o *Observation, it *Interner) error {
 	c := wireCursor{b: data}
 	var err error
@@ -592,7 +598,9 @@ func DecodeObservationWire(data []byte, o *Observation, it *Interner) error {
 
 // DecodeInstanceWire parses and validates the binary wire form of an
 // instance into *in. The decoded instance does not alias data except
-// through interned strings.
+// through interned strings. Materializing Attrs and Inputs allocates
+// by design; observations, the high-rate entity kind, go through
+// DecodeObservationView instead.
 func DecodeInstanceWire(data []byte, in *Instance, it *Interner) error {
 	c := wireCursor{b: data}
 	layer, err := c.byte()
@@ -676,6 +684,8 @@ type ObservationView struct {
 // DecodeObservationView parses the binary wire form of an observation
 // into a zero-copy view. The attrs section is structurally validated up
 // front so Attr can never fail later.
+//
+//stcps:hotpath
 func DecodeObservationView(data []byte, v *ObservationView, it *Interner) error {
 	c := wireCursor{b: data}
 	var err error

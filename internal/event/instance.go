@@ -69,7 +69,7 @@ func (in Instance) Validate() error {
 	switch in.Layer {
 	case LayerSensor, LayerCyberPhysical, LayerCyber:
 	default:
-		return fmt.Errorf("%v: %w", in.Layer, ErrBadLayer)
+		return fmt.Errorf("%v: %w", in.Layer, ErrBadLayer) //stcps:ignore hotpath error path rejects the record
 	}
 	if in.Observer == "" {
 		return ErrMissingObserver
@@ -78,7 +78,7 @@ func (in Instance) Validate() error {
 		return ErrMissingEventID
 	}
 	if in.Confidence < 0 || in.Confidence > 1 {
-		return fmt.Errorf("ρ=%g: %w", in.Confidence, ErrConfidenceRange)
+		return fmt.Errorf("ρ=%g: %w", in.Confidence, ErrConfidenceRange) //stcps:ignore hotpath error path rejects the record
 	}
 	return nil
 }

@@ -45,6 +45,8 @@ var (
 
 // PutHeader writes the 8-byte header for payload into hdr, which must
 // be at least HeaderSize bytes.
+//
+//stcps:hotpath
 func PutHeader(hdr []byte, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -52,6 +54,8 @@ func PutHeader(hdr []byte, payload []byte) {
 
 // AppendFrame appends one complete frame (header + payload) to dst and
 // returns the extended slice.
+//
+//stcps:hotpath
 func AppendFrame(dst []byte, payload []byte) []byte {
 	var hdr [HeaderSize]byte
 	PutHeader(hdr[:], payload)
@@ -101,25 +105,27 @@ func NewReader(r io.Reader, max uint32) *Reader {
 // checksum failure returns one wrapping ErrChecksum. The payload
 // aliases the reader's internal buffer: it is valid only until the
 // next call to Next, or indefinitely after Detach.
+//
+//stcps:hotpath
 func (fr *Reader) Next() ([]byte, int, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, 0, io.EOF
 		}
-		return nil, 0, fmt.Errorf("%w: torn header: %v", ErrTorn, err)
+		return nil, 0, fmt.Errorf("%w: torn header: %w", ErrTorn, err) //stcps:ignore hotpath error path ends the stream
 	}
 	ln := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if ln == 0 || ln > fr.max {
-		return nil, 0, fmt.Errorf("%w: %d", ErrLength, ln)
+		return nil, 0, fmt.Errorf("%w: %d", ErrLength, ln) //stcps:ignore hotpath error path ends the stream
 	}
 	if uint32(cap(fr.buf)) < ln {
-		fr.buf = make([]byte, ln)
+		fr.buf = make([]byte, ln) //stcps:ignore hotpath amortized read-buffer growth, reused across frames
 	}
 	payload := fr.buf[:ln]
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
-		return nil, 0, fmt.Errorf("%w: torn payload: %v", ErrTorn, err)
+		return nil, 0, fmt.Errorf("%w: torn payload: %w", ErrTorn, err) //stcps:ignore hotpath error path ends the stream
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
 		return nil, 0, ErrChecksum

@@ -31,7 +31,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame %d: payload mismatch", i)
 		}
 	}
-	if _, _, err := fr.Next(); err != io.EOF {
+	if _, _, err := fr.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("after last frame: err=%v, want io.EOF", err)
 	}
 }
@@ -142,7 +142,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			if n != len(enc) || !bytes.Equal(got, payload) {
 				t.Fatalf("decode mismatch")
 			}
-			if _, _, err := fr.Next(); err != io.EOF {
+			if _, _, err := fr.Next(); !errors.Is(err, io.EOF) {
 				t.Fatalf("expected EOF, got %v", err)
 			}
 		case 1:
@@ -151,7 +151,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			fr := NewReader(bytes.NewReader(enc[:cut]), 0)
 			_, _, err := fr.Next()
 			if cut == 0 {
-				if err != io.EOF {
+				if !errors.Is(err, io.EOF) {
 					t.Fatalf("empty stream: err=%v, want io.EOF", err)
 				}
 			} else if err == nil {

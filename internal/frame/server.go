@@ -141,7 +141,7 @@ func ServeConn(conn io.ReadWriter, cfg ServerConfig) (ServeStats, error) {
 	)
 	for {
 		payload, _, err := fr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return stats, nil
 		}
 		if err != nil {

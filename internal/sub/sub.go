@@ -213,9 +213,9 @@ type Matcher struct {
 	cfg Config
 
 	mu      sync.RWMutex
-	nextID  uint64
-	subs    map[uint64]*Subscription
-	byEvent map[string]*bucket
+	nextID  uint64                   //stcps:guardedby mu
+	subs    map[uint64]*Subscription //stcps:guardedby mu
+	byEvent map[string]*bucket       //stcps:guardedby mu
 
 	// count mirrors len(subs) so Publish can skip the read lock when no
 	// one is subscribed — emission hot paths pay one atomic load.
@@ -226,8 +226,8 @@ type Matcher struct {
 	condErrs  atomic.Uint64
 
 	// retired accumulates the delivery counters of closed subscriptions
-	// so Stats stays monotonic across unsubscribes. Guarded by mu.
-	retired Stats
+	// so Stats stays monotonic across unsubscribes.
+	retired Stats //stcps:guardedby mu
 }
 
 // NewMatcher creates an empty subscription matcher.
@@ -378,6 +378,8 @@ func (m *Matcher) Unsubscribe(id uint64) bool {
 
 // removeLocked detaches a subscription from the index and folds its
 // counters into the retired totals. Callers hold m.mu.
+//
+//stcps:holds mu
 func (m *Matcher) removeLocked(s *Subscription) {
 	delete(m.subs, s.id)
 	m.count.Add(-1)
@@ -422,6 +424,8 @@ func removeSub(lst []*Subscription, s *Subscription) []*Subscription {
 // store-less engines). Publish is the emission-path hot spot: with no
 // subscriptions it is one atomic load, and the index probe allocates
 // nothing for single-cell (point-located) instances.
+//
+//stcps:hotpath
 func (m *Matcher) Publish(in *event.Instance, cursor uint64, hasCursor bool) {
 	if m.count.Load() == 0 {
 		return
@@ -458,7 +462,7 @@ func (m *Matcher) matchBucket(b *bucket, in *event.Instance, d *Delivery) {
 		}
 		return
 	}
-	seen := make(map[*Subscription]struct{}, 8)
+	seen := make(map[*Subscription]struct{}, 8) //stcps:ignore hotpath multi-cell dedup; point instances take the alloc-free fast path
 	// A field instance can span more cells than the bucket populates
 	// (pathologically: a near-infinite bbox, clamped above). Walk the
 	// populated cells instead of enumerating the rectangle whenever

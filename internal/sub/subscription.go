@@ -33,33 +33,33 @@ type Subscription struct {
 	// register time and read at removal, both under the matcher's lock.
 	cellRefs []cellKey
 
-	// cond and binding form the compiled predicate's evaluation context;
-	// both are guarded by mu (compiled conditions own scratch buffers).
-	cond    *condition.Compiled
-	binding []event.Entity
+	// cond and binding form the compiled predicate's evaluation context
+	// (compiled conditions own scratch buffers).
+	cond    *condition.Compiled //stcps:guardedby mu
+	binding []event.Entity      //stcps:guardedby mu
 
 	mu   sync.Mutex
-	ring []Delivery // live buffer; grows lazily up to cap
-	head int
-	n    int
+	ring []Delivery //stcps:guardedby mu
+	head int        //stcps:guardedby mu
+	n    int        //stcps:guardedby mu
 	// pending parks live matches while the catch-up replay runs, bounded
 	// by cap with the same drop-oldest policy.
-	pending []Delivery
-	catchup bool
-	closed  bool
+	pending []Delivery //stcps:guardedby mu
+	catchup bool       //stcps:guardedby mu
+	closed  bool       //stcps:guardedby mu
 	// seam holds the content keys of everything the catch-up replay
 	// delivered: a live match carrying one of these keys is a duplicate
 	// of a replayed instance (the emission hook ran after the replay had
 	// already read it from the store) and is discarded. Bounded by
 	// SeamCap; kept until the subscription closes, since an emission
 	// hook may be arbitrarily delayed between logging and publishing.
-	seam map[string]struct{}
+	seam map[string]struct{} //stcps:guardedby mu
 
-	delivered   uint64
-	dropped     uint64
-	replayed    uint64
-	condErrs    uint64
-	seamDropped uint64
+	delivered   uint64 //stcps:guardedby mu
+	dropped     uint64 //stcps:guardedby mu
+	replayed    uint64 //stcps:guardedby mu
+	condErrs    uint64 //stcps:guardedby mu
+	seamDropped uint64 //stcps:guardedby mu
 
 	// notify wakes a blocked Next; done closes on Close/Unsubscribe.
 	notify chan struct{}
@@ -202,6 +202,8 @@ func (s *Subscription) offer(in *event.Instance, d *Delivery) {
 
 // pushLocked appends to the ring, evicting the oldest entry when full.
 // Callers hold mu.
+//
+//stcps:holds mu
 func (s *Subscription) pushLocked(d Delivery) {
 	if s.n == len(s.ring) && len(s.ring) < s.cap {
 		grown := cap(s.ring) * 2
@@ -211,7 +213,7 @@ func (s *Subscription) pushLocked(d Delivery) {
 		if grown > s.cap {
 			grown = s.cap
 		}
-		next := make([]Delivery, s.n, grown)
+		next := make([]Delivery, s.n, grown) //stcps:ignore hotpath amortized ring growth, capped at cap
 		for i := 0; i < s.n; i++ {
 			next[i] = s.ring[(s.head+i)%len(s.ring)]
 		}

@@ -199,25 +199,25 @@ type Log struct {
 	opts Options
 
 	mu     sync.Mutex
-	f      *os.File
-	w      *bufio.Writer
-	segs   []segMeta // ordered; the last one is active
-	seq    uint64    // last assigned sequence number
-	dirty  bool      // unsynced appends outstanding
-	closed bool
+	f      *os.File      //stcps:guardedby mu
+	w      *bufio.Writer //stcps:guardedby mu
+	segs   []segMeta     //stcps:guardedby mu -- ordered; the last one is active
+	seq    uint64        //stcps:guardedby mu -- last assigned sequence number
+	dirty  bool          //stcps:guardedby mu -- unsynced appends outstanding
+	closed bool          //stcps:guardedby mu
 
-	appended  uint64
-	syncs     uint64
-	lastSync  time.Time
-	torn      uint64
-	snapSeq   uint64
-	snapshots uint64
-	compacted uint64
+	appended  uint64    //stcps:guardedby mu
+	syncs     uint64    //stcps:guardedby mu
+	lastSync  time.Time //stcps:guardedby mu
+	torn      uint64    //stcps:guardedby mu
+	snapSeq   uint64    //stcps:guardedby mu
+	snapshots uint64    //stcps:guardedby mu
+	compacted uint64    //stcps:guardedby mu
 	// syncFailures / firstErr record fsync failures — the interval
 	// policy's background syncer has no caller to return them to, and a
 	// later fsync succeeding does NOT mean the lost pages were written.
-	syncFailures uint64
-	firstErr     error
+	syncFailures uint64 //stcps:guardedby mu
+	firstErr     error  //stcps:guardedby mu
 
 	// lock holds the directory lock file (see lockFile) preventing two
 	// processes from appending to the same directory.
@@ -254,6 +254,8 @@ func parseSeqName(name, prefix, suffix string) (uint64, bool) {
 
 // Open opens (or creates) the log in opts.Dir, scanning every segment to
 // rebuild positions and truncating a torn tail left by a crash.
+//
+//stcps:holds mu -- open-time: the Log is not yet published
 func Open(opts Options) (*Log, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("wal: Options.Dir is required")
@@ -387,6 +389,9 @@ func Open(opts Options) (*Log, error) {
 // scanSegment reads one segment end to end, validating frames. A torn
 // tail is truncated when the segment is the last one; otherwise it
 // fails the open.
+//
+//stcps:replay
+//stcps:holds mu -- open-time: the Log is not yet published
 func (l *Log) scanSegment(path string, first uint64, isLast bool) (segMeta, error) {
 	meta := segMeta{path: path, first: first, last: first - 1, maxTick: math.MinInt64}
 	f, err := os.Open(path)
@@ -398,12 +403,12 @@ func (l *Log) scanSegment(path string, first uint64, isLast bool) (segMeta, erro
 	var off int64
 	for {
 		payload, n, err := fr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
 			if !isLast {
-				return meta, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, filepath.Base(path), off, err)
+				return meta, fmt.Errorf("%w: %s at offset %d: %w", ErrCorrupt, filepath.Base(path), off, err)
 			}
 			// Torn tail from a crash: drop it.
 			if terr := os.Truncate(path, off); terr != nil {
@@ -415,7 +420,7 @@ func (l *Log) scanSegment(path string, first uint64, isLast bool) (segMeta, erro
 		var env envelope
 		if jerr := json.Unmarshal(payload, &env); jerr != nil {
 			if !isLast {
-				return meta, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, filepath.Base(path), off, jerr)
+				return meta, fmt.Errorf("%w: %s at offset %d: %w", ErrCorrupt, filepath.Base(path), off, jerr)
 			}
 			if terr := os.Truncate(path, off); terr != nil {
 				return meta, fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), terr)
@@ -454,6 +459,8 @@ func segmentReader(f io.Reader) *frame.Reader {
 // record will be seq first. The directory entry is fsynced before any
 // record lands in the file — an fsynced record in a file whose creation
 // is not durable is lost with it. Callers hold mu (or are in Open).
+//
+//stcps:holds mu
 func (l *Log) openSegmentLocked(first uint64) error {
 	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(first)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -535,7 +542,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	payload, err := json.Marshal(env)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadRecord, err)
+		return 0, fmt.Errorf("%w: %w", ErrBadRecord, err)
 	}
 	if len(payload) > maxPayloadBytes {
 		return 0, fmt.Errorf("%w: payload is %d bytes (max %d)", ErrBadRecord, len(payload), maxPayloadBytes)
@@ -578,6 +585,8 @@ func (l *Log) Append(rec Record) (uint64, error) {
 
 // rotateLocked seals the active segment (flushing and syncing it so a
 // sealed segment is always durable) and opens the next one.
+//
+//stcps:holds mu
 func (l *Log) rotateLocked() error {
 	if err := l.syncLocked(); err != nil {
 		return err
@@ -598,6 +607,7 @@ func (l *Log) Sync() error {
 	return l.syncLocked()
 }
 
+//stcps:holds mu
 func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
@@ -621,6 +631,8 @@ func (l *Log) syncLocked() error {
 // noteSyncErrLocked records a sync failure so it surfaces through Stats
 // and Err even when the caller is the background syncer. Callers hold
 // mu.
+//
+//stcps:holds mu
 func (l *Log) noteSyncErrLocked(err error) error {
 	l.syncFailures++
 	if l.firstErr == nil {
@@ -659,6 +671,8 @@ func (l *Log) Complete() bool {
 // Replay streams every live record, in sequence order, to fn. It reads
 // the segment files from disk, so it must run before appends start
 // (recovery time); fn must not call back into the log.
+//
+//stcps:replay
 func (l *Log) Replay(fn func(Record) error) error {
 	l.mu.Lock()
 	if err := l.syncFlushLocked(); err != nil {
@@ -679,7 +693,7 @@ func (l *Log) Replay(fn func(Record) error) error {
 			payload, _, err := fr.Next()
 			if err != nil {
 				f.Close()
-				return fmt.Errorf("wal: replay %s: %v", filepath.Base(seg.path), err)
+				return fmt.Errorf("wal: replay %s: %w", filepath.Base(seg.path), err)
 			}
 			var env envelope
 			if err := json.Unmarshal(payload, &env); err != nil {
@@ -708,6 +722,8 @@ func (l *Log) Replay(fn func(Record) error) error {
 
 // syncFlushLocked lands buffered bytes without requiring fsync (so
 // Replay sees them through the file system).
+//
+//stcps:holds mu
 func (l *Log) syncFlushLocked() error {
 	if l.w == nil {
 		return nil
@@ -787,6 +803,8 @@ func (l *Log) Snapshot(write func(io.Writer) error, horizon timemodel.Tick) erro
 // so a gap in the middle of the chain would make every later segment
 // unreadable on the next open. A young segment therefore pins everything
 // behind it — the price of not persisting sequence numbers per record.
+//
+//stcps:holds mu
 func (l *Log) compactLocked(horizon timemodel.Tick) {
 	cut := 0
 	for i, seg := range l.segs {
