@@ -186,16 +186,25 @@ const (
 // sensor, observer, event and attribute names) so steady-state decode
 // does not allocate per record. Lookups with a byte-slice key compile to
 // allocation-free map probes; only the first occurrence of each distinct
-// name allocates. The table is bounded: past the cap new names are
-// returned un-interned, so a hostile stream of unique names cannot grow
-// memory without bound. An Interner is not safe for concurrent use —
+// name allocates. The table is bounded three ways — entry count,
+// per-string length, and total pinned bytes — so a hostile stream of
+// unique or oversized names can pin at most maxInternedBytes (a few
+// MiB) per connection; strings past any bound are returned un-interned
+// and stay collectable. An Interner is not safe for concurrent use —
 // give each connection its own.
 type Interner struct {
-	m map[string]string
+	m     map[string]string
+	bytes int // total bytes pinned by interned strings
 }
 
-// maxInternedStrings bounds one Interner's table.
-const maxInternedStrings = 1 << 16
+// Interner bounds: entry count, per-string length (routing keys and
+// attribute names are short in practice; anything longer is not worth
+// pinning), and total pinned bytes per table.
+const (
+	maxInternedStrings = 1 << 16
+	maxInternedStrLen  = 256
+	maxInternedBytes   = 4 << 20
+)
 
 // NewInterner creates an empty interner.
 func NewInterner() *Interner {
@@ -211,9 +220,10 @@ func (it *Interner) Intern(b []byte) string {
 	if s, ok := it.m[string(b)]; ok { //stcps:ignore hotpath map-lookup conversion does not allocate (compiler-recognized)
 		return s
 	}
-	s := string(b) //stcps:ignore hotpath intern miss materializes each distinct string once, bounded by maxInternedStrings
-	if len(it.m) < maxInternedStrings {
+	s := string(b) //stcps:ignore hotpath intern miss materializes each distinct string once, bounded by maxInternedBytes
+	if len(s) <= maxInternedStrLen && len(it.m) < maxInternedStrings && it.bytes+len(s) <= maxInternedBytes {
 		it.m[s] = s
+		it.bytes += len(s)
 	}
 	return s
 }

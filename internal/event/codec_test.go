@@ -208,6 +208,46 @@ func TestInternerDedupes(t *testing.T) {
 	}
 }
 
+// TestInternerBounds: a hostile stream of unique or oversized names
+// must not pin unbounded memory. Oversized strings are never stored,
+// and total pinned bytes stop at maxInternedBytes — not at the far
+// larger entry-count × max-string-length product.
+func TestInternerBounds(t *testing.T) {
+	it := NewInterner()
+
+	big := bytes.Repeat([]byte{'A'}, maxInternedStrLen+1)
+	if got := it.Intern(big); got != string(big) {
+		t.Fatal("oversized string mangled")
+	}
+	if len(it.m) != 0 || it.bytes != 0 {
+		t.Fatalf("oversized string stored: %d entries, %d bytes", len(it.m), it.bytes)
+	}
+
+	// Unique max-length names until well past the byte bound.
+	name := make([]byte, maxInternedStrLen)
+	rounds := maxInternedBytes/maxInternedStrLen + 100
+	for i := 0; i < rounds; i++ {
+		for j, d := 0, i; j < 8; j, d = j+1, d/10 {
+			name[j] = byte('0' + d%10)
+		}
+		it.Intern(name)
+	}
+	if it.bytes > maxInternedBytes {
+		t.Fatalf("interner pinned %d bytes, bound is %d", it.bytes, maxInternedBytes)
+	}
+	if len(it.m) != maxInternedBytes/maxInternedStrLen {
+		t.Fatalf("interner holds %d entries, want byte bound to stop it at %d",
+			len(it.m), maxInternedBytes/maxInternedStrLen)
+	}
+	// Full table: new names pass through un-interned but intact.
+	if got := it.Intern([]byte("fresh")); got != "fresh" {
+		t.Fatalf("post-bound intern: %q", got)
+	}
+	if _, ok := it.m["fresh"]; ok {
+		t.Fatal("post-bound intern stored a new entry")
+	}
+}
+
 // TestDecodeObservationWireAllocs is the acceptance gate for the eager
 // binary decode hot path: at most 2 allocations per record, both from
 // the user-visible Attrs map (its header and one bucket group — a map

@@ -17,7 +17,8 @@ import (
 // frame reader and owned by the batch, and both the arena and the view
 // slice are freshly allocated per batch because detector windows may
 // retain the boxed *ObservationView entities indefinitely. That costs
-// ~2 allocations per batch regardless of record count.
+// ~2 allocations per batch (plus append growth past maxBatchPrealloc
+// records) regardless of record count.
 //
 // In materialized mode (engines with a WAL, whose durability layer
 // only accepts concrete event.Observation values) observations are
@@ -122,6 +123,12 @@ func (b *Batch) Instance(i int) event.Instance {
 // bound does the real work; this only blocks count/size mismatches.
 const maxBatchRecords = 1 << 20
 
+// maxBatchPrealloc caps the view-slice capacity sized from the claimed
+// record count. A count that survives the bytes-per-record check below
+// is still attacker-chosen up to half the payload size, so batches
+// beyond this grow by append instead of trusting the claim.
+const maxBatchPrealloc = 4096
+
 // DecodeBatch parses a MsgBatch payload into b, replacing its previous
 // contents.
 //
@@ -148,9 +155,19 @@ func DecodeBatch(payload []byte, materialize bool, it *event.Interner, b *Batch)
 		return fmt.Errorf("%w: malformed batch count", ErrProtocol)
 	}
 	rest = rest[n:]
+	// Every record costs at least two bytes (kind byte + length
+	// varint), so a claimed count the remaining bytes cannot hold is
+	// hostile — reject it before sizing anything from it.
+	if count > uint64(len(rest))/2 {
+		return fmt.Errorf("%w: malformed batch count", ErrProtocol)
+	}
 	if !materialize {
 		b.arena = payload
-		b.views = make([]event.ObservationView, 0, count)
+		pre := count
+		if pre > maxBatchPrealloc {
+			pre = maxBatchPrealloc
+		}
+		b.views = make([]event.ObservationView, 0, pre)
 	}
 	for i := uint64(0); i < count; i++ {
 		if len(rest) < 1 {

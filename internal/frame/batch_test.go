@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -122,6 +123,37 @@ func TestDecodeBatchRejectsMalformed(t *testing.T) {
 	// Not a batch frame at all.
 	if err := DecodeBatch(AppendAck(nil, 1), false, it, &b); err == nil {
 		t.Fatal("ack payload accepted as batch")
+	}
+}
+
+// TestDecodeBatchRejectsHostileCount: a tiny frame claiming a huge
+// record count must be rejected before the claim sizes any allocation —
+// each record costs at least 2 bytes, so the count is checked against
+// the remaining payload first. A claim within maxBatchRecords is the
+// interesting case: it used to drive a ~100MB views pre-allocation per
+// connection from a few hostile bytes.
+func TestDecodeBatchRejectsHostileCount(t *testing.T) {
+	it := event.NewInterner()
+	var b Batch
+	for _, count := range []uint64{3, 1000, maxBatchRecords} {
+		payload := binary.AppendUvarint([]byte{MsgBatch}, count)
+		payload = append(payload, RecObservation, 0) // one 2-byte record, count claims more
+		err := DecodeBatch(payload, false, it, &b)
+		if err == nil || !strings.Contains(err.Error(), "malformed batch count") {
+			t.Fatalf("count claim %d over 2 payload bytes: err=%v, want malformed batch count", count, err)
+		}
+		if c := cap(b.views); c > 2 {
+			t.Fatalf("count claim %d pre-allocated %d views before rejection", count, c)
+		}
+	}
+	// An honest large batch still decodes: the prealloc clamp only
+	// bounds the initial capacity, not the batch size.
+	payload := buildBatchPayload(t, 3, 0)
+	if err := DecodeBatch(payload, false, it, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("decoded %d records, want 3", b.Len())
 	}
 }
 

@@ -101,10 +101,12 @@ func NewReader(r io.Reader, max uint32) *Reader {
 
 // Next reads one frame and returns its payload and the total frame
 // size (header included). io.EOF signals a clean end of stream; a
-// stream ending mid-frame returns an error wrapping ErrTorn, and a
-// checksum failure returns one wrapping ErrChecksum. The payload
-// aliases the reader's internal buffer: it is valid only until the
-// next call to Next, or indefinitely after Detach.
+// stream ending mid-frame returns an error wrapping ErrTorn — and
+// never one matching io.EOF, so errors.Is(err, io.EOF) cleanly
+// separates a close from a tear — and a checksum failure returns one
+// wrapping ErrChecksum. The payload aliases the reader's internal
+// buffer: it is valid only until the next call to Next, or
+// indefinitely after Detach.
 //
 //stcps:hotpath
 func (fr *Reader) Next() ([]byte, int, error) {
@@ -125,6 +127,13 @@ func (fr *Reader) Next() ([]byte, int, error) {
 	}
 	payload := fr.buf[:ln]
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			// ReadFull reports a bare io.EOF when the stream ends exactly
+			// at the header/payload boundary. Wrapping that would make the
+			// torn error match errors.Is(err, io.EOF) and let callers
+			// mistake a dangling header for a clean close.
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, 0, fmt.Errorf("%w: torn payload: %w", ErrTorn, err) //stcps:ignore hotpath error path ends the stream
 	}
 	if crc32.ChecksumIEEE(payload) != sum {

@@ -56,6 +56,23 @@ func TestFrameTornHeader(t *testing.T) {
 	}
 }
 
+// TestFrameTornAtHeaderBoundary guards the nastiest tear: a stream cut
+// exactly after the 8-byte header. io.ReadFull reports that as a bare
+// io.EOF, and if Next wrapped it the tear would satisfy
+// errors.Is(err, io.EOF) — the WAL would then mistake a dangling
+// header for a clean segment end and append acked records after it.
+func TestFrameTornAtHeaderBoundary(t *testing.T) {
+	stream := AppendFrame(nil, []byte("abcdef"))
+	fr := NewReader(bytes.NewReader(stream[:HeaderSize]), 0)
+	_, _, err := fr.Next()
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("cut after header: err=%v, want ErrTorn", err)
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatalf("cut after header: err=%v must not match io.EOF", err)
+	}
+}
+
 func TestFrameTornPayload(t *testing.T) {
 	stream := AppendFrame(nil, []byte("abcdef"))
 	fr := NewReader(bytes.NewReader(stream[:len(stream)-2]), 0)
@@ -156,6 +173,8 @@ func FuzzFrameRoundTrip(f *testing.F) {
 				}
 			} else if err == nil {
 				t.Fatalf("torn frame (cut at %d) accepted", cut)
+			} else if errors.Is(err, io.EOF) {
+				t.Fatalf("torn frame (cut at %d): err=%v must not match io.EOF", cut, err)
 			}
 		case 2:
 			// Corrupt frame: flip one payload bit.

@@ -147,6 +147,32 @@ func TestServeConnTornFinalFrame(t *testing.T) {
 	}
 }
 
+// TestServeConnTornAtHeaderBoundary: a connection cut exactly after a
+// frame header is still a tear, not a clean close — stats.Torn must be
+// set and the error surfaced, or wire-health stats undercount tears.
+func TestServeConnTornAtHeaderBoundary(t *testing.T) {
+	cfg := ServerConfig{Offer: func(*Batch) error { return nil }}
+	c, done, stats, serveErr := startServer(t, cfg)
+
+	c.write(AppendHello(nil))
+	if _, _, err := ParseWelcome(c.read()); err != nil {
+		t.Fatal(err)
+	}
+	full := AppendFrame(nil, buildBatchPayload(t, 2, 0))
+	if _, err := c.conn.Write(full[:HeaderSize]); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.Close()
+	<-done
+
+	if !errors.Is(*serveErr, ErrTorn) {
+		t.Fatalf("serve err = %v, want ErrTorn", *serveErr)
+	}
+	if !stats.Torn {
+		t.Fatalf("stats.Torn = false for a header-boundary tear")
+	}
+}
+
 func TestServeConnCorruptFrameRejected(t *testing.T) {
 	var offered int
 	cfg := ServerConfig{Offer: func(b *Batch) error { offered += b.Len(); return nil }}

@@ -182,6 +182,57 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
+// TestDanglingHeaderTruncated simulates a crash that cut the tail
+// exactly after a frame's 8-byte header. The open must truncate the
+// dangling header — not mistake it for a clean segment end — or the
+// next append lands after it and a later open CRC-fails the tail,
+// discarding records that were already acked and fsynced.
+func TestDanglingHeaderTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	appendN(t, l, 5, 0)
+	_ = l.Close()
+
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full header claiming a payload the file does not have.
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if l2.Seq() != 5 {
+		t.Fatalf("seq after dangling-header open = %d, want 5", l2.Seq())
+	}
+	if st := l2.Stats(); st.TornRecords != 1 {
+		t.Errorf("tornRecords = %d, want 1", st.TornRecords)
+	}
+	// The acked record appended now must survive the next open: if the
+	// dangling header was left in place, this write lands after it and
+	// the reopen below throws it away as a corrupt tail.
+	if seq, err := l2.Append(Record{Kind: KindEmit, Instance: inst(6, 6)}); err != nil || seq != 6 {
+		t.Fatalf("append after truncation = (%d, %v), want (6, nil)", seq, err)
+	}
+	_ = l2.Close()
+
+	l3 := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	defer l3.Close()
+	if l3.Seq() != 6 {
+		t.Fatalf("seq after reopen = %d, want 6", l3.Seq())
+	}
+	if st := l3.Stats(); st.TornRecords != 0 {
+		t.Errorf("reopen tornRecords = %d, want 0", st.TornRecords)
+	}
+	recs := collect(t, l3)
+	if len(recs) != 6 || recs[5].Seq != 6 {
+		t.Fatalf("replay after reopen = %d records (last seq %d), want 6", len(recs), recs[len(recs)-1].Seq)
+	}
+}
+
 // TestCorruptBody rejects a flipped byte in a record payload.
 func TestCorruptBody(t *testing.T) {
 	dir := t.TempDir()
