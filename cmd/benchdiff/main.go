@@ -1,10 +1,12 @@
 // Command benchdiff is the CI benchmark regression gate: it compares
 // the speedup fields of a freshly generated edlbench artifact
-// (BENCH_2.json / BENCH_3.json / BENCH_4.json / BENCH_5.json) against
-// the committed baseline and fails when any speedup regressed by more
-// than the allowed fraction. As a smoke check it also fails outright
-// when a throughput-carrying row of the current artifact reports zero
-// obs/s, which a speedup ratio alone can mask.
+// (BENCH_2.json through BENCH_6.json) against the committed baseline
+// and fails when any speedup regressed by more than the allowed
+// fraction. As a smoke check it also fails outright when a
+// throughput-carrying row of the current artifact reports zero obs/s,
+// which a speedup ratio alone can mask. The E15 store-contention
+// section gates on absolute floors instead (see e15Failures): its
+// tail-latency speedup is too scheduler-dependent for a relative rule.
 //
 // Speedups (indexed-query-vs-scan, planned-join-vs-naive) are ratios of
 // two measurements taken on the same machine in the same run, so they
@@ -56,7 +58,32 @@ type artifact struct {
 		RecPerSec float64 `json:"recPerSec"`
 		Speedup   float64 `json:"speedup"`
 	} `json:"e14"`
+	E15 *struct {
+		Contend []struct {
+			Mode         string  `json:"mode"`
+			Readers      int     `json:"readers"`
+			IngestPerSec float64 `json:"ingestPerSec"`
+		} `json:"contend"`
+		IngestLoadRatio   float64 `json:"ingestLoadRatio"`
+		AuditLocksPerPage float64 `json:"auditLocksPerPage"`
+		AuditPages        uint64  `json:"auditPages"`
+		P99Speedup        float64 `json:"p99Speedup"`
+	} `json:"e15"`
 }
+
+// E15 acceptance floors. The contended p99 speedup is a tail-latency
+// ratio and swings by an order of magnitude across runs even on one
+// machine (the locked mode's convoy length is scheduler-dependent), so
+// E15 gates on absolute floors instead of the relative-regression rule
+// used for the stable median-ratio experiments: the lock-free plane
+// must beat the monolithic lock by at least e15MinSpeedup at p99 under
+// the full reader population, ingest under load must stay within 20%
+// of reader-free, and the quiesced replay sweep must take zero
+// index-lock acquisitions per page.
+const (
+	e15MinSpeedup     = 5.0
+	e15MinIngestRatio = 0.8
+)
 
 // metric is one comparable speedup measurement.
 type metric struct {
@@ -117,6 +144,35 @@ func deadThroughput(a artifact) []string {
 	return dead
 }
 
+// e15Failures checks the current artifact's E15 section against the
+// absolute contention floors. Returns human-readable failures, empty
+// when the section is absent (artifacts other than BENCH_6) or passing.
+func e15Failures(a artifact) []string {
+	if a.E15 == nil {
+		return nil
+	}
+	var fails []string
+	s := a.E15
+	if s.P99Speedup < e15MinSpeedup {
+		fails = append(fails, fmt.Sprintf("e15[p99Speedup] = %.1fx, floor %.0fx", s.P99Speedup, e15MinSpeedup))
+	}
+	if s.IngestLoadRatio < e15MinIngestRatio {
+		fails = append(fails, fmt.Sprintf("e15[ingestLoadRatio] = %.2f, floor %.2f", s.IngestLoadRatio, e15MinIngestRatio))
+	}
+	if s.AuditLocksPerPage != 0 {
+		fails = append(fails, fmt.Sprintf("e15[auditLocksPerPage] = %.2f, want 0", s.AuditLocksPerPage))
+	}
+	if s.AuditPages == 0 {
+		fails = append(fails, "e15[auditPages] = 0 (replay sweep measured nothing)")
+	}
+	for _, r := range s.Contend {
+		if r.IngestPerSec <= 0 {
+			fails = append(fails, fmt.Sprintf("e15[mode=%s] ingest dead (0 inst/s)", r.Mode))
+		}
+	}
+	return fails
+}
+
 func load(path string) (artifact, error) {
 	var a artifact
 	data, err := os.ReadFile(path)
@@ -172,6 +228,21 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "benchdiff: FAIL: current artifact reports 0 obs/s")
 		return 1
 	}
+	if base.E15 != nil && cur.E15 == nil {
+		fmt.Fprintln(errw, "benchdiff: FAIL: baseline carries an e15 section but current artifact has none")
+		return 1
+	}
+	if fails := e15Failures(cur); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(out, "%s  FLOOR\n", f)
+		}
+		fmt.Fprintln(errw, "benchdiff: FAIL: e15 contention floors violated")
+		return 1
+	}
+	if cur.E15 != nil {
+		fmt.Fprintf(out, "e15: p99 speedup %.1fx (floor %.0fx), ingest ratio %.2f (floor %.2f), index-locks/page %.0f\n",
+			cur.E15.P99Speedup, e15MinSpeedup, cur.E15.IngestLoadRatio, e15MinIngestRatio, cur.E15.AuditLocksPerPage)
+	}
 
 	curBy := make(map[string]float64)
 	for _, m := range metrics(cur) {
@@ -179,6 +250,12 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	baseMetrics := metrics(base)
 	if len(baseMetrics) == 0 {
+		if base.E15 != nil {
+			// E15-only artifact (BENCH_6): the absolute floors above are
+			// the whole gate; there are no relative speedup metrics.
+			fmt.Fprintln(out, "benchdiff: ok (e15 floors)")
+			return 0
+		}
 		fmt.Fprintln(errw, "benchdiff: baseline carries no speedup metrics")
 		return 2
 	}

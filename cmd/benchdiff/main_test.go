@@ -106,6 +106,62 @@ func TestMissingMetricFails(t *testing.T) {
 	}
 }
 
+const e15JSON = `{
+  "schema": "stcps-bench/1",
+  "e15": {
+    "contend": [
+      {"mode": "locked", "readers": 64, "ingestPerSec": 36000},
+      {"mode": "chunked", "readers": 64, "ingestPerSec": 38000, "speedup": 29.5}
+    ],
+    "ingestLoadRatio": 0.91,
+    "auditLocksPerPage": 0,
+    "auditPages": 300,
+    "p99Speedup": 29.5
+  }
+}`
+
+func TestE15FloorsPass(t *testing.T) {
+	base := write(t, "base.json", e15JSON)
+	code, out, errw := runDiff(t, "-baseline", base, "-current", base)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, out, errw)
+	}
+	if !strings.Contains(out, "benchdiff: ok (e15 floors)") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestE15FloorsFail(t *testing.T) {
+	base := write(t, "base.json", e15JSON)
+	cases := []struct {
+		name, old, new, want string
+	}{
+		{"speedup", `"p99Speedup": 29.5`, `"p99Speedup": 3.0`, "e15[p99Speedup]"},
+		{"ingestRatio", `"ingestLoadRatio": 0.91`, `"ingestLoadRatio": 0.5`, "e15[ingestLoadRatio]"},
+		{"indexLocks", `"auditLocksPerPage": 0`, `"auditLocksPerPage": 1.5`, "e15[auditLocksPerPage]"},
+		{"deadSweep", `"auditPages": 300`, `"auditPages": 0`, "e15[auditPages]"},
+		{"deadIngest", `"ingestPerSec": 38000`, `"ingestPerSec": 0`, "e15[mode=chunked] ingest dead"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := write(t, "cur.json", strings.Replace(e15JSON, tc.old, tc.new, 1))
+			code, out, errw := runDiff(t, "-baseline", base, "-current", cur)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stdout %q, stderr %q)", code, out, errw)
+			}
+			if !strings.Contains(out, tc.want) || !strings.Contains(out, "FLOOR") {
+				t.Errorf("stdout = %q, want mention of %q", out, tc.want)
+			}
+		})
+	}
+	// A current artifact that dropped the e15 section entirely fails too.
+	cur := write(t, "cur.json", `{"schema": "stcps-bench/1"}`)
+	if code, _, errw := runDiff(t, "-baseline", base, "-current", cur); code != 1 ||
+		!strings.Contains(errw, "e15 section") {
+		t.Errorf("missing e15 section: exit %d stderr %q, want 1", code, errw)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	base := write(t, "base.json", baselineJSON)
 	if code, _, _ := runDiff(t); code != 2 {
@@ -134,7 +190,7 @@ func TestUsageErrors(t *testing.T) {
 // TestAgainstCommittedBaselines sanity-checks the gate against the
 // repo's real BENCH_2/BENCH_3 artifacts: identical files always pass.
 func TestAgainstCommittedBaselines(t *testing.T) {
-	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json"} {
+	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

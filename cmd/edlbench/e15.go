@@ -1,0 +1,652 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stcps/stcps/internal/db"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// contendRow is one E15 mode measurement: reader query latency and
+// writer throughput with every population running concurrently. Mode
+// "locked" serves every read through QuerySTLocked (the pre-chunked
+// monolithic reader-lock path, retained as the baseline); mode
+// "chunked" serves them through QueryST (the lock-free chunked read
+// plane). Page reads (cursor-paginated sequential scans, the
+// subscription catch-up shape) are the path the chunked plane serves
+// without any lock, so their tail is the headline metric; probe reads
+// (event/time and region index queries) are reported alongside.
+type contendRow struct {
+	Mode         string  `json:"mode"`
+	Readers      int     `json:"readers"`
+	Probers      int     `json:"probers"`
+	Replayers    int     `json:"replayers"`
+	PageQueries  int     `json:"pageQueries"`
+	ProbeQueries int     `json:"probeQueries"`
+	ReplayPages  uint64  `json:"replayPages"`
+	PageP50Us    float64 `json:"pageP50Us"`
+	PageP99Us    float64 `json:"pageP99Us"`
+	ProbeP50Us   float64 `json:"probeP50Us"`
+	ProbeP99Us   float64 `json:"probeP99Us"`
+	IngestPerSec float64 `json:"ingestPerSec"`
+	// Speedup (chunked row only) is the locked-mode page-read p99
+	// divided by the chunked-mode page-read p99 — how much the
+	// lock-free plane shortens the contended tail.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// e15Summary is the machine-readable E15 record: the two contended
+// runs plus the derived gates (tail-latency speedup, ingest-under-load
+// ratio, replay-path lock counters, hot-event churn cost).
+type e15Summary struct {
+	Instances int          `json:"instances"`
+	Contend   []contendRow `json:"contend"`
+	// IngestSoloPerSec is the paced writer's throughput with no readers
+	// attached; IngestLoadRatio divides the chunked-mode throughput
+	// under the full reader population by it.
+	IngestSoloPerSec float64 `json:"ingestSoloPerSec"`
+	IngestLoadRatio  float64 `json:"ingestLoadRatio"`
+	// AuditPages / AuditLocksPerPage / AuditMaterialized check the
+	// cursor-replay path on the quiesced store: a full pagination sweep
+	// must take zero index-lock acquisitions per returned page, with
+	// every returned instance materialized off-lock.
+	AuditPages        uint64  `json:"auditPages"`
+	AuditLocksPerPage float64 `json:"auditLocksPerPage"`
+	AuditMaterialized uint64  `json:"auditMaterialized"`
+	// ChurnNsPerInst is the per-instance cost of logging ChurnInstances
+	// instances of ONE event through a MaxInstances=1000 retention cap —
+	// the workload whose index maintenance was quadratic before the
+	// amortized eviction sweep. ChurnOverhead divides it by the same
+	// workload on an unbounded store.
+	ChurnInstances int     `json:"churnInstances"`
+	ChurnNsPerInst float64 `json:"churnNsPerInst"`
+	ChurnOverhead  float64 `json:"churnOverhead"`
+	// P99Speedup repeats the chunked row's Speedup at top level for the
+	// regression gate.
+	P99Speedup float64 `json:"p99Speedup"`
+}
+
+// E15 workload shape. Every population is paced (fixed think time
+// between operations) so the experiment measures lock contention, not
+// core starvation: an unpaced population on a small machine would
+// monopolize the scheduler and drown both modes identically.
+const (
+	e15Events    = 32
+	e15Space     = 1024.0
+	e15Cell      = 16.0
+	e15Pre       = 40_000  // prepopulated instances
+	e15Cap       = 80_000  // retention cap during the contended runs
+	e15Batch     = 256     // writer LogBatch size
+	e15PageLimit = 256     // reader/replayer page size
+	e15Probers   = 8       // indexed-query population
+	e15ChurnN    = 100_000 // hot-event churn instances
+	e15Reps      = 3       // contended phases per mode; median p99 wins
+
+	e15WritePace  = 5 * time.Millisecond  // per batch: ~50k instances/s target
+	e15ReadPace   = 16 * time.Millisecond // per page/probe query
+	e15ReplayPace = 8 * time.Millisecond  // per replay page
+)
+
+// e15Inst builds the i-th workload instance: round-robin events, ticks
+// advancing with i, uniform locations.
+func e15Inst(rng *rand.Rand, i int) event.Instance {
+	start := timemodel.Tick(i)
+	return event.Instance{
+		Layer:      event.LayerSensor,
+		Observer:   "OB",
+		Event:      "E" + strconv.Itoa(i%e15Events),
+		Seq:        uint64(i),
+		Gen:        start,
+		GenLoc:     spatial.AtPoint(0, 0),
+		Occ:        timemodel.At(start),
+		Loc:        spatial.AtPoint(rng.Float64()*e15Space, rng.Float64()*e15Space),
+		Confidence: 1,
+	}
+}
+
+// e15Store builds and prepopulates one store for a contended run.
+func e15Store() (*db.Store, error) {
+	s, err := db.New(e15Cell)
+	if err != nil {
+		return nil, err
+	}
+	s.SetRetention(db.Retention{MaxInstances: e15Cap})
+	rng := rand.New(rand.NewSource(15))
+	batch := make([]event.Instance, 0, e15Batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, _, err := s.LogBatch(batch)
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < e15Pre; i++ {
+		batch = append(batch, e15Inst(rng, i))
+		if len(batch) == e15Batch {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// e15QueryFn is one read-path flavor: QueryST or QuerySTLocked.
+type e15QueryFn func(db.Query) (db.Result, error)
+
+// e15Writer drives paced batched ingest until stop is closed,
+// publishing the newest tick so probers can aim their time windows.
+// Returns the number of instances logged.
+func e15Writer(s *db.Store, tickNow *atomic.Int64, stop <-chan struct{}) (uint64, error) {
+	rng := rand.New(rand.NewSource(16))
+	i := e15Pre
+	batch := make([]event.Instance, 0, e15Batch)
+	var n uint64
+	for {
+		select {
+		case <-stop:
+			return n, nil
+		default:
+		}
+		batch = batch[:0]
+		for len(batch) < e15Batch {
+			batch = append(batch, e15Inst(rng, i))
+			i++
+		}
+		if _, _, err := s.LogBatch(batch); err != nil {
+			return n, err
+		}
+		n += uint64(len(batch))
+		tickNow.Store(int64(i))
+		time.Sleep(e15WritePace)
+	}
+}
+
+// e15PageReader tail-chases the log through paced cursor pages — the
+// subscription catch-up shape, and the path the chunked plane serves
+// with no lock at all — recording each page's latency.
+func e15PageReader(query e15QueryFn, offset time.Duration, stop <-chan struct{}, lats *[]float64) error {
+	cursor := ""
+	time.Sleep(offset)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		start := time.Now()
+		res, err := query(db.Query{Limit: e15PageLimit, Cursor: cursor})
+		lat := time.Since(start)
+		if err != nil {
+			return err
+		}
+		*lats = append(*lats, float64(lat.Nanoseconds())/1e3)
+		// Bounded-staleness witness: a page never reaches past the
+		// frontier it observed, and yields in sequence order.
+		prev := uint64(0)
+		for k, seq := range res.Seqs {
+			if seq >= res.Frontier || (k > 0 && seq <= prev) {
+				return fmt.Errorf("E15: page seq %d out of order or past frontier %d", seq, res.Frontier)
+			}
+			prev = seq
+		}
+		cursor = res.NextCursor
+		time.Sleep(e15ReadPace)
+	}
+}
+
+// e15Prober issues paced indexed queries — narrow per-event time
+// windows near the ingest frontier alternating with region probes —
+// recording each query's latency.
+func e15Prober(query e15QueryFn, tickNow *atomic.Int64, seed int64, offset time.Duration, stop <-chan struct{}, lats *[]float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	time.Sleep(offset)
+	for qi := 0; ; qi++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		var q db.Query
+		if qi%2 == 0 {
+			now := tickNow.Load()
+			from := now - 2048
+			if from < 0 {
+				from = 0
+			}
+			q = db.Query{
+				Event:   "E" + strconv.Itoa(rng.Intn(e15Events)),
+				HasTime: true,
+				From:    timemodel.Tick(from),
+				To:      timemodel.Tick(now),
+				Limit:   e15PageLimit,
+			}
+		} else {
+			x, y := rng.Float64()*(e15Space-64), rng.Float64()*(e15Space-64)
+			f, err := spatial.Rect(x, y, x+64, y+64)
+			if err != nil {
+				return err
+			}
+			region := spatial.InField(f)
+			q = db.Query{Region: &region, Limit: e15PageLimit}
+		}
+		start := time.Now()
+		if _, err := query(q); err != nil {
+			return err
+		}
+		*lats = append(*lats, float64(time.Since(start).Nanoseconds())/1e3)
+		time.Sleep(e15ReadPace)
+	}
+}
+
+// e15Replayer paginates the whole store through paced strict cursors
+// until stop closes, resyncing from scratch on ErrStaleCursor (the
+// subscription catch-up discipline). Returns the page count.
+func e15Replayer(query e15QueryFn, offset time.Duration, stop <-chan struct{}) (uint64, error) {
+	cursor := ""
+	var pages uint64
+	time.Sleep(offset)
+	for {
+		select {
+		case <-stop:
+			return pages, nil
+		default:
+		}
+		res, err := query(db.Query{Limit: e15PageLimit, Cursor: cursor, Strict: true})
+		if errors.Is(err, db.ErrStaleCursor) {
+			cursor = ""
+			continue
+		}
+		if err != nil {
+			return pages, err
+		}
+		pages++
+		cursor = res.NextCursor
+		time.Sleep(e15ReplayPace)
+	}
+}
+
+// e15ModeResult is one contended phase's raw output.
+type e15ModeResult struct {
+	pageLats, probeLats []float64
+	replayPages         uint64
+	ingestPerSec        float64
+}
+
+// e15Contend runs one contended phase: the paced batched writer
+// against nReaders page readers, e15Probers indexed probers, and
+// nReplayers cursor replayers, all reading through query.
+func e15Contend(s *db.Store, query e15QueryFn, nReaders, nProbers, nReplayers int, dur time.Duration) (e15ModeResult, error) {
+	var tickNow atomic.Int64
+	tickNow.Store(e15Pre)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var res e15ModeResult
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// Start offsets spread each population evenly across its pace
+	// period: without them the paced goroutines wake in lockstep and
+	// the resulting run-queue spikes drown the lock-wait signal the
+	// experiment is after.
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func(offset time.Duration) {
+			defer wg.Done()
+			var lats []float64
+			if err := e15PageReader(query, offset, stop, &lats); err != nil {
+				fail(err)
+			}
+			mu.Lock()
+			res.pageLats = append(res.pageLats, lats...)
+			mu.Unlock()
+		}(time.Duration(r) * e15ReadPace / time.Duration(nReaders))
+	}
+	for r := 0; r < nProbers; r++ {
+		wg.Add(1)
+		go func(seed int64, offset time.Duration) {
+			defer wg.Done()
+			var lats []float64
+			if err := e15Prober(query, &tickNow, seed, offset, stop, &lats); err != nil {
+				fail(err)
+			}
+			mu.Lock()
+			res.probeLats = append(res.probeLats, lats...)
+			mu.Unlock()
+		}(int64(100+r), time.Duration(r)*e15ReadPace/time.Duration(nProbers))
+	}
+	for r := 0; r < nReplayers; r++ {
+		wg.Add(1)
+		go func(offset time.Duration) {
+			defer wg.Done()
+			n, err := e15Replayer(query, offset, stop)
+			if err != nil {
+				fail(err)
+			}
+			mu.Lock()
+			res.replayPages += n
+			mu.Unlock()
+		}(time.Duration(r) * e15ReplayPace / time.Duration(nReplayers))
+	}
+	var written uint64
+	var werr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		written, werr = e15Writer(s, &tickNow, stop)
+	}()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	if werr != nil {
+		return res, werr
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.ingestPerSec = float64(written) / dur.Seconds()
+	return res, nil
+}
+
+// percentile returns the p-th percentile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// e15ReplayAudit sweeps the quiesced store through cursor pagination
+// and checks the sequential path against the read-plane counters: zero
+// index-lock acquisitions per returned page, every returned instance
+// materialized off-lock.
+func e15ReplayAudit(s *db.Store) (pages, materialized uint64, locksPerPage float64, err error) {
+	before := s.Stats()
+	cursor := ""
+	var got uint64
+	for {
+		res, qerr := s.QueryST(db.Query{Limit: 256, Cursor: cursor})
+		if qerr != nil {
+			return 0, 0, 0, qerr
+		}
+		pages++
+		got += uint64(len(res.Instances))
+		cursor = res.NextCursor
+		if cursor == "" {
+			break
+		}
+	}
+	after := s.Stats()
+	locks := after.ReadLocks - before.ReadLocks
+	materialized = after.Materialized - before.Materialized
+	if materialized != got {
+		return 0, 0, 0, fmt.Errorf("E15: materialized counter %d, returned %d instances", materialized, got)
+	}
+	return pages, materialized, float64(locks) / float64(pages), nil
+}
+
+// e15Differential re-runs a query set through both read paths on the
+// quiesced store: the lock-free plane must return byte-identical pages
+// to the monolithic-lock reference.
+func e15Differential(s *db.Store) error {
+	rng := rand.New(rand.NewSource(17))
+	st := s.Stats()
+	maxTick := int64(st.MaxGen)
+	for i := 0; i < 32; i++ {
+		var q db.Query
+		switch i % 4 {
+		case 0:
+			q = db.Query{Limit: 128}
+		case 1:
+			from := timemodel.Tick(rng.Int63n(maxTick + 1))
+			q = db.Query{
+				Event:   "E" + strconv.Itoa(rng.Intn(e15Events)),
+				HasTime: true, From: from, To: from + 4096,
+				Limit: 128,
+			}
+		case 2:
+			x, y := rng.Float64()*(e15Space-128), rng.Float64()*(e15Space-128)
+			f, err := spatial.Rect(x, y, x+128, y+128)
+			if err != nil {
+				return err
+			}
+			region := spatial.InField(f)
+			q = db.Query{Region: &region, Limit: 128}
+		default:
+			x, y := rng.Float64()*(e15Space-128), rng.Float64()*(e15Space-128)
+			f, err := spatial.Rect(x, y, x+128, y+128)
+			if err != nil {
+				return err
+			}
+			region := spatial.InField(f)
+			from := timemodel.Tick(rng.Int63n(maxTick + 1))
+			q = db.Query{
+				Event:   "E" + strconv.Itoa(rng.Intn(e15Events)),
+				Region:  &region,
+				HasTime: true, From: from, To: from + 8192,
+			}
+		}
+		free, err := s.QueryST(q)
+		if err != nil {
+			return err
+		}
+		locked, err := s.QuerySTLocked(q)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(free.Instances, locked.Instances) ||
+			!reflect.DeepEqual(free.Seqs, locked.Seqs) ||
+			free.NextCursor != locked.NextCursor {
+			return fmt.Errorf("E15: lock-free page diverges from monolithic reference on %+v", q)
+		}
+	}
+	return nil
+}
+
+// e15Churn logs n instances of ONE event through a tight retention cap
+// (the workload whose per-eviction index splice was quadratic before
+// the amortized sweep) and through an unbounded store, returning both
+// per-instance costs.
+func e15Churn(n int) (capped, unbounded float64, err error) {
+	run := func(ret db.Retention) (float64, error) {
+		s, err := db.New(e15Cell)
+		if err != nil {
+			return 0, err
+		}
+		s.SetRetention(ret)
+		rng := rand.New(rand.NewSource(18))
+		batch := make([]event.Instance, 0, 256)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			in := e15Inst(rng, i)
+			in.Event = "HOT"
+			batch = append(batch, in)
+			if len(batch) == cap(batch) {
+				if _, _, err := s.LogBatch(batch); err != nil {
+					return 0, err
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if _, _, err := s.LogBatch(batch); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n), nil
+	}
+	capped, err = run(db.Retention{MaxInstances: 1000})
+	if err != nil {
+		return 0, 0, err
+	}
+	unbounded, err = run(db.Retention{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return capped, unbounded, nil
+}
+
+// e15 measures the store under contention: the monolithic reader-lock
+// path against the lock-free chunked read plane, each under sustained
+// batched ingest with a population of concurrent page readers, indexed
+// probers and cursor replayers. It then audits the replay path's lock
+// counters on the quiesced store, differential-checks the lock-free
+// pages against the monolithic reference, and measures the hot-event
+// churn workload the amortized eviction sweep fixed. Run with
+// GOMAXPROCS >= 4: the experiment measures contention between
+// goroutines, which needs cores for them to collide on.
+func e15(out io.Writer, readers, millis int) (*e15Summary, error) {
+	const replayers = 8
+	dur := time.Duration(millis) * time.Millisecond
+	fmt.Fprintf(out, "=== E15: store contention, %d page readers + %d probers + %d replayers vs sustained ingest (%v per mode) ===\n",
+		readers, e15Probers, replayers, dur)
+	fmt.Fprintln(out, "mode\tpages\tprobes\treplayed\tpage p50/p99(µs)\tprobe p50/p99(µs)\tingest/s\tspeedup")
+
+	// GC cycles steal the only spare cores on small machines and land
+	// multi-millisecond pauses in BOTH modes' tails, drowning the
+	// lock-wait signal. Give the heap enough headroom that no collection
+	// runs inside a measured phase (each phase starts from a fresh
+	// forced collection below).
+	oldGC := debug.SetGCPercent(800)
+	defer debug.SetGCPercent(oldGC)
+
+	// Reader-free ingest baseline with the same paced writer.
+	s, err := e15Store()
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	solo, err := e15Contend(s, nil, 0, 0, 0, dur)
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &e15Summary{Instances: e15Pre, IngestSoloPerSec: solo.ingestPerSec}
+	modes := []struct {
+		name  string
+		query func(*db.Store) e15QueryFn
+	}{
+		{"locked", func(s *db.Store) e15QueryFn { return s.QuerySTLocked }},
+		{"chunked", func(s *db.Store) e15QueryFn { return s.QueryST }},
+	}
+	var lockedPageP99 float64
+	var chunkedStore *db.Store
+	var chunkedRate float64
+	for _, m := range modes {
+		// A single contended phase is hostage to whatever else the host
+		// does during its ~1s window: one descheduled burst lands
+		// multi-millisecond spikes in the p99 of either mode. Run each
+		// mode three times on fresh stores and report the phase with the
+		// MEDIAN page p99 — one poisoned phase can then never set the
+		// mode's tail, in either direction.
+		type e15Phase struct {
+			s   *db.Store
+			res e15ModeResult
+			p99 float64
+		}
+		var phases []e15Phase
+		for rep := 0; rep < e15Reps; rep++ {
+			s, err := e15Store()
+			if err != nil {
+				return nil, err
+			}
+			runtime.GC()
+			res, err := e15Contend(s, m.query(s), readers, e15Probers, replayers, dur)
+			if err != nil {
+				return nil, err
+			}
+			if len(res.pageLats) == 0 || len(res.probeLats) == 0 {
+				return nil, fmt.Errorf("E15: mode %s completed no queries", m.name)
+			}
+			sort.Float64s(res.pageLats)
+			sort.Float64s(res.probeLats)
+			phases = append(phases, e15Phase{s: s, res: res, p99: percentile(res.pageLats, 99)})
+		}
+		sort.Slice(phases, func(i, j int) bool { return phases[i].p99 < phases[j].p99 })
+		s, res := phases[len(phases)/2].s, phases[len(phases)/2].res
+		row := contendRow{
+			Mode: m.name, Readers: readers, Probers: e15Probers, Replayers: replayers,
+			PageQueries: len(res.pageLats), ProbeQueries: len(res.probeLats),
+			ReplayPages: res.replayPages,
+			PageP50Us:   percentile(res.pageLats, 50), PageP99Us: percentile(res.pageLats, 99),
+			ProbeP50Us: percentile(res.probeLats, 50), ProbeP99Us: percentile(res.probeLats, 99),
+			IngestPerSec: res.ingestPerSec,
+		}
+		switch m.name {
+		case "locked":
+			lockedPageP99 = row.PageP99Us
+		case "chunked":
+			chunkedStore, chunkedRate = s, res.ingestPerSec
+			if lockedPageP99 > 0 && row.PageP99Us > 0 {
+				row.Speedup = lockedPageP99 / row.PageP99Us
+				sum.P99Speedup = row.Speedup
+			}
+		}
+		sum.Contend = append(sum.Contend, row)
+		fmt.Fprintf(out, "%s\t%d\t%d\t%d\t%.0f/%.0f\t%.0f/%.0f\t%.0f\t",
+			row.Mode, row.PageQueries, row.ProbeQueries, row.ReplayPages,
+			row.PageP50Us, row.PageP99Us, row.ProbeP50Us, row.ProbeP99Us, row.IngestPerSec)
+		if row.Speedup > 0 {
+			fmt.Fprintf(out, "%.1fx", row.Speedup)
+		}
+		fmt.Fprintln(out)
+	}
+	if solo.ingestPerSec > 0 {
+		sum.IngestLoadRatio = chunkedRate / solo.ingestPerSec
+	}
+
+	// Quiesced audits on the chunked store.
+	pages, mat, locksPerPage, err := e15ReplayAudit(chunkedStore)
+	if err != nil {
+		return nil, err
+	}
+	sum.AuditPages, sum.AuditMaterialized, sum.AuditLocksPerPage = pages, mat, locksPerPage
+	if locksPerPage != 0 {
+		return nil, fmt.Errorf("E15: replay sweep took %.2f index-lock acquisitions per page, want 0", locksPerPage)
+	}
+	if err := e15Differential(chunkedStore); err != nil {
+		return nil, err
+	}
+
+	capped, unbounded, err := e15Churn(e15ChurnN)
+	if err != nil {
+		return nil, err
+	}
+	sum.ChurnInstances = e15ChurnN
+	sum.ChurnNsPerInst = capped
+	if unbounded > 0 {
+		sum.ChurnOverhead = capped / unbounded
+	}
+	if sum.ChurnOverhead > 10 {
+		return nil, fmt.Errorf("E15: hot-event churn costs %.1fx the unbounded path, want <= 10x (amortized eviction lost)", sum.ChurnOverhead)
+	}
+	fmt.Fprintf(out, "ingest: solo=%.0f/s under-load=%.0f/s ratio=%.2f\n", sum.IngestSoloPerSec, chunkedRate, sum.IngestLoadRatio)
+	fmt.Fprintf(out, "replay audit: pages=%d materialized=%d index-locks/page=%.0f\n", pages, mat, locksPerPage)
+	fmt.Fprintf(out, "hot-event churn: %d instances, cap=1000: %.0f ns/inst (%.1fx unbounded)\n\n",
+		sum.ChurnInstances, sum.ChurnNsPerInst, sum.ChurnOverhead)
+	return sum, nil
+}

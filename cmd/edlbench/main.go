@@ -15,6 +15,7 @@
 //	edlbench -exp E11   # condition evaluation placement
 //	edlbench -exp E13   # subscription matching: indexed vs. linear scan
 //	edlbench -exp E14   # wire ingest: JSONL vs. binary TCP
+//	edlbench -exp E15   # store contention: monolithic lock vs. chunked read plane
 //	edlbench -runs 32   # more runs per configuration
 //	edlbench -json BENCH_1.json   # also write the machine-readable artifact
 package main
@@ -146,18 +147,21 @@ type artifact struct {
 	E10       []joinRow     `json:"e10,omitempty"`
 	E13       []subRow      `json:"e13,omitempty"`
 	E14       []wireRow     `json:"e14,omitempty"`
+	E15       *e15Summary   `json:"e15,omitempty"`
 	Retention *retentionRow `json:"retention,omitempty"`
 	Engine    []engineRow   `json:"engineIngest,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13, E14 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13, E14, E15 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
 	queryInstances := fs.Int("queryInstances", 100_000, "logged instances for the E9 query experiment")
 	joinEntities := fs.Int("joinEntities", 900, "entities fed to the E10 join experiment")
 	joinWindow := fs.Int("joinWindow", 128, "per-role window for the E10 join experiment")
 	wireRecords := fs.Int("wireRecords", 200_000, "observations fed to the E14 wire ingest experiment")
+	contendReaders := fs.Int("contendReaders", 64, "concurrent readers for the E15 contention experiment")
+	contendMillis := fs.Int("contendMillis", 1000, "per-mode measurement duration (ms) for the E15 contention experiment")
 	jsonPath := fs.String("json", "", "write a machine-readable benchmark artifact to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -241,6 +245,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		art.E14 = rows
+	}
+	if which == "ALL" || which == "E15" {
+		any = true
+		sum, err := e15(out, *contendReaders, *contendMillis)
+		if err != nil {
+			return err
+		}
+		art.E15 = sum
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q", *exp)

@@ -127,6 +127,73 @@ func TestE9QuerySpeedup(t *testing.T) {
 	}
 }
 
+// TestE15Contention runs the store-contention experiment at reduced
+// scale. The production gates (p99 speedup, ingest ratio) are
+// meaningless with this few readers for this short a window, so the
+// test checks structure plus the hard invariants e15 itself enforces
+// inline: bounded-staleness/order witnesses on every page, zero
+// index-lock acquisitions per replayed page, the differential check of
+// the lock-free pages against the monolithic reference, and the
+// hot-event churn bound — any violation fails run() with an error.
+func TestE15Contention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-exp", "E15", "-contendReaders", "8", "-contendMillis", "120", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E15: store contention") {
+		t.Fatalf("output missing E15 table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		E15 *struct {
+			Contend []struct {
+				Mode         string  `json:"mode"`
+				Readers      int     `json:"readers"`
+				PageQueries  int     `json:"pageQueries"`
+				ProbeQueries int     `json:"probeQueries"`
+				PageP99Us    float64 `json:"pageP99Us"`
+				IngestPerSec float64 `json:"ingestPerSec"`
+			} `json:"contend"`
+			IngestSoloPerSec  float64 `json:"ingestSoloPerSec"`
+			AuditPages        uint64  `json:"auditPages"`
+			AuditMaterialized uint64  `json:"auditMaterialized"`
+			AuditLocksPerPage float64 `json:"auditLocksPerPage"`
+			ChurnNsPerInst    float64 `json:"churnNsPerInst"`
+		} `json:"e15"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.E15 == nil {
+		t.Fatal("artifact missing e15 section")
+	}
+	s := art.E15
+	if len(s.Contend) != 2 || s.Contend[0].Mode != "locked" || s.Contend[1].Mode != "chunked" {
+		t.Fatalf("contend rows = %+v", s.Contend)
+	}
+	for _, r := range s.Contend {
+		if r.Readers != 8 || r.PageQueries == 0 || r.ProbeQueries == 0 || r.PageP99Us <= 0 || r.IngestPerSec <= 0 {
+			t.Errorf("degenerate contend row %+v", r)
+		}
+	}
+	if s.IngestSoloPerSec <= 0 {
+		t.Errorf("solo ingest = %.0f, want > 0", s.IngestSoloPerSec)
+	}
+	if s.AuditPages == 0 || s.AuditMaterialized == 0 {
+		t.Errorf("replay audit measured nothing: pages=%d materialized=%d", s.AuditPages, s.AuditMaterialized)
+	}
+	if s.AuditLocksPerPage != 0 {
+		t.Errorf("index-locks/page = %.2f, want 0", s.AuditLocksPerPage)
+	}
+	if s.ChurnNsPerInst <= 0 {
+		t.Errorf("churn ns/inst = %.0f, want > 0", s.ChurnNsPerInst)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "E99"}, &out); err == nil {

@@ -340,6 +340,19 @@ func (e *Engine) recover() error {
 			maxSeq[in.Event] = in.Seq
 		}
 	}
+	// Emitted instances land in the store through the batched write path,
+	// a page at a time; per-batch retention enforcement converges on the
+	// same live set as per-instance, so replay is equivalent but cheaper.
+	const replayBatch = 512
+	page := make([]event.Instance, 0, replayBatch)
+	flush := func() error {
+		if len(page) == 0 {
+			return nil
+		}
+		_, _, err := e.store.LogBatch(page)
+		page = page[:0]
+		return err
+	}
 	err := d.log.Replay(func(rec wal.Record) error {
 		d.replayedRecords.Add(1)
 		if rec.Kind != wal.KindEmit {
@@ -351,10 +364,16 @@ func (e *Engine) recover() error {
 			maxSeq[in.Event] = in.Seq
 		}
 		if rec.Seq > snapSeq {
-			return e.store.Log(*in)
+			page = append(page, *in)
+			if len(page) >= replayBatch {
+				return flush()
+			}
 		}
 		return nil
 	})
+	if err == nil {
+		err = flush()
+	}
 	if err != nil {
 		return err
 	}

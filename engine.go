@@ -121,7 +121,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Buffer:     cfg.Subscriptions.Buffer,
 		ReplayPage: cfg.Subscriptions.ReplayPage,
 	})
-	var logHook, tapHook engine.EmitFunc
+	var logHook engine.BatchFunc
+	var tapHook engine.EmitFunc
 	if cfg.WithStore {
 		store, err := db.New(cfg.DBCell)
 		if err != nil {
@@ -129,13 +130,12 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		store.SetRetention(cfg.DBRetention)
 		e.store = store
-		// Subscriptions are published from the log hook, right after the
-		// store assigns the sequence number each delivery carries as its
-		// resume cursor.
-		logHook = func(in event.Instance) {
-			if seq, fresh, err := store.LogSeq(in); err == nil && fresh {
-				e.subs.Publish(&in, seq, true)
-			}
+		// Emission rounds land in the store through the batched write
+		// path — one lock acquisition and retention pass per round.
+		// Subscriptions are published right after the batch assigns the
+		// sequence numbers each delivery carries as its resume cursor.
+		logHook = func(ins []event.Instance) {
+			e.storeBatch(ins)
 		}
 	} else {
 		// Store-less engines still push live matches; deliveries carry
@@ -148,16 +148,17 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			return nil, err
 		}
 		e.dur = d
-		store := e.store
-		logHook = func(in event.Instance) {
+		logHook = func(ins []event.Instance) {
 			if e.replaying.Load() {
-				e.replayEmission(in)
+				for i := range ins {
+					e.replayEmission(ins[i])
+				}
 				return
 			}
-			e.appendEmit(in) // write-ahead of the store
-			if seq, fresh, err := store.LogSeq(in); err == nil && fresh {
-				e.subs.Publish(&in, seq, true)
+			for i := range ins {
+				e.appendEmit(ins[i]) // write-ahead of the store
 			}
+			e.storeBatch(ins)
 		}
 	}
 	var emit engine.EmitFunc
@@ -172,7 +173,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	ecfg := engine.Config{
 		Observer: cfg.Observer,
 		Loc:      cfg.Loc,
-		Log:      logHook,
+		LogBatch: logHook,
 		Emit:     emit,
 		Tap:      tapHook,
 	}
@@ -190,6 +191,28 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e.bank = b
 	return e, nil
+}
+
+// storeBatch logs one emission round through the store's batched write
+// path and publishes the freshly logged instances to subscribers with
+// their assigned sequence numbers. If the batch is rejected as a whole
+// (one instance failed validation) it degrades to per-instance logging
+// so one malformed emission cannot suppress the rest of the round.
+func (e *Engine) storeBatch(ins []event.Instance) {
+	seqs, fresh, err := e.store.LogBatch(ins)
+	if err != nil {
+		for i := range ins {
+			if seq, ok, err := e.store.LogSeq(ins[i]); err == nil && ok {
+				e.subs.Publish(&ins[i], seq, true)
+			}
+		}
+		return
+	}
+	for i := range ins {
+		if fresh[i] {
+			e.subs.Publish(&ins[i], seqs[i], true)
+		}
+	}
 }
 
 // Detect declares a detected event at the given layer (LayerSensor,

@@ -3,7 +3,7 @@ package db
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 
 	"github.com/stcps/stcps/internal/event"
@@ -69,6 +69,13 @@ type Result struct {
 	// Scanned counts the candidate instances examined before predicate
 	// verification — the planner's actual work, for observability.
 	Scanned int
+	// Frontier is the published sequence frontier the query observed:
+	// every matching instance with seq < Frontier is reflected in the
+	// page stream and nothing at or above it is. For results served
+	// concurrently with ingest this is the bounded-staleness witness —
+	// the page equals a quiesced query over the first Frontier
+	// sequence numbers.
+	Frontier uint64
 }
 
 // QueryST retrieves instances matching every predicate of q, in arrival
@@ -76,8 +83,27 @@ type Result struct {
 // from cardinality estimates (per-event time index vs. spatial grid) and
 // verifies candidates with the other predicate, so cost tracks the more
 // selective dimension rather than the store size.
+//
+// QueryST runs on the lock-free read plane: an index probe (when an
+// indexed predicate applies) is a short critical section that copies
+// candidate sequence numbers out; predicate verification, ordering and
+// result materialization all run without any lock against the published
+// immutable chunks. The sequential path — no event id, no region —
+// takes no lock at all.
 func (s *Store) QueryST(q Query) (Result, error) {
-	empty := Result{Instances: []event.Instance{}, Index: s.timeIndexName(q)}
+	return s.queryST(q, false)
+}
+
+// QuerySTLocked is QueryST under the store's reader lock for its entire
+// run — the pre-chunked monolithic read path, retained as the
+// differential reference (its pages are byte-identical to QueryST's on
+// any quiesced store) and as the contention baseline the E15 experiment
+// measures the lock-free plane against.
+func (s *Store) QuerySTLocked(q Query) (Result, error) {
+	return s.queryST(q, true)
+}
+
+func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 	var after uint64
 	hasAfter := false
 	if q.Cursor != "" {
@@ -87,12 +113,39 @@ func (s *Store) QueryST(q Query) (Result, error) {
 		}
 		after, hasAfter = v, true
 	}
-	if q.HasTime && q.To < q.From {
-		return empty, nil
+
+	// The sequential path needs no index, so it runs entirely against
+	// the published view; every other path probes an index under a
+	// short reader lock. The monolithic reference holds the lock
+	// throughout instead.
+	locked := monolithic || q.Event != "" || q.Region != nil
+	if locked {
+		s.mu.RLock()
+	}
+	v := s.loadView()
+	if monolithic {
+		s.lockedReads.Add(1)
+	} else {
+		s.reads.Add(1)
+		if locked {
+			s.readLocks.Add(1)
+		}
+	}
+	unlockProbe := func() {
+		if locked && !monolithic {
+			s.mu.RUnlock()
+			locked = false
+		}
+	}
+	if monolithic {
+		defer s.mu.RUnlock()
 	}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	empty := Result{Instances: []event.Instance{}, Index: s.timeIndexName(q), Frontier: v.frontier}
+	if q.HasTime && q.To < q.From {
+		unlockProbe()
+		return empty, nil
+	}
 
 	// minSeq excludes everything at or before the cursor inside the
 	// collectors, so later pages never accumulate (or sort) instances
@@ -100,36 +153,84 @@ func (s *Store) QueryST(q Query) (Result, error) {
 	var minSeq uint64
 	if hasAfter {
 		if after == ^uint64(0) {
+			unlockProbe()
 			return empty, nil
 		}
 		minSeq = after + 1
-		if q.Strict && minSeq < s.base {
-			return Result{}, fmt.Errorf("cursor %d, oldest live seq %d: %w", after, s.base, ErrStaleCursor)
+		if q.Strict && minSeq < v.base {
+			unlockProbe()
+			return Result{}, fmt.Errorf("cursor %d, oldest live seq %d: %w", after, v.base, ErrStaleCursor)
 		}
 	}
 
-	res := Result{}
+	res := Result{Frontier: v.frontier}
 	var seqs []uint64
-	if q.Region != nil && s.regionEstimateLocked(q) < s.timeEstimateLocked(q) {
+	switch {
+	case q.Region != nil && s.regionEstimateLocked(q) < s.timeEstimateLocked(q):
 		res.Index = "region"
-		seqs = s.collectRegionLocked(q, minSeq, &res.Scanned)
-	} else {
-		res.Index = s.timeIndexName(q)
-		seqs = s.collectTimeLocked(q, minSeq, &res.Scanned)
+		cands := s.collectRegionLocked(q, minSeq, &res.Scanned)
+		unlockProbe()
+		// The grid verified the Joint relation; check the rest off-lock.
+		seqs = cands[:0]
+		for _, seq := range cands {
+			in := v.at(seq)
+			if q.Event != "" && in.Event != q.Event {
+				continue
+			}
+			if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+				continue
+			}
+			seqs = append(seqs, seq)
+		}
+		sortSeqs(seqs)
+	case q.Event != "":
+		res.Index = "time"
+		cands := s.collectTimeLocked(q, minSeq, v.base, &res.Scanned)
+		unlockProbe()
+		// The index window bounded Occ.Start; check the remaining
+		// predicates off-lock.
+		seqs = cands[:0]
+		for _, seq := range cands {
+			in := v.at(seq)
+			if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+				continue
+			}
+			if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {
+				continue
+			}
+			seqs = append(seqs, seq)
+		}
+		sortSeqs(seqs)
+	default:
+		// Reached with no predicate at all, or with a region whose grid
+		// estimate is no cheaper than the sequential scan. The scan needs
+		// no index, so drop the probe lock (taken whenever a region is
+		// present) before walking the view.
+		res.Index = "log"
+		unlockProbe()
+		// The sequential scan verifies inline and yields in sequence
+		// order already — no sort needed.
+		seqs = collectLogView(v, q, minSeq, &res.Scanned)
 	}
 
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	if q.Limit > 0 && len(seqs) > q.Limit {
 		seqs = seqs[:q.Limit]
 		res.NextCursor = strconv.FormatUint(seqs[len(seqs)-1], 10)
 	}
 	res.Instances = make([]event.Instance, len(seqs))
 	for i, seq := range seqs {
-		res.Instances[i] = *s.at(seq)
+		res.Instances[i] = *v.at(seq)
 	}
 	res.Seqs = seqs
+	if !monolithic {
+		s.materialized.Add(uint64(len(seqs)))
+	}
 	return res, nil
 }
+
+// sortSeqs orders a candidate list ascending — arrival order, since
+// sequence numbers are assigned monotonically.
+func sortSeqs(seqs []uint64) { slices.Sort(seqs) }
 
 // timeIndexName labels the non-region access path for Result.Index.
 func (s *Store) timeIndexName(q Query) string {
@@ -145,7 +246,7 @@ func (s *Store) timeIndexName(q Query) string {
 //stcps:holds mu
 func (s *Store) timeEstimateLocked(q Query) int {
 	if q.Event == "" {
-		return len(s.log)
+		return int(s.frontier - s.base)
 	}
 	if !q.HasTime {
 		return len(s.byEvent[q.Event])
@@ -161,91 +262,87 @@ func (s *Store) regionEstimateLocked(q Query) int {
 	return s.grid.EstimateRegion(*q.Region)
 }
 
-// collectTimeLocked drives the per-event time index (or the sequential
-// log when no event id is given) and verifies the remaining predicates.
-// Sequence numbers below minSeq (already returned on earlier pages) are
-// excluded; the log path additionally seeks to minSeq and stops at
-// Limit+1 matches, since it alone yields in sequence order.
+// collectTimeLocked probes the per-event time index and copies the
+// candidate sequence numbers out (the backing arrays mutate in place
+// under the writer lock, so candidates must not alias them). Sequence
+// numbers below minSeq (already returned on earlier pages) and below
+// base (stale entries awaiting compaction) are excluded; predicate
+// verification happens off-lock.
 //
 //stcps:holds mu
-func (s *Store) collectTimeLocked(q Query, minSeq uint64, scanned *int) []uint64 {
-	var seqs []uint64
-	if q.Event != "" {
-		lst := s.byEvent[q.Event]
-		lo, hi := 0, len(lst)
-		if q.HasTime {
-			_, lo, hi = s.timeWindowLocked(q.Event, q.From, q.To)
-		}
-		for _, seq := range lst[lo:hi] {
-			*scanned++
-			if seq >= minSeq && s.matchLocked(seq, q) {
-				seqs = append(seqs, seq)
-			}
-		}
-		return seqs
+func (s *Store) collectTimeLocked(q Query, minSeq, base uint64, scanned *int) []uint64 {
+	lst := s.byEvent[q.Event]
+	lo, hi := 0, len(lst)
+	if q.HasTime {
+		_, lo, hi = s.timeWindowLocked(q.Event, q.From, q.To)
 	}
-	start := 0
-	if minSeq > s.base {
-		off := minSeq - s.base
-		// A cursor past the live range (e.g. a forged value above
-		// MaxInt64) means nothing remains; converting it to int would
-		// wrap negative.
-		if off > uint64(len(s.log)) {
-			return nil
-		}
-		start = int(off)
+	if minSeq < base {
+		minSeq = base
 	}
-	for i := start; i < len(s.log); i++ {
+	out := make([]uint64, 0, hi-lo)
+	for _, seq := range lst[lo:hi] {
 		*scanned++
-		seq := s.base + uint64(i)
-		if s.matchLocked(seq, q) {
-			seqs = append(seqs, seq)
-			if q.Limit > 0 && len(seqs) > q.Limit {
-				break
-			}
+		if seq >= minSeq {
+			out = append(out, seq)
 		}
 	}
-	return seqs
+	return out
 }
 
-// collectRegionLocked drives the spatial grid and verifies the remaining
-// predicates. The grid already verified the Joint relation.
+// collectRegionLocked probes the spatial grid and copies the candidate
+// sequence numbers out. The grid verified the Joint relation; the
+// entity index holds live instances only, so no base filter is needed.
 //
 //stcps:holds mu
 func (s *Store) collectRegionLocked(q Query, minSeq uint64, scanned *int) []uint64 {
 	ids := s.grid.QueryRegion(*q.Region)
-	var seqs []uint64
+	out := make([]uint64, 0, len(ids))
 	for _, id := range ids {
 		*scanned++
 		seq, ok := s.byEntity[id]
 		if !ok || seq < minSeq {
 			continue
 		}
-		in := s.at(seq)
-		if q.Event != "" && in.Event != q.Event {
-			continue
+		out = append(out, seq)
+	}
+	return out
+}
+
+// collectLogView drives the sequential access path entirely against the
+// published view: it seeks to minSeq, verifies every predicate inline
+// and stops at Limit+1 matches, since it alone yields in sequence
+// order.
+func collectLogView(v *view, q Query, minSeq uint64, scanned *int) []uint64 {
+	start := v.base
+	if minSeq > start {
+		// A cursor past the live range (e.g. a forged value above
+		// MaxInt64) means nothing remains.
+		if minSeq > v.frontier {
+			return nil
 		}
+		start = minSeq
+	}
+	var seqs []uint64
+	if q.Limit > 0 {
+		n := q.Limit + 1
+		if live := int(v.frontier - start); live < n {
+			n = live
+		}
+		seqs = make([]uint64, 0, n)
+	}
+	for seq := start; seq < v.frontier; seq++ {
+		*scanned++
+		in := v.at(seq)
 		if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
 			continue
 		}
+		if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {
+			continue
+		}
 		seqs = append(seqs, seq)
+		if q.Limit > 0 && len(seqs) > q.Limit {
+			break
+		}
 	}
 	return seqs
-}
-
-// matchLocked verifies every predicate of q against one live instance.
-//
-//stcps:holds mu
-func (s *Store) matchLocked(seq uint64, q Query) bool {
-	in := s.at(seq)
-	if q.Event != "" && in.Event != q.Event {
-		return false
-	}
-	if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
-		return false
-	}
-	if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {
-		return false
-	}
-	return true
 }

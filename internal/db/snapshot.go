@@ -27,32 +27,43 @@ type snapshotRecord struct {
 // written in (generation time, occurrence, event, observer, sequence)
 // order rather than arrival order, because arrival order through the
 // sharded engine's worker goroutines is nondeterministic run to run.
+//
+// The reader lock is held only long enough to pair the published view
+// with a copy of the observation map; sorting and encoding — the bulk
+// of the work — run against the immutable chunks without blocking
+// ingest.
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v := s.loadView()
+	obs := make(map[string]event.Observation, len(s.obs))
+	for id, o := range s.obs {
+		obs[id] = o
+	}
+	s.mu.RUnlock()
+
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	order := make([]int, len(s.log))
-	for i := range order {
-		order[i] = i
+	order := make([]uint64, 0, v.live())
+	for seq := v.base; seq < v.frontier; seq++ {
+		order = append(order, seq)
 	}
 	sort.SliceStable(order, func(i, j int) bool {
-		return instanceLess(&s.log[order[i]], &s.log[order[j]]) //stcps:ignore guardedby synchronous sort closure; Snapshot holds mu
+		return instanceLess(v.at(order[i]), v.at(order[j]))
 	})
-	for _, i := range order {
-		if err := enc.Encode(snapshotRecord{Instance: &s.log[i]}); err != nil {
+	for _, seq := range order {
+		if err := enc.Encode(snapshotRecord{Instance: v.at(seq)}); err != nil {
 			return fmt.Errorf("db: snapshot: %w", err)
 		}
 	}
 	// Map iteration order is not deterministic; sort by id so snapshots
 	// are reproducible byte-for-byte.
-	ids := make([]string, 0, len(s.obs))
-	for id := range s.obs {
+	ids := make([]string, 0, len(obs))
+	for id := range obs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		o := s.obs[id]
+		o := obs[id]
 		if err := enc.Encode(snapshotRecord{Observation: &o}); err != nil {
 			return fmt.Errorf("db: snapshot: %w", err)
 		}
@@ -85,22 +96,43 @@ func instanceLess(a, b *event.Instance) bool {
 	return a.Seq < b.Seq
 }
 
+// loadBatch is the page size Load accumulates before handing instances
+// to LogBatch — one lock acquisition and retention pass per page.
+const loadBatch = 512
+
 // Load replays a snapshot into the store. Existing contents are kept;
-// duplicate instances are ignored (Log is idempotent).
+// duplicate instances are ignored (logging is idempotent). Instances
+// stream through the batched write path, so a large snapshot costs one
+// lock acquisition per loadBatch lines rather than per line.
 func (s *Store) Load(r io.Reader) error {
 	dec := json.NewDecoder(r)
+	batch := make([]event.Instance, 0, loadBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, _, err := s.LogBatch(batch)
+		batch = batch[:0]
+		return err
+	}
 	for {
 		var rec snapshotRecord
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
+				if err := flush(); err != nil {
+					return fmt.Errorf("db: load: %w", err)
+				}
 				return nil
 			}
 			return fmt.Errorf("db: load: %w", err)
 		}
 		switch {
 		case rec.Instance != nil:
-			if err := s.Log(*rec.Instance); err != nil {
-				return fmt.Errorf("db: load: %w", err)
+			batch = append(batch, *rec.Instance)
+			if len(batch) >= loadBatch {
+				if err := flush(); err != nil {
+					return fmt.Errorf("db: load: %w", err)
+				}
 			}
 		case rec.Observation != nil:
 			s.LogObservation(*rec.Observation)

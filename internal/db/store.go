@@ -13,6 +13,20 @@
 // region×time retrieval, choosing the cheaper index from cardinality
 // estimates. A linear-scan query path is kept alongside the indexes for
 // the E9 experiment and as a cross-check oracle in tests.
+//
+// # Read/write plane split
+//
+// The log is stored as fixed-size immutable chunks behind an atomically
+// published view, so reads do not contend with writes: a writer fills
+// chunk slots above the frontier while holding mu, then publishes a new
+// view (chunk directory + base + frontier) with one atomic pointer
+// store. Readers load the view once and resolve seq→instance without
+// any lock — an instance below the observed frontier is immutable for
+// the lifetime of the view. Only the index structures (byEvent,
+// byEntity, grid, obs) still require mu, and query probes against them
+// are short critical sections that copy candidate sequence numbers out;
+// predicate verification and result materialization run off-lock
+// against the view. See docs/storage.md for the full invariants.
 package db
 
 import (
@@ -20,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/spatial"
@@ -28,6 +43,58 @@ import (
 
 // ErrNotFound is returned when an entity id cannot be resolved.
 var ErrNotFound = errors.New("db: not found")
+
+// Chunk geometry: the log is split into fixed runs of 4096 instances.
+// chunkSize is a power of two and chunk boundaries stay aligned to it
+// (firstSeq is always a multiple of chunkSize), so a sequence number
+// resolves with a shift and a mask.
+const (
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// chunk is one fixed-size run of the instance log. Slots below the
+// published frontier are immutable until the whole chunk is retired;
+// slots at or above it are owned by the writer.
+type chunk struct {
+	data [chunkSize]event.Instance
+}
+
+// view is one atomically published snapshot of the read plane. A single
+// atomic load yields a mutually consistent (chunks, firstSeq, base,
+// frontier) tuple: the writer publishes a fresh view after every
+// mutation, and the atomic pointer store orders all chunk-slot writes
+// before the publication (release/acquire). Views are immutable; the
+// chunks they reference outlive them, so a reader may keep resolving
+// sequence numbers from a stale view after eviction has moved on.
+type view struct {
+	// chunks[i] holds sequence numbers [firstSeq+i*chunkSize,
+	// firstSeq+(i+1)*chunkSize).
+	chunks []*chunk
+	// firstSeq is the sequence number of chunks[0]'s slot 0 — always a
+	// multiple of chunkSize.
+	firstSeq uint64
+	// base is the oldest live sequence number; seqs in [firstSeq, base)
+	// are evicted but not yet retired with their chunk.
+	base uint64
+	// frontier is the next sequence number to be assigned; live
+	// instances occupy [base, frontier).
+	frontier uint64
+}
+
+// at resolves a sequence number in [firstSeq, frontier) to its
+// instance. Lock-free: the slot is immutable below the view's frontier.
+//
+//stcps:hotpath
+func (v *view) at(seq uint64) *event.Instance {
+	return &v.chunks[(seq-v.firstSeq)>>chunkBits].data[seq&chunkMask]
+}
+
+// live is the number of live instances in the view.
+//
+//stcps:hotpath
+func (v *view) live() int { return int(v.frontier - v.base) }
 
 // Retention bounds the store's memory. The zero value retains
 // everything.
@@ -53,30 +120,68 @@ type Stats struct {
 	Evicted uint64 `json:"evicted"`
 	// MaxGen is the newest generation time logged (the retention clock).
 	MaxGen timemodel.Tick `json:"maxGen"`
+	// Chunks is the length of the published chunk directory.
+	Chunks int `json:"chunks"`
+	// StaleIndexEntries counts evicted sequence numbers still present in
+	// the time index, awaiting the next amortized compaction sweep.
+	StaleIndexEntries int `json:"staleIndexEntries"`
+	// Reads counts QueryST pages served from the lock-free read plane.
+	Reads uint64 `json:"reads"`
+	// ReadLocks counts short index-probe lock acquisitions taken by
+	// those reads — at most one per page, zero on the sequential path.
+	ReadLocks uint64 `json:"readLocks"`
+	// Materialized counts instances copied out of the immutable chunks
+	// without holding any lock.
+	Materialized uint64 `json:"materialized"`
+	// LockedReads counts pages served by QuerySTLocked, the retained
+	// monolithic-lock reference path.
+	LockedReads uint64 `json:"lockedReads"`
 }
 
 // Store is the event-instance database. It is safe for concurrent use.
 //
-// Live instances occupy s.log and are addressed by a global sequence
-// number: instance seq lives at s.log[seq-s.base]. Eviction advances
-// base, so sequence numbers (and query cursors built from them) stay
-// valid across evictions — an evicted instance simply stops resolving.
+// Live instances are addressed by a global sequence number and stored
+// in immutable fixed-size chunks published through an atomic view (see
+// the package comment). Eviction advances base, so sequence numbers
+// (and query cursors built from them) stay valid across evictions — an
+// evicted instance simply stops resolving. mu guards the write plane
+// and the index structures; the published view is read without it.
 type Store struct {
-	mu       sync.RWMutex
-	base     uint64                       //stcps:guardedby mu -- global sequence number of log[0]
-	log      []event.Instance             //stcps:guardedby mu -- live instances in arrival order
-	byEvent  map[string][]uint64          //stcps:guardedby mu -- event id -> seqs, Occ.Start-ordered
-	byEntity map[string]uint64            //stcps:guardedby mu -- entity id -> seq
+	mu sync.RWMutex
+	// pub is the atomically published read plane. The writer stores a
+	// fresh view after every mutation while holding mu; readers load it
+	// without any lock.
+	pub atomic.Pointer[view]
+
+	// Write plane: the canonical (newest) copies of the view fields.
+	chunks   []*chunk //stcps:guardedby mu -- canonical chunk directory
+	firstSeq uint64   //stcps:guardedby mu -- seq of chunks[0] slot 0
+	base     uint64   //stcps:guardedby mu -- oldest live seq
+	frontier uint64   //stcps:guardedby mu -- next seq to assign
+
+	byEvent  map[string][]uint64          //stcps:guardedby mu -- event id -> seqs, Occ.Start-ordered, may contain stale (< base) entries
+	liveEv   map[string]int               //stcps:guardedby mu -- event id -> live instance count
+	byEntity map[string]uint64            //stcps:guardedby mu -- entity id -> seq (live only)
 	grid     *spatial.Grid                //stcps:guardedby mu
 	obs      map[string]event.Observation //stcps:guardedby mu -- logged observations by id
 	ret      Retention
-	evicted  uint64         //stcps:guardedby mu
-	maxGen   timemodel.Tick //stcps:guardedby mu
+	evicted  uint64 //stcps:guardedby mu
+	// stale counts byEvent entries pointing below base: eviction only
+	// counts them, and a periodic compaction sweep reclaims them in
+	// bulk — amortized O(1) per evicted instance.
+	stale  int            //stcps:guardedby mu
+	maxGen timemodel.Tick //stcps:guardedby mu
 	// maxDur is the longest occurrence duration ever logged per event —
 	// the window lower bound for the time index: every instance
 	// intersecting [from, to] has Occ.Start >= from-maxDur. Grow-only
 	// (eviction leaves it as a safe over-approximation).
 	maxDur map[string]timemodel.Tick //stcps:guardedby mu
+
+	// Read-path counters (atomic: bumped by lock-free readers).
+	reads        atomic.Uint64
+	readLocks    atomic.Uint64
+	materialized atomic.Uint64
+	lockedReads  atomic.Uint64
 }
 
 // DefaultGridCell is the spatial index cell size.
@@ -91,20 +196,39 @@ func New(cellSize float64) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("db: %w", err)
 	}
-	return &Store{
+	s := &Store{
 		byEvent:  make(map[string][]uint64),
+		liveEv:   make(map[string]int),
 		byEntity: make(map[string]uint64),
 		grid:     g,
 		obs:      make(map[string]event.Observation),
 		maxDur:   make(map[string]timemodel.Tick),
-	}, nil
+	}
+	s.pub.Store(&view{})
+	return s, nil
 }
 
-// at resolves a live sequence number to its instance.
+// loadView returns the current published read plane. Lock-free; under
+// mu (either mode) it is exact, elsewhere it may trail the write plane
+// by in-flight mutations.
+//
+//stcps:hotpath
+func (s *Store) loadView() *view { return s.pub.Load() }
+
+// publishLocked publishes the write plane as the new read plane. Every
+// mutation of chunks/base/frontier must publish before releasing mu.
+//
+//stcps:holds mu
+func (s *Store) publishLocked() {
+	s.pub.Store(&view{chunks: s.chunks, firstSeq: s.firstSeq, base: s.base, frontier: s.frontier})
+}
+
+// at resolves a sequence number in [firstSeq, frontier) against the
+// write plane.
 //
 //stcps:holds mu
 func (s *Store) at(seq uint64) *event.Instance {
-	return &s.log[seq-s.base]
+	return &s.chunks[(seq-s.firstSeq)>>chunkBits].data[seq&chunkMask]
 }
 
 // SetRetention installs (or replaces) the eviction policy and enforces
@@ -114,6 +238,7 @@ func (s *Store) SetRetention(r Retention) {
 	defer s.mu.Unlock()
 	s.ret = r
 	s.enforceRetentionLocked()
+	s.publishLocked()
 }
 
 // Retention returns the active eviction policy.
@@ -128,11 +253,17 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
-		Instances:    len(s.log),
-		Observations: len(s.obs),
-		Events:       len(s.byEvent),
-		Evicted:      s.evicted,
-		MaxGen:       s.maxGen,
+		Instances:         int(s.frontier - s.base),
+		Observations:      len(s.obs),
+		Events:            len(s.byEvent),
+		Evicted:           s.evicted,
+		MaxGen:            s.maxGen,
+		Chunks:            len(s.chunks),
+		StaleIndexEntries: s.stale,
+		Reads:             s.reads.Load(),
+		ReadLocks:         s.readLocks.Load(),
+		Materialized:      s.materialized.Load(),
+		LockedReads:       s.lockedReads.Load(),
 	}
 }
 
@@ -153,15 +284,66 @@ func (s *Store) LogSeq(in event.Instance) (seq uint64, fresh bool, err error) {
 	if err := in.Validate(); err != nil {
 		return 0, false, fmt.Errorf("db: log: %w", err)
 	}
-	id := in.EntityID()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if prev, dup := s.byEntity[id]; dup {
-		return prev, false, nil
+	seq, fresh = s.logOneLocked(&in)
+	if fresh {
+		s.enforceRetentionLocked()
+		s.publishLocked()
 	}
-	seq = s.base + uint64(len(s.log))
-	s.log = append(s.log, in)
+	return seq, fresh, nil
+}
+
+// LogBatch appends a batch of instances under a single lock
+// acquisition, retention pass and frontier publication — the amortized
+// write path fed by the wire-protocol batch decoder and the engine's
+// batched emission hook. seqs[i] and fresh[i] mirror LogSeq's results
+// for ins[i]. The batch is atomic with respect to validation: an
+// invalid instance fails the whole batch before any mutation.
+func (s *Store) LogBatch(ins []event.Instance) (seqs []uint64, fresh []bool, err error) {
+	for i := range ins {
+		if err := ins[i].Validate(); err != nil {
+			return nil, nil, fmt.Errorf("db: log[%d]: %w", i, err)
+		}
+	}
+	if len(ins) == 0 {
+		return nil, nil, nil
+	}
+	seqs = make([]uint64, len(ins))
+	fresh = make([]bool, len(ins))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for i := range ins {
+		seqs[i], fresh[i] = s.logOneLocked(&ins[i])
+		changed = changed || fresh[i]
+	}
+	if changed {
+		s.enforceRetentionLocked()
+		s.publishLocked()
+	}
+	return seqs, fresh, nil
+}
+
+// logOneLocked appends one pre-validated instance to the write plane
+// and every index, without enforcing retention or publishing — the
+// shared core of LogSeq and LogBatch.
+//
+//stcps:holds mu
+func (s *Store) logOneLocked(in *event.Instance) (seq uint64, fresh bool) {
+	id := in.EntityID()
+	if prev, dup := s.byEntity[id]; dup {
+		return prev, false
+	}
+	seq = s.frontier
+	ci := (seq - s.firstSeq) >> chunkBits
+	if int(ci) == len(s.chunks) {
+		s.chunks = append(s.chunks, &chunk{})
+	}
+	s.chunks[ci].data[seq&chunkMask] = *in
+	s.frontier = seq + 1
 	s.byEntity[id] = seq
+	s.liveEv[in.Event]++
 
 	lst := s.byEvent[in.Event]
 	// Insert keeping Occ.Start order (instances usually arrive almost in
@@ -181,8 +363,7 @@ func (s *Store) LogSeq(in event.Instance) (seq uint64, fresh bool, err error) {
 	if in.Gen > s.maxGen {
 		s.maxGen = in.Gen
 	}
-	s.enforceRetentionLocked()
-	return seq, true, nil
+	return seq, true
 }
 
 // SeqOf resolves an entity id to its global sequence number, reporting
@@ -195,57 +376,86 @@ func (s *Store) SeqOf(entityID string) (uint64, bool) {
 }
 
 // enforceRetentionLocked evicts from the front of the log until the
-// retention bounds hold. Callers hold mu.
+// retention bounds hold, then compacts the stale index entries and
+// retired chunks the evictions left behind. Callers hold mu.
 //
 //stcps:holds mu
 func (s *Store) enforceRetentionLocked() {
 	if s.ret.MaxAge > 0 {
-		for len(s.log) > 0 && s.log[0].Gen < s.maxGen-s.ret.MaxAge {
+		for s.frontier > s.base && s.at(s.base).Gen < s.maxGen-s.ret.MaxAge {
 			s.evictFrontLocked()
 		}
 	}
 	if s.ret.MaxInstances > 0 {
-		for len(s.log) > s.ret.MaxInstances {
+		for s.frontier-s.base > uint64(s.ret.MaxInstances) {
 			s.evictFrontLocked()
 		}
 	}
+	s.compactLocked()
 }
 
-// evictFrontLocked drops the oldest live instance from the log and every
-// index. Callers hold mu and guarantee the log is non-empty.
+// evictFrontLocked drops the oldest live instance from the entity and
+// grid indexes and advances base. Its time-index entry merely goes
+// stale (probes skip sequence numbers below base) and its chunk slot
+// stays in place until the whole chunk retires — O(1) per instance,
+// with the deferred reclamation amortized by compactLocked. When the
+// instance was its event's last live one, the event's whole index list
+// (all stale by definition) is dropped immediately so the event id
+// disappears from EventIDs/Stats exactly as it always has.
 //
 //stcps:holds mu
 func (s *Store) evictFrontLocked() {
-	in := s.log[0]
+	in := s.at(s.base)
 	id := in.EntityID()
 	delete(s.byEntity, id)
 	s.grid.Remove(id)
-
-	lst := s.byEvent[in.Event]
-	// The per-event index is start-ordered: binary search to the run of
-	// equal starts, then scan it for our sequence number.
-	pos := sort.Search(len(lst), func(i int) bool {
-		return s.at(lst[i]).Occ.Start() >= in.Occ.Start()
-	})
-	for pos < len(lst) && lst[pos] != s.base {
-		pos++
-	}
-	if pos < len(lst) {
-		lst = append(lst[:pos], lst[pos+1:]...)
-	}
-	if len(lst) == 0 {
+	if n := s.liveEv[in.Event] - 1; n == 0 {
+		s.stale -= len(s.byEvent[in.Event]) - 1
 		delete(s.byEvent, in.Event)
+		delete(s.liveEv, in.Event)
 	} else {
-		s.byEvent[in.Event] = lst
+		s.liveEv[in.Event] = n
+		s.stale++
 	}
-
-	// Zero before re-slicing so the evicted instance's attribute map and
-	// input slice are collectable; append reuses the remaining capacity
-	// and reallocates only the live tail, keeping memory flat.
-	s.log[0] = event.Instance{}
-	s.log = s.log[1:]
 	s.base++
 	s.evicted++
+}
+
+// compactLocked reclaims what eviction deferred: it sweeps stale
+// entries out of the time index and retires chunks that fell entirely
+// below base. The sweep runs when a whole chunk is retirable or the
+// stale count has caught up with the live entity count (with a
+// chunkSize floor so small stores don't sweep constantly), so its
+// O(index entries) cost amortizes to O(1) per evicted instance. Chunk
+// retirement rebuilds the directory into a fresh slice — published
+// views keep the old one alive, so concurrent readers are unaffected —
+// and reclaims instance memory a chunk at a time: up to chunkSize-1
+// evicted instances linger in the front partial chunk.
+//
+//stcps:holds mu
+func (s *Store) compactLocked() {
+	retirable := int((s.base - s.firstSeq) >> chunkBits)
+	if retirable == 0 && (s.stale < chunkSize || s.stale < len(s.byEntity)) {
+		return
+	}
+	if s.stale > 0 {
+		for ev, lst := range s.byEvent {
+			keep := lst[:0]
+			for _, seq := range lst {
+				if seq >= s.base {
+					keep = append(keep, seq)
+				}
+			}
+			s.byEvent[ev] = keep
+		}
+		s.stale = 0
+	}
+	if retirable > 0 {
+		live := make([]*chunk, len(s.chunks)-retirable)
+		copy(live, s.chunks[retirable:])
+		s.chunks = live
+		s.firstSeq += uint64(retirable) << chunkBits
+	}
 }
 
 // LogObservation records a raw physical observation for provenance
@@ -258,17 +468,17 @@ func (s *Store) LogObservation(o event.Observation) {
 
 // Len returns the number of live instances.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.log)
+	return s.loadView().live()
 }
 
-// All returns a copy of the live instance log in arrival order.
+// All returns a copy of the live instance log in arrival order. It
+// reads the published view without locking.
 func (s *Store) All() []event.Instance {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]event.Instance, len(s.log))
-	copy(out, s.log)
+	v := s.loadView()
+	out := make([]event.Instance, 0, v.live())
+	for seq := v.base; seq < v.frontier; seq++ {
+		out = append(out, *v.at(seq))
+	}
 	return out
 }
 
@@ -285,21 +495,30 @@ func (s *Store) Get(entityID string) (event.Instance, error) {
 
 // QueryTime returns instances of eventID whose estimated occurrence
 // intersects [from, to], ordered by occurrence start. An empty eventID
-// matches every event (via scan).
+// matches every event (via scan). The index probe is a short critical
+// section; materialization runs lock-free against the published view.
 func (s *Store) QueryTime(eventID string, from, to timemodel.Tick) []event.Instance {
 	if to < from {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	lst, lo, hi := s.timeWindowLocked(eventID, from, to)
-	if lst == nil {
-		return s.scanTimeLocked("", from, to)
+	if eventID == "" {
+		v := s.loadView()
+		return scanTimeView(v, "", from, to)
 	}
-	var out []event.Instance
+	s.mu.RLock()
+	v := s.loadView()
+	lst, lo, hi := s.timeWindowLocked(eventID, from, to)
+	cand := make([]uint64, 0, hi-lo)
 	for _, seq := range lst[lo:hi] {
-		if s.at(seq).Occ.End() >= from {
-			out = append(out, *s.at(seq))
+		if seq >= v.base {
+			cand = append(cand, seq)
+		}
+	}
+	s.mu.RUnlock()
+	var out []event.Instance
+	for _, seq := range cand {
+		if v.at(seq).Occ.End() >= from {
+			out = append(out, *v.at(seq))
 		}
 	}
 	return out
@@ -308,15 +527,12 @@ func (s *Store) QueryTime(eventID string, from, to timemodel.Tick) []event.Insta
 // timeWindowLocked returns the slice [lo, hi) of the event's
 // start-ordered index that can intersect [from, to]: starts <= to, and
 // starts >= from minus the event's longest logged duration (an interval
-// reaching into the window cannot have started earlier than that). A
-// nil lst means the event id is empty and callers must scan. Callers
-// hold mu.
+// reaching into the window cannot have started earlier than that). The
+// window may include stale (evicted) sequence numbers; callers filter
+// against the view's base. Callers hold mu.
 //
 //stcps:holds mu
 func (s *Store) timeWindowLocked(eventID string, from, to timemodel.Tick) (lst []uint64, lo, hi int) {
-	if eventID == "" {
-		return nil, 0, 0
-	}
 	lst = s.byEvent[eventID]
 	if lst == nil {
 		lst = []uint64{}
@@ -339,25 +555,24 @@ func (s *Store) timeWindowLocked(eventID string, from, to timemodel.Tick) (lst [
 }
 
 // ScanTime is the unindexed equivalent of QueryTime, retained for the E9
-// index-versus-scan experiment and as a testing oracle.
+// index-versus-scan experiment and as a testing oracle. It scans the
+// published view without locking.
 func (s *Store) ScanTime(eventID string, from, to timemodel.Tick) []event.Instance {
 	if to < from {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanTimeLocked(eventID, from, to)
+	return scanTimeView(s.loadView(), eventID, from, to)
 }
 
-//stcps:holds mu
-func (s *Store) scanTimeLocked(eventID string, from, to timemodel.Tick) []event.Instance {
+func scanTimeView(v *view, eventID string, from, to timemodel.Tick) []event.Instance {
 	var out []event.Instance
-	for _, in := range s.log {
+	for seq := v.base; seq < v.frontier; seq++ {
+		in := v.at(seq)
 		if eventID != "" && in.Event != eventID {
 			continue
 		}
 		if in.Occ.Start() <= to && in.Occ.End() >= from {
-			out = append(out, in)
+			out = append(out, *in)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -367,10 +582,11 @@ func (s *Store) scanTimeLocked(eventID string, from, to timemodel.Tick) []event.
 }
 
 // QueryRegion returns instances whose estimated occurrence location is
-// Joint with the region, in arrival order.
+// Joint with the region, in arrival order. The grid probe is a short
+// critical section; materialization runs lock-free.
 func (s *Store) QueryRegion(region spatial.Location) []event.Instance {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v := s.loadView()
 	ids := s.grid.QueryRegion(region)
 	seqs := make([]uint64, 0, len(ids))
 	for _, id := range ids {
@@ -378,23 +594,24 @@ func (s *Store) QueryRegion(region spatial.Location) []event.Instance {
 			seqs = append(seqs, seq)
 		}
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	s.mu.RUnlock()
+	sortSeqs(seqs)
 	out := make([]event.Instance, len(seqs))
 	for i, seq := range seqs {
-		out[i] = *s.at(seq)
+		out[i] = *v.at(seq)
 	}
 	return out
 }
 
 // ScanRegion is the unindexed equivalent of QueryRegion (E9 experiment /
-// testing oracle).
+// testing oracle). It scans the published view without locking.
 func (s *Store) ScanRegion(region spatial.Location) []event.Instance {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v := s.loadView()
 	var out []event.Instance
-	for _, in := range s.log {
+	for seq := v.base; seq < v.frontier; seq++ {
+		in := v.at(seq)
 		if spatial.OpJoint.Apply(in.Loc, region) {
-			out = append(out, in)
+			out = append(out, *in)
 		}
 	}
 	return out

@@ -189,14 +189,24 @@ func (s *Sharded) Start() error {
 	return nil
 }
 
-// worker drains one shard's batch queue into its bank.
+// worker drains one shard's batch queue into its bank. With a batched
+// log hook, each queued offer batch becomes one emission round: every
+// instance the batch's offers emit is logged in a single LogBatch call,
+// amortizing the store's lock acquisition over the whole batch.
 func (s *Sharded) worker(i int) {
 	defer s.wg.Done()
 	bank := s.banks[i]
+	batched := bank.cfg.LogBatch != nil
 	for bp := range s.in[i] {
 		buf := *bp
+		if batched {
+			bank.beginRound()
+		}
 		for _, m := range buf {
 			bank.Ingest(m.source, m.ent, m.conf, m.now, m.loc)
+		}
+		if batched {
+			bank.endRound()
 		}
 		s.mu.Lock()
 		s.inflight -= int64(len(buf))
