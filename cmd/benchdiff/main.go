@@ -4,9 +4,11 @@
 // and fails when any speedup regressed by more than the allowed
 // fraction. As a smoke check it also fails outright when a
 // throughput-carrying row of the current artifact reports zero obs/s,
-// which a speedup ratio alone can mask. The E15 store-contention
-// section gates on absolute floors instead (see e15Failures): its
-// tail-latency speedup is too scheduler-dependent for a relative rule.
+// which a speedup ratio alone can mask. The E15 store-contention and
+// E16 tiered-storage sections gate on absolute floors instead (see
+// e15Failures / e16Failures): E15's tail-latency speedup is too
+// scheduler-dependent for a relative rule, and E16's gates are
+// correctness and liveness conditions, not ratios.
 //
 // Speedups (indexed-query-vs-scan, planned-join-vs-naive) are ratios of
 // two measurements taken on the same machine in the same run, so they
@@ -69,6 +71,13 @@ type artifact struct {
 		AuditPages        uint64  `json:"auditPages"`
 		P99Speedup        float64 `json:"p99Speedup"`
 	} `json:"e15"`
+	E16 *struct {
+		Segments       int     `json:"segments"`
+		SpilledPerSec  float64 `json:"spilledPerSec"`
+		ColdP99Us      float64 `json:"coldP99Us"`
+		WalkPages      int     `json:"walkPages"`
+		WalkMismatches int     `json:"walkMismatches"`
+	} `json:"e16"`
 }
 
 // E15 acceptance floors. The contended p99 speedup is a tail-latency
@@ -84,6 +93,15 @@ const (
 	e15MinSpeedup     = 5.0
 	e15MinIngestRatio = 0.8
 )
+
+// E16 acceptance floors. The tiered-storage experiment gates on
+// absolute correctness and liveness floors, not relative ratios: the
+// run must actually produce cold segments, spill at a nonzero rate,
+// and return zero mismatched pages on the merged cursor walk against
+// the unevicted oracle. The cold-query p99 ceiling is deliberately
+// generous — it exists to catch an accidental O(whole-directory) scan
+// regression (orders of magnitude), not scheduler noise.
+const e16MaxColdP99Us = 250_000.0
 
 // metric is one comparable speedup measurement.
 type metric struct {
@@ -173,6 +191,33 @@ func e15Failures(a artifact) []string {
 	return fails
 }
 
+// e16Failures checks the current artifact's E16 section against the
+// absolute tiered-storage floors. Returns human-readable failures,
+// empty when the section is absent or passing.
+func e16Failures(a artifact) []string {
+	if a.E16 == nil {
+		return nil
+	}
+	var fails []string
+	s := a.E16
+	if s.Segments < 1 {
+		fails = append(fails, "e16[segments] = 0 (spill produced no cold segments)")
+	}
+	if s.SpilledPerSec <= 0 {
+		fails = append(fails, "e16[spilledPerSec] = 0 (spill path dead)")
+	}
+	if s.WalkPages == 0 {
+		fails = append(fails, "e16[walkPages] = 0 (merged walk measured nothing)")
+	}
+	if s.WalkMismatches != 0 {
+		fails = append(fails, fmt.Sprintf("e16[walkMismatches] = %d, want 0 (merged pages diverge from oracle)", s.WalkMismatches))
+	}
+	if s.ColdP99Us > e16MaxColdP99Us {
+		fails = append(fails, fmt.Sprintf("e16[coldP99Us] = %.0f, ceiling %.0f", s.ColdP99Us, e16MaxColdP99Us))
+	}
+	return fails
+}
+
 func load(path string) (artifact, error) {
 	var a artifact
 	data, err := os.ReadFile(path)
@@ -243,6 +288,21 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(out, "e15: p99 speedup %.1fx (floor %.0fx), ingest ratio %.2f (floor %.2f), index-locks/page %.0f\n",
 			cur.E15.P99Speedup, e15MinSpeedup, cur.E15.IngestLoadRatio, e15MinIngestRatio, cur.E15.AuditLocksPerPage)
 	}
+	if base.E16 != nil && cur.E16 == nil {
+		fmt.Fprintln(errw, "benchdiff: FAIL: baseline carries an e16 section but current artifact has none")
+		return 1
+	}
+	if fails := e16Failures(cur); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(out, "%s  FLOOR\n", f)
+		}
+		fmt.Fprintln(errw, "benchdiff: FAIL: e16 tiered-storage floors violated")
+		return 1
+	}
+	if cur.E16 != nil {
+		fmt.Fprintf(out, "e16: %d segments, %.0f spilled/s, cold p99 %.0fµs (ceiling %.0f), %d walk mismatches\n",
+			cur.E16.Segments, cur.E16.SpilledPerSec, cur.E16.ColdP99Us, e16MaxColdP99Us, cur.E16.WalkMismatches)
+	}
 
 	curBy := make(map[string]float64)
 	for _, m := range metrics(cur) {
@@ -250,10 +310,11 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	baseMetrics := metrics(base)
 	if len(baseMetrics) == 0 {
-		if base.E15 != nil {
-			// E15-only artifact (BENCH_6): the absolute floors above are
-			// the whole gate; there are no relative speedup metrics.
-			fmt.Fprintln(out, "benchdiff: ok (e15 floors)")
+		if base.E15 != nil || base.E16 != nil {
+			// Floor-only artifacts (BENCH_6's e15 section, BENCH_7's e16
+			// section): the absolute floors above are the whole gate;
+			// there are no relative speedup metrics.
+			fmt.Fprintln(out, "benchdiff: ok (absolute floors)")
 			return 0
 		}
 		fmt.Fprintln(errw, "benchdiff: baseline carries no speedup metrics")

@@ -126,7 +126,7 @@ func TestE15FloorsPass(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, out, errw)
 	}
-	if !strings.Contains(out, "benchdiff: ok (e15 floors)") {
+	if !strings.Contains(out, "benchdiff: ok (absolute floors)") {
 		t.Errorf("stdout = %q", out)
 	}
 }
@@ -162,6 +162,60 @@ func TestE15FloorsFail(t *testing.T) {
 	}
 }
 
+const e16JSON = `{
+  "schema": "stcps-bench/1",
+  "e16": {
+    "instances": 120000,
+    "segments": 26,
+    "spilledPerSec": 330000,
+    "coldP99Us": 21000,
+    "walkPages": 469,
+    "walkMismatches": 0
+  }
+}`
+
+func TestE16FloorsPass(t *testing.T) {
+	base := write(t, "base.json", e16JSON)
+	code, out, errw := runDiff(t, "-baseline", base, "-current", base)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, out, errw)
+	}
+	if !strings.Contains(out, "benchdiff: ok (absolute floors)") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestE16FloorsFail(t *testing.T) {
+	base := write(t, "base.json", e16JSON)
+	cases := []struct {
+		name, old, new, want string
+	}{
+		{"noSegments", `"segments": 26`, `"segments": 0`, "e16[segments]"},
+		{"deadSpill", `"spilledPerSec": 330000`, `"spilledPerSec": 0`, "e16[spilledPerSec]"},
+		{"deadWalk", `"walkPages": 469`, `"walkPages": 0`, "e16[walkPages]"},
+		{"mismatches", `"walkMismatches": 0`, `"walkMismatches": 3`, "e16[walkMismatches]"},
+		{"coldTail", `"coldP99Us": 21000`, `"coldP99Us": 900000`, "e16[coldP99Us]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := write(t, "cur.json", strings.Replace(e16JSON, tc.old, tc.new, 1))
+			code, out, errw := runDiff(t, "-baseline", base, "-current", cur)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stdout %q, stderr %q)", code, out, errw)
+			}
+			if !strings.Contains(out, tc.want) || !strings.Contains(out, "FLOOR") {
+				t.Errorf("stdout = %q, want mention of %q", out, tc.want)
+			}
+		})
+	}
+	// A current artifact that dropped the e16 section entirely fails too.
+	cur := write(t, "cur.json", `{"schema": "stcps-bench/1"}`)
+	if code, _, errw := runDiff(t, "-baseline", base, "-current", cur); code != 1 ||
+		!strings.Contains(errw, "e16 section") {
+		t.Errorf("missing e16 section: exit %d stderr %q, want 1", code, errw)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	base := write(t, "base.json", baselineJSON)
 	if code, _, _ := runDiff(t); code != 2 {
@@ -190,7 +244,7 @@ func TestUsageErrors(t *testing.T) {
 // TestAgainstCommittedBaselines sanity-checks the gate against the
 // repo's real BENCH_2/BENCH_3 artifacts: identical files always pass.
 func TestAgainstCommittedBaselines(t *testing.T) {
-	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json"} {
+	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

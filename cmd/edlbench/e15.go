@@ -149,7 +149,7 @@ func e15Store() (*db.Store, error) {
 }
 
 // e15QueryFn is one read-path flavor: QueryST or QuerySTLocked.
-type e15QueryFn func(db.Query) (db.Result, error)
+type e15QueryFn func(db.QuerySpec) (db.Result, error)
 
 // e15Writer drives paced batched ingest until stop is closed,
 // publishing the newest tick so probers can aim their time windows.
@@ -192,7 +192,7 @@ func e15PageReader(query e15QueryFn, offset time.Duration, stop <-chan struct{},
 		default:
 		}
 		start := time.Now()
-		res, err := query(db.Query{Limit: e15PageLimit, Cursor: cursor})
+		res, err := query(db.QuerySpec{Limit: e15PageLimit, Cursor: cursor})
 		lat := time.Since(start)
 		if err != nil {
 			return err
@@ -224,19 +224,17 @@ func e15Prober(query e15QueryFn, tickNow *atomic.Int64, seed int64, offset time.
 			return nil
 		default:
 		}
-		var q db.Query
+		var q db.QuerySpec
 		if qi%2 == 0 {
 			now := tickNow.Load()
 			from := now - 2048
 			if from < 0 {
 				from = 0
 			}
-			q = db.Query{
-				Event:   "E" + strconv.Itoa(rng.Intn(e15Events)),
-				HasTime: true,
-				From:    timemodel.Tick(from),
-				To:      timemodel.Tick(now),
-				Limit:   e15PageLimit,
+			q = db.QuerySpec{
+				Event:  "E" + strconv.Itoa(rng.Intn(e15Events)),
+				Window: &db.TimeWindow{From: timemodel.Tick(from), To: timemodel.Tick(now)},
+				Limit:  e15PageLimit,
 			}
 		} else {
 			x, y := rng.Float64()*(e15Space-64), rng.Float64()*(e15Space-64)
@@ -245,7 +243,7 @@ func e15Prober(query e15QueryFn, tickNow *atomic.Int64, seed int64, offset time.
 				return err
 			}
 			region := spatial.InField(f)
-			q = db.Query{Region: &region, Limit: e15PageLimit}
+			q = db.QuerySpec{Region: &region, Limit: e15PageLimit}
 		}
 		start := time.Now()
 		if _, err := query(q); err != nil {
@@ -269,7 +267,7 @@ func e15Replayer(query e15QueryFn, offset time.Duration, stop <-chan struct{}) (
 			return pages, nil
 		default:
 		}
-		res, err := query(db.Query{Limit: e15PageLimit, Cursor: cursor, Strict: true})
+		res, err := query(db.QuerySpec{Limit: e15PageLimit, Cursor: cursor, Strict: true})
 		if errors.Is(err, db.ErrStaleCursor) {
 			cursor = ""
 			continue
@@ -389,7 +387,7 @@ func e15ReplayAudit(s *db.Store) (pages, materialized uint64, locksPerPage float
 	cursor := ""
 	var got uint64
 	for {
-		res, qerr := s.QueryST(db.Query{Limit: 256, Cursor: cursor})
+		res, qerr := s.QueryST(db.QuerySpec{Limit: 256, Cursor: cursor})
 		if qerr != nil {
 			return 0, 0, 0, qerr
 		}
@@ -417,16 +415,16 @@ func e15Differential(s *db.Store) error {
 	st := s.Stats()
 	maxTick := int64(st.MaxGen)
 	for i := 0; i < 32; i++ {
-		var q db.Query
+		var q db.QuerySpec
 		switch i % 4 {
 		case 0:
-			q = db.Query{Limit: 128}
+			q = db.QuerySpec{Limit: 128}
 		case 1:
 			from := timemodel.Tick(rng.Int63n(maxTick + 1))
-			q = db.Query{
-				Event:   "E" + strconv.Itoa(rng.Intn(e15Events)),
-				HasTime: true, From: from, To: from + 4096,
-				Limit: 128,
+			q = db.QuerySpec{
+				Event:  "E" + strconv.Itoa(rng.Intn(e15Events)),
+				Window: &db.TimeWindow{From: from, To: from + 4096},
+				Limit:  128,
 			}
 		case 2:
 			x, y := rng.Float64()*(e15Space-128), rng.Float64()*(e15Space-128)
@@ -435,7 +433,7 @@ func e15Differential(s *db.Store) error {
 				return err
 			}
 			region := spatial.InField(f)
-			q = db.Query{Region: &region, Limit: 128}
+			q = db.QuerySpec{Region: &region, Limit: 128}
 		default:
 			x, y := rng.Float64()*(e15Space-128), rng.Float64()*(e15Space-128)
 			f, err := spatial.Rect(x, y, x+128, y+128)
@@ -444,10 +442,10 @@ func e15Differential(s *db.Store) error {
 			}
 			region := spatial.InField(f)
 			from := timemodel.Tick(rng.Int63n(maxTick + 1))
-			q = db.Query{
-				Event:   "E" + strconv.Itoa(rng.Intn(e15Events)),
-				Region:  &region,
-				HasTime: true, From: from, To: from + 8192,
+			q = db.QuerySpec{
+				Event:  "E" + strconv.Itoa(rng.Intn(e15Events)),
+				Region: &region,
+				Window: &db.TimeWindow{From: from, To: from + 8192},
 			}
 		}
 		free, err := s.QueryST(q)

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/stcps/stcps/internal/db"
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/segment"
+	"github.com/stcps/stcps/internal/spatial"
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+// e16Summary is the machine-readable E16 record: tiered-storage spill
+// throughput, cold/merged query latency, block-index pruning
+// effectiveness, and the merged-cursor-walk differential against an
+// unevicted all-in-RAM oracle (the gate: zero mismatched pages).
+type e16Summary struct {
+	Instances    int `json:"instances"`
+	CapInstances int `json:"capInstances"`
+	// Spill production during ingest + final flush.
+	Segments         int     `json:"segments"`
+	SpilledInstances uint64  `json:"spilledInstances"`
+	SpillBytes       int64   `json:"spillBytes"`
+	IngestNsPerInst  float64 `json:"ingestNsPerInst"`
+	SpilledPerSec    float64 `json:"spilledPerSec"`
+	// Cold-only indexed queries (Tier=cold): latency and footer-index
+	// skip-scan effectiveness over the whole query set.
+	ColdQueries  int     `json:"coldQueries"`
+	ColdP50Us    float64 `json:"coldP50Us"`
+	ColdP99Us    float64 `json:"coldP99Us"`
+	BlocksRead   uint64  `json:"blocksRead"`
+	BlocksPruned uint64  `json:"blocksPruned"`
+	PruneRatio   float64 `json:"pruneRatio"`
+	// Merged queries (Tier=all: segment scans + the chunked hot view
+	// under one cursor space).
+	MergedQueries int     `json:"mergedQueries"`
+	MergedP50Us   float64 `json:"mergedP50Us"`
+	MergedP99Us   float64 `json:"mergedP99Us"`
+	// Full cursor walk across both tiers, page-compared against the
+	// unevicted oracle. WalkMismatches must be 0.
+	WalkPages      int `json:"walkPages"`
+	WalkInstances  int `json:"walkInstances"`
+	WalkMismatches int `json:"walkMismatches"`
+}
+
+// E16 workload shape: the E15 instance generator (32 round-robin
+// events, uniform locations over a 1024² space, ticks advancing with
+// the log), logged through a retention cap tight enough that ~85% of
+// the history spills into cold segments.
+const (
+	e16Pre       = 120_000
+	e16Cap       = 16_384
+	e16Queries   = 256
+	e16PageLimit = 256
+	e16Window    = 4096
+)
+
+// e16Feed logs the deterministic workload into s in LogBatch batches.
+func e16Feed(s *db.Store) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(19))
+	batch := make([]event.Instance, 0, e15Batch)
+	start := time.Now()
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, _, err := s.LogBatch(batch)
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < e16Pre; i++ {
+		batch = append(batch, e15Inst(rng, i))
+		if len(batch) == e15Batch {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// e16Query builds the qi-th indexed query: per-event time windows over
+// the spilled range alternating with region probes, identical for the
+// cold-only and merged passes.
+func e16Query(rng *rand.Rand, qi int, tier db.Tier) (db.QuerySpec, error) {
+	if qi%2 == 0 {
+		from := timemodel.Tick(rng.Int63n(e16Pre - e16Window))
+		return db.QuerySpec{
+			Event:  "E" + strconv.Itoa(rng.Intn(e15Events)),
+			Window: &db.TimeWindow{From: from, To: from + e16Window},
+			Tier:   tier,
+		}, nil
+	}
+	x, y := rng.Float64()*(e15Space-64), rng.Float64()*(e15Space-64)
+	f, err := spatial.Rect(x, y, x+64, y+64)
+	if err != nil {
+		return db.QuerySpec{}, err
+	}
+	region := spatial.InField(f)
+	return db.QuerySpec{Region: &region, Limit: e16PageLimit, Tier: tier}, nil
+}
+
+// e16QueryPass runs the deterministic query set at the given tier,
+// returning sorted latencies (µs) and the summed cold-scan counters.
+func e16QueryPass(s *db.Store, tier db.Tier) (lats []float64, blocksRead, blocksPruned uint64, err error) {
+	rng := rand.New(rand.NewSource(20))
+	for qi := 0; qi < e16Queries; qi++ {
+		q, err := e16Query(rng, qi, tier)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		start := time.Now()
+		res, err := s.QueryST(q)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		lats = append(lats, float64(time.Since(start).Nanoseconds())/1e3)
+		blocksRead += uint64(res.Cold.BlocksRead)
+		blocksPruned += uint64(res.Cold.BlocksPruned)
+	}
+	sort.Float64s(lats)
+	return lats, blocksRead, blocksPruned, nil
+}
+
+// e16Walk paginates both stores' full history through the unified
+// cursor space (tiered: cold segments then the chunked hot view;
+// oracle: all RAM) and compares page streams. Returns the page count,
+// instance count, and the number of mismatched pages.
+func e16Walk(tiered, oracle *db.Store) (pages, instances, mismatches int, err error) {
+	tc, oc := "", ""
+	for {
+		tr, err := tiered.QueryST(db.QuerySpec{Limit: e16PageLimit, Cursor: tc})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		or, err := oracle.QueryST(db.QuerySpec{Limit: e16PageLimit, Cursor: oc})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		pages++
+		instances += len(tr.Instances)
+		if !reflect.DeepEqual(tr.Instances, or.Instances) ||
+			!reflect.DeepEqual(tr.Seqs, or.Seqs) ||
+			tr.NextCursor != or.NextCursor {
+			mismatches++
+		}
+		tc, oc = tr.NextCursor, or.NextCursor
+		if tc == "" || oc == "" {
+			if tc != oc {
+				mismatches++
+			}
+			return pages, instances, mismatches, nil
+		}
+	}
+}
+
+// e16 measures the tiered cold store: spill throughput while ingesting
+// through a tight retention cap, cold-only and merged indexed query
+// latency, the footer block index's pruning ratio, and the full
+// cursor-walk differential against an unevicted all-in-RAM oracle.
+func e16(out io.Writer) (*e16Summary, error) {
+	fmt.Fprintf(out, "=== E16: tiered storage, %d instances through a %d-instance cap, cold segments + merged queries ===\n",
+		e16Pre, e16Cap)
+	dir, err := os.MkdirTemp("", "stcps-e16-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	oracle, err := db.New(e15Cell)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e16Feed(oracle); err != nil {
+		return nil, err
+	}
+
+	tiered, err := db.New(e15Cell)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := segment.Open(segment.Config{Dir: dir, CellSize: e15Cell, NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer cold.Close()
+	if err := tiered.AttachCold(cold); err != nil {
+		return nil, err
+	}
+	tiered.SetRetention(db.Retention{MaxInstances: e16Cap})
+	ingestDur, err := e16Feed(tiered)
+	if err != nil {
+		return nil, err
+	}
+	// Flush the evicted-but-unspilled backlog so the cold tier holds
+	// everything eviction retired, as a durable engine's snapshot path
+	// would; the flush is part of the spill production being measured.
+	flushStart := time.Now()
+	if err := tiered.FlushCold(); err != nil {
+		return nil, err
+	}
+	spillDur := ingestDur + time.Since(flushStart)
+
+	st := tiered.Stats()
+	if st.SpillErrs != 0 || st.Cold == nil || st.Cold.Segments == 0 {
+		return nil, fmt.Errorf("E16: spill produced no segments (errs=%d)", st.SpillErrs)
+	}
+	sum := &e16Summary{
+		Instances: e16Pre, CapInstances: e16Cap,
+		Segments:         st.Cold.Segments,
+		SpilledInstances: st.Cold.SpilledInstances,
+		SpillBytes:       st.Cold.Bytes,
+		IngestNsPerInst:  float64(ingestDur.Nanoseconds()) / float64(e16Pre),
+		SpilledPerSec:    float64(st.Cold.SpilledInstances) / spillDur.Seconds(),
+	}
+
+	coldLats, br, bp, err := e16QueryPass(tiered, db.TierCold)
+	if err != nil {
+		return nil, err
+	}
+	sum.ColdQueries = len(coldLats)
+	sum.ColdP50Us = percentile(coldLats, 50)
+	sum.ColdP99Us = percentile(coldLats, 99)
+	sum.BlocksRead, sum.BlocksPruned = br, bp
+	if br+bp > 0 {
+		sum.PruneRatio = float64(bp) / float64(br+bp)
+	}
+
+	mergedLats, _, _, err := e16QueryPass(tiered, db.TierAll)
+	if err != nil {
+		return nil, err
+	}
+	sum.MergedQueries = len(mergedLats)
+	sum.MergedP50Us = percentile(mergedLats, 50)
+	sum.MergedP99Us = percentile(mergedLats, 99)
+
+	pages, insts, mismatches, err := e16Walk(tiered, oracle)
+	if err != nil {
+		return nil, err
+	}
+	sum.WalkPages, sum.WalkInstances, sum.WalkMismatches = pages, insts, mismatches
+	if insts != e16Pre {
+		return nil, fmt.Errorf("E16: merged walk returned %d instances, want %d", insts, e16Pre)
+	}
+	if mismatches != 0 {
+		return nil, fmt.Errorf("E16: %d of %d merged pages diverge from the unevicted oracle", mismatches, pages)
+	}
+
+	fmt.Fprintf(out, "spill: %d segments, %d instances, %.1f MB, %.0f spilled/s (ingest %.0f ns/inst)\n",
+		sum.Segments, sum.SpilledInstances, float64(sum.SpillBytes)/(1<<20), sum.SpilledPerSec, sum.IngestNsPerInst)
+	fmt.Fprintf(out, "cold queries: %d, p50/p99 = %.0f/%.0f µs, blocks read/pruned = %d/%d (%.0f%% pruned)\n",
+		sum.ColdQueries, sum.ColdP50Us, sum.ColdP99Us, sum.BlocksRead, sum.BlocksPruned, 100*sum.PruneRatio)
+	fmt.Fprintf(out, "merged queries: %d, p50/p99 = %.0f/%.0f µs\n",
+		sum.MergedQueries, sum.MergedP50Us, sum.MergedP99Us)
+	fmt.Fprintf(out, "merged cursor walk: %d pages, %d instances, %d mismatches vs oracle\n\n",
+		sum.WalkPages, sum.WalkInstances, sum.WalkMismatches)
+	return sum, nil
+}

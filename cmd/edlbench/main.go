@@ -16,6 +16,7 @@
 //	edlbench -exp E13   # subscription matching: indexed vs. linear scan
 //	edlbench -exp E14   # wire ingest: JSONL vs. binary TCP
 //	edlbench -exp E15   # store contention: monolithic lock vs. chunked read plane
+//	edlbench -exp E16   # tiered storage: cold segment spill + merged queries
 //	edlbench -runs 32   # more runs per configuration
 //	edlbench -json BENCH_1.json   # also write the machine-readable artifact
 package main
@@ -148,13 +149,14 @@ type artifact struct {
 	E13       []subRow      `json:"e13,omitempty"`
 	E14       []wireRow     `json:"e14,omitempty"`
 	E15       *e15Summary   `json:"e15,omitempty"`
+	E16       *e16Summary   `json:"e16,omitempty"`
 	Retention *retentionRow `json:"retention,omitempty"`
 	Engine    []engineRow   `json:"engineIngest,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13, E14, E15 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13, E14, E15, E16 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
 	queryInstances := fs.Int("queryInstances", 100_000, "logged instances for the E9 query experiment")
 	joinEntities := fs.Int("joinEntities", 900, "entities fed to the E10 join experiment")
@@ -253,6 +255,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		art.E15 = sum
+	}
+	if which == "ALL" || which == "E16" {
+		any = true
+		sum, err := e16(out)
+		if err != nil {
+			return err
+		}
+		art.E16 = sum
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -516,9 +526,9 @@ func e9(out io.Writer, nInstances int) ([]queryRow, *retentionRow, error) {
 	idxHits := 0
 	for i := range queries {
 		q := &queries[i]
-		res, err := s.QueryST(db.Query{
+		res, err := s.QueryST(db.QuerySpec{
 			Event: q.ev, Region: &q.region,
-			HasTime: true, From: q.from, To: q.to,
+			Window: &db.TimeWindow{From: q.from, To: q.to},
 		})
 		if err != nil {
 			return nil, nil, err

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"github.com/stcps/stcps"
@@ -29,15 +30,26 @@ type api struct {
 	wire     *wireStats // nil without -tcp
 }
 
-// handler builds the query API routes.
+// handler builds the query API routes. Every endpoint is mounted twice:
+// under the versioned /v1/ prefix (the documented contract, see
+// docs/http.md) and at its historical unversioned path, kept as an
+// alias for pre-versioning clients.
 func (a *api) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", a.healthz)
-	mux.HandleFunc("GET /stats", a.stats)
-	mux.HandleFunc("GET /query", a.query)
-	mux.HandleFunc("GET /lineage/{entity}", a.lineage)
-	mux.HandleFunc("GET /subscribe", a.subscribe)
-	mux.HandleFunc("GET /subscriptions", a.subscriptions)
+	for _, r := range []struct {
+		pattern string
+		fn      http.HandlerFunc
+	}{
+		{"/healthz", a.healthz},
+		{"/stats", a.stats},
+		{"/query", a.query},
+		{"/lineage/{entity}", a.lineage},
+		{"/subscribe", a.subscribe},
+		{"/subscriptions", a.subscriptions},
+	} {
+		mux.HandleFunc("GET /v1"+r.pattern, r.fn)
+		mux.HandleFunc("GET "+r.pattern, r.fn)
+	}
 	return mux
 }
 
@@ -112,6 +124,9 @@ type queryResponse struct {
 	NextCursor string           `json:"nextCursor,omitempty"`
 	Index      string           `json:"index"`
 	Scanned    int              `json:"scanned"`
+	// Cold reports the segment-tier portion of the page (present when
+	// the query touched cold storage).
+	Cold *db.ColdScan `json:"cold,omitempty"`
 }
 
 // stPredicates is the event/region/window parameter triple shared by
@@ -176,7 +191,11 @@ func parseSTPredicates(v url.Values) (stPredicates, error) {
 	return p, nil
 }
 
-// query answers GET /query?event=&x1=&y1=&x2=&y2=&from=&to=&limit=&cursor=.
+// query answers
+// GET /v1/query?event=&x1=&y1=&x2=&y2=&from=&to=&limit=&cursor=&tier=&strict=.
+// The versioned path reads all storage tiers by default; the legacy
+// unversioned alias predates the cold tier and pins tier=hot unless the
+// request says otherwise.
 func (a *api) query(w http.ResponseWriter, r *http.Request) {
 	v := r.URL.Query()
 	p, err := parseSTPredicates(v)
@@ -184,10 +203,31 @@ func (a *api) query(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	q := stcps.Query{
+	spec := stcps.QuerySpec{
 		Event: p.event, Region: p.region,
-		HasTime: p.hasTime, From: p.from, To: p.to,
 		Cursor: v.Get("cursor"),
+	}
+	if p.hasTime {
+		spec.Window = &stcps.TimeWindow{From: p.from, To: p.to}
+	}
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		spec.Tier = stcps.TierHot
+	}
+	if s := v.Get("tier"); s != "" {
+		t, err := db.ParseTier(s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec.Tier = t
+	}
+	if s := v.Get("strict"); s != "" {
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad strict %q", s)
+			return
+		}
+		spec.Strict = b
 	}
 	if s := v.Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)
@@ -195,25 +235,33 @@ func (a *api) query(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad limit %q", s)
 			return
 		}
-		q.Limit = n
+		spec.Limit = n
 	}
 
-	res, err := a.eng.QueryST(q)
+	res, err := a.eng.QueryST(spec)
 	switch {
 	case errors.Is(err, db.ErrBadCursor):
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpErrorCode(w, http.StatusBadRequest, "bad_cursor", "%v", err)
+		return
+	case errors.Is(err, db.ErrStaleCursor):
+		httpError(w, http.StatusGone, "%v", err)
 		return
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	out := queryResponse{
 		Count:      len(res.Instances),
 		Instances:  res.Instances,
 		NextCursor: res.NextCursor,
 		Index:      res.Index,
 		Scanned:    res.Scanned,
-	})
+	}
+	if res.Cold.Segments > 0 {
+		cold := res.Cold
+		out.Cold = &cold
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // lineageResponse is the /lineage/{entity} document.
@@ -243,6 +291,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorResponse is the uniform error envelope of every endpoint:
+// a human-readable message plus a stable machine-readable code.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// defaultCode maps a status to its envelope code when the handler has
+// no more specific one (e.g. bad_cursor refines 400).
+func defaultCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusGone:
+		return "stale_cursor"
+	default:
+		return "internal"
+	}
+}
+
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	httpErrorCode(w, status, defaultCode(status), format, args...)
+}
+
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }

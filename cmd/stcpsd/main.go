@@ -230,6 +230,10 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	walDir := fs.String("wal-dir", "", "durability: write-ahead log directory (enables crash recovery and the in-process store)")
 	fsync := fs.String("fsync", "interval", "durability: WAL fsync policy: always, interval or off")
 	snapshotEvery := fs.Int("snapshot-every", 0, "durability: snapshot + compact the WAL every N records (0 = only at shutdown)")
+	spillDir := fs.String("spill-dir", "", "cold tier: spill retention-evicted instances to segment files in this directory (enables the in-process store)")
+	spillMaxAge := fs.Int64("spill-max-age", 0, "cold tier: delete segments older than this many ticks behind the newest spilled data (0 = keep)")
+	spillMaxBytes := fs.Int64("spill-max-bytes", 0, "cold tier: cap total segment bytes, deleting oldest first (0 = unlimited)")
+	spillMaxSegments := fs.Int("spill-max-segments", 0, "cold tier: cap the number of segment files (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -261,6 +265,12 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			Dir:           *walDir,
 			Fsync:         *fsync,
 			SnapshotEvery: *snapshotEvery,
+		},
+		Spill: stcps.SpillConfig{
+			Dir:         *spillDir,
+			MaxAge:      stcps.Tick(*spillMaxAge),
+			MaxBytes:    *spillMaxBytes,
+			MaxSegments: *spillMaxSegments,
 		},
 		Subscriptions: stcps.SubscriptionsConfig{Buffer: *subBuffer},
 		OnInstance: func(inst stcps.Instance) {

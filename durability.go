@@ -473,10 +473,21 @@ func (e *Engine) maybeSnapshot() error {
 
 // snapshotNow drains in-flight detection work, snapshots the store into
 // the WAL directory and compacts covered segments.
+//
+// With a cold tier attached, the evicted-but-unspilled backlog is
+// flushed to segments first. That keeps two invariants: nothing falls
+// between the tiers (the backlog is in neither the snapshot nor, after
+// compaction, the WAL), and the surviving segments end exactly at the
+// seq where the snapshot's instances begin, so recovery re-attaches a
+// seamless cursor space. A failed flush aborts the snapshot — the WAL
+// keeps covering the backlog and the next snapshot retries.
 func (e *Engine) snapshotNow() error {
 	d := e.dur
 	if e.sharded != nil {
 		e.sharded.Drain()
+	}
+	if err := e.store.FlushCold(); err != nil {
+		return err
 	}
 	d.recordsSinceSnap.Store(0)
 	return d.log.Snapshot(func(w io.Writer) error { return e.store.Snapshot(w) }, d.horizon())
@@ -489,10 +500,18 @@ func (e *Engine) snapshotNow() error {
 // ingest; repeated Shutdown (or Shutdown after Close) is a clean no-op.
 func (e *Engine) Shutdown(now Tick) ([]Instance, error) {
 	insts := e.Flush(now)
-	if e.dur == nil {
-		return insts, nil
-	}
 	var err error
+	if e.dur == nil {
+		if e.cold != nil {
+			// Persist the evicted backlog; live hot instances are lost by
+			// the non-durable contract.
+			err = e.store.FlushCold()
+			if cerr := e.cold.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return insts, err
+	}
 	if e.dur.recovered {
 		if err = e.snapshotNow(); errors.Is(err, wal.ErrClosed) {
 			err = nil
@@ -509,6 +528,11 @@ func (e *Engine) Shutdown(now Tick) ([]Instance, error) {
 		// missing acknowledged records even though everything since
 		// succeeded.
 		err = serr
+	}
+	if e.cold != nil {
+		if cerr := e.cold.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return insts, err
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/stcps/stcps/internal/db"
 	"github.com/stcps/stcps/internal/engine"
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/segment"
 	"github.com/stcps/stcps/internal/sub"
 	"github.com/stcps/stcps/internal/wal"
 )
@@ -25,9 +26,33 @@ var (
 // emitted).
 type EngineStats = engine.Stats
 
-// Query describes one combined spatio-temporal retrieval against the
-// database server: any subset of {event id, occurrence region,
-// occurrence window}, paginated via Limit/Cursor.
+// QuerySpec describes one combined spatio-temporal retrieval against
+// the database server: any subset of {event id, occurrence region,
+// occurrence window}, paginated via Limit/Cursor, tier-selected via
+// Tier.
+type QuerySpec = db.QuerySpec
+
+// TimeWindow is a QuerySpec occurrence-time bound [From, To].
+type TimeWindow = db.TimeWindow
+
+// Tier selects which storage tiers a QuerySpec reads.
+type Tier = db.Tier
+
+// Tier values for QuerySpec.Tier.
+const (
+	// TierAll reads the cold segment tier and the hot in-memory tier
+	// under one cursor space (the default).
+	TierAll = db.TierAll
+	// TierHot reads only the live in-memory window.
+	TierHot = db.TierHot
+	// TierCold reads only history at or below the spill boundary.
+	TierCold = db.TierCold
+)
+
+// Query is the legacy retrieval request form.
+//
+// Deprecated: use QuerySpec with QueryST; Query pins Tier to TierHot
+// for compatibility with pre-tiered behavior.
 type Query = db.Query
 
 // QueryResult is one page of QueryST output.
@@ -39,6 +64,28 @@ type Retention = db.Retention
 
 // StoreStats summarizes the database server's contents.
 type StoreStats = db.Stats
+
+// SpillConfig gives the engine's database server a cold storage tier:
+// instances evicted from the in-memory window by DBRetention are
+// spilled to immutable, sorted segment files under Dir instead of being
+// discarded, and QueryST / subscription catch-up read through them
+// transparently. The zero value (empty Dir) disables spilling.
+type SpillConfig struct {
+	// Dir is the segment directory; empty disables the cold tier.
+	Dir string
+	// MaxAge deletes cold segments whose newest generation time has
+	// fallen more than MaxAge ticks behind the newest spilled
+	// generation time; 0 keeps segments regardless of age.
+	MaxAge Tick
+	// MaxBytes caps the total size of the segment files; oldest
+	// segments are deleted first. 0 = unbounded.
+	MaxBytes int64
+	// MaxSegments caps the number of segment files. 0 = unbounded.
+	MaxSegments int
+	// NoSync skips the per-segment fsync (benchmarks only; a crash may
+	// tear the newest segment, which recovery then discards).
+	NoSync bool
+}
 
 // EngineConfig parameterizes a standalone detection Engine.
 type EngineConfig struct {
@@ -67,6 +114,11 @@ type EngineConfig struct {
 	// DBRetention bounds the store's memory when WithStore is set. The
 	// zero value retains everything.
 	DBRetention Retention
+	// Spill, when Dir is set, spills instances evicted by DBRetention
+	// to on-disk segment files instead of discarding them; QueryST and
+	// subscription catch-up then read through the cold tier under one
+	// cursor space. Spill implies WithStore.
+	Spill SpillConfig
 	// Durability, when Dir is set, puts a write-ahead log under the
 	// engine: every ingested entity and emitted instance is logged (and
 	// periodically snapshotted) so the store and the detection windows
@@ -96,6 +148,7 @@ type Engine struct {
 	bank    *engine.Bank
 	sharded *engine.Sharded
 	store   *db.Store
+	cold    *segment.Dir
 	subs    *sub.Matcher
 	dur     *durability
 	// replaying marks the recovery re-offer phase, during which the
@@ -109,7 +162,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Observer == "" {
 		return nil, fmt.Errorf("missing observer id: %w", ErrEngineConfig)
 	}
-	if cfg.Durability.Dir != "" {
+	if cfg.Durability.Dir != "" || cfg.Spill.Dir != "" {
 		cfg.WithStore = true
 	}
 	if cfg.Workers > 1 && cfg.OnInstance == nil && !cfg.WithStore {
@@ -160,6 +213,45 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			}
 			e.storeBatch(ins)
 		}
+	}
+	if cfg.Spill.Dir != "" {
+		scfg := segment.Config{
+			Dir:      cfg.Spill.Dir,
+			CellSize: cfg.DBCell,
+			Retention: segment.Retention{
+				MaxAge:      cfg.Spill.MaxAge,
+				MaxBytes:    cfg.Spill.MaxBytes,
+				MaxSegments: cfg.Spill.MaxSegments,
+			},
+			NoSync: cfg.Spill.NoSync,
+		}
+		if e.dur != nil {
+			// Stamp each segment with the WAL position at spill time so
+			// recovery can tell which segments the snapshot + WAL tail
+			// already cover.
+			scfg.Stamp = e.dur.log.Seq
+		}
+		cold, err := segment.Open(scfg)
+		if err != nil {
+			return nil, err
+		}
+		if e.dur != nil {
+			// Segments spilled after the latest snapshot hold instances
+			// the WAL replay re-logs into the hot tier; keeping them
+			// would fork the cursor space, so recovery discards them (the
+			// replay re-spills once retention evicts them again). Because
+			// every snapshot is preceded by FlushCold, the surviving
+			// segments end exactly where the snapshot's instances begin.
+			if err := cold.DiscardAfter(e.dur.log.Stats().SnapshotSeq); err != nil {
+				cold.Close()
+				return nil, err
+			}
+		}
+		if err := e.store.AttachCold(cold); err != nil {
+			cold.Close()
+			return nil, err
+		}
+		e.cold = cold
 	}
 	var emit engine.EmitFunc
 	if cfg.OnInstance != nil {
@@ -365,16 +457,26 @@ func (e *Engine) Sources() []string {
 // Store returns the in-process database server (nil unless WithStore).
 func (e *Engine) Store() *db.Store { return e.store }
 
-// QueryST retrieves logged instances matching every predicate of q —
-// the combined region×time retrieval path of the database server. It
-// picks the cheaper index (per-event time index vs. spatial grid) from
-// cardinality estimates and paginates via q.Limit/q.Cursor. Safe to
-// call concurrently with ingestion. Requires WithStore.
-func (e *Engine) QueryST(q Query) (QueryResult, error) {
+// QueryST retrieves logged instances matching every predicate of spec
+// — the combined region×time retrieval path of the database server,
+// merged across the cold segment tier and the hot in-memory tier under
+// one cursor space (spec.Tier narrows it). It picks the cheaper hot
+// index (per-event time index vs. spatial grid) from cardinality
+// estimates and paginates via spec.Limit/spec.Cursor. Safe to call
+// concurrently with ingestion. Requires WithStore.
+func (e *Engine) QueryST(spec QuerySpec) (QueryResult, error) {
 	if e.store == nil {
 		return QueryResult{}, ErrNoStore
 	}
-	return e.store.QueryST(q)
+	return e.store.QueryST(spec)
+}
+
+// QuerySTLegacy runs a legacy Query.
+//
+// Deprecated: use QueryST with a QuerySpec. QuerySTLegacy pins the hot
+// tier, reproducing pre-tiered pagination byte for byte.
+func (e *Engine) QuerySTLegacy(q Query) (QueryResult, error) {
+	return e.QueryST(q.Spec())
 }
 
 // Lineage resolves the provenance chain of a logged entity back to its

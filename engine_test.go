@@ -114,7 +114,7 @@ func TestEngineQueryST(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bare.QueryST(Query{}); !errors.Is(err, ErrNoStore) {
+	if _, err := bare.QueryST(Query{}.Spec()); !errors.Is(err, ErrNoStore) {
 		t.Fatalf("storeless QueryST err = %v", err)
 	}
 	if _, err := bare.Lineage("x"); !errors.Is(err, ErrNoStore) {
@@ -156,10 +156,10 @@ func TestEngineQueryST(t *testing.T) {
 		t.Fatal(err)
 	}
 	loc := InField(region)
-	res, err := eng.QueryST(Query{
+	res, err := eng.QueryST(QuerySpec{
 		Event: "E.hot", Region: &loc,
-		HasTime: true, From: 150, To: 1000,
-		Limit: 10,
+		Window: &TimeWindow{From: 150, To: 1000},
+		Limit:  10,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestEngineQueryST(t *testing.T) {
 	total := 0
 	q := Query{Event: "E.hot", Region: &loc, HasTime: true, From: 150, To: 1000, Limit: 10}
 	for {
-		page, err := eng.QueryST(q)
+		page, err := eng.QueryST(q.Spec())
 		if err != nil {
 			t.Fatal(err)
 		}

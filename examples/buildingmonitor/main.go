@@ -182,11 +182,11 @@ func run() error {
 	// logged. Page through the punctual detections estimated inside the
 	// window region during the first pass of the walk.
 	nearWindow := stcps.InField(window)
-	q := stcps.Query{
-		Event:   "CP.nearby",
-		Region:  &nearWindow,
-		HasTime: true, From: 0, To: 500,
-		Limit: 3,
+	q := stcps.QuerySpec{
+		Event:  "CP.nearby",
+		Region: &nearWindow,
+		Window: &stcps.TimeWindow{From: 0, To: 500},
+		Limit:  3,
 	}
 	fmt.Println("\nquery: CP.nearby joint with the window region, t^eo ∈ [0, 500]:")
 	queried := 0

@@ -97,8 +97,8 @@ func TestQuerySTLockedMatchesQueryST(t *testing.T) {
 					q.Limit = 1 + rng.Intn(20)
 				}
 				for page := 0; page < 50; page++ {
-					free, errFree := s.QueryST(q)
-					locked, errLocked := s.QuerySTLocked(q)
+					free, errFree := s.QueryST(q.Spec())
+					locked, errLocked := s.QuerySTLocked(q.Spec())
 					if (errFree == nil) != (errLocked == nil) {
 						t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errFree, errLocked)
 					}
@@ -184,7 +184,7 @@ func TestQuerySTRegionFallthroughReleasesLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := spatial.InField(f)
-	res, err := s.QueryST(Query{Region: &region})
+	res, err := s.QueryST(Query{Region: &region}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestQuerySTConsistentUnderIngest(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < len(queries)*40; i++ {
 			q := queries[i%len(queries)]
-			res, err := s.QueryST(q)
+			res, err := s.QueryST(q.Spec())
 			if err != nil {
 				t.Errorf("mid-ingest QueryST: %v", err)
 				return
@@ -266,7 +266,7 @@ func TestQuerySTConsistentUnderIngest(t *testing.T) {
 	wg.Wait()
 
 	for i, ob := range results {
-		want, err := s.QueryST(ob.q)
+		want, err := s.QueryST(ob.q.Spec())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,7 +335,7 @@ func TestStoreRaceStress(t *testing.T) {
 				}
 				switch qrng.Intn(6) {
 				case 0:
-					res, err := s.QueryST(q)
+					res, err := s.QueryST(q.Spec())
 					if err != nil {
 						t.Errorf("QueryST: %v", err)
 						return
@@ -349,7 +349,7 @@ func TestStoreRaceStress(t *testing.T) {
 				case 1:
 					// SSE-style strict catch-up: a stale cursor means the
 					// retention window passed us — resync from scratch.
-					res, err := s.QueryST(replay)
+					res, err := s.QueryST(replay.Spec())
 					if errors.Is(err, ErrStaleCursor) {
 						replay.Cursor = ""
 						continue
@@ -364,7 +364,7 @@ func TestStoreRaceStress(t *testing.T) {
 						replay.Cursor = ""
 					}
 				case 2:
-					if _, err := s.QuerySTLocked(q); err != nil {
+					if _, err := s.QuerySTLocked(q.Spec()); err != nil {
 						t.Errorf("QuerySTLocked: %v", err)
 						return
 					}

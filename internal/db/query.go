@@ -7,25 +7,104 @@ import (
 	"strconv"
 
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/segment"
 	"github.com/stcps/stcps/internal/spatial"
 	"github.com/stcps/stcps/internal/timemodel"
 )
 
-// ErrBadCursor is returned when a Query carries an unparseable cursor.
+// ErrBadCursor is returned when a query carries an unparseable cursor.
 var ErrBadCursor = errors.New("db: bad query cursor")
 
 // ErrStaleCursor is returned by a Strict query whose cursor precedes the
-// retained history: instances between the cursor and the oldest live
-// sequence number were evicted by the retention policy, so resuming
-// would silently skip them. Non-strict queries keep the historical
-// behavior (evicted instances simply stop appearing). Callers that need
-// gapless resumption — the subscription catch-up path — treat this as
-// "resync from scratch".
+// retained history: instances between the cursor and the oldest
+// retained sequence number are gone, so resuming would silently skip
+// them. With a cold tier attached this means "deleted by segment GC" —
+// falling behind the RAM window alone no longer staleness a cursor,
+// since the spilled history still resolves through the segments.
+// Non-strict queries keep the historical behavior (dropped instances
+// simply stop appearing). Callers that need gapless resumption — the
+// subscription catch-up path — treat this as "resync from scratch".
 var ErrStaleCursor = errors.New("db: cursor precedes retained history (evicted instances would be skipped)")
 
-// Query describes one combined spatio-temporal retrieval: any subset of
-// {event id, occurrence region, occurrence window}, paginated. The zero
-// Query matches every live instance.
+// TimeWindow is an inclusive occurrence-time window: an instance
+// matches when its estimated occurrence intersects [From, To].
+type TimeWindow struct {
+	From timemodel.Tick `json:"from"`
+	To   timemodel.Tick `json:"to"`
+}
+
+// Tier selects which storage tiers a query reads.
+type Tier uint8
+
+const (
+	// TierAll merges the cold segment history with the hot in-memory
+	// window under one cursor space — the default.
+	TierAll Tier = iota
+	// TierHot reads only the in-memory window (the pre-cold-tier
+	// behavior): history below the hot base does not appear.
+	TierHot
+	// TierCold reads only history already evicted from the hot window.
+	TierCold
+)
+
+// String names the tier as the HTTP API spells it.
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierCold:
+		return "cold"
+	default:
+		return "all"
+	}
+}
+
+// ParseTier parses the HTTP spelling of a tier ("all", "hot", "cold";
+// empty selects TierAll).
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "all":
+		return TierAll, nil
+	case "hot":
+		return TierHot, nil
+	case "cold":
+		return TierCold, nil
+	}
+	return TierAll, fmt.Errorf("db: unknown tier %q", s)
+}
+
+// QuerySpec describes one combined spatio-temporal retrieval: any
+// subset of {event id, occurrence region, occurrence window},
+// paginated over the unified hot+cold cursor space. The zero QuerySpec
+// matches every retained instance.
+type QuerySpec struct {
+	// Event filters to one event id; empty matches every event.
+	Event string
+	// Region, when non-nil, keeps instances whose estimated occurrence
+	// location is Joint with it.
+	Region *spatial.Location
+	// Window, when non-nil, keeps instances whose estimated occurrence
+	// intersects it.
+	Window *TimeWindow
+	// Limit caps the page size (0 = unlimited).
+	Limit int
+	// Cursor resumes after a previous Result's NextCursor. Cursors are
+	// global sequence numbers, stable across eviction and spilling: a
+	// seq that left the hot window resolves through the cold segments.
+	Cursor string
+	// Strict makes retention gaps visible: when the Cursor points below
+	// the oldest retained history (instances after it are gone), the
+	// query fails with ErrStaleCursor instead of silently resuming past
+	// the gap. Strict without a Cursor is a no-op.
+	Strict bool
+	// Tier restricts the query to one storage tier; zero is TierAll.
+	Tier Tier
+}
+
+// Query is the pre-tier query form, kept so existing callers build the
+// same retrievals they always did (including hot-only semantics).
+//
+// Deprecated: build a QuerySpec (or call Spec) and use QueryST.
 type Query struct {
 	// Event filters to one event id; empty matches every event.
 	Event string
@@ -39,16 +118,40 @@ type Query struct {
 	From, To timemodel.Tick
 	// Limit caps the page size (0 = unlimited).
 	Limit int
-	// Cursor resumes after a previous Result's NextCursor. Cursors are
-	// stable across retention eviction: evicted instances simply stop
-	// appearing.
+	// Cursor resumes after a previous Result's NextCursor.
 	Cursor string
-	// Strict makes eviction gaps visible: when the Cursor points below
-	// the retained history (instances after it were evicted unseen), the
-	// query fails with ErrStaleCursor instead of silently resuming past
-	// the gap. A cursor exactly at the eviction frontier is a clean
-	// resume. Strict without a Cursor is a no-op.
+	// Strict makes eviction gaps visible as ErrStaleCursor.
 	Strict bool
+}
+
+// Spec converts to the consolidated query form. The legacy form
+// predates the cold tier, so the conversion pins TierHot — a migrated
+// caller sees exactly the pages it always saw.
+func (q Query) Spec() QuerySpec {
+	spec := QuerySpec{
+		Event:  q.Event,
+		Region: q.Region,
+		Limit:  q.Limit,
+		Cursor: q.Cursor,
+		Strict: q.Strict,
+		Tier:   TierHot,
+	}
+	if q.HasTime {
+		spec.Window = &TimeWindow{From: q.From, To: q.To}
+	}
+	return spec
+}
+
+// ColdScan reports the cold-tier work behind one Result.
+type ColdScan struct {
+	// Segments is the number of segments pinned by the scan.
+	Segments int
+	// BlocksRead / BlocksPruned count block frames read vs. skipped via
+	// the footer index.
+	BlocksRead   int
+	BlocksPruned int
+	// Records is the number of cold records decoded and examined.
+	Records int
 }
 
 // Result is one page of QueryST output, in arrival order.
@@ -60,15 +163,19 @@ type Result struct {
 	// replay stamps on deliveries.
 	Seqs []uint64
 	// NextCursor is non-empty when more results remain; pass it back in
-	// Query.Cursor for the next page.
+	// QuerySpec.Cursor for the next page.
 	NextCursor string
-	// Index names the access path the planner chose: "time" (per-event
-	// time index), "region" (spatial grid), or "log" (sequential scan,
-	// only when no indexed predicate applies).
+	// Index names the access path the planner chose for the hot
+	// portion: "time" (per-event time index), "region" (spatial grid),
+	// or "log" (sequential scan, only when no indexed predicate
+	// applies).
 	Index string
 	// Scanned counts the candidate instances examined before predicate
 	// verification — the planner's actual work, for observability.
 	Scanned int
+	// Cold reports the cold-tier portion of the page's work; the zero
+	// value means no segments were consulted.
+	Cold ColdScan
 	// Frontier is the published sequence frontier the query observed:
 	// every matching instance with seq < Frontier is reflected in the
 	// page stream and nothing at or above it is. For results served
@@ -78,32 +185,59 @@ type Result struct {
 	Frontier uint64
 }
 
-// QueryST retrieves instances matching every predicate of q, in arrival
-// order. With both a region and a time window it picks the cheaper index
-// from cardinality estimates (per-event time index vs. spatial grid) and
-// verifies candidates with the other predicate, so cost tracks the more
-// selective dimension rather than the store size.
+// QueryST retrieves instances matching every predicate of spec, in
+// arrival order. With both a region and a time window it picks the
+// cheaper index for the hot portion from cardinality estimates
+// (per-event time index vs. spatial grid) and verifies candidates with
+// the other predicate, so cost tracks the more selective dimension
+// rather than the store size.
 //
-// QueryST runs on the lock-free read plane: an index probe (when an
-// indexed predicate applies) is a short critical section that copies
-// candidate sequence numbers out; predicate verification, ordering and
-// result materialization all run without any lock against the published
-// immutable chunks. The sequential path — no event id, no region —
-// takes no lock at all.
-func (s *Store) QueryST(q Query) (Result, error) {
-	return s.queryST(q, false)
+// With a cold tier attached (and Tier != TierHot), the page merges
+// three ascending sequence ranges under one cursor space: segment
+// history below the spill boundary (read via the per-block footer
+// indexes, skipping blocks that cannot match), the evicted-but-
+// unspilled chunk range, and the live hot window. The cold and
+// sequential portions run entirely without the store lock; a hot index
+// probe (when an indexed predicate applies) is a short critical
+// section that copies candidate sequence numbers out.
+func (s *Store) QueryST(spec QuerySpec) (Result, error) {
+	return s.queryST(spec, false)
 }
 
-// QuerySTLocked is QueryST under the store's reader lock for its entire
-// run — the pre-chunked monolithic read path, retained as the
-// differential reference (its pages are byte-identical to QueryST's on
-// any quiesced store) and as the contention baseline the E15 experiment
-// measures the lock-free plane against.
-func (s *Store) QuerySTLocked(q Query) (Result, error) {
-	return s.queryST(q, true)
+// QuerySTLocked is QueryST with the hot portion under the store's
+// reader lock for its entire run — the pre-chunked monolithic read
+// path, retained as the differential reference (its pages are
+// byte-identical to QueryST's on any quiesced store) and as the
+// contention baseline the E15 experiment measures the lock-free plane
+// against.
+func (s *Store) QuerySTLocked(spec QuerySpec) (Result, error) {
+	return s.queryST(spec, true)
 }
 
-func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
+// QuerySTLegacy runs a pre-tier Query.
+//
+// Deprecated: build a QuerySpec and call QueryST.
+func (s *Store) QuerySTLegacy(q Query) (Result, error) {
+	return s.QueryST(q.Spec())
+}
+
+// page accumulates one result page across tiers in ascending sequence
+// order. need is Limit+1 (one extra match proves more remain), or 0
+// for unlimited.
+type page struct {
+	seqs []uint64
+	ins  []event.Instance
+	need int
+}
+
+func (p *page) full() bool { return p.need > 0 && len(p.seqs) >= p.need }
+
+func (p *page) add(seq uint64, in *event.Instance) {
+	p.seqs = append(p.seqs, seq)
+	p.ins = append(p.ins, *in)
+}
+
+func (s *Store) queryST(q QuerySpec, monolithic bool) (Result, error) {
 	var after uint64
 	hasAfter := false
 	if q.Cursor != "" {
@@ -114,22 +248,242 @@ func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 		after, hasAfter = v, true
 	}
 
-	// The sequential path needs no index, so it runs entirely against
-	// the published view; every other path probes an index under a
-	// short reader lock. The monolithic reference holds the lock
-	// throughout instead.
-	locked := monolithic || q.Event != "" || q.Region != nil
-	if locked {
-		s.mu.RLock()
-	}
-	v := s.loadView()
+	// The monolithic reference holds the reader lock across the whole
+	// run, so its view load, index probes and materialization are one
+	// atomic read. The lock-free path instead works from an immutable
+	// published view and bounds the page by that view's frontier.
 	if monolithic {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		s.lockedReads.Add(1)
 	} else {
 		s.reads.Add(1)
-		if locked {
-			s.readLocks.Add(1)
+	}
+	v := s.loadView()
+	cold := v.cold
+	merged := cold != nil && q.Tier != TierHot
+
+	empty := Result{Instances: []event.Instance{}, Index: s.timeIndexName(q), Frontier: v.frontier}
+	if q.Window != nil && q.Window.To < q.Window.From {
+		return empty, nil
+	}
+
+	// minSeq excludes everything at or before the cursor, so later
+	// pages never accumulate (or sort) instances already returned.
+	var minSeq uint64
+	if hasAfter {
+		if after == ^uint64(0) {
+			return empty, nil
 		}
+		minSeq = after + 1
+	}
+
+	res := Result{Frontier: v.frontier}
+	p := &page{}
+	if q.Limit > 0 {
+		p.need = q.Limit + 1
+	}
+
+	// Cold portion: segment history below the view's spill boundary.
+	// The scan pins its segments up front, so its coverage base is a
+	// race-free witness for the strict-cursor check — concurrent GC
+	// cannot open a gap under a scan already running.
+	if merged && minSeq < v.spilled {
+		f := segment.Filter{MinSeq: minSeq, MaxSeq: v.spilled, Event: q.Event, Region: q.Region}
+		if q.Window != nil {
+			f.HasTime, f.From, f.To = true, q.Window.From, q.Window.To
+		}
+		info, err := cold.Scan(f, event.NewInterner(), func(seq uint64, in *event.Instance) bool {
+			p.add(seq, in)
+			return !p.full()
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("db: cold query: %w", err)
+		}
+		res.Cold = ColdScan{
+			Segments:     info.Segments,
+			BlocksRead:   info.BlocksRead,
+			BlocksPruned: info.BlocksPruned,
+			Records:      info.Records,
+		}
+		if !monolithic {
+			s.coldReads.Add(1)
+		}
+		if q.Strict && hasAfter {
+			threshold := v.spilled
+			if info.End > info.Base {
+				threshold = info.Base
+			}
+			if minSeq < threshold {
+				return Result{}, fmt.Errorf("cursor %d, oldest retained seq %d: %w", after, threshold, ErrStaleCursor)
+			}
+		}
+	}
+
+	if merged {
+		if err := s.queryWarmHot(q, v, minSeq, p, &res, monolithic); err != nil {
+			return Result{}, err
+		}
+	} else {
+		// Hot-only: TierHot, a RAM-only store, or TierCold with nothing
+		// cold-capable attached (which retains nothing below base).
+		if q.Tier == TierCold {
+			return empty, nil
+		}
+		if err := s.queryHot(q, v, minSeq, hasAfter, after, p, &res, monolithic); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if p.need > 0 && len(p.seqs) > q.Limit {
+		p.seqs = p.seqs[:q.Limit]
+		p.ins = p.ins[:q.Limit]
+		res.NextCursor = strconv.FormatUint(p.seqs[len(p.seqs)-1], 10)
+	}
+	if p.ins == nil {
+		p.ins = []event.Instance{}
+	}
+	res.Instances = p.ins
+	res.Seqs = p.seqs
+	if !monolithic {
+		s.materialized.Add(uint64(len(p.seqs)))
+	}
+	return res, nil
+}
+
+// queryWarmHot serves the chunk-resident portion of a merged query: the
+// evicted-but-unspilled range [spilled, b) scanned directly off the
+// view, then (unless TierCold) the live hot window via the planner.
+// b is the hot eviction base observed at probe time, clamped to the
+// view's frontier, so the three tier ranges concatenate with no gap
+// and no overlap:
+//
+//	segments [.., v.spilled) | chunks [v.spilled, b) | live [b, v.frontier)
+func (s *Store) queryWarmHot(q QuerySpec, v *view, minSeq uint64, p *page, res *Result, monolithic bool) error {
+	res.Index = s.timeIndexName(q)
+	if p.full() {
+		return nil
+	}
+
+	indexed := q.Event != "" || q.Region != nil
+	coldOnly := q.Tier == TierCold
+
+	// For the sequential path no index is consulted, so no lock is
+	// needed and the evicted and live ranges are one walk bounded by
+	// the view itself.
+	if !indexed {
+		upper := v.frontier
+		if coldOnly {
+			upper = v.base
+		}
+		lo := minSeq
+		if lo < v.spilled {
+			lo = v.spilled
+		}
+		for seq := lo; seq < upper && !p.full(); seq++ {
+			res.Scanned++
+			in := v.at(seq)
+			if q.matches(in) {
+				p.add(seq, in)
+			}
+		}
+		return nil
+	}
+
+	// Indexed path: probe under a short reader lock (the monolithic
+	// caller already holds it for the whole run). The probe also reads
+	// the current eviction base — entries below it left the indexes, so
+	// the direct chunk walk covers up to it and the candidates take
+	// over from there.
+	if !monolithic {
+		s.mu.RLock()
+		s.readLocks.Add(1)
+	}
+	b := s.base
+	var cands []uint64
+	useRegion := false
+	if !coldOnly {
+		useRegion = q.Region != nil && s.regionEstimateLocked(q) < s.timeEstimateLocked(q)
+		if useRegion {
+			res.Index = "region"
+			cands = s.collectRegionLocked(q, minSeq, &res.Scanned)
+		} else {
+			res.Index = "time"
+			cands = s.collectTimeLocked(q, minSeq, s.base, &res.Scanned)
+		}
+	}
+	if !monolithic {
+		s.mu.RUnlock()
+	}
+	if b > v.frontier {
+		b = v.frontier
+	}
+
+	// Evicted chunk range [max(minSeq, v.spilled), b): still resident
+	// in the view's immutable chunks, verified inline.
+	lo := minSeq
+	if lo < v.spilled {
+		lo = v.spilled
+	}
+	for seq := lo; seq < b && !p.full(); seq++ {
+		res.Scanned++
+		in := v.at(seq)
+		if q.matches(in) {
+			p.add(seq, in)
+		}
+	}
+	if coldOnly || p.full() {
+		return nil
+	}
+
+	// Live candidates: verify the predicates the index did not, bound
+	// by the view's frontier (probing ran later and may have seen newer
+	// instances), and keep ascending order.
+	seqs := cands[:0]
+	for _, seq := range cands {
+		if seq < b || seq >= v.frontier {
+			continue
+		}
+		in := v.at(seq)
+		if useRegion {
+			// The grid verified the Joint relation already.
+			if q.Event != "" && in.Event != q.Event {
+				continue
+			}
+			if w := q.Window; w != nil && (in.Occ.Start() > w.To || in.Occ.End() < w.From) {
+				continue
+			}
+		} else if !q.matches(in) {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sortSeqs(seqs)
+	for _, seq := range seqs {
+		if p.full() {
+			break
+		}
+		p.add(seq, v.at(seq))
+	}
+	return nil
+}
+
+// queryHot is the hot-window path (the pre-tier read plane): exactly
+// the legacy semantics, including ErrStaleCursor for any cursor below
+// the eviction base.
+func (s *Store) queryHot(q QuerySpec, v *view, minSeq uint64, hasAfter bool, after uint64, p *page, res *Result, monolithic bool) error {
+	locked := monolithic || q.Event != "" || q.Region != nil
+	if locked && !monolithic {
+		s.mu.RLock()
+		s.readLocks.Add(1)
+	}
+	if locked {
+		// Under the lock the published view is exact, so the view load
+		// and the index probes below form one atomic read — reload so
+		// eviction between the caller's load and the lock cannot open a
+		// seam between the indexes and the view.
+		v = s.loadView()
+		res.Frontier = v.frontier
 	}
 	unlockProbe := func() {
 		if locked && !monolithic {
@@ -137,33 +491,12 @@ func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 			locked = false
 		}
 	}
-	if monolithic {
-		defer s.mu.RUnlock()
-	}
 
-	empty := Result{Instances: []event.Instance{}, Index: s.timeIndexName(q), Frontier: v.frontier}
-	if q.HasTime && q.To < q.From {
+	if hasAfter && q.Strict && minSeq < v.base {
 		unlockProbe()
-		return empty, nil
+		return fmt.Errorf("cursor %d, oldest live seq %d: %w", after, v.base, ErrStaleCursor)
 	}
 
-	// minSeq excludes everything at or before the cursor inside the
-	// collectors, so later pages never accumulate (or sort) instances
-	// already returned.
-	var minSeq uint64
-	if hasAfter {
-		if after == ^uint64(0) {
-			unlockProbe()
-			return empty, nil
-		}
-		minSeq = after + 1
-		if q.Strict && minSeq < v.base {
-			unlockProbe()
-			return Result{}, fmt.Errorf("cursor %d, oldest live seq %d: %w", after, v.base, ErrStaleCursor)
-		}
-	}
-
-	res := Result{Frontier: v.frontier}
 	var seqs []uint64
 	switch {
 	case q.Region != nil && s.regionEstimateLocked(q) < s.timeEstimateLocked(q):
@@ -173,11 +506,14 @@ func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 		// The grid verified the Joint relation; check the rest off-lock.
 		seqs = cands[:0]
 		for _, seq := range cands {
+			if seq >= v.frontier {
+				continue
+			}
 			in := v.at(seq)
 			if q.Event != "" && in.Event != q.Event {
 				continue
 			}
-			if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+			if w := q.Window; w != nil && (in.Occ.Start() > w.To || in.Occ.End() < w.From) {
 				continue
 			}
 			seqs = append(seqs, seq)
@@ -191,8 +527,11 @@ func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 		// predicates off-lock.
 		seqs = cands[:0]
 		for _, seq := range cands {
+			if seq >= v.frontier {
+				continue
+			}
 			in := v.at(seq)
-			if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+			if w := q.Window; w != nil && (in.Occ.Start() > w.To || in.Occ.End() < w.From) {
 				continue
 			}
 			if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {
@@ -213,19 +552,27 @@ func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 		seqs = collectLogView(v, q, minSeq, &res.Scanned)
 	}
 
-	if q.Limit > 0 && len(seqs) > q.Limit {
-		seqs = seqs[:q.Limit]
-		res.NextCursor = strconv.FormatUint(seqs[len(seqs)-1], 10)
+	for _, seq := range seqs {
+		if p.full() {
+			break
+		}
+		p.add(seq, v.at(seq))
 	}
-	res.Instances = make([]event.Instance, len(seqs))
-	for i, seq := range seqs {
-		res.Instances[i] = *v.at(seq)
+	return nil
+}
+
+// matches verifies every non-sequence predicate of the spec.
+func (q *QuerySpec) matches(in *event.Instance) bool {
+	if q.Event != "" && in.Event != q.Event {
+		return false
 	}
-	res.Seqs = seqs
-	if !monolithic {
-		s.materialized.Add(uint64(len(seqs)))
+	if w := q.Window; w != nil && (in.Occ.Start() > w.To || in.Occ.End() < w.From) {
+		return false
 	}
-	return res, nil
+	if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {
+		return false
+	}
+	return true
 }
 
 // sortSeqs orders a candidate list ascending — arrival order, since
@@ -233,7 +580,7 @@ func (s *Store) queryST(q Query, monolithic bool) (Result, error) {
 func sortSeqs(seqs []uint64) { slices.Sort(seqs) }
 
 // timeIndexName labels the non-region access path for Result.Index.
-func (s *Store) timeIndexName(q Query) string {
+func (s *Store) timeIndexName(q QuerySpec) string {
 	if q.Event != "" {
 		return "time"
 	}
@@ -244,21 +591,21 @@ func (s *Store) timeIndexName(q Query) string {
 // many instances the per-event index would touch for q.
 //
 //stcps:holds mu
-func (s *Store) timeEstimateLocked(q Query) int {
+func (s *Store) timeEstimateLocked(q QuerySpec) int {
 	if q.Event == "" {
 		return int(s.frontier - s.base)
 	}
-	if !q.HasTime {
+	if q.Window == nil {
 		return len(s.byEvent[q.Event])
 	}
-	_, lo, hi := s.timeWindowLocked(q.Event, q.From, q.To)
+	_, lo, hi := s.timeWindowLocked(q.Event, q.Window.From, q.Window.To)
 	return hi - lo
 }
 
 // regionEstimateLocked is the candidate count of the grid path.
 //
 //stcps:holds mu
-func (s *Store) regionEstimateLocked(q Query) int {
+func (s *Store) regionEstimateLocked(q QuerySpec) int {
 	return s.grid.EstimateRegion(*q.Region)
 }
 
@@ -270,11 +617,11 @@ func (s *Store) regionEstimateLocked(q Query) int {
 // verification happens off-lock.
 //
 //stcps:holds mu
-func (s *Store) collectTimeLocked(q Query, minSeq, base uint64, scanned *int) []uint64 {
+func (s *Store) collectTimeLocked(q QuerySpec, minSeq, base uint64, scanned *int) []uint64 {
 	lst := s.byEvent[q.Event]
 	lo, hi := 0, len(lst)
-	if q.HasTime {
-		_, lo, hi = s.timeWindowLocked(q.Event, q.From, q.To)
+	if q.Window != nil {
+		_, lo, hi = s.timeWindowLocked(q.Event, q.Window.From, q.Window.To)
 	}
 	if minSeq < base {
 		minSeq = base
@@ -294,7 +641,7 @@ func (s *Store) collectTimeLocked(q Query, minSeq, base uint64, scanned *int) []
 // entity index holds live instances only, so no base filter is needed.
 //
 //stcps:holds mu
-func (s *Store) collectRegionLocked(q Query, minSeq uint64, scanned *int) []uint64 {
+func (s *Store) collectRegionLocked(q QuerySpec, minSeq uint64, scanned *int) []uint64 {
 	ids := s.grid.QueryRegion(*q.Region)
 	out := make([]uint64, 0, len(ids))
 	for _, id := range ids {
@@ -312,7 +659,7 @@ func (s *Store) collectRegionLocked(q Query, minSeq uint64, scanned *int) []uint
 // published view: it seeks to minSeq, verifies every predicate inline
 // and stops at Limit+1 matches, since it alone yields in sequence
 // order.
-func collectLogView(v *view, q Query, minSeq uint64, scanned *int) []uint64 {
+func collectLogView(v *view, q QuerySpec, minSeq uint64, scanned *int) []uint64 {
 	start := v.base
 	if minSeq > start {
 		// A cursor past the live range (e.g. a forged value above
@@ -333,7 +680,7 @@ func collectLogView(v *view, q Query, minSeq uint64, scanned *int) []uint64 {
 	for seq := start; seq < v.frontier; seq++ {
 		*scanned++
 		in := v.at(seq)
-		if q.HasTime && (in.Occ.Start() > q.To || in.Occ.End() < q.From) {
+		if w := q.Window; w != nil && (in.Occ.Start() > w.To || in.Occ.End() < w.From) {
 			continue
 		}
 		if q.Region != nil && !spatial.OpJoint.Apply(in.Loc, *q.Region) {

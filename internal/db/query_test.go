@@ -127,7 +127,7 @@ func TestQuerySTMatchesOracle(t *testing.T) {
 			}
 			for trial := 0; trial < 60; trial++ {
 				q := randomQuery(t, rng)
-				res, err := s.QueryST(q)
+				res, err := s.QueryST(q.Spec())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -151,7 +151,7 @@ func TestQuerySTPagination(t *testing.T) {
 		spatial.Pt(10, 10), spatial.Pt(80, 10), spatial.Pt(80, 80), spatial.Pt(10, 80)))
 	base := Query{Event: "E1", Region: &region, HasTime: true, From: 100, To: 900}
 
-	full, err := s.QueryST(base)
+	full, err := s.QueryST(base.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestQuerySTPagination(t *testing.T) {
 	q := base
 	q.Limit = 7
 	for {
-		res, err := s.QueryST(q)
+		res, err := s.QueryST(q.Spec())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,10 +188,10 @@ func TestQuerySTPagination(t *testing.T) {
 		}
 	}
 
-	if _, err := s.QueryST(Query{Cursor: "not-a-seq"}); !errors.Is(err, ErrBadCursor) {
+	if _, err := s.QueryST(Query{Cursor: "not-a-seq"}.Spec()); !errors.Is(err, ErrBadCursor) {
 		t.Errorf("bad cursor err = %v", err)
 	}
-	if res, err := s.QueryST(Query{HasTime: true, From: 10, To: 5}); err != nil || len(res.Instances) != 0 {
+	if res, err := s.QueryST(Query{HasTime: true, From: 10, To: 5}.Spec()); err != nil || len(res.Instances) != 0 {
 		t.Errorf("inverted window = %v, %v", res.Instances, err)
 	}
 
@@ -203,7 +203,7 @@ func TestQuerySTPagination(t *testing.T) {
 		"18446744073709551615", // MaxUint64
 		"400",                  // just past the data
 	} {
-		res, err := s.QueryST(Query{Cursor: cursor, Limit: 5})
+		res, err := s.QueryST(Query{Cursor: cursor, Limit: 5}.Spec())
 		if err != nil {
 			t.Fatalf("cursor %s: %v", cursor, err)
 		}
@@ -214,7 +214,7 @@ func TestQuerySTPagination(t *testing.T) {
 			t.Errorf("cursor %s: Instances nil, want empty slice for stable JSON", cursor)
 		}
 	}
-	if res, _ := s.QueryST(Query{HasTime: true, From: 10, To: 5}); res.Instances == nil {
+	if res, _ := s.QueryST(Query{HasTime: true, From: 10, To: 5}.Spec()); res.Instances == nil {
 		t.Error("inverted window: Instances nil, want empty slice")
 	}
 }
@@ -228,7 +228,7 @@ func TestQuerySTOpenEndedWindow(t *testing.T) {
 	if err := s.Log(inst("M", "E1", 1, timemodel.MustBetween(10, 20), spatial.AtPoint(0, 0))); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.QueryST(Query{Event: "E1", HasTime: true, From: math.MinInt64, To: 100})
+	res, err := s.QueryST(Query{Event: "E1", HasTime: true, From: math.MinInt64, To: 100}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestQuerySTOpenEndedWindow(t *testing.T) {
 		t.Fatalf("open-ended window found %d instances (index=%s), want 1", len(res.Instances), res.Index)
 	}
 	// Open-ended To as well.
-	res, err = s.QueryST(Query{Event: "E1", HasTime: true, From: 0, To: math.MaxInt64})
+	res, err = s.QueryST(Query{Event: "E1", HasTime: true, From: 0, To: math.MaxInt64}.Spec())
 	if err != nil || len(res.Instances) != 1 {
 		t.Fatalf("open-ended To = %d instances, %v", len(res.Instances), err)
 	}
@@ -263,13 +263,13 @@ func TestQuerySTCursorSurvivesEviction(t *testing.T) {
 	}
 	log(0, 100)
 	q := Query{Event: "E", Limit: 10}
-	page1, err := s.QueryST(q)
+	page1, err := s.QueryST(q.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	log(100, 50) // evicts the 50 oldest, including part of page 1
 	q.Cursor = page1.NextCursor
-	page2, err := s.QueryST(q)
+	page2, err := s.QueryST(q.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestQuerySTIndexSelection(t *testing.T) {
 	}
 	corner, _ := spatial.Rect(495, 495, 505, 505)
 	cornerLoc := spatial.InField(corner)
-	res, err := s.QueryST(Query{Event: "E.busy", Region: &cornerLoc, HasTime: true, From: 0, To: 1000})
+	res, err := s.QueryST(Query{Event: "E.busy", Region: &cornerLoc, HasTime: true, From: 0, To: 1000}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestQuerySTIndexSelection(t *testing.T) {
 
 	wide, _ := spatial.Rect(-10, -10, 110, 10)
 	wideLoc := spatial.InField(wide)
-	res, err = s.QueryST(Query{Event: "E.rare", Region: &wideLoc, HasTime: true, From: 0, To: 10})
+	res, err = s.QueryST(Query{Event: "E.rare", Region: &wideLoc, HasTime: true, From: 0, To: 10}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestQuerySTIndexSelection(t *testing.T) {
 	}
 
 	// No predicates at all: sequential log path, everything returned.
-	res, err = s.QueryST(Query{})
+	res, err = s.QueryST(Query{}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}

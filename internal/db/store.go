@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/segment"
 	"github.com/stcps/stcps/internal/spatial"
 	"github.com/stcps/stcps/internal/timemodel"
 )
@@ -73,7 +74,9 @@ type view struct {
 	// firstSeq+(i+1)*chunkSize).
 	chunks []*chunk
 	// firstSeq is the sequence number of chunks[0]'s slot 0 — always a
-	// multiple of chunkSize.
+	// multiple of chunkSize. After a cold attach it may sit below
+	// spilled: the slots in [firstSeq, spilled) are phantom (their
+	// history lives in segments) and are never resolved.
 	firstSeq uint64
 	// base is the oldest live sequence number; seqs in [firstSeq, base)
 	// are evicted but not yet retired with their chunk.
@@ -81,6 +84,14 @@ type view struct {
 	// frontier is the next sequence number to be assigned; live
 	// instances occupy [base, frontier).
 	frontier uint64
+	// spilled marks the cold/chunk boundary of the unified cursor
+	// space: seqs below it resolve through cold's segments, seqs in
+	// [spilled, frontier) through the chunks. firstSeq <= spilled <=
+	// base always. Without a cold tier it tracks firstSeq.
+	spilled uint64
+	// cold is the attached segment directory; nil when the store is
+	// RAM-only. Immutable once attached, so readers use it without mu.
+	cold *segment.Dir
 }
 
 // at resolves a sequence number in [firstSeq, frontier) to its
@@ -136,6 +147,18 @@ type Stats struct {
 	// LockedReads counts pages served by QuerySTLocked, the retained
 	// monolithic-lock reference path.
 	LockedReads uint64 `json:"lockedReads"`
+	// SpilledSeq is the cold/chunk boundary of the unified cursor
+	// space: history below it lives in on-disk segments.
+	SpilledSeq uint64 `json:"spilledSeq"`
+	// ColdReads counts QueryST pages that consulted the cold tier.
+	ColdReads uint64 `json:"coldReads"`
+	// SpillErrs counts failed spill attempts. A failed spill is retried
+	// at the next compaction; until it succeeds the affected chunks
+	// stay resident, so memory grows but no history is lost.
+	SpillErrs uint64 `json:"spillErrs"`
+	// Cold is the attached segment directory's accounting; nil when the
+	// store is RAM-only.
+	Cold *segment.Stats `json:"cold,omitempty"`
 }
 
 // Store is the event-instance database. It is safe for concurrent use.
@@ -158,6 +181,12 @@ type Store struct {
 	firstSeq uint64   //stcps:guardedby mu -- seq of chunks[0] slot 0
 	base     uint64   //stcps:guardedby mu -- oldest live seq
 	frontier uint64   //stcps:guardedby mu -- next seq to assign
+
+	// Cold tier: evicted history spilled to immutable on-disk segments
+	// at chunk retirement. spilled is the write-plane copy of the view
+	// field; cold is set once by AttachCold before concurrent use.
+	cold    *segment.Dir //stcps:guardedby mu -- write side; readers use the view's copy
+	spilled uint64       //stcps:guardedby mu
 
 	byEvent  map[string][]uint64          //stcps:guardedby mu -- event id -> seqs, Occ.Start-ordered, may contain stale (< base) entries
 	liveEv   map[string]int               //stcps:guardedby mu -- event id -> live instance count
@@ -182,6 +211,8 @@ type Store struct {
 	readLocks    atomic.Uint64
 	materialized atomic.Uint64
 	lockedReads  atomic.Uint64
+	coldReads    atomic.Uint64
+	spillErrs    atomic.Uint64
 }
 
 // DefaultGridCell is the spatial index cell size.
@@ -220,7 +251,10 @@ func (s *Store) loadView() *view { return s.pub.Load() }
 //
 //stcps:holds mu
 func (s *Store) publishLocked() {
-	s.pub.Store(&view{chunks: s.chunks, firstSeq: s.firstSeq, base: s.base, frontier: s.frontier})
+	s.pub.Store(&view{
+		chunks: s.chunks, firstSeq: s.firstSeq, base: s.base, frontier: s.frontier,
+		spilled: s.spilled, cold: s.cold,
+	})
 }
 
 // at resolves a sequence number in [firstSeq, frontier) against the
@@ -252,7 +286,7 @@ func (s *Store) Retention() Retention {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Instances:         int(s.frontier - s.base),
 		Observations:      len(s.obs),
 		Events:            len(s.byEvent),
@@ -264,7 +298,15 @@ func (s *Store) Stats() Stats {
 		ReadLocks:         s.readLocks.Load(),
 		Materialized:      s.materialized.Load(),
 		LockedReads:       s.lockedReads.Load(),
+		SpilledSeq:        s.spilled,
+		ColdReads:         s.coldReads.Load(),
+		SpillErrs:         s.spillErrs.Load(),
 	}
+	if s.cold != nil {
+		cs := s.cold.Stats()
+		st.Cold = &cs
+	}
+	return st
 }
 
 // Log appends an instance. Invalid instances are rejected; duplicate
@@ -435,6 +477,14 @@ func (s *Store) evictFrontLocked() {
 //stcps:holds mu
 func (s *Store) compactLocked() {
 	retirable := int((s.base - s.firstSeq) >> chunkBits)
+	// With a cold tier, retiring a chunk first spills its evicted
+	// instances to a segment: retirement is the spill point, so cold
+	// coverage stays contiguous with the chunk range. A failed spill
+	// skips retirement — the chunks stay resident and readable, and the
+	// spill is retried at the next compaction.
+	if retirable > 0 && s.cold != nil && s.spillLocked(s.firstSeq+uint64(retirable)<<chunkBits) != nil {
+		retirable = 0
+	}
 	if retirable == 0 && (s.stale < chunkSize || s.stale < len(s.byEntity)) {
 		return
 	}
@@ -455,7 +505,84 @@ func (s *Store) compactLocked() {
 		copy(live, s.chunks[retirable:])
 		s.chunks = live
 		s.firstSeq += uint64(retirable) << chunkBits
+		if s.cold == nil {
+			s.spilled = s.firstSeq
+		}
 	}
+}
+
+// spillLocked appends the evicted instances in [s.spilled, upTo) to the
+// cold tier and advances the spill marker. A failed segment write is
+// counted and returned; the caller then keeps the chunks resident. The
+// instance copies are taken under mu, but the file I/O inside Dir.Spill
+// synchronizes only on the Dir's own lock — concurrent cold scans are
+// never blocked by it.
+//
+//stcps:holds mu
+func (s *Store) spillLocked(upTo uint64) error {
+	if upTo <= s.spilled {
+		return nil
+	}
+	ins := make([]event.Instance, upTo-s.spilled)
+	for i := range ins {
+		ins[i] = *s.at(s.spilled + uint64(i))
+	}
+	if err := s.cold.Spill(s.spilled, ins); err != nil {
+		s.spillErrs.Add(1)
+		return err
+	}
+	s.spilled = upTo
+	return nil
+}
+
+// AttachCold attaches an opened segment directory as the store's cold
+// tier. It must be called on an empty store, before any Log: when the
+// directory already covers [coldBase, end) from an earlier run, the
+// store resumes the unified cursor space at end — newly logged
+// instances take sequence numbers directly above the recovered cold
+// history, so cursors address one contiguous range across tiers.
+//
+// Lifecycle: the caller (the engine) owns the Dir and closes it after
+// the store is quiesced. On a durable engine, call Dir.DiscardAfter
+// with the recovered snapshot's WAL sequence before attaching, so
+// segments spilled after the WAL coverage (whose instances re-enter hot
+// via replay) are dropped instead of duplicated.
+func (s *Store) AttachCold(d *segment.Dir) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cold != nil {
+		return errors.New("db: cold tier already attached")
+	}
+	if s.frontier != 0 || s.firstSeq != 0 {
+		return errors.New("db: cold tier must be attached to an empty store")
+	}
+	s.cold = d
+	if _, end, ok := d.Bounds(); ok {
+		// Align the chunk origin below the resume point; the phantom
+		// slots in [firstSeq, spilled) are never resolved (reads below
+		// spilled go to the segments).
+		s.firstSeq = end &^ chunkMask
+		s.base, s.frontier, s.spilled = end, end, end
+	}
+	s.publishLocked()
+	return nil
+}
+
+// FlushCold spills every evicted-but-unspilled instance ([spilled,
+// base), the partial-chunk backlog retirement hasn't reached) to the
+// cold tier. Called before a snapshot or shutdown so a graceful stop
+// loses no history. No-op without a cold tier.
+func (s *Store) FlushCold() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cold == nil || s.base <= s.spilled {
+		return nil
+	}
+	if err := s.spillLocked(s.base); err != nil {
+		return fmt.Errorf("db: flush cold: %w", err)
+	}
+	s.publishLocked()
+	return nil
 }
 
 // LogObservation records a raw physical observation for provenance

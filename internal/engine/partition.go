@@ -1,0 +1,53 @@
+package engine
+
+// Partitioner is the placement seam between detection routing and the
+// topology that hosts detector state. Today the only implementation is
+// the in-process Sharded engine, which hash-partitions detected event
+// IDs across local worker shards; a network tier slots in behind the
+// same two methods by returning remote members from Owners and routing
+// to them from Route, without the callers changing.
+//
+// Implementations must keep Route deterministic and stable for the
+// lifetime of a membership snapshot: Owners()[Route(id)] is the member
+// owning id's detector state.
+type Partitioner interface {
+	// Route maps a detected event ID to the index of the partition
+	// owning its detector state, in [0, len(Owners())).
+	Route(eventID string) int
+
+	// Owners snapshots the current membership, one entry per
+	// partition, indexed by Route's result.
+	Owners() []Owner
+}
+
+// Owner identifies one partition of the detection state space.
+type Owner struct {
+	// Shard is the partition index, dense in [0, len(Owners())).
+	Shard int `json:"shard"`
+	// Node locates the member hosting the partition. In-process
+	// partitions report LocalNode; a network tier reports an address.
+	Node string `json:"node"`
+	// Detectors counts the detectors placed on the partition.
+	Detectors int `json:"detectors"`
+}
+
+// LocalNode is the Owner.Node value for in-process partitions.
+const LocalNode = "local"
+
+// Compile-time check: the in-process sharded engine is a Partitioner.
+var _ Partitioner = (*Sharded)(nil)
+
+// Route implements Partitioner with the engine's FNV-1a placement.
+// It reports where a detector for eventID lives (or would live).
+func (s *Sharded) Route(eventID string) int { return s.shardOf(eventID) }
+
+// Owners implements Partitioner: every shard of the in-process engine
+// is one local member. Call it after registration is complete —
+// AddDetector mutates placement counts and is only legal before Start.
+func (s *Sharded) Owners() []Owner {
+	out := make([]Owner, len(s.banks))
+	for i, b := range s.banks {
+		out[i] = Owner{Shard: i, Node: LocalNode, Detectors: len(b.PlanDescriptions())}
+	}
+	return out
+}

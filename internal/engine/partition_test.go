@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardedPartitioner checks the Partitioner seam against the
+// in-process implementation: routing is deterministic and dense,
+// Owners mirrors the actual detector placement, and Route agrees with
+// where AddDetector put each event.
+func TestShardedPartitioner(t *testing.T) {
+	const shards, nEvents = 5, 23
+	s := shardedFixture(t, shards, nEvents, nil)
+	var p Partitioner = s
+
+	owners := p.Owners()
+	if len(owners) != shards {
+		t.Fatalf("Owners() has %d members, want %d", len(owners), shards)
+	}
+	placed := 0
+	for i, o := range owners {
+		if o.Shard != i {
+			t.Fatalf("Owners()[%d].Shard = %d, want dense index %d", i, o.Shard, i)
+		}
+		if o.Node != LocalNode {
+			t.Fatalf("Owners()[%d].Node = %q, want %q", i, o.Node, LocalNode)
+		}
+		placed += o.Detectors
+	}
+	if placed != nEvents {
+		t.Fatalf("membership accounts for %d detectors, want %d", placed, nEvents)
+	}
+
+	// Route is stable, in range, and consistent with placement: the
+	// per-shard routed counts must reproduce the Owners() detector
+	// counts, since AddDetector placed each event via the same hash.
+	routed := make([]int, shards)
+	for i := 0; i < nEvents; i++ {
+		id := fmt.Sprintf("E%d", i)
+		shard := p.Route(id)
+		if shard < 0 || shard >= shards {
+			t.Fatalf("Route(%q) = %d, out of [0,%d)", id, shard, shards)
+		}
+		if again := p.Route(id); again != shard {
+			t.Fatalf("Route(%q) unstable: %d then %d", id, shard, again)
+		}
+		routed[shard]++
+	}
+	for i := range routed {
+		if routed[i] != owners[i].Detectors {
+			t.Fatalf("shard %d: Route places %d events there but Owners reports %d detectors",
+				i, routed[i], owners[i].Detectors)
+		}
+	}
+}

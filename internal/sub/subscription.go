@@ -73,7 +73,7 @@ type Subscription struct {
 // replayState pages the store during catch-up, consumer-paced.
 type replayState struct {
 	store  *db.Store
-	base   db.Query // predicates; Cursor/Limit set per page
+	base   db.QuerySpec // predicates; Cursor/Limit set per page
 	cursor string
 	page   int
 	buf    []Delivery
@@ -98,18 +98,22 @@ func (m *Matcher) SubscribeFrom(spec Spec, cursor string, store *db.Store) (*Sub
 		return nil, err
 	}
 	s := m.newSub(spec, cond, true)
+	// Tier is left at TierAll: with a cold tier attached, catch-up
+	// replays straight through the spilled history before splicing onto
+	// the live feed — a subscriber that fell behind the RAM window
+	// resumes gaplessly from the segments instead of failing stale.
 	s.rp = &replayState{
 		store: store,
-		base: db.Query{
-			Event:   spec.Event,
-			Region:  spec.Region,
-			HasTime: spec.HasTime,
-			From:    spec.From,
-			To:      spec.To,
-			Strict:  true,
+		base: db.QuerySpec{
+			Event:  spec.Event,
+			Region: spec.Region,
+			Strict: true,
 		},
 		cursor: cursor,
 		page:   m.cfg.ReplayPage,
+	}
+	if spec.HasTime {
+		s.rp.base.Window = &db.TimeWindow{From: spec.From, To: spec.To}
 	}
 	// Register before the first fetch: everything emitted from here on
 	// is captured live (in pending), so the replay pages and the live

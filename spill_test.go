@@ -1,0 +1,331 @@
+package stcps
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// spillFeed builds n deterministic sensor-layer instances on one
+// stream; the echo detector below re-emits each one, so the store's
+// history is exactly n instances — enough volume that a tight
+// retention cap retires whole chunks into the cold tier.
+func spillFeed(n int) []Instance {
+	ins := make([]Instance, n)
+	for i := range ins {
+		tick := Tick(i)
+		ins[i] = Instance{
+			Layer: LayerSensor, Observer: "MTsrc", Event: "S.raw",
+			Seq: uint64(i + 1), Gen: tick,
+			GenLoc:     AtPoint(0, 0),
+			Occ:        At(tick),
+			Loc:        AtPoint(float64((i*7)%200), float64((i*13)%200)),
+			Attrs:      Attrs{"v": float64(i % 100)},
+			Confidence: 1,
+		}
+	}
+	return ins
+}
+
+// spillDetect declares the 1:1 echo event: every S.raw instance
+// re-emits as one E.echo instance.
+func spillDetect(t *testing.T, eng *Engine) {
+	t.Helper()
+	err := eng.Detect(LayerCyber, EventSpec{
+		ID:    "E.echo",
+		Roles: []Role{{Name: "o", Source: "S.raw", Window: 1, MaxAge: 60}},
+		When:  "o.v > -1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spillFeedRange(t *testing.T, eng *Engine, ops []Instance) {
+	t.Helper()
+	for i := range ops {
+		if _, err := eng.Feed(ops[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// queryAllTiers canonicalizes the full TierAll history.
+func queryAllTiers(t *testing.T, eng *Engine) string {
+	t.Helper()
+	res, err := eng.QueryST(QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonicalInstances(t, res.Instances)
+}
+
+// spillOracle runs the full feed through an unevicted all-in-RAM
+// engine and returns the canonical emission history.
+func spillOracle(t *testing.T, ops []Instance) string {
+	t.Helper()
+	eng, err := NewEngine(EngineConfig{Observer: "obs1", Loc: AtPoint(1, 1), WithStore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDetect(t, eng)
+	spillFeedRange(t, eng, ops)
+	want := queryAllTiers(t, eng)
+	if st := eng.StoreStats(); st.Instances != len(ops) {
+		t.Fatalf("oracle holds %d instances, want %d — the echo detector is broken", st.Instances, len(ops))
+	}
+	return want
+}
+
+// spillEngine builds a durable engine whose store spills evictions to
+// spillDir.
+func spillEngine(t *testing.T, walDir, spillDir string, snapshotEvery int) *Engine {
+	t.Helper()
+	eng, err := NewEngine(EngineConfig{
+		Observer:    "obs1",
+		Loc:         AtPoint(1, 1),
+		DBRetention: Retention{MaxInstances: 600},
+		Durability: DurabilityConfig{
+			Dir:           walDir,
+			Fsync:         "always",
+			SnapshotEvery: snapshotEvery,
+			SegmentBytes:  1 << 20,
+		},
+		Spill: SpillConfig{Dir: spillDir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDetect(t, eng)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestSpillCrashRecovery is the tiered kill-and-recover differential:
+// an engine spilling evicted history to segments is abandoned
+// mid-ingest, a fresh engine recovers from the same WAL + segment
+// directories and ingests the rest, and the full TierAll history must
+// be byte-identical to an uninterrupted unevicted run's. The
+// "torn-spill" case additionally mangles the segment directory the way
+// a crash mid-spill would — a *.tmp leftover and a torn segment file —
+// which recovery must discard deterministically and rebuild from the
+// WAL.
+func TestSpillCrashRecovery(t *testing.T) {
+	const n, kill = 9000, 6000
+	ops := spillFeed(n)
+	final := Tick(n)
+	want := spillOracle(t, ops)
+
+	cases := []struct {
+		name          string
+		snapshotEvery int
+		tornSpill     bool
+	}{
+		// Without snapshots the WAL holds the full history, so recovery
+		// can discard every segment (all stamped past snapSeq 0) and
+		// rebuild them by replay — the path that makes torn-spill damage
+		// harmless.
+		{name: "torn-spill", snapshotEvery: 0, tornSpill: true},
+		// With snapshots, segments below the snapshot's WAL coverage are
+		// re-attached as-is and the replay only rebuilds the tail.
+		{name: "snapshots", snapshotEvery: 2500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			walDir, spillDir := t.TempDir(), t.TempDir()
+			crashed := spillEngine(t, walDir, spillDir, tc.snapshotEvery)
+			spillFeedRange(t, crashed, ops[:kill])
+			if st := crashed.StoreStats(); st.SpilledSeq == 0 || st.Cold == nil || st.Cold.Segments == 0 {
+				t.Fatalf("nothing spilled before the crash: %+v", st)
+			}
+			// (engine abandoned here — simulated SIGKILL)
+
+			if tc.tornSpill {
+				segs, err := filepath.Glob(filepath.Join(spillDir, "seg-*.seg"))
+				if err != nil || len(segs) == 0 {
+					t.Fatalf("no segment files to mangle (err=%v)", err)
+				}
+				newest := segs[len(segs)-1]
+				fi, err := os.Stat(newest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(newest, fi.Size()-37); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(spillDir, "crash.tmp"), []byte("partial"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rec := spillEngine(t, walDir, spillDir, tc.snapshotEvery)
+			ds := rec.DurabilityStats()
+			if ds.ReplayedRecords == 0 {
+				t.Fatalf("recovery replayed nothing: %+v", ds)
+			}
+			st := rec.StoreStats()
+			if tc.tornSpill {
+				if st.Cold == nil || st.Cold.Discarded == 0 {
+					t.Fatalf("torn spill leftovers were not discarded: %+v", st.Cold)
+				}
+			}
+			spillFeedRange(t, rec, ops[kill:])
+			if st := rec.StoreStats(); st.Cold == nil || st.Cold.Segments == 0 {
+				t.Fatalf("recovered engine never spilled: %+v", st)
+			}
+			got := queryAllTiers(t, rec)
+			if _, err := rec.Shutdown(final); err != nil {
+				t.Fatalf("recovered shutdown: %v", err)
+			}
+			if got != want {
+				t.Errorf("post-recovery TierAll history differs from unevicted oracle: got %d bytes, want %d",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestSpillNonDurableRestart: without a WAL, the segment directory is
+// the only persistence. After Shutdown (which flushes the evicted
+// backlog), a fresh engine re-attaches the directory, serves the
+// spilled history cold, and continues the sequence space on top of it.
+func TestSpillNonDurableRestart(t *testing.T) {
+	const n = 9000
+	ops := spillFeed(n)
+	spillDir := t.TempDir()
+
+	first, err := NewEngine(EngineConfig{
+		Observer: "obs1", Loc: AtPoint(1, 1),
+		DBRetention: Retention{MaxInstances: 600},
+		Spill:       SpillConfig{Dir: spillDir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDetect(t, first)
+	spillFeedRange(t, first, ops)
+	res, err := first.QueryST(QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.Instances
+	if len(all) != n {
+		t.Fatalf("first engine serves %d instances, want %d", len(all), n)
+	}
+	if _, err := first.Shutdown(Tick(n)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	second, err := NewEngine(EngineConfig{
+		Observer: "obs1", Loc: AtPoint(1, 1),
+		Spill: SpillConfig{Dir: spillDir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDetect(t, second)
+	cold, err := second.QueryST(QuerySpec{Tier: TierCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown's FlushCold persisted everything evicted from RAM; only
+	// the live hot window of the first run is gone (the non-durable
+	// contract). The cold history is the exact prefix of the first
+	// run's.
+	if len(cold.Instances) == 0 || len(cold.Instances) >= n {
+		t.Fatalf("reattached cold tier serves %d instances, want a proper prefix of %d", len(cold.Instances), n)
+	}
+	if !reflect.DeepEqual(cold.Instances, all[:len(cold.Instances)]) {
+		t.Fatal("reattached cold history differs from the first run's prefix")
+	}
+	if _, err := second.Shutdown(Tick(n)); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestSubscriberCatchUpThroughCold: a replay subscription on a store
+// whose history mostly lives in cold segments receives the complete
+// gapless history — cold, evicted-resident and hot — and a reconnect
+// from a cursor deep inside the cold range resumes without gaps or
+// duplicates.
+func TestSubscriberCatchUpThroughCold(t *testing.T) {
+	const n = 9000
+	ops := spillFeed(n)
+	eng, err := NewEngine(EngineConfig{
+		Observer: "obs1", Loc: AtPoint(1, 1),
+		DBRetention: Retention{MaxInstances: 600},
+		Spill:       SpillConfig{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDetect(t, eng)
+	spillFeedRange(t, eng, ops)
+	if st := eng.StoreStats(); st.SpilledSeq == 0 {
+		t.Fatalf("nothing spilled: %+v", st)
+	}
+	want := queryAllTiers(t, eng)
+
+	drain := func(s *Subscription) []SubDelivery {
+		var out []SubDelivery
+		for {
+			d, ok, err := s.Poll()
+			if err != nil {
+				t.Fatalf("Poll: %v", err)
+			}
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		}
+	}
+
+	// Full catch-up from the beginning of history.
+	s1, err := eng.Subscribe(SubscriptionSpec{Replay: true, Buffer: 2 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(s1)
+	s1.Close()
+	insts := make([]Instance, len(got))
+	for i := range got {
+		insts[i] = got[i].Inst
+	}
+	if g := canonicalInstances(t, insts); g != want {
+		t.Fatalf("catch-up delivered %d instances; differs from TierAll query history", len(got))
+	}
+
+	// Reconnect from a cursor deep inside the cold range: the rest of
+	// the history arrives exactly once.
+	cut := n / 4
+	if !got[cut-1].HasCursor {
+		t.Fatal("delivery without cursor on a store engine")
+	}
+	s2, err := eng.Subscribe(SubscriptionSpec{
+		Replay: true, Buffer: 2 * n,
+		Cursor: fmt.Sprintf("%d", got[cut-1].Cursor),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := drain(s2)
+	s2.Close()
+	if len(rest) != n-cut {
+		t.Fatalf("resumed catch-up delivered %d instances, want %d", len(rest), n-cut)
+	}
+	resumed := make([]Instance, 0, n)
+	resumed = append(resumed, insts[:cut]...)
+	for i := range rest {
+		resumed = append(resumed, rest[i].Inst)
+	}
+	if g := canonicalInstances(t, resumed); g != want {
+		t.Fatal("cursor resume through the cold tier lost or duplicated instances")
+	}
+	if _, err := eng.Shutdown(Tick(n)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -97,7 +97,7 @@ func TestSubscriberDifferentialVsQueryST(t *testing.T) {
 			}
 		}
 		oracleEng.Flush(Tick(n + 1))
-		oracleRes, err := oracleEng.QueryST(q)
+		oracleRes, err := oracleEng.QueryST(q.Spec())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -296,7 +296,7 @@ func TestConcurrentIngestFlushQuerySubscribe(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := eng.QueryST(Query{Event: "E.obs", Limit: 10}); err != nil {
+				if _, err := eng.QueryST(Query{Event: "E.obs", Limit: 10}.Spec()); err != nil {
 					t.Error(err)
 					return
 				}
