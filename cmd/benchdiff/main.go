@@ -4,11 +4,12 @@
 // and fails when any speedup regressed by more than the allowed
 // fraction. As a smoke check it also fails outright when a
 // throughput-carrying row of the current artifact reports zero obs/s,
-// which a speedup ratio alone can mask. The E15 store-contention and
-// E16 tiered-storage sections gate on absolute floors instead (see
-// e15Failures / e16Failures): E15's tail-latency speedup is too
-// scheduler-dependent for a relative rule, and E16's gates are
-// correctness and liveness conditions, not ratios.
+// which a speedup ratio alone can mask. The E15 store-contention, E16
+// tiered-storage and E17 cluster sections gate on absolute floors
+// instead (see e15Failures / e16Failures / e17Failures): E15's
+// tail-latency speedup is too scheduler-dependent for a relative rule,
+// and E16's / E17's gates are correctness and liveness conditions, not
+// ratios.
 //
 // Speedups (indexed-query-vs-scan, planned-join-vs-naive) are ratios of
 // two measurements taken on the same machine in the same run, so they
@@ -78,6 +79,15 @@ type artifact struct {
 		WalkPages      int     `json:"walkPages"`
 		WalkMismatches int     `json:"walkMismatches"`
 	} `json:"e16"`
+	E17 *struct {
+		ForwardAcks     int     `json:"forwardAcks"`
+		ReplSamples     int     `json:"replSamples"`
+		ForwardAckP99Us float64 `json:"forwardAckP99Us"`
+		FailoverGapMs   float64 `json:"failoverGapMs"`
+		Reroutes        uint64  `json:"reroutes"`
+		GatherInstances int     `json:"gatherInstances"`
+		Mismatches      int     `json:"mismatches"`
+	} `json:"e17"`
 }
 
 // E15 acceptance floors. The contended p99 speedup is a tail-latency
@@ -102,6 +112,19 @@ const (
 // generous — it exists to catch an accidental O(whole-directory) scan
 // regression (orders of magnitude), not scheduler noise.
 const e16MaxColdP99Us = 250_000.0
+
+// E17 acceptance floors. The cluster experiment gates on absolute
+// correctness and liveness conditions: forwards and replication pairs
+// must actually have happened, the kill must have forced at least one
+// re-route, the scatter-gather differential must match the single-node
+// oracle exactly, and the failover gap and forward-ack p99 ceilings
+// catch order-of-magnitude availability regressions (a gap that grows
+// past seconds means acked ingest stalled on a corpse), not scheduler
+// noise.
+const (
+	e17MaxFailoverGapMs   = 5_000.0
+	e17MaxForwardAckP99Us = 100_000.0
+)
 
 // metric is one comparable speedup measurement.
 type metric struct {
@@ -218,6 +241,39 @@ func e16Failures(a artifact) []string {
 	return fails
 }
 
+// e17Failures checks the current artifact's E17 section against the
+// absolute cluster floors. Returns human-readable failures, empty when
+// the section is absent or passing.
+func e17Failures(a artifact) []string {
+	if a.E17 == nil {
+		return nil
+	}
+	var fails []string
+	s := a.E17
+	if s.ForwardAcks == 0 {
+		fails = append(fails, "e17[forwardAcks] = 0 (no records crossed a node boundary)")
+	}
+	if s.ReplSamples == 0 {
+		fails = append(fails, "e17[replSamples] = 0 (replication path dead)")
+	}
+	if s.Reroutes == 0 {
+		fails = append(fails, "e17[reroutes] = 0 (failover never exercised)")
+	}
+	if s.GatherInstances == 0 {
+		fails = append(fails, "e17[gatherInstances] = 0 (differential proved nothing)")
+	}
+	if s.Mismatches != 0 {
+		fails = append(fails, fmt.Sprintf("e17[mismatches] = %d, want 0 (cluster diverges from oracle)", s.Mismatches))
+	}
+	if s.FailoverGapMs > e17MaxFailoverGapMs {
+		fails = append(fails, fmt.Sprintf("e17[failoverGapMs] = %.0f, ceiling %.0f", s.FailoverGapMs, e17MaxFailoverGapMs))
+	}
+	if s.ForwardAckP99Us > e17MaxForwardAckP99Us {
+		fails = append(fails, fmt.Sprintf("e17[forwardAckP99Us] = %.0f, ceiling %.0f", s.ForwardAckP99Us, e17MaxForwardAckP99Us))
+	}
+	return fails
+}
+
 func load(path string) (artifact, error) {
 	var a artifact
 	data, err := os.ReadFile(path)
@@ -303,6 +359,22 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(out, "e16: %d segments, %.0f spilled/s, cold p99 %.0fµs (ceiling %.0f), %d walk mismatches\n",
 			cur.E16.Segments, cur.E16.SpilledPerSec, cur.E16.ColdP99Us, e16MaxColdP99Us, cur.E16.WalkMismatches)
 	}
+	if base.E17 != nil && cur.E17 == nil {
+		fmt.Fprintln(errw, "benchdiff: FAIL: baseline carries an e17 section but current artifact has none")
+		return 1
+	}
+	if fails := e17Failures(cur); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(out, "%s  FLOOR\n", f)
+		}
+		fmt.Fprintln(errw, "benchdiff: FAIL: e17 cluster floors violated")
+		return 1
+	}
+	if cur.E17 != nil {
+		fmt.Fprintf(out, "e17: %d forward acks (p99 %.0fµs, ceiling %.0f), failover gap %.0fms (ceiling %.0f), %d reroutes, %d mismatches\n",
+			cur.E17.ForwardAcks, cur.E17.ForwardAckP99Us, e17MaxForwardAckP99Us,
+			cur.E17.FailoverGapMs, e17MaxFailoverGapMs, cur.E17.Reroutes, cur.E17.Mismatches)
+	}
 
 	curBy := make(map[string]float64)
 	for _, m := range metrics(cur) {
@@ -310,10 +382,11 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	baseMetrics := metrics(base)
 	if len(baseMetrics) == 0 {
-		if base.E15 != nil || base.E16 != nil {
-			// Floor-only artifacts (BENCH_6's e15 section, BENCH_7's e16
-			// section): the absolute floors above are the whole gate;
-			// there are no relative speedup metrics.
+		if base.E15 != nil || base.E16 != nil || base.E17 != nil {
+			// Floor-only artifacts (BENCH_6's e15 section, BENCH_7's
+			// e16 section, BENCH_8's e17 section): the absolute floors
+			// above are the whole gate; there are no relative speedup
+			// metrics.
 			fmt.Fprintln(out, "benchdiff: ok (absolute floors)")
 			return 0
 		}

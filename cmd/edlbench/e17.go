@@ -1,0 +1,332 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	stcps "github.com/stcps/stcps"
+	"github.com/stcps/stcps/internal/cluster/clustertest"
+	"github.com/stcps/stcps/wireclient"
+)
+
+// e17Summary is the machine-readable E17 record: clustered ingest ack
+// latency split by routing hop (local apply vs forwarded), replication
+// lag between the owner's apply and its follower's, the failover gap
+// after a hard kill, and the scatter-gather differential against a
+// single-node oracle (the gate: zero mismatched instances).
+type e17Summary struct {
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	// Records fed pre-kill (the timed steady state) and post-kill.
+	Records     int `json:"records"`
+	PostRecords int `json:"postRecords"`
+	// Per-record ack round trips (send → owner apply → follower ack →
+	// client ack), split by whether the ingress node owned the record
+	// or forwarded it one hop.
+	LocalAcks       int     `json:"localAcks"`
+	ForwardAcks     int     `json:"forwardAcks"`
+	LocalAckP50Us   float64 `json:"localAckP50Us"`
+	LocalAckP99Us   float64 `json:"localAckP99Us"`
+	ForwardAckP50Us float64 `json:"forwardAckP50Us"`
+	ForwardAckP99Us float64 `json:"forwardAckP99Us"`
+	// Replication lag: owner apply to follower apply, per acked
+	// record. Unpaired counts applies that never saw their twin
+	// (post-kill records whose only routable chain member applied).
+	ReplSamples  int     `json:"replSamples"`
+	ReplUnpaired int     `json:"replUnpaired"`
+	ReplLagP50Us float64 `json:"replLagP50Us"`
+	ReplLagP99Us float64 `json:"replLagP99Us"`
+	// FailoverGapMs is the ingest availability gap: the time from
+	// SIGKILL-equivalent death of a partition owner to the next
+	// successfully acked record of that partition.
+	FailoverGapMs float64 `json:"failoverGapMs"`
+	// Coordinator counters after the run (ingress node).
+	Forwarded  uint64 `json:"forwarded"`
+	Replicated uint64 `json:"replicated"`
+	Reroutes   uint64 `json:"reroutes"`
+	// Duplicates absorbed cluster-wide by the (origin, partition, seq)
+	// windows — re-sent forwards after the kill land here.
+	Duplicates uint64 `json:"duplicates"`
+	// Scatter-gather differential: merged cluster pages against the
+	// oracle engine fed the same stream. Mismatches must be 0.
+	GatherInstances int `json:"gatherInstances"`
+	Mismatches      int `json:"mismatches"`
+}
+
+// E17 workload shape: the differential-test stream (cells round-robin
+// over one owned cell per node, sensors alternating a/b, strictly
+// increasing ticks, a punctual and a two-role join detector per cell),
+// fed record-at-a-time so every ack round trip is timed.
+const (
+	e17Nodes  = 3
+	e17Steady = 900 // timed pre-kill records
+	e17Post   = 300 // post-kill records (failover + differential mass)
+	e17Victim = 2   // killed partition owner; never the ingress node 0
+)
+
+// e17Cells finds one grid cell per partition so the stream can target
+// every owner deterministically.
+func e17Cells(r interface {
+	PartitionOf(stcps.Location) int
+}) ([]stcps.Location, error) {
+	cells := make([]stcps.Location, e17Nodes)
+	have := make([]bool, e17Nodes)
+	found := 0
+	for k := 0; found < e17Nodes && k < 1000; k++ {
+		loc := stcps.AtPoint(float64(k)*64+10, 10)
+		p := r.PartitionOf(loc)
+		if !have[p] {
+			cells[p], have[p] = loc, true
+			found++
+		}
+	}
+	if found != e17Nodes {
+		return nil, fmt.Errorf("E17: found cells for %d/%d partitions", found, e17Nodes)
+	}
+	return cells, nil
+}
+
+// e17Declare registers the per-cell detectors on the harness (every
+// node plus the oracle): one punctual filter and one order-sensitive
+// two-role window join.
+func e17Declare(h *clustertest.Harness, cells []stcps.Location) error {
+	for i := range cells {
+		if err := h.Detect(stcps.LayerCyber, stcps.EventSpec{
+			ID:    fmt.Sprintf("E.solo.%d", i),
+			Roles: []stcps.Role{{Name: "x", Source: fmt.Sprintf("S.a%d", i), Window: 4}},
+			When:  "x.v > 0.5",
+		}); err != nil {
+			return err
+		}
+		if err := h.Detect(stcps.LayerCyber, stcps.EventSpec{
+			ID: fmt.Sprintf("E.join.%d", i),
+			Roles: []stcps.Role{
+				{Name: "x", Source: fmt.Sprintf("S.a%d", i), Window: 4},
+				{Name: "y", Source: fmt.Sprintf("S.b%d", i), Window: 4},
+			},
+			When: "x.time before y.time and y.v >= x.v",
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e17Obs builds the i-th observation of the deterministic stream.
+func e17Obs(i int, cells []stcps.Location, seqs map[string]uint64) stcps.Observation {
+	cell := i % len(cells)
+	kind := "a"
+	if (i/len(cells))%2 == 1 {
+		kind = "b"
+	}
+	sensor := fmt.Sprintf("S.%s%d", kind, cell)
+	seqs[sensor]++
+	return stcps.Observation{
+		Mote:   "MT",
+		Sensor: sensor,
+		Seq:    seqs[sensor],
+		Time:   stcps.At(stcps.Tick(i + 1)),
+		Loc:    cells[cell],
+		Attrs:  stcps.Attrs{"v": float64(i%10) / 10},
+	}
+}
+
+// e17 measures the multi-node cluster end to end on a real 3-node
+// harness (real wire listeners, coordinators, replication): ack
+// latency local vs one forward hop, replication lag, the ingest gap
+// across a hard owner kill, and the scatter-gather differential
+// against a single-node oracle fed the same stream.
+func e17(out io.Writer) (*e17Summary, error) {
+	fmt.Fprintf(out, "=== E17: 3-node clustered ingest, %d+%d records, owner killed mid-stream ===\n",
+		e17Steady, e17Post)
+
+	var (
+		mu         sync.Mutex
+		firstApply = make(map[string]time.Time)
+		replLags   []float64
+	)
+	h, err := clustertest.New(clustertest.Config{
+		Nodes:    e17Nodes,
+		Replicas: 1,
+		OnApply: func(_ int, key string) {
+			now := time.Now()
+			mu.Lock()
+			if t0, ok := firstApply[key]; ok {
+				replLags = append(replLags, float64(now.Sub(t0).Nanoseconds())/1e3)
+				delete(firstApply, key)
+			} else {
+				firstApply[key] = now
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	cells, err := e17Cells(h.Router(0))
+	if err != nil {
+		return nil, err
+	}
+	if err := e17Declare(h, cells); err != nil {
+		return nil, err
+	}
+
+	c, err := wireclient.Dial(h.Nodes[0].Addr, wireclient.Options{DialTimeout: 2 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	seqs := make(map[string]uint64)
+	oseqs := make(map[string]uint64)
+	// sendTimed pushes record i through the wire and the oracle in
+	// lockstep and returns the full ack round trip.
+	sendTimed := func(i int) (time.Duration, error) {
+		o := e17Obs(i, cells, seqs)
+		start := time.Now()
+		if err := c.SendObservation(&o); err != nil {
+			return 0, fmt.Errorf("E17: send %d: %w", i, err)
+		}
+		if err := c.Flush(); err != nil {
+			return 0, fmt.Errorf("E17: flush %d: %w", i, err)
+		}
+		if err := c.Wait(); err != nil {
+			return 0, fmt.Errorf("E17: ack %d: %w", i, err)
+		}
+		rtt := time.Since(start)
+		oo := e17Obs(i, cells, oseqs)
+		if _, err := h.Oracle.Observe(oo); err != nil {
+			return 0, fmt.Errorf("E17: oracle %d: %w", i, err)
+		}
+		return rtt, nil
+	}
+
+	// Steady state: every ack timed, classified by the routing hop the
+	// ingress node took (partition p is owned by node p while all
+	// members are alive — the stream visits each cell in turn).
+	var localLats, fwdLats []float64
+	for i := 0; i < e17Steady; i++ {
+		rtt, err := sendTimed(i)
+		if err != nil {
+			return nil, err
+		}
+		us := float64(rtt.Nanoseconds()) / 1e3
+		if i%len(cells) == 0 {
+			localLats = append(localLats, us)
+		} else {
+			fwdLats = append(fwdLats, us)
+		}
+	}
+
+	// Hard-kill the victim owner immediately before one of its own
+	// records is routed, so the forward hits the dead link in-flight
+	// (not after probes have already demoted the corpse) and the ack
+	// of that record bounds the full ingest availability gap: link
+	// failure, suspicion, re-route to the failover owner.
+	var killAt time.Time
+	gap := time.Duration(0)
+	for i := e17Steady; i < e17Steady+e17Post; i++ {
+		if killAt.IsZero() && i%len(cells) == e17Victim {
+			killAt = time.Now()
+			h.Kill(e17Victim)
+		}
+		if _, err := sendTimed(i); err != nil {
+			return nil, err
+		}
+		if gap == 0 && !killAt.IsZero() && i%len(cells) == e17Victim {
+			gap = time.Since(killAt)
+		}
+	}
+	if gap == 0 {
+		return nil, fmt.Errorf("E17: no victim-partition record acked post-kill")
+	}
+
+	// Differential: the gathered cluster view must match the oracle
+	// instance-for-instance.
+	res, err := h.Gather(0, stcps.QuerySpec{})
+	if err != nil {
+		return nil, fmt.Errorf("E17: gather: %w", err)
+	}
+	want, err := h.Oracle.QueryST(stcps.QuerySpec{})
+	if err != nil {
+		return nil, err
+	}
+	mismatches := 0
+	n := len(res.Instances)
+	if len(want.Instances) > n {
+		n = len(want.Instances)
+	}
+	for i := 0; i < n; i++ {
+		if i >= len(res.Instances) || i >= len(want.Instances) {
+			mismatches++
+			continue
+		}
+		cj, _ := json.Marshal(res.Instances[i])
+		oj, _ := json.Marshal(want.Instances[i])
+		if string(cj) != string(oj) {
+			mismatches++
+		}
+	}
+
+	sort.Float64s(localLats)
+	sort.Float64s(fwdLats)
+	mu.Lock()
+	sort.Float64s(replLags)
+	unpaired := len(firstApply)
+	mu.Unlock()
+
+	st0 := h.Nodes[0].CL.Coord.Stats()
+	var dups uint64
+	for _, node := range h.Nodes {
+		dups += node.CL.Coord.Stats().Duplicates
+	}
+	sum := &e17Summary{
+		Nodes: e17Nodes, Replicas: 1,
+		Records: e17Steady, PostRecords: e17Post,
+		LocalAcks: len(localLats), ForwardAcks: len(fwdLats),
+		LocalAckP50Us: percentile(localLats, 50), LocalAckP99Us: percentile(localLats, 99),
+		ForwardAckP50Us: percentile(fwdLats, 50), ForwardAckP99Us: percentile(fwdLats, 99),
+		ReplSamples: len(replLags), ReplUnpaired: unpaired,
+		ReplLagP50Us: percentile(replLags, 50), ReplLagP99Us: percentile(replLags, 99),
+		FailoverGapMs:   float64(gap.Nanoseconds()) / 1e6,
+		Forwarded:       st0.Forwarded,
+		Replicated:      st0.Replicated,
+		Reroutes:        st0.Reroutes,
+		Duplicates:      dups,
+		GatherInstances: len(res.Instances),
+		Mismatches:      mismatches,
+	}
+
+	// Gates: the benchmark doubles as the failover acceptance oracle.
+	if sum.ForwardAcks == 0 || sum.ReplSamples == 0 {
+		return nil, fmt.Errorf("E17: no forwards (%d) or no replication pairs (%d) — cluster path untested",
+			sum.ForwardAcks, sum.ReplSamples)
+	}
+	if sum.Reroutes == 0 {
+		return nil, fmt.Errorf("E17: no forwards re-routed after the kill — failover untested")
+	}
+	if sum.GatherInstances == 0 {
+		return nil, fmt.Errorf("E17: gather returned nothing — the differential proved nothing")
+	}
+	if sum.Mismatches != 0 {
+		return nil, fmt.Errorf("E17: %d of %d gathered instances diverge from the oracle",
+			sum.Mismatches, sum.GatherInstances)
+	}
+
+	fmt.Fprintf(out, "ack latency: local p50/p99 = %.0f/%.0f µs (%d acks), forward p50/p99 = %.0f/%.0f µs (%d acks)\n",
+		sum.LocalAckP50Us, sum.LocalAckP99Us, sum.LocalAcks,
+		sum.ForwardAckP50Us, sum.ForwardAckP99Us, sum.ForwardAcks)
+	fmt.Fprintf(out, "replication lag: p50/p99 = %.0f/%.0f µs (%d pairs, %d unpaired post-kill)\n",
+		sum.ReplLagP50Us, sum.ReplLagP99Us, sum.ReplSamples, sum.ReplUnpaired)
+	fmt.Fprintf(out, "failover: gap = %.1f ms, reroutes = %d, duplicates absorbed = %d\n",
+		sum.FailoverGapMs, sum.Reroutes, sum.Duplicates)
+	fmt.Fprintf(out, "differential: %d gathered instances, %d mismatches vs oracle\n\n",
+		sum.GatherInstances, sum.Mismatches)
+	return sum, nil
+}

@@ -17,6 +17,7 @@
 //	edlbench -exp E14   # wire ingest: JSONL vs. binary TCP
 //	edlbench -exp E15   # store contention: monolithic lock vs. chunked read plane
 //	edlbench -exp E16   # tiered storage: cold segment spill + merged queries
+//	edlbench -exp E17   # 3-node cluster: forward/replication latency + failover
 //	edlbench -runs 32   # more runs per configuration
 //	edlbench -json BENCH_1.json   # also write the machine-readable artifact
 package main
@@ -150,13 +151,14 @@ type artifact struct {
 	E14       []wireRow     `json:"e14,omitempty"`
 	E15       *e15Summary   `json:"e15,omitempty"`
 	E16       *e16Summary   `json:"e16,omitempty"`
+	E17       *e17Summary   `json:"e17,omitempty"`
 	Retention *retentionRow `json:"retention,omitempty"`
 	Engine    []engineRow   `json:"engineIngest,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("edlbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13, E14, E15, E16 or all")
+	exp := fs.String("exp", "all", "experiment to run: E1, E2, E3, E8, E9, E10, E11, E13, E14, E15, E16, E17 or all")
 	runs := fs.Int("runs", 16, "runs per configuration")
 	queryInstances := fs.Int("queryInstances", 100_000, "logged instances for the E9 query experiment")
 	joinEntities := fs.Int("joinEntities", 900, "entities fed to the E10 join experiment")
@@ -263,6 +265,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		art.E16 = sum
+	}
+	if which == "ALL" || which == "E17" {
+		any = true
+		sum, err := e17(out)
+		if err != nil {
+			return err
+		}
+		art.E17 = sum
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q", *exp)

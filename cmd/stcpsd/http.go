@@ -27,7 +27,8 @@ type api struct {
 	ingested *atomic.Uint64
 	skipped  *atomic.Uint64
 	emitted  *atomic.Uint64
-	wire     *wireStats // nil without -tcp
+	wire     *wireStats      // nil without -tcp
+	cluster  *clusterRuntime // nil without -cluster
 }
 
 // handler builds the query API routes. Every endpoint is mounted twice:
@@ -87,6 +88,7 @@ type statsResponse struct {
 	Durability    stcps.DurabilityStats   `json:"durability"`
 	Subscriptions stcps.SubscriptionStats `json:"subscriptions"`
 	Wire          *wireStatsView          `json:"wire,omitempty"`
+	Cluster       *clusterStatsView       `json:"cluster,omitempty"`
 }
 
 func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
@@ -95,6 +97,10 @@ func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 	if a.wire != nil {
 		v := a.wire.view()
 		wv = &v
+	}
+	var cv *clusterStatsView
+	if a.cluster != nil {
+		cv = a.cluster.statsView()
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Observer: a.observer,
@@ -114,6 +120,7 @@ func (a *api) stats(w http.ResponseWriter, _ *http.Request) {
 		Durability:    a.eng.DurabilityStats(),
 		Subscriptions: a.eng.SubscriptionStats(),
 		Wire:          wv,
+		Cluster:       cv,
 	})
 }
 
@@ -236,6 +243,18 @@ func (a *api) query(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		spec.Limit = n
+	}
+
+	if a.cluster != nil {
+		// Clustered query: partition=N serves one local partition page
+		// for peer gateways; otherwise scatter-gather across the
+		// cluster, merged in HLC order under one composite cursor.
+		if ps := v.Get("partition"); ps != "" {
+			a.cluster.partitionPage(w, spec, ps)
+			return
+		}
+		a.cluster.gather(w, v, spec)
+		return
 	}
 
 	res, err := a.eng.QueryST(spec)

@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"github.com/stcps/stcps"
+	"github.com/stcps/stcps/internal/cluster"
 	"github.com/stcps/stcps/internal/event"
 	"github.com/stcps/stcps/internal/frame"
 )
@@ -223,6 +224,9 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	y := fs.Float64("y", 0, "observer location y")
 	httpAddr := fs.String("http", "", "serve the spatio-temporal query API on this address (e.g. :8080); enables the in-process store")
 	tcpAddr := fs.String("tcp", "", "listen for binary wire protocol ingest on this address (e.g. :9090)")
+	clusterSpec := fs.String("cluster", "", "cluster mode: comma-separated wire/http address pairs for every member, e.g. h1:9090/h1:8080,h2:9090/h2:8080 (requires -tcp and -http)")
+	nodeID := fs.Int("node-id", 0, "cluster mode: this node's index into the -cluster list")
+	replicas := fs.Int("replicas", 1, "cluster mode: synchronous follower replicas per partition")
 	maxLine := fs.Int("max-line", 1<<20, "max stdin line length in bytes; longer lines are skipped")
 	dbMaxInstances := fs.Int("db-max-instances", 0, "retention: max live instances in the store (0 = unlimited)")
 	dbMaxAge := fs.Int64("db-max-age", 0, "retention: evict instances older than this many ticks behind the newest (0 = unlimited)")
@@ -239,6 +243,18 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 	}
 	if *eventsPath == "" {
 		return fmt.Errorf("missing -events file")
+	}
+	if *clusterSpec != "" {
+		// Cluster mode needs the wire listener for peer hops, the HTTP
+		// listener (and its store) for scatter-gather pages, and the
+		// synchronous engine: the coordinator resolves emitted instance
+		// seqs immediately after each apply.
+		if *tcpAddr == "" || *httpAddr == "" {
+			return fmt.Errorf("-cluster requires both -tcp and -http")
+		}
+		if *workers != 1 {
+			return fmt.Errorf("-cluster requires -workers=1 (got %d)", *workers)
+		}
 	}
 	evs, err := loadEvents(*eventsPath)
 	if err != nil {
@@ -415,6 +431,47 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		ws = &wireStats{}
 	}
 
+	// Cluster mode: hang the coordinator off the same offer guard as
+	// every other ingest path, so peer hops, wire batches and stdin
+	// lines serialize through one engine. Apply mirrors the single-node
+	// wire path: advance the flush tick, ingest, count.
+	var cl *clusterRuntime
+	if *clusterSpec != "" {
+		nodes, err := cluster.ParseNodes(*clusterSpec)
+		if err != nil {
+			return err
+		}
+		cn, err := cluster.New(cluster.Config{
+			Nodes:    nodes,
+			Self:     *nodeID,
+			Replicas: *replicas,
+		}, nil, cluster.Hooks{
+			Guard: offer,
+			Apply: func(source string, ent event.Entity, conf float64, now stcps.Tick) ([]stcps.Instance, error) {
+				if int64(now) > maxTick.Load() {
+					maxTick.Store(int64(now))
+				}
+				outs, err := eng.Ingest(source, ent, conf, now)
+				if err != nil {
+					return nil, err
+				}
+				ingested.Add(1)
+				return outs, nil
+			},
+			SeqOf: eng.Store().SeqOf,
+			Query: eng.QueryST,
+		})
+		if err != nil {
+			return err
+		}
+		cl = newClusterRuntime(cn)
+		cn.Membership.Start()
+		defer cn.Coord.Close()
+		defer cn.Membership.Stop()
+		fmt.Fprintf(errw, "stcpsd: cluster node %d of %d, replicas=%d\n",
+			*nodeID, len(nodes), cn.Cfg.Replicas)
+	}
+
 	// Serve the query API from the live engine while the feed runs.
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -430,6 +487,7 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			skipped:  &skipped,
 			emitted:  &emitted,
 			wire:     ws,
+			cluster:  cl,
 		}
 		srv := &http.Server{
 			Handler:           a.handler(),
@@ -479,9 +537,23 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 			}
 			return nil
 		}
+		if cl != nil {
+			// Clustered ingest: the coordinator stamps, routes, applies,
+			// forwards and replicates each batch; the wire ack it
+			// releases means owner + R followers hold every record.
+			wireOffer = func(b *frame.Batch) error {
+				err := cl.node.Coord.OfferBatch(b)
+				if errors.Is(err, cluster.ErrShutdown) {
+					return errShutdown
+				}
+				return err
+			}
+		}
 		ts := newTCPServer(ln, frame.ServerConfig{
-			Offer:       wireOffer,
-			Materialize: *walDir != "",
+			Offer: wireOffer,
+			// Forwarding (like the WAL) needs concrete entity values
+			// that outlive the batch buffer.
+			Materialize: *walDir != "" || cl != nil,
 		}, ws, errw)
 		go ts.serve()
 		defer ts.close()
@@ -523,6 +595,20 @@ scan:
 			fmt.Fprintf(errw, "stcpsd: skipping malformed line: %v\n", derr)
 			continue
 		case kind == event.KindInstance:
+			// In cluster mode the stdin line enters the same
+			// stamp/route/forward/replicate path as wire batches; the
+			// coordinator runs the guarded offer itself.
+			if cl != nil {
+				err := cl.node.Coord.OfferEntity(inst.Event, inst, inst.Confidence, inst.Gen)
+				if errors.Is(err, cluster.ErrShutdown) {
+					break scan
+				}
+				if err != nil {
+					feedErr = err
+					break scan
+				}
+				continue // applied-record counting happens in the Apply hook
+			}
 			// maxTick advances inside the guarded offer: an entity the
 			// SIGTERM teardown rejected must not move the flush tick.
 			open, err := offer(func() error {
@@ -540,6 +626,17 @@ scan:
 				break scan
 			}
 		case kind == event.KindObservation:
+			if cl != nil {
+				err := cl.node.Coord.OfferEntity(obs.Sensor, obs, 1, obs.Time.End())
+				if errors.Is(err, cluster.ErrShutdown) {
+					break scan
+				}
+				if err != nil {
+					feedErr = err
+					break scan
+				}
+				continue // applied-record counting happens in the Apply hook
+			}
 			open, err := offer(func() error {
 				if int64(obs.Time.End()) > maxTick.Load() {
 					maxTick.Store(int64(obs.Time.End()))

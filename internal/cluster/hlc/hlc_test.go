@@ -1,0 +1,124 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/stcps/stcps/internal/timemodel"
+)
+
+func TestPackUnpack(t *testing.T) {
+	cases := []struct {
+		wall    timemodel.Tick
+		logical uint16
+	}{
+		{0, 0}, {1, 0}, {1, 1}, {42, 65535}, {1 << 40, 7},
+	}
+	for _, c := range cases {
+		s := Pack(c.wall, c.logical)
+		if s.Wall() != c.wall || s.Logical() != c.logical {
+			t.Errorf("Pack(%d,%d) round-tripped to (%d,%d)", c.wall, c.logical, s.Wall(), s.Logical())
+		}
+	}
+	if s := Pack(-5, 3); s.Wall() != 0 {
+		t.Errorf("negative wall should clamp to 0, got %v", s)
+	}
+	if s := Pack(1<<60, 0); s.Wall() != maxWall {
+		t.Errorf("oversized wall should clamp to maxWall, got %d", int64(s.Wall()))
+	}
+}
+
+func TestNowStrictlyIncreasing(t *testing.T) {
+	var c Clock
+	ticks := []timemodel.Tick{5, 5, 5, 3, 7, 7, 2, 100}
+	prev := Stamp(0)
+	for _, tk := range ticks {
+		s := c.Now(tk)
+		if s <= prev {
+			t.Fatalf("Now(%d) = %v not after %v", tk, s, prev)
+		}
+		if s.Wall() < tk {
+			t.Fatalf("Now(%d) wall %d regressed below phys", tk, s.Wall())
+		}
+		prev = s
+	}
+}
+
+func TestLogicalOverflowCarriesIntoWall(t *testing.T) {
+	var c Clock
+	s := c.Now(9)
+	for i := 0; i < logicalMask; i++ {
+		s = c.Now(9)
+	}
+	if s.Wall() != 9 || s.Logical() != logicalMask {
+		t.Fatalf("expected 9.%d before overflow, got %v", logicalMask, s)
+	}
+	s = c.Now(9)
+	if s.Wall() != 10 || s.Logical() != 0 {
+		t.Fatalf("overflow should carry into wall: got %v", s)
+	}
+}
+
+func TestObserveOrdersAfterRemote(t *testing.T) {
+	var a, b Clock
+	// a issues, b observes: everything b issues afterwards must order
+	// after a's stamp.
+	sa := a.Now(10)
+	sb := b.Observe(sa, 4)
+	if sb <= sa {
+		t.Fatalf("Observe(%v) = %v does not order after remote", sa, sb)
+	}
+	if next := b.Now(4); next <= sb {
+		t.Fatalf("Now after Observe = %v not after %v", next, sb)
+	}
+	// Remote behind local: local still advances.
+	big := b.Now(100)
+	if s := b.Observe(Pack(1, 1), 1); s <= big {
+		t.Fatalf("Observe of stale remote %v did not advance past local %v", Pack(1, 1), big)
+	}
+}
+
+func TestCurrentDoesNotAdvance(t *testing.T) {
+	var c Clock
+	if got := c.Current(); got != 0 {
+		t.Fatalf("zero clock Current = %v", got)
+	}
+	s := c.Now(3)
+	if got := c.Current(); got != s {
+		t.Fatalf("Current = %v, want %v", got, s)
+	}
+	if got := c.Current(); got != s {
+		t.Fatalf("Current advanced on read: %v", got)
+	}
+}
+
+func TestConcurrentNowUnique(t *testing.T) {
+	var c Clock
+	const per, workers = 500, 8
+	out := make([][]Stamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out[w] = append(out[w], c.Now(timemodel.Tick(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Stamp]bool, per*workers)
+	for _, stamps := range out {
+		prev := Stamp(0)
+		for _, s := range stamps {
+			if seen[s] {
+				t.Fatalf("duplicate stamp %v", s)
+			}
+			seen[s] = true
+			if s <= prev {
+				t.Fatalf("per-goroutine stamps not increasing: %v then %v", prev, s)
+			}
+			prev = s
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stcps/stcps/internal/event"
+	"github.com/stcps/stcps/internal/frame"
+	"github.com/stcps/stcps/wireclient"
+)
+
+// ErrLinkDown is the base error for a peer link that failed to deliver.
+var ErrLinkDown = errors.New("cluster: peer link down")
+
+// outRec is one forward- or replica-hop record, materialized so it
+// stays valid after the originating batch's buffers are recycled.
+type outRec struct {
+	f     frame.Forward
+	isObs bool
+	obs   event.Observation
+	inst  event.Instance
+}
+
+// sendOp is one enqueue's worth of records bound for a peer, with its
+// completion signal. The enqueuer blocks on done (outside the engine
+// guard) and inspects err; the sender goroutine completes ops strictly
+// in queue order, which is what makes a follower's apply order match
+// the owner's.
+type sendOp struct {
+	recs []outRec
+	done chan struct{}
+	err  error
+}
+
+// link is the ordered delivery channel to one peer: a FIFO of sendOps
+// drained by a single sender goroutine over a reconnecting wire
+// client. Enqueue order is completion order; a delivery failure fails
+// the op (the enqueuer re-routes) and resets the client so the next op
+// starts from a fresh dial.
+type link struct {
+	dest int
+	spec NodeSpec
+	opts wireclient.Options
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*sendOp //stcps:guardedby mu
+	closed bool      //stcps:guardedby mu
+
+	client *wireclient.Client // sender goroutine only
+
+	wg    sync.WaitGroup
+	sent  atomic.Uint64
+	fails atomic.Uint64
+}
+
+func newLink(dest int, spec NodeSpec, retry wireclient.ReconnectOptions) *link {
+	l := &link{
+		dest: dest,
+		spec: spec,
+		opts: wireclient.Options{
+			DialTimeout: 2 * time.Second,
+			Reconnect:   retry,
+		},
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.wg.Add(1)
+	go l.sender()
+	return l
+}
+
+// enqueue appends recs to the link FIFO and returns the op to wait on.
+// It never blocks (safe to call under the engine guard) and never
+// fails — delivery errors surface on the op.
+func (l *link) enqueue(recs []outRec) *sendOp {
+	op := &sendOp{recs: recs, done: make(chan struct{})}
+	l.mu.Lock()
+	if l.closed {
+		op.err = ErrShutdown
+		close(op.done)
+	} else {
+		l.queue = append(l.queue, op)
+		l.cond.Signal()
+	}
+	l.mu.Unlock()
+	return op
+}
+
+// close shuts the link down: queued and future ops fail with
+// ErrShutdown and the sender goroutine exits after closing its client.
+func (l *link) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// sender drains the FIFO one op at a time.
+func (l *link) sender() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			if l.client != nil {
+				_ = l.client.Close()
+				l.client = nil
+			}
+			return
+		}
+		op := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		op.err = l.send(op.recs)
+		if op.err != nil {
+			l.fails.Add(1)
+			// A failed client is not reusable: its unacked window is
+			// unknowable. Start the next op from a clean dial.
+			if l.client != nil {
+				_ = l.client.Close()
+				l.client = nil
+			}
+		} else {
+			l.sent.Add(uint64(len(op.recs)))
+		}
+		close(op.done)
+	}
+}
+
+// send delivers one op's records and waits for the peer's cumulative
+// ack, dialing the peer first if the link has no live client.
+func (l *link) send(recs []outRec) error {
+	if l.client == nil {
+		c, err := wireclient.Dial(l.spec.Wire, l.opts)
+		if err != nil {
+			return errors.Join(ErrLinkDown, err)
+		}
+		l.client = c
+	}
+	for i := range recs {
+		r := &recs[i]
+		var err error
+		if r.isObs {
+			err = l.client.SendForwardObservation(r.f, &r.obs)
+		} else {
+			err = l.client.SendForwardInstance(r.f, &r.inst)
+		}
+		if err != nil {
+			return errors.Join(ErrLinkDown, err)
+		}
+	}
+	if err := l.client.Flush(); err != nil {
+		return errors.Join(ErrLinkDown, err)
+	}
+	if err := l.client.Wait(); err != nil {
+		return errors.Join(ErrLinkDown, err)
+	}
+	return nil
+}

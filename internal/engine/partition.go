@@ -42,12 +42,14 @@ var _ Partitioner = (*Sharded)(nil)
 func (s *Sharded) Route(eventID string) int { return s.shardOf(eventID) }
 
 // Owners implements Partitioner: every shard of the in-process engine
-// is one local member. Call it after registration is complete —
-// AddDetector mutates placement counts and is only legal before Start.
+// is one local member. It is safe to call at any time — /v1/stats
+// serves it at runtime — because placement counts are snapshotted
+// atomically rather than read out of the banks' detector tables, so it
+// cannot race a concurrent AddDetector.
 func (s *Sharded) Owners() []Owner {
 	out := make([]Owner, len(s.banks))
-	for i, b := range s.banks {
-		out[i] = Owner{Shard: i, Node: LocalNode, Detectors: len(b.PlanDescriptions())}
+	for i := range s.banks {
+		out[i] = Owner{Shard: i, Node: LocalNode, Detectors: int(s.placed[i].Load())}
 	}
 	return out
 }

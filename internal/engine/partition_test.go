@@ -2,7 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+
+	"github.com/stcps/stcps/internal/condition"
+	"github.com/stcps/stcps/internal/detect"
+	"github.com/stcps/stcps/internal/event"
 )
 
 // TestShardedPartitioner checks the Partitioner seam against the
@@ -52,5 +57,60 @@ func TestShardedPartitioner(t *testing.T) {
 			t.Fatalf("shard %d: Route places %d events there but Owners reports %d detectors",
 				i, routed[i], owners[i].Detectors)
 		}
+	}
+}
+
+// TestOwnersConcurrentWithAddDetector pins the /v1/stats hazard under
+// the race detector: Owners() must be readable while registration is
+// still adding detectors, because the daemon's stats endpoint scrapes
+// membership whenever a client asks. Run with -race.
+func TestOwnersConcurrentWithAddDetector(t *testing.T) {
+	const shards, nEvents = 4, 200
+	s, err := NewSharded(Config{Observer: "OB"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			total := 0
+			for _, o := range s.Owners() {
+				total += o.Detectors
+			}
+			if total < prev {
+				t.Errorf("placement count went backwards: %d then %d", prev, total)
+				return
+			}
+			prev = total
+		}
+	}()
+	for i := 0; i < nEvents; i++ {
+		if err := s.AddDetector(detect.Spec{
+			EventID: fmt.Sprintf("E%d", i),
+			Layer:   event.LayerSensor,
+			Roles:   []detect.RoleSpec{{Name: "x", Source: fmt.Sprintf("S%d", i), Window: 4}},
+			Cond:    condition.MustParse("x.v > 0"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	total := 0
+	for _, o := range s.Owners() {
+		total += o.Detectors
+	}
+	if total != nEvents {
+		t.Fatalf("final placement count = %d, want %d", total, nEvents)
 	}
 }

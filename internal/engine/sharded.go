@@ -53,6 +53,11 @@ type Sharded struct {
 	// routes maps each input source to the shards hosting a detector
 	// that consumes it. Immutable after Start.
 	routes map[string][]int
+	// placed counts detectors per shard. Atomic because Owners() is
+	// served from /v1/stats at runtime while AddDetector may still be
+	// running on another goroutine (registration races a scrape only
+	// before Start, but a torn read there is still a data race).
+	placed []atomic.Int64
 	in     []chan *[]offerMsg
 	// pending is the producer-side partial batch per shard, guarded by
 	// pmu.
@@ -92,6 +97,7 @@ func NewSharded(cfg Config, shards int) (*Sharded, error) {
 	s := &Sharded{
 		cfg:    cfg,
 		routes: make(map[string][]int),
+		placed: make([]atomic.Int64, shards),
 	}
 	s.idle = sync.NewCond(&s.mu)
 	for i := 0; i < shards; i++ {
@@ -143,6 +149,7 @@ func (s *Sharded) AddDetector(spec detect.Spec) error {
 			s.routes[src] = append(s.routes[src], shard)
 		}
 	}
+	s.placed[shard].Add(1)
 	return nil
 }
 

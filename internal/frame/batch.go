@@ -36,6 +36,13 @@ type Batch struct {
 	matv  []event.Observation
 	insts []event.Instance
 
+	// Forward envelopes: fpos[i] indexes fwds for records that arrived
+	// wrapped in RecForward, -1 otherwise. kinds[i] always holds the
+	// inner record kind, so the entity accessors above work unchanged
+	// on forwarded records.
+	fpos []int32
+	fwds []Forward
+
 	arena []byte // detached frame payload backing views (nil when mat)
 	bytes int    // decoded payload bytes
 }
@@ -118,6 +125,15 @@ func (b *Batch) Instance(i int) event.Instance {
 	return b.insts[b.idx[i]]
 }
 
+// Forwarded returns record i's cluster forward envelope, if it arrived
+// wrapped in a RecForward record.
+func (b *Batch) Forwarded(i int) (Forward, bool) {
+	if b.fpos[i] < 0 {
+		return Forward{}, false
+	}
+	return b.fwds[b.fpos[i]], true
+}
+
 // maxBatchRecords bounds the record count claimed by one batch frame,
 // rejecting hostile counts before any allocation. The payload size
 // bound does the real work; this only blocks count/size mismatches.
@@ -141,6 +157,8 @@ func DecodeBatch(payload []byte, materialize bool, it *event.Interner, b *Batch)
 	b.idx = b.idx[:0]
 	b.matv = b.matv[:0]
 	b.insts = b.insts[:0]
+	b.fpos = b.fpos[:0]
+	b.fwds = b.fwds[:0]
 	b.views = nil
 	b.arena = nil
 	b.mat = materialize
@@ -181,6 +199,20 @@ func DecodeBatch(payload []byte, materialize bool, it *event.Interner, b *Batch)
 		}
 		body := rest[n : n+int(ln)]
 		rest = rest[n+int(ln):]
+		if kind == RecForward {
+			fwd, inner, ibody, err := parseForwardHeader(body)
+			if err != nil {
+				return fmt.Errorf("frame: batch record %d: %w", i, err)
+			}
+			if inner != RecObservation && inner != RecInstance {
+				return fmt.Errorf("%w: forward wraps unknown record kind %d", ErrProtocol, inner)
+			}
+			kind, body = inner, ibody
+			b.fpos = append(b.fpos, int32(len(b.fwds)))
+			b.fwds = append(b.fwds, fwd)
+		} else {
+			b.fpos = append(b.fpos, -1)
+		}
 		switch kind {
 		case RecObservation:
 			if materialize {
@@ -223,6 +255,7 @@ type BatchWriter struct {
 	recs    []byte // encoded records, without the type/count prefix
 	count   int
 	scratch []byte
+	fwd     []byte            // forward envelope assembly buffer
 	enc     event.WireEncoder // schema-caching encoder for the hot path
 }
 
@@ -244,6 +277,33 @@ func (bw *BatchWriter) AddInstance(in *event.Instance) error {
 	}
 	bw.add(RecInstance, bw.scratch)
 	return nil
+}
+
+// AddForwardObservation appends one observation wrapped in a cluster
+// forward envelope.
+func (bw *BatchWriter) AddForwardObservation(f Forward, o *event.Observation) {
+	bw.scratch = bw.enc.AppendObservation(bw.scratch[:0], o)
+	bw.addForward(f, RecObservation)
+}
+
+// AddForwardInstance appends one instance (validated) wrapped in a
+// cluster forward envelope.
+func (bw *BatchWriter) AddForwardInstance(f Forward, in *event.Instance) error {
+	var err error
+	bw.scratch, err = bw.enc.AppendInstance(bw.scratch[:0], in)
+	if err != nil {
+		return err
+	}
+	bw.addForward(f, RecInstance)
+	return nil
+}
+
+// addForward frames bw.scratch (the encoded inner record) as a
+// RecForward envelope record.
+func (bw *BatchWriter) addForward(f Forward, innerKind byte) {
+	bw.fwd = AppendForwardHeader(bw.fwd[:0], f, innerKind)
+	bw.fwd = append(bw.fwd, bw.scratch...)
+	bw.add(RecForward, bw.fwd)
 }
 
 func (bw *BatchWriter) add(kind byte, body []byte) {

@@ -1,0 +1,106 @@
+package frame
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/stcps/stcps/internal/event"
+)
+
+// TestForwardRoundTrip pins the RecForward envelope: records written
+// with AddForward* decode with the same entity accessors as plain
+// records, plus the envelope via Forwarded.
+func TestForwardRoundTrip(t *testing.T) {
+	var bw BatchWriter
+	o := batchObs(1)
+	bw.AddForwardObservation(Forward{Origin: 2, Stamp: 0x50001, Seq: 11, Replica: false}, &o)
+	in := batchInst(3)
+	if err := bw.AddForwardInstance(Forward{Origin: 7, Stamp: 99, Seq: 12, Replica: true}, &in); err != nil {
+		t.Fatal(err)
+	}
+	plain := batchObs(2)
+	bw.AddObservation(&plain)
+	payload, n := bw.Take(nil)
+	if n != 3 {
+		t.Fatalf("Take count = %d, want 3", n)
+	}
+
+	for _, mat := range []bool{false, true} {
+		var b Batch
+		if err := DecodeBatch(append([]byte(nil), payload...), mat, event.NewInterner(), &b); err != nil {
+			t.Fatalf("mat=%v: %v", mat, err)
+		}
+		if b.Len() != 3 {
+			t.Fatalf("mat=%v: Len = %d", mat, b.Len())
+		}
+		if b.Kind(0) != RecObservation || b.Kind(1) != RecInstance || b.Kind(2) != RecObservation {
+			t.Fatalf("mat=%v: inner kinds not exposed: %v %v %v", mat, b.Kind(0), b.Kind(1), b.Kind(2))
+		}
+		f0, ok := b.Forwarded(0)
+		if !ok || f0 != (Forward{Origin: 2, Stamp: 0x50001, Seq: 11}) {
+			t.Fatalf("mat=%v: Forwarded(0) = %+v, %v", mat, f0, ok)
+		}
+		f1, ok := b.Forwarded(1)
+		if !ok || f1 != (Forward{Origin: 7, Stamp: 99, Seq: 12, Replica: true}) {
+			t.Fatalf("mat=%v: Forwarded(1) = %+v, %v", mat, f1, ok)
+		}
+		if _, ok := b.Forwarded(2); ok {
+			t.Fatalf("mat=%v: plain record claims an envelope", mat)
+		}
+		if got := b.Observation(0); !reflect.DeepEqual(got, o) {
+			t.Fatalf("mat=%v: observation mismatch:\n got %+v\nwant %+v", mat, got, o)
+		}
+		if got := b.Instance(1); !reflect.DeepEqual(got, in) {
+			t.Fatalf("mat=%v: instance mismatch:\n got %+v\nwant %+v", mat, got, in)
+		}
+		if b.Source(0) != o.Sensor || b.Source(1) != in.Event {
+			t.Fatalf("mat=%v: sources %q %q", mat, b.Source(0), b.Source(1))
+		}
+	}
+}
+
+// TestForwardRejectsMalformed pins the hostile-input behavior of the
+// envelope parser: truncations and nested forwards are protocol errors.
+func TestForwardRejectsMalformed(t *testing.T) {
+	frameOne := func(body []byte) []byte {
+		var bw BatchWriter
+		bw.add(RecForward, body)
+		payload, _ := bw.Take(nil)
+		return payload
+	}
+
+	var enc event.WireEncoder
+	o := batchObs(0)
+	obody := enc.AppendObservation(nil, &o)
+
+	good := AppendForwardHeader(nil, Forward{Origin: 1, Stamp: 42, Seq: 7}, RecObservation)
+	good = append(good, obody...)
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"flags missing", good[:1]},
+		{"stamp missing", good[:2]},
+		{"seq missing", good[:3]},
+		{"inner kind missing", good[:4]},
+		{"nested forward", append(AppendForwardHeader(nil, Forward{Origin: 1, Stamp: 42}, RecForward), good...)},
+		{"unknown inner kind", append(AppendForwardHeader(nil, Forward{Origin: 1, Stamp: 42}, 9), obody...)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var b Batch
+			err := DecodeBatch(frameOne(c.body), true, event.NewInterner(), &b)
+			if !errors.Is(err, ErrProtocol) && err == nil {
+				t.Fatalf("DecodeBatch = %v, want error", err)
+			}
+		})
+	}
+
+	var b Batch
+	if err := DecodeBatch(frameOne(good), true, event.NewInterner(), &b); err != nil {
+		t.Fatalf("well-formed forward rejected: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package frame
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestHelloNegotiationTable pins the handshake's failure modes: a
+// version mismatch and every truncation of the Hello payload must come
+// back as a typed error from the parser, never a hang or a raw panic.
+func TestHelloNegotiationTable(t *testing.T) {
+	good := AppendHello(nil)
+	futureVersion := append(append([]byte(nil), good[:5]...), Version+1)
+	badMagic := append([]byte(nil), good...)
+	badMagic[2] = 'X'
+	wrongType := append([]byte(nil), good...)
+	wrongType[0] = MsgBatch
+
+	cases := []struct {
+		name    string
+		payload []byte
+		wantErr error
+	}{
+		{"valid", good, nil},
+		{"version mismatch", futureVersion, ErrVersion},
+		{"bad magic", badMagic, ErrProtocol},
+		{"wrong message type", wrongType, ErrProtocol},
+		{"empty", nil, ErrProtocol},
+		{"truncated to type byte", good[:1], ErrProtocol},
+		{"truncated mid-magic", good[:3], ErrProtocol},
+		{"truncated before version", good[:5], ErrProtocol},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), ErrProtocol},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ParseHello(c.payload)
+			if c.wantErr == nil {
+				if err != nil {
+					t.Fatalf("ParseHello = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, c.wantErr) {
+				t.Fatalf("ParseHello = %v, want errors.Is(%v)", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestWelcomeVersionMismatch pins the client-side half of negotiation.
+func TestWelcomeVersionMismatch(t *testing.T) {
+	good := AppendWelcome(nil, 128, 32)
+	future := append([]byte(nil), good...)
+	future[1] = Version + 1
+	if _, _, err := ParseWelcome(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("ParseWelcome(version+1) = %v, want ErrVersion", err)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := ParseWelcome(good[:cut]); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("ParseWelcome(truncated to %d) = %v, want ErrProtocol", cut, err)
+		}
+	}
+	if w, b, err := ParseWelcome(good); err != nil || w != 128 || b != 32 {
+		t.Fatalf("ParseWelcome(good) = (%d,%d,%v)", w, b, err)
+	}
+}
+
+// TestServeConnVersionMismatch drives a full connection: the server
+// must answer a future-version Hello with an Error frame and a typed
+// error, then close — not hang waiting for batches.
+func TestServeConnVersionMismatch(t *testing.T) {
+	cfg := ServerConfig{Offer: func(*Batch) error { return nil }}
+	client, done, _, serveErr := startServer(t, cfg)
+
+	hello := AppendHello(nil)
+	hello[5] = Version + 1
+	client.write(hello)
+
+	reply := client.read()
+	if len(reply) == 0 || reply[0] != MsgError {
+		t.Fatalf("reply type %#02x, want MsgError", reply[0])
+	}
+	msg, err := ParseError(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg == "" {
+		t.Fatal("empty error message")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung after version mismatch")
+	}
+	if !errors.Is(*serveErr, ErrVersion) {
+		t.Fatalf("ServeConn error = %v, want ErrVersion", *serveErr)
+	}
+}
+
+// TestServeConnTruncatedHello cuts the connection mid-Hello-frame: the
+// server must report a torn handshake, not block.
+func TestServeConnTruncatedHello(t *testing.T) {
+	clientConn, server := net.Pipe()
+	done := make(chan struct{})
+	var serveErr error
+	go func() {
+		defer close(done)
+		defer server.Close()
+		_, serveErr = ServeConn(server, ServerConfig{Offer: func(*Batch) error { return nil }})
+	}()
+
+	full := AppendFrame(nil, AppendHello(nil))
+	if _, err := clientConn.Write(full[:len(full)-2]); err != nil {
+		t.Fatal(err)
+	}
+	clientConn.Close()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on truncated hello")
+	}
+	if !errors.Is(serveErr, ErrTorn) {
+		t.Fatalf("ServeConn error = %v, want ErrTorn", serveErr)
+	}
+	if errors.Is(serveErr, io.EOF) {
+		t.Fatalf("truncated hello must not look like a clean close: %v", serveErr)
+	}
+}

@@ -42,7 +42,82 @@ const (
 	RecObservation byte = 1
 	// RecInstance is a binary-coded event.Instance.
 	RecInstance byte = 2
+	// RecForward is a cluster envelope around an observation or
+	// instance record: origin node, HLC stamp and hop kind, then the
+	// inner record. Non-owner cluster nodes forward ingest to the
+	// owner in these, and owners replicate applied records to their
+	// followers in them (docs/cluster.md).
+	RecForward byte = 3
 )
+
+// Forward hop flags inside a RecForward envelope.
+const (
+	// FwdReplica marks a replica hop: the receiver applies the record
+	// but must not replicate it onward.
+	FwdReplica byte = 1 << 0
+)
+
+// Forward is a decoded RecForward envelope (without its inner record).
+type Forward struct {
+	// Origin is the cluster node index that first stamped the record.
+	Origin int
+	// Stamp is the origin's HLC stamp (hlc.Stamp packed as uint64).
+	Stamp uint64
+	// Seq is the origin's dense per-(partition, origin) record
+	// sequence — the exact-once dedup key receivers window on, since
+	// forwarding and replication are both at-least-once.
+	Seq uint64
+	// Replica reports a replica hop (FwdReplica set).
+	Replica bool
+}
+
+// AppendForwardHeader appends a RecForward envelope header to dst; the
+// caller appends the inner record body after it.
+func AppendForwardHeader(dst []byte, f Forward, innerKind byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(f.Origin))
+	var flags byte
+	if f.Replica {
+		flags |= FwdReplica
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, f.Stamp)
+	dst = binary.AppendUvarint(dst, f.Seq)
+	return append(dst, innerKind)
+}
+
+// parseForwardHeader decodes a RecForward envelope header, returning
+// the envelope, the inner record kind and the inner body.
+func parseForwardHeader(body []byte) (Forward, byte, []byte, error) {
+	var f Forward
+	origin, n := binary.Uvarint(body)
+	if n <= 0 || origin > 1<<20 {
+		return f, 0, nil, fmt.Errorf("%w: malformed forward origin", ErrProtocol)
+	}
+	body = body[n:]
+	if len(body) < 1 {
+		return f, 0, nil, fmt.Errorf("%w: truncated forward flags", ErrProtocol)
+	}
+	flags := body[0]
+	body = body[1:]
+	stamp, n := binary.Uvarint(body)
+	if n <= 0 {
+		return f, 0, nil, fmt.Errorf("%w: malformed forward stamp", ErrProtocol)
+	}
+	body = body[n:]
+	seq, n := binary.Uvarint(body)
+	if n <= 0 {
+		return f, 0, nil, fmt.Errorf("%w: malformed forward seq", ErrProtocol)
+	}
+	body = body[n:]
+	if len(body) < 1 {
+		return f, 0, nil, fmt.Errorf("%w: truncated forward inner kind", ErrProtocol)
+	}
+	f.Origin = int(origin)
+	f.Stamp = stamp
+	f.Seq = seq
+	f.Replica = flags&FwdReplica != 0
+	return f, body[0], body[1:], nil
+}
 
 // Protocol errors.
 var (

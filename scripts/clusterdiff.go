@@ -1,0 +1,95 @@
+//go:build ignore
+
+// clusterdiff fetches two stcpsd query endpoints and fails unless
+// their instance streams are identical, element for element — the
+// cluster smoke test's differential oracle (a clustered gateway's
+// scatter-gather page against a single-node reference daemon).
+// Usage: go run scripts/clusterdiff.go URL_A URL_B.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+type page struct {
+	Count     int               `json:"count"`
+	Instances []json.RawMessage `json:"instances"`
+}
+
+func fetch(u string) (page, error) {
+	var p page
+	resp, err := http.Get(u)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return p, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("%s: %s: %s", u, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &p); err != nil {
+		return p, fmt.Errorf("%s: %w", u, err)
+	}
+	return p, nil
+}
+
+// canon re-marshals a raw JSON value so formatting differences cannot
+// mask (or fake) a mismatch; Go object keys re-marshal in map order,
+// so both sides pass through the same canonicalization.
+func canon(raw json.RawMessage) (string, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", err
+	}
+	out, err := json.Marshal(v)
+	return string(out), err
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: clusterdiff URL_A URL_B")
+		os.Exit(2)
+	}
+	a, err := fetch(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterdiff:", err)
+		os.Exit(1)
+	}
+	b, err := fetch(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterdiff:", err)
+		os.Exit(1)
+	}
+	if len(a.Instances) == 0 {
+		fmt.Fprintln(os.Stderr, "clusterdiff: no instances on either side — the diff proves nothing")
+		os.Exit(1)
+	}
+	if len(a.Instances) != len(b.Instances) {
+		fmt.Fprintf(os.Stderr, "clusterdiff: %d vs %d instances\n", len(a.Instances), len(b.Instances))
+		os.Exit(1)
+	}
+	for i := range a.Instances {
+		ca, err := canon(a.Instances[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterdiff:", err)
+			os.Exit(1)
+		}
+		cb, err := canon(b.Instances[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterdiff:", err)
+			os.Exit(1)
+		}
+		if ca != cb {
+			fmt.Fprintf(os.Stderr, "clusterdiff: instance %d diverges:\n  a: %s\n  b: %s\n", i, ca, cb)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("clusterdiff: ok (%d instances identical)\n", len(a.Instances))
+}

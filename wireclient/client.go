@@ -9,6 +9,15 @@
 // goroutines, though a single producer per connection keeps batches
 // dense.
 //
+// With Options.Reconnect enabled, a dropped connection is no longer
+// fatal: the client redials with jittered exponential backoff and
+// resends every batch the server had not acknowledged, in order.
+// Because the server acknowledges only after a batch is offered to the
+// engine, resending unacked batches guarantees at-least-once delivery:
+// a batch whose ack was lost in transit is delivered twice. Callers
+// needing exactly-once must deduplicate (the cluster tier does, by
+// origin + HLC stamp — see docs/cluster.md).
+//
 //	c, err := wireclient.Dial("127.0.0.1:9090", wireclient.Options{})
 //	...
 //	c.SendObservation(&obs)
@@ -21,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -36,10 +46,28 @@ type (
 	Observation = event.Observation
 	// Instance is an event.Instance.
 	Instance = event.Instance
+	// Forward is a frame.Forward cluster envelope.
+	Forward = frame.Forward
 )
 
 // ErrClosed is returned by sends on a closed client.
 var ErrClosed = errors.New("wireclient: closed")
+
+// ReconnectOptions parameterize automatic redialing. Reconnection only
+// works for clients created with Dial (New has no address to redial).
+type ReconnectOptions struct {
+	// Enabled turns reconnection on.
+	Enabled bool
+	// MaxAttempts bounds consecutive failed dials before the client
+	// fails permanently (default 8).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50ms). Each retry
+	// doubles it up to MaxDelay (default 2s); every delay is jittered
+	// to 50–100% of its nominal value so restarting fleets do not
+	// thunder back in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
 
 // Options parameterizes Dial. The zero value accepts the server's
 // advertised batch size and window.
@@ -54,6 +82,9 @@ type Options struct {
 	// MaxPayload bounds one received frame (default
 	// frame.DefaultMaxPayload).
 	MaxPayload uint32
+	// Reconnect configures automatic redial + resend of unacked
+	// batches on connection loss.
+	Reconnect ReconnectOptions
 }
 
 // Stats summarizes a client's traffic so far.
@@ -71,83 +102,129 @@ type Stats struct {
 	// the window — the server's congestion signals.
 	SlowDowns uint64 `json:"slowDowns"`
 	Resumes   uint64 `json:"resumes"`
+	// Reconnects counts successful redials.
+	Reconnects uint64 `json:"reconnects,omitempty"`
+}
+
+// pendingBatch is one framed-but-unacked batch payload, kept for
+// resend after a reconnect.
+type pendingBatch struct {
+	payload []byte
+	recs    uint64
 }
 
 // Client is one wire protocol connection.
 type Client struct {
-	conn net.Conn
-	bw   *bufio.Writer
+	addr string // redial target; empty disables reconnection
+	opts Options
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	closed bool
-	err    error // first fatal error (server Error frame, conn failure)
+	conn   net.Conn      //stcps:guardedby mu
+	bw     *bufio.Writer //stcps:guardedby mu
+	closed bool          //stcps:guardedby mu
+	err    error         // first fatal error (server Error frame, conn failure)
 
-	sent   uint64
-	acked  uint64
-	window int
-	batch  int
+	// sent/acked are cumulative logical record counts across
+	// reconnects; connAcked is the current connection's cumulative ack
+	// counter (the server restarts it per connection).
+	sent      uint64
+	acked     uint64
+	connAcked uint64
+	connGen   uint64 // bumped per connection; stale readLoops no-op
+	broken    bool   // conn lost, reconnection pending
+	window    int
+	batch     int
 
-	bwr      frame.BatchWriter
-	sendBuf  []byte
-	batches  uint64
-	bytesOut uint64
-	slow     uint64
-	resume   uint64
+	pending []pendingBatch // unacked batches, oldest first (reconnect mode)
+
+	bwr        frame.BatchWriter
+	sendBuf    []byte
+	batches    uint64
+	bytesOut   uint64
+	slow       uint64
+	resume     uint64
+	reconnects uint64
 
 	readerDone chan struct{}
+	loopDone   chan struct{} // reconnect monitor (nil when disabled)
 }
 
 // Dial connects to a stcpsd wire listener and completes the
 // Hello/Welcome handshake.
 func Dial(addr string, opts Options) (*Client, error) {
-	timeout := opts.DialTimeout
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	conn, fr, window, batch, err := dialHandshake(addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("wireclient: %w", err)
-	}
-	c, err := New(conn, opts)
-	if err != nil {
-		conn.Close()
 		return nil, err
+	}
+	c := newClient(conn, fr, window, batch, opts)
+	if opts.Reconnect.Enabled {
+		c.addr = addr
+		c.loopDone = make(chan struct{})
+		go c.reconnectLoop()
 	}
 	return c, nil
 }
 
 // New completes the handshake over an existing connection and returns
 // a client owning it. It is the test- and benchmark-friendly sibling
-// of Dial (it accepts net.Pipe ends).
+// of Dial (it accepts net.Pipe ends). Reconnection is unavailable —
+// there is no address to redial.
 func New(conn net.Conn, opts Options) (*Client, error) {
+	fr, window, batch, err := handshake(conn, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Reconnect.Enabled = false
+	return newClient(conn, fr, window, batch, opts), nil
+}
+
+func dialHandshake(addr string, opts Options) (net.Conn, *frame.Reader, int, int, error) {
 	timeout := opts.DialTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
-	c.cond = sync.NewCond(&c.mu)
-
-	_ = conn.SetDeadline(time.Now().Add(timeout))
-	if err := frame.WriteFrame(c.bw, frame.AppendHello(nil)); err != nil {
-		return nil, fmt.Errorf("wireclient: hello: %w", err)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("wireclient: %w", err)
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("wireclient: hello: %w", err)
+	fr, window, batch, err := handshake(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, nil, 0, 0, err
+	}
+	return conn, fr, window, batch, nil
+}
+
+// handshake runs Hello/Welcome over conn and returns the frame reader
+// plus the negotiated window and batch size (caller preferences
+// applied).
+func handshake(conn net.Conn, opts Options) (*frame.Reader, int, int, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	bw := bufio.NewWriterSize(conn, 4<<10)
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := frame.WriteFrame(bw, frame.AppendHello(nil)); err != nil {
+		return nil, 0, 0, fmt.Errorf("wireclient: hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, 0, 0, fmt.Errorf("wireclient: hello: %w", err)
 	}
 	br := bufio.NewReaderSize(conn, 32<<10)
 	fr := frame.NewReader(br, opts.MaxPayload)
 	payload, _, err := fr.Next()
 	if err != nil {
-		return nil, fmt.Errorf("wireclient: reading welcome: %w", err)
+		return nil, 0, 0, fmt.Errorf("wireclient: reading welcome: %w", err)
 	}
 	if len(payload) > 0 && payload[0] == frame.MsgError {
 		msg, _ := frame.ParseError(payload)
-		return nil, fmt.Errorf("wireclient: server rejected connection: %s", msg)
+		return nil, 0, 0, fmt.Errorf("wireclient: server rejected connection: %s", msg)
 	}
 	window, batch, err := frame.ParseWelcome(payload)
 	if err != nil {
-		return nil, fmt.Errorf("wireclient: %w", err)
+		return nil, 0, 0, fmt.Errorf("wireclient: %w", err)
 	}
 	_ = conn.SetDeadline(time.Time{})
 
@@ -160,21 +237,29 @@ func New(conn net.Conn, opts Options) (*Client, error) {
 	if batch > window {
 		batch = window
 	}
-	c.window = window
-	c.batch = batch
+	return fr, window, batch, nil
+}
+
+func newClient(conn net.Conn, fr *frame.Reader, window, batch int, opts Options) *Client {
+	c := &Client{
+		conn: conn, bw: bufio.NewWriterSize(conn, 64<<10),
+		opts: opts, window: window, batch: batch,
+	}
+	c.cond = sync.NewCond(&c.mu)
 	c.readerDone = make(chan struct{})
-	go c.readLoop(fr)
-	return c, nil
+	go c.readLoop(fr, c.connGen, c.readerDone)
+	return c
 }
 
 // readLoop consumes server control frames: acks advance the window,
-// Window frames resize it, Error frames kill the connection.
-func (c *Client) readLoop(fr *frame.Reader) {
-	defer close(c.readerDone)
+// Window frames resize it, Error frames kill the connection. gen pins
+// it to one connection; a loop outliving its connection no-ops.
+func (c *Client) readLoop(fr *frame.Reader, gen uint64, done chan struct{}) {
+	defer close(done)
 	for {
 		payload, _, err := fr.Next()
 		if err != nil {
-			c.fail(fmt.Errorf("wireclient: connection lost: %w", err))
+			c.connLost(gen, fmt.Errorf("wireclient: connection lost: %w", err))
 			return
 		}
 		if len(payload) == 0 {
@@ -188,10 +273,7 @@ func (c *Client) readLoop(fr *frame.Reader) {
 				c.fail(err)
 				return
 			}
-			c.mu.Lock()
-			c.acked = n
-			c.cond.Broadcast()
-			c.mu.Unlock()
+			c.applyAck(gen, n)
 		case frame.MsgWindow:
 			w, err := frame.ParseWindow(payload)
 			if err != nil {
@@ -199,18 +281,23 @@ func (c *Client) readLoop(fr *frame.Reader) {
 				return
 			}
 			c.mu.Lock()
-			if w < c.window {
-				c.slow++
-			} else {
-				c.resume++
+			if gen == c.connGen {
+				if w < c.window {
+					c.slow++
+				} else {
+					c.resume++
+				}
+				c.window = w
+				if c.batch > w {
+					c.batch = w
+				}
+				c.cond.Broadcast()
 			}
-			c.window = w
-			if c.batch > w {
-				c.batch = w
-			}
-			c.cond.Broadcast()
 			c.mu.Unlock()
 		case frame.MsgError:
+			// A server Error frame is a protocol-level rejection, not a
+			// transport failure: reconnecting would only be rejected
+			// again, so it is fatal even in reconnect mode.
 			msg, _ := frame.ParseError(payload)
 			c.fail(fmt.Errorf("wireclient: server error: %s", msg))
 			return
@@ -221,6 +308,53 @@ func (c *Client) readLoop(fr *frame.Reader) {
 	}
 }
 
+// applyAck advances the cumulative counters and retires acked pending
+// batches. The server's counter is per-connection, so the delta since
+// the last ack is what advances the logical count.
+func (c *Client) applyAck(gen, n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.connGen || n <= c.connAcked {
+		return
+	}
+	delta := n - c.connAcked
+	c.connAcked = n
+	c.acked += delta
+	for delta > 0 && len(c.pending) > 0 {
+		head := &c.pending[0]
+		if head.recs > delta {
+			// Defensive: the server acks at batch granularity, so a
+			// partial-batch ack should not happen; track it anyway so
+			// the counters stay consistent.
+			head.recs -= delta
+			delta = 0
+			break
+		}
+		delta -= head.recs
+		c.pending = c.pending[1:]
+	}
+	c.cond.Broadcast()
+}
+
+// connLost marks the connection broken. In reconnect mode the monitor
+// goroutine takes over; otherwise the error is fatal.
+func (c *Client) connLost(gen uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.connGen || c.closed {
+		return
+	}
+	if c.addr != "" && c.err == nil {
+		c.broken = true
+		c.cond.Broadcast()
+		return
+	}
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+}
+
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -228,6 +362,119 @@ func (c *Client) fail(err error) {
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
+}
+
+// backoffDelay returns the jittered exponential backoff delay for the
+// given consecutive failure count.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	base := c.opts.Reconnect.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.opts.Reconnect.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter to 50–100% of nominal.
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// reconnectLoop waits for a broken connection, redials with backoff,
+// resends unacked batches and installs the fresh connection.
+func (c *Client) reconnectLoop() {
+	defer close(c.loopDone)
+	maxAttempts := c.opts.Reconnect.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	for {
+		c.mu.Lock()
+		for !c.broken && !c.closed && c.err == nil {
+			c.cond.Wait()
+		}
+		if c.closed || c.err != nil {
+			c.mu.Unlock()
+			return
+		}
+		old := c.conn
+		c.mu.Unlock()
+		// Kill the old connection so its readLoop unblocks; its gen
+		// guard makes the resulting error a no-op.
+		old.Close()
+
+		var (
+			conn          net.Conn
+			fr            *frame.Reader
+			window, batch int
+		)
+		attempt := 0
+		for {
+			time.Sleep(c.backoffDelay(attempt))
+			if c.closedOrFailed() {
+				return
+			}
+			var err error
+			conn, fr, window, batch, err = dialHandshake(c.addr, c.opts)
+			if err == nil {
+				break
+			}
+			attempt++
+			if attempt >= maxAttempts {
+				c.fail(fmt.Errorf("wireclient: reconnect gave up after %d attempts: %w", attempt, err))
+				return
+			}
+		}
+
+		c.mu.Lock()
+		if c.closed || c.err != nil {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conn = conn
+		c.bw = bufio.NewWriterSize(conn, 64<<10)
+		c.connGen++
+		c.connAcked = 0
+		c.window = window
+		c.batch = batch
+		// Resend every unacked batch in order before new traffic. A
+		// failure here just breaks the fresh connection; the next loop
+		// iteration retries.
+		resendErr := error(nil)
+		for i := range c.pending {
+			if err := frame.WriteFrame(c.bw, c.pending[i].payload); err != nil {
+				resendErr = err
+				break
+			}
+		}
+		if resendErr == nil {
+			resendErr = c.bw.Flush()
+		}
+		if resendErr != nil {
+			c.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		c.broken = false
+		c.reconnects++
+		c.readerDone = make(chan struct{})
+		go c.readLoop(fr, c.connGen, c.readerDone)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) closedOrFailed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed || c.err != nil
 }
 
 // SendObservation enqueues one observation, flushing a full batch and
@@ -256,9 +503,38 @@ func (c *Client) SendInstance(in *Instance) error {
 	return c.maybeFlushLocked()
 }
 
+// SendForwardObservation enqueues one observation wrapped in a cluster
+// forward envelope (origin node + HLC stamp). It is the transport of
+// the cluster tier's ingest forwarding and replication.
+func (c *Client) SendForwardObservation(f Forward, o *Observation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reserveLocked(); err != nil {
+		return err
+	}
+	c.bwr.AddForwardObservation(f, o)
+	return c.maybeFlushLocked()
+}
+
+// SendForwardInstance enqueues one instance wrapped in a cluster
+// forward envelope.
+func (c *Client) SendForwardInstance(f Forward, in *Instance) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reserveLocked(); err != nil {
+		return err
+	}
+	if err := c.bwr.AddForwardInstance(f, in); err != nil {
+		return err
+	}
+	return c.maybeFlushLocked()
+}
+
 // reserveLocked waits for window credit for one more record. Pending
 // (unframed) records count against the window so the batch buffer
 // cannot grow past it.
+//
+//stcps:holds mu
 func (c *Client) reserveLocked() error {
 	for {
 		if c.err != nil {
@@ -279,11 +555,8 @@ func (c *Client) reserveLocked() error {
 				return err
 			}
 		}
-		if err := c.bw.Flush(); err != nil {
-			if c.err == nil {
-				c.err = fmt.Errorf("wireclient: flush: %w", err)
-			}
-			return c.err
+		if err := c.flushConnLocked(); err != nil {
+			return err
 		}
 		c.cond.Wait()
 	}
@@ -296,23 +569,67 @@ func (c *Client) maybeFlushLocked() error {
 	return nil
 }
 
-// flushBatchLocked frames and writes the pending batch.
+// flushBatchLocked frames the pending batch and writes it to the
+// connection. In reconnect mode the framed payload is retained until
+// acked; while the connection is down the write is skipped and the
+// payload waits for the reconnect resend.
+//
+//stcps:holds mu
 func (c *Client) flushBatchLocked() error {
 	payload, n := c.bwr.Take(c.sendBuf[:0])
 	c.sendBuf = payload
 	if n == 0 {
 		return nil
 	}
-	if err := frame.WriteFrame(c.bw, payload); err != nil {
-		if c.err == nil {
-			c.err = fmt.Errorf("wireclient: write: %w", err)
+	if c.addr != "" {
+		c.pending = append(c.pending, pendingBatch{
+			payload: append([]byte(nil), payload...),
+			recs:    uint64(n),
+		})
+	}
+	if !c.broken {
+		if err := frame.WriteFrame(c.bw, payload); err != nil {
+			if !c.markBrokenLocked(fmt.Errorf("wireclient: write: %w", err)) {
+				return c.err
+			}
 		}
-		return c.err
 	}
 	c.sent += uint64(n)
 	c.batches++
 	c.bytesOut += uint64(frame.HeaderSize + len(payload))
 	return nil
+}
+
+// flushConnLocked pushes the connection write buffer, downgrading
+// transport errors to a broken-connection state in reconnect mode.
+//
+//stcps:holds mu
+func (c *Client) flushConnLocked() error {
+	if c.broken {
+		return nil
+	}
+	if err := c.bw.Flush(); err != nil {
+		if !c.markBrokenLocked(fmt.Errorf("wireclient: flush: %w", err)) {
+			return c.err
+		}
+	}
+	return nil
+}
+
+// markBrokenLocked transitions to the broken state (reconnect mode) and
+// reports true, or records err as fatal and reports false.
+func (c *Client) markBrokenLocked(err error) bool {
+	if c.addr != "" && c.err == nil {
+		if !c.broken {
+			c.broken = true
+			c.cond.Broadcast()
+		}
+		return true
+	}
+	if c.err == nil {
+		c.err = err
+	}
+	return false
 }
 
 // Flush frames any pending records and pushes the connection's write
@@ -326,29 +643,21 @@ func (c *Client) Flush() error {
 	if err := c.flushBatchLocked(); err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
-		if c.err == nil {
-			c.err = fmt.Errorf("wireclient: flush: %w", err)
-		}
-		return c.err
-	}
-	return nil
+	return c.flushConnLocked()
 }
 
 // Wait blocks until every sent record is acked or the connection
 // fails. Pending batches are flushed first, so Wait alone cannot
-// deadlock on its own unsent records.
+// deadlock on its own unsent records. In reconnect mode it rides
+// through outages, returning once the resent batches are acked.
 func (c *Client) Wait() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.flushBatchLocked(); err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
-		if c.err == nil {
-			c.err = fmt.Errorf("wireclient: flush: %w", err)
-		}
-		return c.err
+	if err := c.flushConnLocked(); err != nil {
+		return err
 	}
 	for c.err == nil && c.acked < c.sent {
 		c.cond.Wait()
@@ -371,6 +680,7 @@ func (c *Client) Stats() Stats {
 		Sent: c.sent, Acked: c.acked, Batches: c.batches,
 		Bytes: c.bytesOut, Window: c.window,
 		SlowDowns: c.slow, Resumes: c.resume,
+		Reconnects: c.reconnects,
 	}
 }
 
@@ -384,15 +694,21 @@ func (c *Client) Close() error {
 	}
 	c.mu.Lock()
 	if c.closed {
+		done := c.readerDone
 		c.mu.Unlock()
-		<-c.readerDone
+		<-done
 		return flushErr
 	}
 	c.closed = true
 	c.cond.Broadcast()
+	conn := c.conn
+	done := c.readerDone
 	c.mu.Unlock()
-	closeErr := c.conn.Close()
-	<-c.readerDone
+	closeErr := conn.Close()
+	<-done
+	if c.loopDone != nil {
+		<-c.loopDone
+	}
 	if flushErr != nil && !errors.Is(flushErr, io.EOF) {
 		return flushErr
 	}

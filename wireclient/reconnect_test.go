@@ -1,0 +1,232 @@
+package wireclient
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stcps/stcps/internal/frame"
+)
+
+// crashyServer is a restartable TCP wire server that records every
+// observation seq it has offered. Kill() hard-closes the listener and
+// all live connections (a SIGKILL stand-in); Restart() rebinds the
+// same address.
+type crashyServer struct {
+	t    *testing.T
+	addr string
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	seqs     map[uint64]int // observation seq -> times offered
+	received int
+}
+
+func newCrashyServer(t *testing.T) *crashyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &crashyServer{
+		t: t, addr: ln.Addr().String(),
+		conns: make(map[net.Conn]bool),
+		seqs:  make(map[uint64]int),
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.accept(ln)
+	t.Cleanup(s.Kill)
+	return s
+}
+
+func (s *crashyServer) accept(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			_, _ = frame.ServeConn(conn, frame.ServerConfig{
+				Offer: func(b *frame.Batch) error {
+					s.mu.Lock()
+					defer s.mu.Unlock()
+					for i := 0; i < b.Len(); i++ {
+						if b.Kind(i) == frame.RecObservation {
+							s.seqs[b.Observation(i).Seq]++
+						}
+						s.received++
+					}
+					return nil
+				},
+			})
+		}()
+	}
+}
+
+// Kill closes the listener and every live connection without any
+// protocol goodbye.
+func (s *crashyServer) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+	for conn := range s.conns {
+		conn.Close()
+		delete(s.conns, conn)
+	}
+}
+
+// Restart rebinds the saved address. The OS may need a moment to
+// release the port, so the bind is retried briefly.
+func (s *crashyServer) Restart() {
+	s.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", s.addr)
+		if err == nil {
+			s.mu.Lock()
+			s.ln = ln
+			s.mu.Unlock()
+			go s.accept(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			s.t.Fatalf("restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (s *crashyServer) receivedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// TestReconnectResendsUnackedAcrossKill is the kill-server-mid-send
+// regression test: the server dies (listener + connections hard-closed)
+// in the middle of a windowed send stream, restarts on the same
+// address, and the client must ride through — redial with backoff,
+// resend every unacked batch, and finish with every record delivered
+// at least once and no fatal error.
+func TestReconnectResendsUnackedAcrossKill(t *testing.T) {
+	s := newCrashyServer(t)
+	c, err := Dial(s.addr, Options{
+		BatchRecords: 8,
+		Window:       64,
+		DialTimeout:  2 * time.Second,
+		Reconnect: ReconnectOptions{
+			Enabled:     true,
+			MaxAttempts: 50,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 400
+	killed := false
+	for i := 0; i < total; i++ {
+		o := testObs(i)
+		o.Seq = uint64(i)
+		if err := c.SendObservation(&o); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		// Kill mid-stream once the server has definitely offered some
+		// batches, while the client still has records to send: the
+		// in-flight unacked window must survive the crash.
+		if !killed && i == total/2 && s.receivedCount() > 0 {
+			s.Kill()
+			killed = true
+			// Let the client trip over the dead connection before the
+			// server comes back, so reconnect attempts really fail.
+			time.Sleep(20 * time.Millisecond)
+			s.Restart()
+		}
+	}
+	if !killed {
+		t.Fatal("server was never killed; test did not exercise the crash path")
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatalf("Wait after reconnect: %v", err)
+	}
+	st := c.Stats()
+	if st.Reconnects == 0 {
+		t.Fatal("client never reconnected; the kill did not sever the connection")
+	}
+	if st.Acked != st.Sent || st.Sent != total {
+		t.Fatalf("sent=%d acked=%d, want both %d", st.Sent, st.Acked, total)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Delivery is at-least-once: every seq must have arrived, duplicates
+	// are legal for batches whose ack was lost in the crash.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := uint64(0); i < total; i++ {
+		if s.seqs[i] == 0 {
+			t.Fatalf("observation seq %d was lost across the reconnect", i)
+		}
+	}
+}
+
+// TestReconnectGivesUpAfterMaxAttempts pins the failure bound: with the
+// server gone for good, the client must surface a fatal error instead
+// of retrying forever.
+func TestReconnectGivesUpAfterMaxAttempts(t *testing.T) {
+	s := newCrashyServer(t)
+	c, err := Dial(s.addr, Options{
+		DialTimeout: time.Second,
+		Reconnect: ReconnectOptions{
+			Enabled:     true,
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+
+	o := testObs(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := c.SendObservation(&o); err != nil {
+			break // fatal surfaced through the send path
+		}
+		if err := c.Flush(); err != nil {
+			break
+		}
+		if c.Err() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client kept accepting sends after reconnect attempts were exhausted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Err() == nil {
+		t.Fatal("expected a fatal error after reconnect gave up")
+	}
+	_ = c.Close()
+}
